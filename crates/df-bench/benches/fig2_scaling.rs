@@ -1,0 +1,40 @@
+//! Figure 2: runtime of the four microbenchmark queries (map, groupby(n), groupby(1),
+//! transpose) as the dataset scale grows, for the pandas-like baseline and the
+//! MODIN-like engine.
+//!
+//! The paper runs the sweep on 20–250 GB of NYC taxi data on a 128-core node; here the
+//! synthetic taxi generator and a laptop-sized sweep (override with
+//! `DF_BENCH_BASE_ROWS` / `DF_BENCH_MAX_REPLICATION`) reproduce the *shape*: the
+//! scalable engine wins on every panel, the gap grows with scale, and the baseline's
+//! transpose stops completing beyond a scale wall (printed as DNF), exactly as pandas
+//! does in the paper.
+
+use df_bench::{env_usize, render_table, run_fig2, speedup_summary, Fig2Config};
+
+fn main() {
+    let max_replication = env_usize("DF_BENCH_MAX_REPLICATION", 8);
+    let replications: Vec<usize> = [1usize, 2, 4, 6, 8, 11]
+        .into_iter()
+        .filter(|&r| r <= max_replication)
+        .collect();
+    let config = Fig2Config {
+        replications,
+        ..Fig2Config::default()
+    };
+    eprintln!(
+        "running figure-2 sweep: base_rows={}, replications={:?}, threads={}",
+        config.base_rows, config.replications, config.threads
+    );
+    let records = run_fig2(&config);
+    println!("{}", render_table("Figure 2: run times for Modin and Pandas", &records));
+    println!("== Figure 2: speedup (baseline / modin) ==");
+    println!("{:<18} {:<10} {:>8}", "experiment", "parameter", "speedup");
+    for (experiment, parameter, speedup) in speedup_summary(&records) {
+        println!("{experiment:<18} {parameter:<10} {speedup:>7.2}x");
+    }
+    println!();
+    println!(
+        "note: baseline DNF rows mirror the paper's missing pandas points (\"pandas is \
+         unable to run transpose beyond 6 GB\")."
+    );
+}

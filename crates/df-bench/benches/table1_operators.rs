@@ -1,0 +1,135 @@
+//! Table 1: the 14-operator dataframe algebra.
+//!
+//! The paper's Table 1 is a definition table rather than a measurement, so this target
+//! does two things: (1) it prints the operator roster with its properties as a
+//! conformance check, and (2) it micro-benchmarks every operator on the scalable
+//! engine with Criterion, giving a per-operator cost profile over a fixed workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use df_core::algebra::{
+    AggFunc, Aggregation, AlgebraExpr, CmpOp, ColumnSelector, JoinOn, JoinType, MapFunc,
+    Predicate, SortSpec, WindowFunc,
+};
+use df_core::engine::Engine;
+use df_engine::engine::{ModinConfig, ModinEngine};
+use df_types::cell::cell;
+use df_workloads::taxi::{generate_typed, TaxiConfig};
+
+fn operator_expressions() -> Vec<(&'static str, AlgebraExpr)> {
+    let taxi = generate_typed(&TaxiConfig {
+        base_rows: 2_000,
+        ..TaxiConfig::default()
+    })
+    .expect("workload generation");
+    let small = taxi.head(200);
+    let base = AlgebraExpr::literal(taxi);
+    let small_base = AlgebraExpr::literal(small);
+    vec![
+        (
+            "SELECTION",
+            base.clone().select(Predicate::ColCmp {
+                column: cell("fare_amount"),
+                op: CmpOp::Gt,
+                value: cell(20.0),
+            }),
+        ),
+        (
+            "PROJECTION",
+            base.clone()
+                .project(ColumnSelector::ByLabels(vec![cell("vendor_id"), cell("fare_amount")])),
+        ),
+        ("UNION", base.clone().union(small_base.clone())),
+        ("DIFFERENCE", base.clone().difference(small_base.clone())),
+        (
+            "CROSS_PRODUCT",
+            small_base.clone().limit(40, false).cross(small_base.clone().limit(40, false)),
+        ),
+        (
+            "JOIN",
+            base.clone().join(
+                small_base.clone(),
+                JoinOn::Columns(vec![cell("vendor_id")]),
+                JoinType::Inner,
+            ),
+        ),
+        ("DROP_DUPLICATES", base.clone().drop_duplicates()),
+        (
+            "GROUPBY",
+            base.clone().group_by(
+                vec![cell("passenger_count")],
+                vec![
+                    Aggregation::count_rows(),
+                    Aggregation::of("fare_amount", AggFunc::Mean).with_alias("mean_fare"),
+                ],
+                false,
+            ),
+        ),
+        (
+            "SORT",
+            base.clone().sort(SortSpec::ascending(vec![cell("fare_amount")])),
+        ),
+        (
+            "RENAME",
+            base.clone().rename(vec![(cell("vendor_id"), cell("vendor"))]),
+        ),
+        (
+            "WINDOW",
+            base.clone().window(
+                ColumnSelector::ByLabels(vec![cell("fare_amount")]),
+                WindowFunc::CumSum,
+            ),
+        ),
+        ("TRANSPOSE", base.clone().transpose()),
+        ("MAP", base.clone().map(MapFunc::IsNullMask)),
+        ("TOLABELS", base.clone().to_labels("vendor_id")),
+        ("FROMLABELS", base.from_labels("trip_id")),
+    ]
+}
+
+fn print_table1() {
+    println!("== Table 1: dataframe algebra operators ==");
+    println!(
+        "{:<16} {:<10} {:<8} {:<8}",
+        "operator", "schema", "origin", "order"
+    );
+    let rows = [
+        ("SELECTION", "static", "REL", "parent"),
+        ("PROJECTION", "static", "REL", "parent"),
+        ("UNION", "static", "REL", "parent"),
+        ("DIFFERENCE", "static", "REL", "parent"),
+        ("CROSS/JOIN", "static", "REL", "parent"),
+        ("DROP_DUPLICATES", "static", "REL", "parent"),
+        ("GROUPBY", "static", "REL", "new"),
+        ("SORT", "static", "REL", "new"),
+        ("RENAME", "static", "REL", "parent"),
+        ("WINDOW", "static", "SQL", "parent"),
+        ("TRANSPOSE", "dynamic", "DF", "parent"),
+        ("MAP", "dynamic", "DF", "parent"),
+        ("TOLABELS", "dynamic", "DF", "parent"),
+        ("FROMLABELS", "dynamic", "DF", "parent"),
+    ];
+    for (op, schema, origin, order) in rows {
+        println!("{op:<16} {schema:<10} {origin:<8} {order:<8}");
+    }
+    println!();
+}
+
+fn bench_operators(c: &mut Criterion) {
+    print_table1();
+    let engine = ModinEngine::with_config(ModinConfig::default().with_partition_size(512, 8));
+    let mut group = c.benchmark_group("table1_operators");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(800));
+    for (name, expr) in operator_expressions() {
+        group.bench_function(name, |b| {
+            b.iter(|| engine.execute(std::hint::black_box(&expr)).expect("operator executes"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_operators);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! # df-core
+//!
+//! The formal dataframe data model and kernel algebra of *Towards Scalable Dataframe
+//! Systems* (Petersohn et al., VLDB 2020), §4.
+//!
+//! * [`dataframe`] — the `(A_mn, R_m, C_n, D_n)` data model with a lazily induced
+//!   schema (§4.2).
+//! * [`algebra`] — the 14-operator kernel algebra of Table 1 as an expression tree,
+//!   plus the function vocabulary (predicates, map functions, aggregates, window
+//!   functions) the operators are parameterised by (§4.3).
+//! * [`ops`] — reference implementations of every operator, defining the semantics all
+//!   engines must agree with.
+//! * [`engine`] — the "narrow waist" [`engine::Engine`] trait and the Table 3
+//!   capability matrix.
+//! * [`linalg`] — covariance / correlation / matmul over *matrix dataframes* (§4.2).
+//!
+//! The crate is deliberately free of any parallelism or storage concerns: those live in
+//! `df-engine` and `df-storage`. Everything here is the shared vocabulary the rest of
+//! the workspace builds on.
+
+pub mod algebra;
+pub mod dataframe;
+pub mod engine;
+pub mod linalg;
+pub mod ops;
+
+pub use algebra::AlgebraExpr;
+pub use dataframe::{Column, DataFrame};
+pub use engine::{Capabilities, Engine, EngineKind, ReferenceEngine};

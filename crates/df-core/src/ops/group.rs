@@ -1,0 +1,421 @@
+//! GROUPBY, DROP DUPLICATES and SORT.
+
+use std::collections::HashMap;
+
+use df_types::cell::{Cell, CellKey};
+use df_types::error::{DfError, DfResult};
+use df_types::labels::Labels;
+
+use crate::algebra::{AggFunc, Aggregation, SortSpec};
+use crate::dataframe::{Column, DataFrame};
+
+/// GROUPBY: group rows by the key columns (an empty key list forms a single global
+/// group — the Figure 2 "groupby (1)" query) and compute the requested aggregations.
+///
+/// Groups are emitted in ascending key order (pandas' default `sort=True`), which is
+/// also the paper's "Order: New" for GROUPBY. When `keys_as_labels` is set the key
+/// values become the result's row labels (pandas' implicit TOLABELS, §4.3); otherwise
+/// they stay as leading data columns.
+pub fn group_by(
+    df: &DataFrame,
+    keys: &[Cell],
+    aggs: &[Aggregation],
+    keys_as_labels: bool,
+) -> DfResult<DataFrame> {
+    let key_positions: Vec<usize> = keys
+        .iter()
+        .map(|k| df.col_position(k))
+        .collect::<DfResult<_>>()?;
+    // Map from key tuple to (first-occurrence order, row positions).
+    let mut groups: HashMap<Vec<CellKey>, Vec<usize>> = HashMap::new();
+    let mut group_order: Vec<(Vec<CellKey>, Vec<Cell>)> = Vec::new();
+    for i in 0..df.n_rows() {
+        let key_cells: Vec<Cell> = key_positions
+            .iter()
+            .map(|&j| df.columns()[j].cells()[i].clone())
+            .collect();
+        let key: Vec<CellKey> = key_cells.iter().map(Cell::group_key).collect();
+        if !groups.contains_key(&key) {
+            group_order.push((key.clone(), key_cells));
+        }
+        groups.entry(key).or_default().push(i);
+    }
+    if df.n_rows() == 0 && keys.is_empty() {
+        // A global aggregate over an empty frame still produces one (empty) group so
+        // that COUNT returns 0 rather than an empty frame.
+        group_order.push((Vec::new(), Vec::new()));
+        groups.insert(Vec::new(), Vec::new());
+    }
+    // Ascending order on key values.
+    group_order.sort_by(|(_, a), (_, b)| {
+        for (x, y) in a.iter().zip(b.iter()) {
+            let ord = x.total_cmp(y);
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+
+    let mut key_columns: Vec<Vec<Cell>> = vec![Vec::with_capacity(group_order.len()); keys.len()];
+    let mut agg_columns: Vec<Vec<Cell>> = vec![Vec::with_capacity(group_order.len()); aggs.len()];
+    for (key, key_cells) in &group_order {
+        let rows = &groups[key];
+        for (slot, cell) in key_columns.iter_mut().zip(key_cells.iter()) {
+            slot.push(cell.clone());
+        }
+        for (slot, agg) in agg_columns.iter_mut().zip(aggs.iter()) {
+            slot.push(aggregate(df, rows, agg)?);
+        }
+    }
+
+    let mut columns = Vec::new();
+    let mut labels = Vec::new();
+    if !keys_as_labels {
+        for (key_label, cells) in keys.iter().zip(key_columns.iter()) {
+            labels.push(key_label.clone());
+            columns.push(Column::new(cells.clone()));
+        }
+    }
+    for (agg, cells) in aggs.iter().zip(agg_columns.into_iter()) {
+        labels.push(agg.output_label());
+        columns.push(Column::new(cells));
+    }
+
+    let row_labels = if keys_as_labels && !keys.is_empty() {
+        Labels::new(
+            group_order
+                .iter()
+                .map(|(_, key_cells)| {
+                    if key_cells.len() == 1 {
+                        key_cells[0].clone()
+                    } else {
+                        Cell::List(key_cells.clone())
+                    }
+                })
+                .collect(),
+        )
+    } else {
+        Labels::positional(group_order.len())
+    };
+
+    DataFrame::from_parts(columns, row_labels, Labels::new(labels))
+}
+
+/// Compute one aggregation over the rows of one group.
+fn aggregate(df: &DataFrame, rows: &[usize], agg: &Aggregation) -> DfResult<Cell> {
+    let column = match &agg.column {
+        None => {
+            return match agg.func {
+                AggFunc::Count => Ok(Cell::Int(rows.len() as i64)),
+                _ => Err(DfError::unsupported(
+                    "aggregations other than Count require a column argument",
+                )),
+            }
+        }
+        Some(label) => {
+            let j = df.col_position(label)?;
+            &df.columns()[j]
+        }
+    };
+    let values: Vec<&Cell> = rows.iter().map(|&i| &column.cells()[i]).collect();
+    let non_null: Vec<&Cell> = values.iter().copied().filter(|c| !c.is_null()).collect();
+    let numeric: Vec<f64> = non_null.iter().filter_map(|c| c.as_f64()).collect();
+    Ok(match agg.func {
+        AggFunc::Count => Cell::Int(values.len() as i64),
+        AggFunc::CountNonNull => Cell::Int(non_null.len() as i64),
+        AggFunc::Sum => {
+            if numeric.is_empty() {
+                Cell::Null
+            } else {
+                Cell::Float(numeric.iter().sum())
+            }
+        }
+        AggFunc::Mean => {
+            if numeric.is_empty() {
+                Cell::Null
+            } else {
+                Cell::Float(numeric.iter().sum::<f64>() / numeric.len() as f64)
+            }
+        }
+        AggFunc::Std => {
+            if numeric.len() < 2 {
+                Cell::Null
+            } else {
+                let mean = numeric.iter().sum::<f64>() / numeric.len() as f64;
+                let var = numeric.iter().map(|v| (v - mean).powi(2)).sum::<f64>()
+                    / (numeric.len() - 1) as f64;
+                Cell::Float(var.sqrt())
+            }
+        }
+        AggFunc::Min => non_null
+            .iter()
+            .copied()
+            .min_by(|a, b| a.total_cmp(b))
+            .cloned()
+            .unwrap_or(Cell::Null),
+        AggFunc::Max => non_null
+            .iter()
+            .copied()
+            .max_by(|a, b| a.total_cmp(b))
+            .cloned()
+            .unwrap_or(Cell::Null),
+        AggFunc::First => values.first().copied().cloned().unwrap_or(Cell::Null),
+        AggFunc::Last => values.last().copied().cloned().unwrap_or(Cell::Null),
+        AggFunc::Collect => Cell::List(values.into_iter().cloned().collect()),
+    })
+}
+
+/// DROP DUPLICATES: remove rows whose full-row value already appeared earlier,
+/// preserving order and keeping the first occurrence (Table 1: order from parent).
+pub fn drop_duplicates(df: &DataFrame) -> DfResult<DataFrame> {
+    let mut seen: std::collections::HashSet<Vec<CellKey>> = std::collections::HashSet::new();
+    let mut keep = Vec::new();
+    for i in 0..df.n_rows() {
+        let key: Vec<CellKey> = df
+            .columns()
+            .iter()
+            .map(|c| c.cells()[i].group_key())
+            .collect();
+        if seen.insert(key) {
+            keep.push(i);
+        }
+    }
+    df.take_rows(&keep)
+}
+
+/// SORT: stable lexicographic sort by the given columns, producing a new order
+/// (Table 1: "Order: New"). Row labels travel with their rows.
+pub fn sort(df: &DataFrame, spec: &SortSpec) -> DfResult<DataFrame> {
+    let key_positions: Vec<usize> = spec
+        .by
+        .iter()
+        .map(|k| df.col_position(k))
+        .collect::<DfResult<_>>()?;
+    let mut order: Vec<usize> = (0..df.n_rows()).collect();
+    let compare = |&a: &usize, &b: &usize| {
+        for (idx, &j) in key_positions.iter().enumerate() {
+            let x = &df.columns()[j].cells()[a];
+            let y = &df.columns()[j].cells()[b];
+            let mut ord = x.total_cmp(y);
+            if !spec.is_ascending(idx) {
+                ord = ord.reverse();
+            }
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    };
+    if spec.stable {
+        order.sort_by(compare);
+    } else {
+        order.sort_unstable_by(compare);
+    }
+    df.take_rows(&order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use df_types::cell::cell;
+
+    fn trips() -> DataFrame {
+        DataFrame::from_rows(
+            vec!["passenger_count", "fare", "tip"],
+            vec![
+                vec![cell(1), cell(10.0), cell(1.0)],
+                vec![cell(2), cell(20.0), Cell::Null],
+                vec![cell(1), cell(30.0), cell(3.0)],
+                vec![Cell::Null, cell(5.0), cell(0.5)],
+                vec![cell(2), cell(40.0), cell(4.0)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn groupby_counts_per_key_in_ascending_order() {
+        let df = trips();
+        let out = group_by(
+            &df,
+            &[cell("passenger_count")],
+            &[Aggregation::count_rows()],
+            false,
+        )
+        .unwrap();
+        assert_eq!(out.shape(), (3, 2));
+        // Ascending key order: 1, 2, then null last (total_cmp puts nulls last).
+        assert_eq!(out.cell(0, 0).unwrap(), &cell(1));
+        assert_eq!(out.cell(0, 1).unwrap(), &cell(2));
+        assert_eq!(out.cell(1, 0).unwrap(), &cell(2));
+        assert_eq!(out.cell(2, 0).unwrap(), &Cell::Null);
+    }
+
+    #[test]
+    fn groupby_keys_as_labels_promotes_keys() {
+        let df = trips();
+        let out = group_by(
+            &df,
+            &[cell("passenger_count")],
+            &[Aggregation::of("fare", AggFunc::Sum)],
+            true,
+        )
+        .unwrap();
+        assert_eq!(out.shape(), (3, 1));
+        assert_eq!(out.row_labels().as_slice()[0], cell(1));
+        assert_eq!(out.cell(0, 0).unwrap(), &cell(40.0));
+    }
+
+    #[test]
+    fn groupby_global_group_counts_non_null() {
+        let df = trips();
+        let out = group_by(
+            &df,
+            &[],
+            &[Aggregation::of("tip", AggFunc::CountNonNull).with_alias("non_null_tips")],
+            false,
+        )
+        .unwrap();
+        assert_eq!(out.shape(), (1, 1));
+        assert_eq!(out.cell(0, 0).unwrap(), &cell(4));
+        assert_eq!(out.col_labels().as_slice(), &[cell("non_null_tips")]);
+    }
+
+    #[test]
+    fn groupby_on_empty_frame_still_returns_a_count() {
+        let empty = DataFrame::from_rows(vec!["a"], vec![]).unwrap();
+        let out = group_by(&empty, &[], &[Aggregation::count_rows()], false).unwrap();
+        assert_eq!(out.shape(), (1, 1));
+        assert_eq!(out.cell(0, 0).unwrap(), &cell(0));
+    }
+
+    #[test]
+    fn aggregation_functions_cover_numeric_and_ordering() {
+        let df = trips();
+        let out = group_by(
+            &df,
+            &[cell("passenger_count")],
+            &[
+                Aggregation::of("fare", AggFunc::Sum).with_alias("sum"),
+                Aggregation::of("fare", AggFunc::Mean).with_alias("mean"),
+                Aggregation::of("fare", AggFunc::Min).with_alias("min"),
+                Aggregation::of("fare", AggFunc::Max).with_alias("max"),
+                Aggregation::of("fare", AggFunc::Std).with_alias("std"),
+                Aggregation::of("fare", AggFunc::First).with_alias("first"),
+                Aggregation::of("fare", AggFunc::Last).with_alias("last"),
+            ],
+            false,
+        )
+        .unwrap();
+        // Group "1": fares 10 and 30.
+        assert_eq!(out.cell(0, 1).unwrap(), &cell(40.0));
+        assert_eq!(out.cell(0, 2).unwrap(), &cell(20.0));
+        assert_eq!(out.cell(0, 3).unwrap(), &cell(10.0));
+        assert_eq!(out.cell(0, 4).unwrap(), &cell(30.0));
+        let std = out.cell(0, 5).unwrap().as_f64().unwrap();
+        assert!((std - 14.1421356).abs() < 1e-6);
+        assert_eq!(out.cell(0, 6).unwrap(), &cell(10.0));
+        assert_eq!(out.cell(0, 7).unwrap(), &cell(30.0));
+    }
+
+    #[test]
+    fn collect_produces_composite_cells() {
+        let df = trips();
+        let out = group_by(
+            &df,
+            &[cell("passenger_count")],
+            &[Aggregation::of("fare", AggFunc::Collect)],
+            true,
+        )
+        .unwrap();
+        let collected = out.cell(0, 0).unwrap().as_list().unwrap();
+        assert_eq!(collected, &[cell(10.0), cell(30.0)]);
+    }
+
+    #[test]
+    fn aggregations_on_empty_and_non_numeric_groups_yield_null() {
+        let df = DataFrame::from_rows(
+            vec!["k", "v"],
+            vec![vec![cell("a"), cell("x")], vec![cell("a"), cell("y")]],
+        )
+        .unwrap();
+        let out = group_by(
+            &df,
+            &[cell("k")],
+            &[
+                Aggregation::of("v", AggFunc::Sum),
+                Aggregation::of("v", AggFunc::Min).with_alias("min_v"),
+                Aggregation::of("v", AggFunc::Std).with_alias("std_v"),
+            ],
+            false,
+        )
+        .unwrap();
+        assert_eq!(out.cell(0, 1).unwrap(), &Cell::Null);
+        assert_eq!(out.cell(0, 2).unwrap(), &cell("x"));
+        assert_eq!(out.cell(0, 3).unwrap(), &Cell::Null);
+    }
+
+    #[test]
+    fn count_without_column_requires_count_func() {
+        let df = trips();
+        let bad = group_by(
+            &df,
+            &[],
+            &[Aggregation {
+                column: None,
+                func: AggFunc::Sum,
+                alias: None,
+            }],
+            false,
+        );
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn drop_duplicates_keeps_first_occurrence() {
+        let df = DataFrame::from_rows(
+            vec!["a", "b"],
+            vec![
+                vec![cell(1), cell("x")],
+                vec![cell(1), cell("x")],
+                vec![cell(2), cell("y")],
+                vec![cell(1), cell("x")],
+            ],
+        )
+        .unwrap();
+        let out = drop_duplicates(&df).unwrap();
+        assert_eq!(out.shape(), (2, 2));
+        assert_eq!(out.row_labels().as_slice(), &[cell(0), cell(2)]);
+    }
+
+    #[test]
+    fn sort_is_stable_and_honours_descending() {
+        let df = DataFrame::from_rows(
+            vec!["grp", "seq"],
+            vec![
+                vec![cell("b"), cell(1)],
+                vec![cell("a"), cell(2)],
+                vec![cell("b"), cell(3)],
+                vec![cell("a"), cell(4)],
+            ],
+        )
+        .unwrap();
+        let asc = sort(&df, &SortSpec::ascending(vec![cell("grp")])).unwrap();
+        assert_eq!(asc.cell(0, 1).unwrap(), &cell(2));
+        assert_eq!(asc.cell(1, 1).unwrap(), &cell(4));
+        assert_eq!(asc.cell(2, 1).unwrap(), &cell(1));
+        let desc = sort(
+            &df,
+            &SortSpec {
+                by: vec![cell("grp"), cell("seq")],
+                ascending: vec![false, true],
+                stable: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(desc.cell(0, 0).unwrap(), &cell("b"));
+        assert_eq!(desc.cell(0, 1).unwrap(), &cell(1));
+        assert!(sort(&df, &SortSpec::ascending(vec![cell("zz")])).is_err());
+    }
+}

@@ -1,0 +1,173 @@
+//! The task-parallel execution layer.
+//!
+//! Paper §3.3: MODIN schedules dataframe partitions on a task-parallel asynchronous
+//! execution engine (Ray or Dask in the Python implementation). Here the execution
+//! layer is an in-process scoped thread pool: [`ParallelExecutor::par_map`] fans a
+//! closure out over partitions on worker threads and collects results in order. A
+//! `threads = 1` configuration degenerates to sequential execution, which the tests use
+//! for determinism and the ablations use to isolate layout effects from parallelism.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use df_types::error::{DfError, DfResult};
+
+/// A scoped thread-pool executor for per-partition work.
+#[derive(Debug)]
+pub struct ParallelExecutor {
+    threads: usize,
+    tasks_run: AtomicU64,
+    batches_run: AtomicU64,
+}
+
+impl ParallelExecutor {
+    /// An executor with an explicit worker count (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        ParallelExecutor {
+            threads: threads.max(1),
+            tasks_run: AtomicU64::new(0),
+            batches_run: AtomicU64::new(0),
+        }
+    }
+
+    /// An executor sized to the machine's available parallelism.
+    pub fn default_parallelism() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        ParallelExecutor::new(threads)
+    }
+
+    /// Number of worker threads used for fan-out.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Total number of per-item tasks executed so far.
+    pub fn tasks_run(&self) -> u64 {
+        self.tasks_run.load(Ordering::Relaxed)
+    }
+
+    /// Total number of fan-out batches executed so far.
+    pub fn batches_run(&self) -> u64 {
+        self.batches_run.load(Ordering::Relaxed)
+    }
+
+    /// Apply `f` to every item, in parallel across the pool, returning results in input
+    /// order. The first error encountered (lowest index) is returned if any task fails.
+    pub fn par_map<T, U, F>(&self, items: Vec<T>, f: F) -> DfResult<Vec<U>>
+    where
+        T: Send,
+        U: Send,
+        F: Fn(usize, T) -> DfResult<U> + Send + Sync,
+    {
+        self.batches_run.fetch_add(1, Ordering::Relaxed);
+        let n = items.len();
+        self.tasks_run.fetch_add(n as u64, Ordering::Relaxed);
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        if self.threads == 1 || n == 1 {
+            return items
+                .into_iter()
+                .enumerate()
+                .map(|(i, item)| f(i, item))
+                .collect();
+        }
+        // Work-stealing-free static assignment: a shared queue of indexed items that
+        // each worker drains. Results are written into pre-allocated slots so order is
+        // preserved without sorting.
+        let queue = Mutex::new(items.into_iter().enumerate().collect::<Vec<_>>());
+        let results: Vec<Mutex<Option<DfResult<U>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        let workers = self.threads.min(n);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let next = {
+                        let mut queue = queue.lock().expect("executor queue poisoned");
+                        queue.pop()
+                    };
+                    match next {
+                        Some((index, item)) => {
+                            let outcome = f(index, item);
+                            *results[index].lock().expect("executor result slot poisoned") =
+                                Some(outcome);
+                        }
+                        None => break,
+                    }
+                });
+            }
+        });
+        let mut output = Vec::with_capacity(n);
+        for slot in results {
+            let value = slot
+                .into_inner()
+                .map_err(|_| DfError::internal("executor result slot poisoned"))?
+                .ok_or_else(|| DfError::internal("executor task produced no result"))?;
+            output.push(value?);
+        }
+        Ok(output)
+    }
+}
+
+impl Default for ParallelExecutor {
+    fn default() -> Self {
+        ParallelExecutor::default_parallelism()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let executor = ParallelExecutor::new(4);
+        let items: Vec<u64> = (0..100).collect();
+        let out = executor.par_map(items, |_, v| Ok(v * 2)).unwrap();
+        assert_eq!(out[0], 0);
+        assert_eq!(out[99], 198);
+        assert_eq!(out.len(), 100);
+        assert_eq!(executor.tasks_run(), 100);
+        assert_eq!(executor.batches_run(), 1);
+    }
+
+    #[test]
+    fn sequential_mode_runs_in_place() {
+        let executor = ParallelExecutor::new(1);
+        assert_eq!(executor.threads(), 1);
+        let out = executor
+            .par_map(vec![1, 2, 3], |i, v| Ok(v + i as i32))
+            .unwrap();
+        assert_eq!(out, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn errors_are_propagated_by_lowest_index() {
+        let executor = ParallelExecutor::new(4);
+        let err = executor
+            .par_map((0..10).collect::<Vec<u32>>(), |_, v| {
+                if v >= 3 {
+                    Err(DfError::internal(format!("task {v} failed")))
+                } else {
+                    Ok(v)
+                }
+            })
+            .unwrap_err();
+        assert!(matches!(err, DfError::Internal(msg) if msg.contains("task 3")));
+    }
+
+    #[test]
+    fn empty_input_is_fine_and_zero_threads_clamp() {
+        let executor = ParallelExecutor::new(0);
+        assert_eq!(executor.threads(), 1);
+        let out: Vec<u32> = executor.par_map(Vec::<u32>::new(), |_, v| Ok(v)).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn default_parallelism_reports_at_least_one_thread() {
+        assert!(ParallelExecutor::default().threads() >= 1);
+    }
+}

@@ -1,0 +1,27 @@
+//! # df-engine
+//!
+//! The MODIN-like scalable dataframe engine of paper §3, rebuilt in Rust:
+//!
+//! * [`partition`] — row / column / block partitioning of dataframes and the
+//!   metadata-only TRANSPOSE (paper §3.1).
+//! * [`executor`] — the task-parallel execution layer (the paper's Ray/Dask slot),
+//!   here an in-process scoped thread pool.
+//! * [`optimizer`] — logical rewrite rules: transpose cancellation, selection fusion,
+//!   limit push-down, schema-induction deferral accounting and the Figure 8 pivot-axis
+//!   choice (paper §5–6).
+//! * [`engine`] — [`engine::ModinEngine`], the partitioned parallel implementation of
+//!   the dataframe algebra behind the shared [`df_core::engine::Engine`] trait.
+//! * [`session`] — eager / lazy / opportunistic evaluation, query futures, prefix
+//!   (head/tail) prioritised inspection and the materialisation/reuse cache (paper §6).
+
+pub mod engine;
+pub mod executor;
+pub mod optimizer;
+pub mod partition;
+pub mod session;
+
+pub use engine::{ModinConfig, ModinEngine};
+pub use executor::ParallelExecutor;
+pub use optimizer::{choose_pivot_plan, optimize, OptimizerConfig, PivotPlan, RewriteStats};
+pub use partition::{PartitionConfig, PartitionGrid, PartitionScheme};
+pub use session::{EvalMode, QueryFuture, QuerySession, SessionStats};

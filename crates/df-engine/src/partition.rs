@@ -1,0 +1,501 @@
+//! Partitioned representation of a dataframe.
+//!
+//! Paper §3.1: MODIN "flexibly move[s] between common partitioning schemes: row-based,
+//! column-based, or block-based partitioning, depending on the operation", and
+//! implements TRANSPOSE by individually transposing blocks and then only "chang[ing]
+//! the overall metadata tracking the new locations of each of the blocks", so a large
+//! transpose requires no communication.
+//!
+//! [`PartitionGrid`] is that representation: a 2-D grid of [`Partition`]s, each holding
+//! a rectangular block of the logical frame plus its `(row_offset, col_offset)` and an
+//! orientation flag. `PartitionGrid::transpose` flips the grid and the flags without
+//! touching any cell; blocks materialise their transposed form lazily when an operator
+//! actually needs their data.
+
+use df_types::error::{DfError, DfResult};
+use df_types::labels::Labels;
+
+use df_core::dataframe::{Column, DataFrame};
+use df_core::ops::reshape;
+use df_core::ops::setops;
+
+/// How a frame is split into partitions (paper §3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PartitionScheme {
+    /// Each partition holds a contiguous run of rows (all columns).
+    Row,
+    /// Each partition holds a contiguous run of columns (all rows).
+    Column,
+    /// Each partition holds a rectangular block of rows × columns.
+    Block,
+}
+
+/// Sizing knobs for partitioning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionConfig {
+    /// Target number of rows per partition.
+    pub target_rows: usize,
+    /// Target number of columns per partition.
+    pub target_cols: usize,
+}
+
+impl Default for PartitionConfig {
+    fn default() -> Self {
+        PartitionConfig {
+            target_rows: 16_384,
+            target_cols: 32,
+        }
+    }
+}
+
+/// One rectangular block of a partitioned dataframe.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    frame: DataFrame,
+    /// Global row offset of this block's first row.
+    pub row_offset: usize,
+    /// Global column offset of this block's first column.
+    pub col_offset: usize,
+    /// When true the stored frame is the transpose of the logical block: the logical
+    /// data is obtained by transposing on access (the deferred half of the metadata
+    /// transpose).
+    transposed: bool,
+}
+
+impl Partition {
+    /// Wrap a materialised block.
+    pub fn new(frame: DataFrame, row_offset: usize, col_offset: usize) -> Self {
+        Partition {
+            frame,
+            row_offset,
+            col_offset,
+            transposed: false,
+        }
+    }
+
+    /// Logical number of rows of the block.
+    pub fn n_rows(&self) -> usize {
+        if self.transposed {
+            self.frame.n_cols()
+        } else {
+            self.frame.n_rows()
+        }
+    }
+
+    /// Logical number of columns of the block.
+    pub fn n_cols(&self) -> usize {
+        if self.transposed {
+            self.frame.n_rows()
+        } else {
+            self.frame.n_cols()
+        }
+    }
+
+    /// Whether the block still defers its physical transpose.
+    pub fn is_deferred_transpose(&self) -> bool {
+        self.transposed
+    }
+
+    /// Borrow the stored frame without resolving a deferred transpose (used by
+    /// operators that are orientation-agnostic, e.g. per-cell maps).
+    pub fn stored(&self) -> &DataFrame {
+        &self.frame
+    }
+
+    /// Materialise the logical block, resolving any deferred transpose.
+    pub fn materialize(&self) -> DfResult<DataFrame> {
+        if self.transposed {
+            reshape::transpose(&self.frame)
+        } else {
+            Ok(self.frame.clone())
+        }
+    }
+
+    /// Replace the block's contents with an already-materialised frame.
+    pub fn replace(&mut self, frame: DataFrame) {
+        self.frame = frame;
+        self.transposed = false;
+    }
+
+    /// Flip the logical orientation without touching the data.
+    fn flip(&mut self) {
+        self.transposed = !self.transposed;
+        std::mem::swap(&mut self.row_offset, &mut self.col_offset);
+    }
+}
+
+/// A dataframe split into a grid of partitions.
+#[derive(Debug, Clone)]
+pub struct PartitionGrid {
+    /// blocks[r][c] covers row-band `r` and column-band `c`.
+    blocks: Vec<Vec<Partition>>,
+    scheme: PartitionScheme,
+}
+
+impl PartitionGrid {
+    /// Partition a dataframe under the given scheme and sizing configuration.
+    pub fn from_dataframe(
+        df: &DataFrame,
+        scheme: PartitionScheme,
+        config: PartitionConfig,
+    ) -> DfResult<PartitionGrid> {
+        let (m, n) = df.shape();
+        let row_chunk = match scheme {
+            PartitionScheme::Column => m.max(1),
+            _ => config.target_rows.max(1),
+        };
+        let col_chunk = match scheme {
+            PartitionScheme::Row => n.max(1),
+            _ => config.target_cols.max(1),
+        };
+        let row_bands = split_ranges(m, row_chunk);
+        let col_bands = split_ranges(n, col_chunk);
+        let mut blocks = Vec::with_capacity(row_bands.len());
+        for (row_start, row_end) in &row_bands {
+            let row_slice = df.slice_rows(*row_start, *row_end);
+            let mut band = Vec::with_capacity(col_bands.len());
+            for (col_start, col_end) in &col_bands {
+                let positions: Vec<usize> = (*col_start..*col_end).collect();
+                let block = row_slice.take_columns(&positions)?;
+                band.push(Partition::new(block, *row_start, *col_start));
+            }
+            blocks.push(band);
+        }
+        Ok(PartitionGrid { blocks, scheme })
+    }
+
+    /// Wrap a single frame as a 1×1 grid.
+    pub fn single(df: DataFrame) -> PartitionGrid {
+        PartitionGrid {
+            blocks: vec![vec![Partition::new(df, 0, 0)]],
+            scheme: PartitionScheme::Block,
+        }
+    }
+
+    /// The partitioning scheme this grid was built with.
+    pub fn scheme(&self) -> PartitionScheme {
+        self.scheme
+    }
+
+    /// Number of row bands.
+    pub fn n_row_bands(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of column bands.
+    pub fn n_col_bands(&self) -> usize {
+        self.blocks.first().map(Vec::len).unwrap_or(0)
+    }
+
+    /// Total number of partitions.
+    pub fn n_partitions(&self) -> usize {
+        self.n_row_bands() * self.n_col_bands()
+    }
+
+    /// Logical shape of the whole frame.
+    pub fn shape(&self) -> (usize, usize) {
+        let rows: usize = self.blocks.iter().map(|band| band[0].n_rows()).sum();
+        let cols: usize = self
+            .blocks
+            .first()
+            .map(|band| band.iter().map(Partition::n_cols).sum())
+            .unwrap_or(0);
+        (rows, cols)
+    }
+
+    /// Borrow all partitions row-band by row-band.
+    pub fn blocks(&self) -> &[Vec<Partition>] {
+        &self.blocks
+    }
+
+    /// Mutably borrow all partitions.
+    pub fn blocks_mut(&mut self) -> &mut [Vec<Partition>] {
+        &mut self.blocks
+    }
+
+    /// Consume the grid, returning its partitions.
+    pub fn into_blocks(self) -> Vec<Vec<Partition>> {
+        self.blocks
+    }
+
+    /// Build a grid from row bands that each hold a full-width frame.
+    pub fn from_row_bands(bands: Vec<DataFrame>) -> PartitionGrid {
+        let mut offset = 0usize;
+        let blocks = bands
+            .into_iter()
+            .map(|frame| {
+                let part = Partition::new(frame, offset, 0);
+                offset += part.n_rows();
+                vec![part]
+            })
+            .collect();
+        PartitionGrid {
+            blocks,
+            scheme: PartitionScheme::Row,
+        }
+    }
+
+    /// Materialise every row band as a full-width frame (resolving deferred
+    /// transposes), returned in order. This is the repartitioning step operators that
+    /// need whole rows use.
+    pub fn row_bands(&self) -> DfResult<Vec<DataFrame>> {
+        let mut bands = Vec::with_capacity(self.n_row_bands());
+        for band in &self.blocks {
+            let mut merged: Option<DataFrame> = None;
+            for part in band {
+                let block = part.materialize()?;
+                merged = Some(match merged {
+                    None => block,
+                    Some(acc) => hstack(&acc, &block)?,
+                });
+            }
+            bands.push(merged.unwrap_or_else(DataFrame::empty));
+        }
+        Ok(bands)
+    }
+
+    /// Assemble the full logical dataframe.
+    pub fn assemble(&self) -> DfResult<DataFrame> {
+        let bands = self.row_bands()?;
+        let mut merged: Option<DataFrame> = None;
+        for band in bands {
+            merged = Some(match merged {
+                None => band,
+                Some(acc) => setops::union(&acc, &band)?,
+            });
+        }
+        Ok(merged.unwrap_or_else(DataFrame::empty))
+    }
+
+    /// The metadata-only TRANSPOSE (paper §3.1): swap the grid axes and flip every
+    /// block's orientation flag. No cell is copied; blocks materialise their transposed
+    /// data only if a later operator needs it.
+    pub fn transpose(&self) -> PartitionGrid {
+        let row_bands = self.n_row_bands();
+        let col_bands = self.n_col_bands();
+        let mut blocks: Vec<Vec<Partition>> = Vec::with_capacity(col_bands);
+        for c in 0..col_bands {
+            let mut band = Vec::with_capacity(row_bands);
+            for r in 0..row_bands {
+                let mut part = self.blocks[r][c].clone();
+                part.flip();
+                band.push(part);
+            }
+            blocks.push(band);
+        }
+        PartitionGrid {
+            blocks,
+            scheme: self.scheme,
+        }
+    }
+
+    /// First `k` logical rows, touching only the row bands needed to produce them
+    /// (the partition-aware half of §6.1.2 prefix execution).
+    pub fn prefix(&self, k: usize) -> DfResult<DataFrame> {
+        let mut collected: Option<DataFrame> = None;
+        let mut remaining = k;
+        for band in &self.blocks {
+            if remaining == 0 {
+                break;
+            }
+            let mut merged: Option<DataFrame> = None;
+            for part in band {
+                let block = part.materialize()?;
+                merged = Some(match merged {
+                    None => block,
+                    Some(acc) => hstack(&acc, &block)?,
+                });
+            }
+            let band_frame = merged.unwrap_or_else(DataFrame::empty);
+            let take = band_frame.head(remaining);
+            remaining = remaining.saturating_sub(take.n_rows());
+            collected = Some(match collected {
+                None => take,
+                Some(acc) => setops::union(&acc, &take)?,
+            });
+        }
+        Ok(collected.unwrap_or_else(DataFrame::empty))
+    }
+
+    /// Number of partitions whose transpose is still deferred (used in tests and the
+    /// partitioning ablation to verify that TRANSPOSE really was metadata-only).
+    pub fn deferred_transposes(&self) -> usize {
+        self.blocks
+            .iter()
+            .flatten()
+            .filter(|p| p.is_deferred_transpose())
+            .count()
+    }
+}
+
+/// Horizontally concatenate two frames with identical row counts and labels.
+pub fn hstack(left: &DataFrame, right: &DataFrame) -> DfResult<DataFrame> {
+    if left.n_rows() != right.n_rows() {
+        return Err(DfError::shape(
+            format!("{} rows", left.n_rows()),
+            format!("{} rows", right.n_rows()),
+        ));
+    }
+    let mut columns: Vec<Column> = left.columns().to_vec();
+    columns.extend(right.columns().iter().cloned());
+    let labels = left.col_labels().concat(right.col_labels());
+    DataFrame::from_parts(columns, left.row_labels().clone(), labels)
+}
+
+/// Split `len` items into contiguous `(start, end)` ranges of at most `chunk` items.
+fn split_ranges(len: usize, chunk: usize) -> Vec<(usize, usize)> {
+    if len == 0 {
+        return vec![(0, 0)];
+    }
+    let mut ranges = Vec::with_capacity(len.div_ceil(chunk));
+    let mut start = 0;
+    while start < len {
+        let end = (start + chunk).min(len);
+        ranges.push((start, end));
+        start = end;
+    }
+    ranges
+}
+
+/// Re-derive global row labels for a grid whose bands were replaced by operator output:
+/// positional labels offset by each band's starting position.
+pub fn positional_labels(total: usize) -> Labels {
+    Labels::positional(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use df_types::cell::cell;
+
+    fn frame(rows: usize, cols: usize) -> DataFrame {
+        let columns: Vec<Vec<df_types::cell::Cell>> = (0..cols)
+            .map(|j| (0..rows).map(|i| cell((i * cols + j) as i64)).collect())
+            .collect();
+        let labels: Vec<String> = (0..cols).map(|j| format!("c{j}")).collect();
+        DataFrame::from_columns(labels, columns).unwrap()
+    }
+
+    #[test]
+    fn split_ranges_covers_everything() {
+        assert_eq!(split_ranges(10, 4), vec![(0, 4), (4, 8), (8, 10)]);
+        assert_eq!(split_ranges(4, 4), vec![(0, 4)]);
+        assert_eq!(split_ranges(0, 4), vec![(0, 0)]);
+    }
+
+    #[test]
+    fn row_column_and_block_schemes_produce_expected_grids() {
+        let df = frame(100, 8);
+        let config = PartitionConfig {
+            target_rows: 30,
+            target_cols: 3,
+        };
+        let rows = PartitionGrid::from_dataframe(&df, PartitionScheme::Row, config).unwrap();
+        assert_eq!(rows.n_row_bands(), 4);
+        assert_eq!(rows.n_col_bands(), 1);
+        let cols = PartitionGrid::from_dataframe(&df, PartitionScheme::Column, config).unwrap();
+        assert_eq!(cols.n_row_bands(), 1);
+        assert_eq!(cols.n_col_bands(), 3);
+        let blocks = PartitionGrid::from_dataframe(&df, PartitionScheme::Block, config).unwrap();
+        assert_eq!(blocks.n_partitions(), 12);
+        assert_eq!(blocks.shape(), (100, 8));
+    }
+
+    #[test]
+    fn assemble_round_trips_the_original_frame() {
+        let df = frame(57, 5).with_row_labels(
+            (0..57).map(|i| format!("r{i}")).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        for scheme in [PartitionScheme::Row, PartitionScheme::Column, PartitionScheme::Block] {
+            let grid = PartitionGrid::from_dataframe(
+                &df,
+                scheme,
+                PartitionConfig {
+                    target_rows: 10,
+                    target_cols: 2,
+                },
+            )
+            .unwrap();
+            let back = grid.assemble().unwrap();
+            assert!(back.same_data(&df), "scheme {scheme:?}");
+        }
+    }
+
+    #[test]
+    fn metadata_transpose_defers_block_work() {
+        let df = frame(40, 6);
+        let grid = PartitionGrid::from_dataframe(
+            &df,
+            PartitionScheme::Block,
+            PartitionConfig {
+                target_rows: 10,
+                target_cols: 2,
+            },
+        )
+        .unwrap();
+        let transposed = grid.transpose();
+        assert_eq!(transposed.shape(), (6, 40));
+        assert_eq!(transposed.deferred_transposes(), transposed.n_partitions());
+        // The assembled result equals a real transpose.
+        let expected = df_core::ops::reshape::transpose(&df).unwrap();
+        assert!(transposed.assemble().unwrap().same_data(&expected));
+        // Double metadata transpose returns to the original orientation lazily too.
+        let back = transposed.transpose();
+        assert_eq!(back.deferred_transposes(), 0);
+        assert!(back.assemble().unwrap().same_data(&df));
+    }
+
+    #[test]
+    fn prefix_touches_only_leading_bands() {
+        let df = frame(100, 3);
+        let grid = PartitionGrid::from_dataframe(
+            &df,
+            PartitionScheme::Row,
+            PartitionConfig {
+                target_rows: 10,
+                target_cols: 8,
+            },
+        )
+        .unwrap();
+        let head = grid.prefix(15).unwrap();
+        assert_eq!(head.shape(), (15, 3));
+        assert!(head.same_data(&df.head(15)));
+        let all = grid.prefix(1000).unwrap();
+        assert_eq!(all.shape(), (100, 3));
+    }
+
+    #[test]
+    fn hstack_validates_row_counts() {
+        let a = frame(5, 2);
+        let b = frame(5, 1);
+        let stacked = hstack(&a, &b).unwrap();
+        assert_eq!(stacked.shape(), (5, 3));
+        let c = frame(4, 1);
+        assert!(hstack(&a, &c).is_err());
+    }
+
+    #[test]
+    fn single_and_row_band_constructors() {
+        let df = frame(12, 2);
+        let single = PartitionGrid::single(df.clone());
+        assert_eq!(single.n_partitions(), 1);
+        assert!(single.assemble().unwrap().same_data(&df));
+        let bands = PartitionGrid::from_row_bands(vec![df.head(6), df.tail(6)]);
+        assert_eq!(bands.n_row_bands(), 2);
+        assert_eq!(bands.shape(), (12, 2));
+    }
+
+    #[test]
+    fn empty_frames_partition_cleanly() {
+        let empty = DataFrame::from_rows(vec!["a", "b"], vec![]).unwrap();
+        let grid = PartitionGrid::from_dataframe(
+            &empty,
+            PartitionScheme::Block,
+            PartitionConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(grid.shape(), (0, 2));
+        assert_eq!(grid.assemble().unwrap().shape(), (0, 2));
+    }
+}

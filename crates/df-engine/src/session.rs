@@ -1,0 +1,369 @@
+//! Evaluation modes, query futures and the materialisation/reuse cache.
+//!
+//! Paper §6.1.1 contrasts three ways a dataframe system can schedule the statements a
+//! user types one at a time:
+//!
+//! * **eager** — pandas' behaviour: evaluate each statement fully before returning
+//!   control (users wait even for results they never inspect);
+//! * **lazy** — defer everything until a result is explicitly requested (better plans,
+//!   but bugs surface late);
+//! * **opportunistic** — return control immediately *and* start computing in the
+//!   background during the user's think time, prioritising whatever the user actually
+//!   asks to see.
+//!
+//! [`QuerySession`] implements all three over any [`Engine`], together with the
+//! §6.2.2 materialisation cache: results are remembered by expression fingerprint so
+//! that statements revisited during trial-and-error exploration do not recompute.
+
+use std::collections::HashMap;
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+use df_types::error::{DfError, DfResult};
+
+use df_core::algebra::AlgebraExpr;
+use df_core::dataframe::DataFrame;
+use df_core::engine::Engine;
+
+/// How statements are scheduled (paper §6.1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EvalMode {
+    /// Evaluate fully as soon as a statement is issued.
+    Eager,
+    /// Defer evaluation until the result is explicitly requested.
+    Lazy,
+    /// Return immediately and compute in the background during think time.
+    Opportunistic,
+}
+
+/// Counters describing a session's behaviour, used by the §6 ablation benches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Statements submitted.
+    pub statements: u64,
+    /// Full executions performed by the engine.
+    pub executions: u64,
+    /// Results served from the materialisation cache.
+    pub cache_hits: u64,
+    /// Background (opportunistic) executions started.
+    pub background_started: u64,
+    /// Background results that were ready by the time they were requested.
+    pub background_ready_on_request: u64,
+}
+
+/// A handle to a result that may still be computing in the background.
+pub struct QueryFuture {
+    fingerprint: String,
+    receiver: Option<Receiver<DfResult<DataFrame>>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl QueryFuture {
+    /// True if the background computation has finished (successfully or not).
+    pub fn is_ready(&self) -> bool {
+        self.handle.as_ref().map(|h| h.is_finished()).unwrap_or(true)
+    }
+
+    /// The fingerprint of the expression this future computes.
+    pub fn fingerprint(&self) -> &str {
+        &self.fingerprint
+    }
+
+    fn wait(mut self) -> DfResult<DataFrame> {
+        let receiver = self
+            .receiver
+            .take()
+            .ok_or_else(|| DfError::internal("future already consumed"))?;
+        let result = receiver
+            .recv()
+            .map_err(|_| DfError::internal("background worker dropped its result"))?;
+        if let Some(handle) = self.handle.take() {
+            handle.join().ok();
+        }
+        result
+    }
+}
+
+/// A stateful analysis session in front of an [`Engine`].
+pub struct QuerySession {
+    engine: Arc<dyn Engine>,
+    mode: EvalMode,
+    cache: Arc<Mutex<HashMap<String, DataFrame>>>,
+    pending: Mutex<HashMap<String, QueryFuture>>,
+    stats: Mutex<SessionStats>,
+    cache_enabled: bool,
+}
+
+impl QuerySession {
+    /// A session over `engine` using the given evaluation mode.
+    pub fn new(engine: Arc<dyn Engine>, mode: EvalMode) -> Self {
+        QuerySession {
+            engine,
+            mode,
+            cache: Arc::new(Mutex::new(HashMap::new())),
+            pending: Mutex::new(HashMap::new()),
+            stats: Mutex::new(SessionStats::default()),
+            cache_enabled: true,
+        }
+    }
+
+    /// Disable the materialisation cache (ablation arm).
+    pub fn without_cache(mut self) -> Self {
+        self.cache_enabled = false;
+        self
+    }
+
+    /// The evaluation mode this session uses.
+    pub fn mode(&self) -> EvalMode {
+        self.mode
+    }
+
+    /// The engine behind this session.
+    pub fn engine(&self) -> &Arc<dyn Engine> {
+        &self.engine
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> SessionStats {
+        *self.stats.lock()
+    }
+
+    /// Submit a statement. Under eager evaluation this blocks and computes; under lazy
+    /// evaluation it records nothing (the expression itself is the pending work); under
+    /// opportunistic evaluation it kicks off a background computation keyed by the
+    /// expression fingerprint.
+    pub fn submit(&self, expr: &AlgebraExpr) -> DfResult<()> {
+        self.stats.lock().statements += 1;
+        match self.mode {
+            EvalMode::Eager => {
+                self.materialize(expr)?;
+                Ok(())
+            }
+            EvalMode::Lazy => Ok(()),
+            EvalMode::Opportunistic => {
+                self.spawn_background(expr);
+                Ok(())
+            }
+        }
+    }
+
+    /// Fetch the full result of an expression, using (in order) the materialisation
+    /// cache, a finished background future, or a fresh execution.
+    pub fn collect(&self, expr: &AlgebraExpr) -> DfResult<DataFrame> {
+        let fingerprint = expr.fingerprint();
+        if self.cache_enabled {
+            if let Some(hit) = self.cache.lock().get(&fingerprint).cloned() {
+                self.stats.lock().cache_hits += 1;
+                return Ok(hit);
+            }
+        }
+        let pending = self.pending.lock().remove(&fingerprint);
+        if let Some(future) = pending {
+            if future.is_ready() {
+                self.stats.lock().background_ready_on_request += 1;
+            }
+            let result = future.wait()?;
+            self.remember(&fingerprint, &result);
+            return Ok(result);
+        }
+        self.materialize(expr)
+    }
+
+    /// Fetch only the first `k` rows of an expression — the tabular-view inspection of
+    /// §6.1.2. Prefers the cache, then a ready background result, then the engine's
+    /// prefix-prioritised path (it does *not* wait for an unfinished background run,
+    /// because the prefix path is usually faster than finishing the full result).
+    pub fn head(&self, expr: &AlgebraExpr, k: usize) -> DfResult<DataFrame> {
+        let fingerprint = expr.fingerprint();
+        if self.cache_enabled {
+            if let Some(hit) = self.cache.lock().get(&fingerprint).cloned() {
+                self.stats.lock().cache_hits += 1;
+                return Ok(hit.head(k));
+            }
+        }
+        let ready = {
+            let pending = self.pending.lock();
+            pending
+                .get(&fingerprint)
+                .map(|f| f.is_ready())
+                .unwrap_or(false)
+        };
+        if ready {
+            let future = self.pending.lock().remove(&fingerprint);
+            if let Some(future) = future {
+                self.stats.lock().background_ready_on_request += 1;
+                let result = future.wait()?;
+                self.remember(&fingerprint, &result);
+                return Ok(result.head(k));
+            }
+        }
+        self.stats.lock().executions += 1;
+        self.engine.execute_prefix(expr, k)
+    }
+
+    /// Fetch only the last `k` rows of an expression.
+    pub fn tail(&self, expr: &AlgebraExpr, k: usize) -> DfResult<DataFrame> {
+        let fingerprint = expr.fingerprint();
+        if self.cache_enabled {
+            if let Some(hit) = self.cache.lock().get(&fingerprint).cloned() {
+                self.stats.lock().cache_hits += 1;
+                return Ok(hit.tail(k));
+            }
+        }
+        self.stats.lock().executions += 1;
+        self.engine.execute_suffix(expr, k)
+    }
+
+    /// Number of results currently held by the materialisation cache.
+    pub fn cached_results(&self) -> usize {
+        self.cache.lock().len()
+    }
+
+    /// Drop every cached result (models the §6.2.2 eviction discussion in its simplest
+    /// form).
+    pub fn clear_cache(&self) {
+        self.cache.lock().clear();
+    }
+
+    fn materialize(&self, expr: &AlgebraExpr) -> DfResult<DataFrame> {
+        self.stats.lock().executions += 1;
+        let result = self.engine.execute(expr)?;
+        self.remember(&expr.fingerprint(), &result);
+        Ok(result)
+    }
+
+    fn remember(&self, fingerprint: &str, result: &DataFrame) {
+        if self.cache_enabled {
+            self.cache
+                .lock()
+                .insert(fingerprint.to_string(), result.clone());
+        }
+    }
+
+    fn spawn_background(&self, expr: &AlgebraExpr) {
+        let fingerprint = expr.fingerprint();
+        if self.cache_enabled && self.cache.lock().contains_key(&fingerprint) {
+            return;
+        }
+        if self.pending.lock().contains_key(&fingerprint) {
+            return;
+        }
+        let engine = Arc::clone(&self.engine);
+        let expr = expr.clone();
+        let (sender, receiver) = channel();
+        {
+            let mut stats = self.stats.lock();
+            stats.background_started += 1;
+            stats.executions += 1;
+        }
+        let handle = std::thread::spawn(move || {
+            let result = engine.execute(&expr);
+            sender.send(result).ok();
+        });
+        self.pending.lock().insert(
+            fingerprint.clone(),
+            QueryFuture {
+                fingerprint,
+                receiver: Some(receiver),
+                handle: Some(handle),
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{ModinConfig, ModinEngine};
+    use df_core::algebra::{MapFunc, Predicate};
+    use df_types::cell::cell;
+
+    fn engine() -> Arc<dyn Engine> {
+        Arc::new(ModinEngine::with_config(
+            ModinConfig::sequential().with_partition_size(8, 4),
+        ))
+    }
+
+    fn frame(rows: usize) -> DataFrame {
+        DataFrame::from_columns(
+            vec!["v", "w"],
+            vec![
+                (0..rows).map(|i| cell(i as i64)).collect(),
+                (0..rows).map(|i| cell((i * 2) as i64)).collect(),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn eager_mode_computes_on_submit_and_caches() {
+        let session = QuerySession::new(engine(), EvalMode::Eager);
+        let expr = AlgebraExpr::literal(frame(30)).map(MapFunc::IsNullMask);
+        session.submit(&expr).unwrap();
+        assert_eq!(session.stats().executions, 1);
+        let out = session.collect(&expr).unwrap();
+        assert_eq!(out.shape(), (30, 2));
+        // Second fetch is a cache hit, not a re-execution.
+        session.collect(&expr).unwrap();
+        assert_eq!(session.stats().executions, 1);
+        assert_eq!(session.stats().cache_hits, 2);
+        assert_eq!(session.cached_results(), 1);
+    }
+
+    #[test]
+    fn lazy_mode_defers_until_collect() {
+        let session = QuerySession::new(engine(), EvalMode::Lazy);
+        let expr = AlgebraExpr::literal(frame(10)).select(Predicate::True);
+        session.submit(&expr).unwrap();
+        assert_eq!(session.stats().executions, 0);
+        session.collect(&expr).unwrap();
+        assert_eq!(session.stats().executions, 1);
+    }
+
+    #[test]
+    fn opportunistic_mode_computes_in_background() {
+        let session = QuerySession::new(engine(), EvalMode::Opportunistic);
+        let expr = AlgebraExpr::literal(frame(50)).map(MapFunc::IsNullMask);
+        session.submit(&expr).unwrap();
+        assert_eq!(session.stats().background_started, 1);
+        // Re-submitting the same statement does not spawn a duplicate worker.
+        session.submit(&expr).unwrap();
+        assert_eq!(session.stats().background_started, 1);
+        let out = session.collect(&expr).unwrap();
+        assert_eq!(out.shape(), (50, 2));
+        // Once collected the result is cached.
+        session.collect(&expr).unwrap();
+        assert!(session.stats().cache_hits >= 1);
+    }
+
+    #[test]
+    fn head_uses_prefix_execution_when_nothing_is_cached() {
+        let session = QuerySession::new(engine(), EvalMode::Lazy);
+        let expr = AlgebraExpr::literal(frame(100)).map(MapFunc::IsNullMask);
+        let head = session.head(&expr, 5).unwrap();
+        assert_eq!(head.shape(), (5, 2));
+        let tail = session.tail(&expr, 3).unwrap();
+        assert_eq!(tail.shape(), (3, 2));
+        assert_eq!(tail.cell(2, 0).unwrap(), &cell(false));
+    }
+
+    #[test]
+    fn cache_can_be_disabled_and_cleared() {
+        let session = QuerySession::new(engine(), EvalMode::Eager).without_cache();
+        let expr = AlgebraExpr::literal(frame(10)).select(Predicate::True);
+        session.submit(&expr).unwrap();
+        session.collect(&expr).unwrap();
+        assert_eq!(session.stats().cache_hits, 0);
+        assert_eq!(session.cached_results(), 0);
+        let cached = QuerySession::new(engine(), EvalMode::Eager);
+        cached.submit(&expr).unwrap();
+        assert_eq!(cached.cached_results(), 1);
+        cached.clear_cache();
+        assert_eq!(cached.cached_results(), 0);
+        assert_eq!(cached.mode(), EvalMode::Eager);
+        assert!(cached.engine().capabilities().lazy_execution);
+    }
+}

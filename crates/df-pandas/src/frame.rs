@@ -1,0 +1,1020 @@
+//! The pandas-style user API.
+//!
+//! Paper §3.1/§3.3: MODIN keeps the pandas surface ("users can simply invoke `import
+//! modin.pandas`") but *rewrites every API call into a sequence of operators in the
+//! compact dataframe algebra*, so that only the small operator kernel needs to be
+//! optimised. [`PandasFrame`] does exactly that: each method builds an
+//! [`AlgebraExpr`]; the session's engine (scalable, baseline or reference) executes it.
+//!
+//! Methods deliberately mirror familiar pandas names (`fillna`, `isna`, `get_dummies`,
+//! `merge`, `groupby`, `pivot`, `set_index`, `reset_index`, `sort_values`, `cov`, …)
+//! and the Table 2 / §4.4 rewrites are encoded in their bodies; `crate::rewrite`
+//! documents the mapping in data form for the Table 2 experiment.
+
+use std::sync::Arc;
+
+use df_types::cell::{Cell, CellKey};
+use df_types::domain::Domain;
+use df_types::error::{DfError, DfResult};
+
+use df_core::algebra::{
+    AggFunc, Aggregation, AlgebraExpr, CmpOp, ColumnSelector, JoinOn, JoinType, MapFunc,
+    Predicate, RowView, SortSpec, WindowFunc,
+};
+use df_core::dataframe::DataFrame;
+use df_core::linalg;
+use df_storage::csv::{read_csv_path, read_csv_str, write_csv_string, CsvOptions};
+
+use df_engine::optimizer::PivotPlan;
+
+use crate::session::Session;
+
+/// A lazily described dataframe bound to a [`Session`].
+#[derive(Clone)]
+pub struct PandasFrame {
+    session: Arc<Session>,
+    expr: AlgebraExpr,
+}
+
+impl PandasFrame {
+    // ------------------------------------------------------------------ construction
+
+    /// Wrap an existing dataframe value.
+    pub fn from_dataframe(session: &Arc<Session>, df: DataFrame) -> PandasFrame {
+        let expr = AlgebraExpr::literal(df);
+        session.query().submit(&expr).ok();
+        PandasFrame {
+            session: Arc::clone(session),
+            expr,
+        }
+    }
+
+    /// Build a frame from column labels and row-major data (like `pd.DataFrame(...)`).
+    pub fn from_rows(
+        session: &Arc<Session>,
+        columns: Vec<&str>,
+        rows: Vec<Vec<Cell>>,
+    ) -> DfResult<PandasFrame> {
+        Ok(PandasFrame::from_dataframe(
+            session,
+            DataFrame::from_rows(columns, rows)?,
+        ))
+    }
+
+    /// Build a frame from column labels and per-column cell vectors.
+    pub fn from_columns(
+        session: &Arc<Session>,
+        columns: Vec<&str>,
+        data: Vec<Vec<Cell>>,
+    ) -> DfResult<PandasFrame> {
+        Ok(PandasFrame::from_dataframe(
+            session,
+            DataFrame::from_columns(columns, data)?,
+        ))
+    }
+
+    /// `pd.read_csv` over an in-memory document. The result is untyped (raw `Σ*`)
+    /// unless `options.infer_schema` is set; the engine induces domains on demand.
+    pub fn read_csv_str(
+        session: &Arc<Session>,
+        content: &str,
+        options: &CsvOptions,
+    ) -> DfResult<PandasFrame> {
+        Ok(PandasFrame::from_dataframe(
+            session,
+            read_csv_str(content, options)?,
+        ))
+    }
+
+    /// `pd.read_csv` over a file on disk.
+    pub fn read_csv_path(
+        session: &Arc<Session>,
+        path: impl AsRef<std::path::Path>,
+        options: &CsvOptions,
+    ) -> DfResult<PandasFrame> {
+        Ok(PandasFrame::from_dataframe(
+            session,
+            read_csv_path(path, options)?,
+        ))
+    }
+
+    fn derive(&self, expr: AlgebraExpr) -> PandasFrame {
+        self.session.query().submit(&expr).ok();
+        PandasFrame {
+            session: Arc::clone(&self.session),
+            expr,
+        }
+    }
+
+    // ------------------------------------------------------------------ inspection
+
+    /// The algebra expression this frame denotes (exposed for tests and plan display).
+    pub fn expr(&self) -> &AlgebraExpr {
+        &self.expr
+    }
+
+    /// The session this frame is bound to.
+    pub fn session(&self) -> &Arc<Session> {
+        &self.session
+    }
+
+    /// Materialise the full result.
+    pub fn collect(&self) -> DfResult<DataFrame> {
+        self.session.query().collect(&self.expr)
+    }
+
+    /// `(rows, columns)` of the materialised result.
+    pub fn shape(&self) -> DfResult<(usize, usize)> {
+        Ok(self.collect()?.shape())
+    }
+
+    /// The first `k` rows, using the engine's prefix-prioritised path (§6.1.2).
+    pub fn head(&self, k: usize) -> DfResult<DataFrame> {
+        self.session.query().head(&self.expr, k)
+    }
+
+    /// The last `k` rows.
+    pub fn tail(&self, k: usize) -> DfResult<DataFrame> {
+        self.session.query().tail(&self.expr, k)
+    }
+
+    /// The tabular view (prefix and suffix) the paper's Figure 1 shows after each step.
+    pub fn display(&self, peek: usize) -> DfResult<String> {
+        Ok(self.collect()?.display_with(peek))
+    }
+
+    /// Column label → domain for every column whose domain is known or inducible
+    /// (pandas `dtypes`).
+    pub fn dtypes(&self) -> DfResult<Vec<(Cell, Domain)>> {
+        let mut df = self.collect()?;
+        let domains = df.resolve_schema();
+        Ok(df
+            .col_labels()
+            .as_slice()
+            .iter()
+            .cloned()
+            .zip(domains)
+            .collect())
+    }
+
+    /// Positional single-cell read (`df.iloc[i, j]`).
+    pub fn iloc(&self, row: usize, col: usize) -> DfResult<Cell> {
+        Ok(self.collect()?.cell(row, col)?.clone())
+    }
+
+    /// Positional point update (`df.iloc[i, j] = value`) — workflow step C1. Eager by
+    /// necessity: the frame is materialised, patched, and becomes a new literal.
+    pub fn iloc_set(&self, row: usize, col: usize, value: impl Into<Cell>) -> DfResult<PandasFrame> {
+        let mut df = self.collect()?;
+        df.set_cell(row, col, value.into())?;
+        Ok(PandasFrame::from_dataframe(&self.session, df))
+    }
+
+    /// Serialise the materialised frame as CSV.
+    pub fn to_csv_string(&self) -> DfResult<String> {
+        Ok(write_csv_string(&self.collect()?, &CsvOptions::default()))
+    }
+
+    // ------------------------------------------------------------------ selection
+
+    /// SELECTION with an arbitrary predicate.
+    pub fn filter(&self, predicate: Predicate) -> PandasFrame {
+        self.derive(self.expr.clone().select(predicate))
+    }
+
+    /// Keep rows where `column > value`.
+    pub fn filter_gt(&self, column: &str, value: impl Into<Cell>) -> DfResult<PandasFrame> {
+        Ok(self.filter(Predicate::ColCmp {
+            column: Cell::Str(column.into()),
+            op: CmpOp::Gt,
+            value: value.into(),
+        }))
+    }
+
+    /// Keep rows where `column == value`.
+    pub fn filter_eq(&self, column: &str, value: impl Into<Cell>) -> DfResult<PandasFrame> {
+        Ok(self.filter(Predicate::ColCmp {
+            column: Cell::Str(column.into()),
+            op: CmpOp::Eq,
+            value: value.into(),
+        }))
+    }
+
+    /// Drop rows with a null in any of the given columns (pandas `dropna(subset=...)`),
+    /// or in any column at all when `subset` is empty.
+    pub fn dropna(&self, subset: &[&str]) -> DfResult<PandasFrame> {
+        let columns: Vec<Cell> = if subset.is_empty() {
+            self.collect()?.col_labels().as_slice().to_vec()
+        } else {
+            subset.iter().map(|s| Cell::Str((*s).into())).collect()
+        };
+        let mut predicate = Predicate::True;
+        for column in columns {
+            predicate = Predicate::And(
+                Box::new(predicate),
+                Box::new(Predicate::NotNull { column }),
+            );
+        }
+        Ok(self.filter(predicate))
+    }
+
+    /// Rows `start..end` by position.
+    pub fn slice(&self, start: usize, end: usize) -> PandasFrame {
+        self.filter(Predicate::PositionRange { start, end })
+    }
+
+    /// PROJECTION onto the named columns (`df[["a", "b"]]`).
+    pub fn select(&self, columns: &[&str]) -> PandasFrame {
+        let labels = columns.iter().map(|c| Cell::Str((*c).into())).collect();
+        self.derive(self.expr.clone().project(ColumnSelector::ByLabels(labels)))
+    }
+
+    /// A single column as a one-column frame (`df["a"]`).
+    pub fn column(&self, column: &str) -> PandasFrame {
+        self.select(&[column])
+    }
+
+    /// Drop the named columns (pandas `drop(columns=...)`).
+    pub fn drop_columns(&self, columns: &[&str]) -> PandasFrame {
+        let labels = columns.iter().map(|c| Cell::Str((*c).into())).collect();
+        self.derive(self.expr.clone().project(ColumnSelector::Excluding(labels)))
+    }
+
+    /// Keep only numeric columns (what `cov`, `corr` and `describe` operate on).
+    pub fn select_numeric(&self) -> PandasFrame {
+        self.derive(self.expr.clone().project(ColumnSelector::Numeric))
+    }
+
+    // ------------------------------------------------------------------ transformation
+
+    /// Replace nulls (pandas `fillna`) — Table 2: a MAP.
+    pub fn fillna(&self, value: impl Into<Cell>) -> PandasFrame {
+        self.derive(self.expr.clone().map(MapFunc::FillNull(value.into())))
+    }
+
+    /// Null-indicator mask (pandas `isna`) — Table 2: a MAP.
+    pub fn isna(&self) -> PandasFrame {
+        self.derive(self.expr.clone().map(MapFunc::IsNullMask))
+    }
+
+    /// Alias of [`PandasFrame::isna`] (pandas `isnull`).
+    pub fn isnull(&self) -> PandasFrame {
+        self.isna()
+    }
+
+    /// Upper-case every string cell (pandas `str.upper` applied frame-wide).
+    pub fn str_upper(&self) -> PandasFrame {
+        self.derive(self.expr.clone().map(MapFunc::StrUpper))
+    }
+
+    /// Cast a column to a domain (pandas `astype`).
+    pub fn astype(&self, column: &str, domain: Domain) -> PandasFrame {
+        self.derive(
+            self.expr
+                .clone()
+                .map(MapFunc::Cast(vec![(Cell::Str(column.into()), domain)])),
+        )
+    }
+
+    /// Parse raw string columns into their induced domains (explicit schema induction).
+    pub fn infer_types(&self) -> PandasFrame {
+        self.derive(self.expr.clone().map(MapFunc::ParseRaw))
+    }
+
+    /// Apply a per-cell function to one column, leaving the others untouched — the
+    /// workflow step C3 `map` (e.g. Yes/No → 1/0).
+    pub fn map_column(
+        &self,
+        column: &str,
+        name: &str,
+        f: impl Fn(&Cell) -> Cell + Send + Sync + 'static,
+    ) -> DfResult<PandasFrame> {
+        let labels = self.collect()?.col_labels().as_slice().to_vec();
+        let target = Cell::Str(column.into());
+        let target_key = target.group_key();
+        if !labels.iter().any(|l| l.group_key() == target_key) {
+            return Err(DfError::column_not_found(column));
+        }
+        let output_labels = labels.clone();
+        let func = MapFunc::Custom {
+            name: format!("map_column({column}, {name})"),
+            output_labels: output_labels.clone(),
+            output_domains: None,
+            func: Arc::new(move |row: RowView<'_>| {
+                row.col_labels
+                    .iter()
+                    .zip(row.cells.iter())
+                    .map(|(label, value)| {
+                        if label.group_key() == target_key {
+                            f(value)
+                        } else {
+                            (*value).clone()
+                        }
+                    })
+                    .collect()
+            }),
+        };
+        Ok(self.derive(self.expr.clone().map(func)))
+    }
+
+    /// Apply an arbitrary row function producing named output columns (pandas `apply`).
+    pub fn apply_rows(
+        &self,
+        name: &str,
+        output_columns: Vec<&str>,
+        f: impl Fn(RowView<'_>) -> Vec<Cell> + Send + Sync + 'static,
+    ) -> PandasFrame {
+        let output_labels: Vec<Cell> = output_columns
+            .into_iter()
+            .map(|c| Cell::Str(c.into()))
+            .collect();
+        self.derive(self.expr.clone().map(MapFunc::Custom {
+            name: name.to_string(),
+            output_labels,
+            output_domains: None,
+            func: Arc::new(f),
+        }))
+    }
+
+    /// Apply a per-cell function to every cell (pandas `applymap` / `transform`).
+    pub fn transform_cells(
+        &self,
+        name: &str,
+        f: impl Fn(&Cell) -> Cell + Send + Sync + 'static,
+    ) -> PandasFrame {
+        self.derive(self.expr.clone().map(MapFunc::PerCell {
+            name: name.to_string(),
+            func: Arc::new(f),
+        }))
+    }
+
+    /// Rename columns (pandas `rename(columns=...)`).
+    pub fn rename(&self, mapping: &[(&str, &str)]) -> PandasFrame {
+        let mapping = mapping
+            .iter()
+            .map(|(old, new)| (Cell::Str((*old).into()), Cell::Str((*new).into())))
+            .collect();
+        self.derive(self.expr.clone().rename(mapping))
+    }
+
+    /// One-hot encode the given columns (pandas `get_dummies`); with an empty list,
+    /// every non-numeric column is encoded. §5.2.3 notes the output arity is
+    /// data-dependent: the categories are discovered with a DISTINCT sub-query first.
+    pub fn get_dummies(&self, columns: &[&str]) -> DfResult<PandasFrame> {
+        let materialised = self.collect()?;
+        let targets: Vec<Cell> = if columns.is_empty() {
+            materialised
+                .col_labels()
+                .as_slice()
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| !materialised.columns()[*j].peek_domain().is_numeric())
+                .map(|(_, l)| l.clone())
+                .collect()
+        } else {
+            columns.iter().map(|c| Cell::Str((*c).into())).collect()
+        };
+        let mut expr = self.expr.clone();
+        for target in targets {
+            let categories = self.distinct_values_of(&target)?;
+            expr = expr.map(MapFunc::OneHot {
+                column: target,
+                categories,
+            });
+        }
+        Ok(self.derive(expr))
+    }
+
+    // ------------------------------------------------------------------ reshaping
+
+    /// TRANSPOSE (pandas `.T`) — workflow step C2.
+    pub fn transpose(&self) -> PandasFrame {
+        self.derive(self.expr.clone().transpose())
+    }
+
+    /// Alias of [`PandasFrame::transpose`] matching pandas' `.T` property.
+    pub fn t(&self) -> PandasFrame {
+        self.transpose()
+    }
+
+    /// Promote a column to the row labels (pandas `set_index`) — Table 2: TOLABELS.
+    pub fn set_index(&self, column: &str) -> PandasFrame {
+        self.derive(self.expr.clone().to_labels(column))
+    }
+
+    /// Demote the row labels to a data column (pandas `reset_index`) — Table 2:
+    /// FROMLABELS.
+    pub fn reset_index(&self, name: &str) -> PandasFrame {
+        self.derive(self.expr.clone().from_labels(name))
+    }
+
+    /// Stable sort by columns (pandas `sort_values`).
+    pub fn sort_values(&self, by: &[&str], ascending: bool) -> PandasFrame {
+        let spec = SortSpec {
+            by: by.iter().map(|c| Cell::Str((*c).into())).collect(),
+            ascending: vec![ascending],
+            stable: true,
+        };
+        self.derive(self.expr.clone().sort(spec))
+    }
+
+    /// Remove duplicate rows (pandas `drop_duplicates`).
+    pub fn drop_duplicates(&self) -> PandasFrame {
+        self.derive(self.expr.clone().drop_duplicates())
+    }
+
+    /// The pivot of §4.4 / Figure 6: rows labelled by `index` values, one column per
+    /// distinct `columns` value, cells from `values`.
+    pub fn pivot(&self, index: &str, columns: &str, values: &str) -> DfResult<PandasFrame> {
+        self.pivot_with_plan(index, columns, values, PivotPlan::Direct)
+    }
+
+    /// Pivot with an explicit Figure 8 plan choice: either group directly by `index`,
+    /// or group by `columns` (the other axis) and TRANSPOSE the result.
+    pub fn pivot_with_plan(
+        &self,
+        index: &str,
+        columns: &str,
+        values: &str,
+        plan: PivotPlan,
+    ) -> DfResult<PandasFrame> {
+        let index_cell = Cell::Str(index.into());
+        let columns_cell = Cell::Str(columns.into());
+        let values_cell = Cell::Str(values.into());
+        match plan {
+            PivotPlan::Direct => {
+                let output_labels = self.distinct_values_of(&columns_cell)?;
+                let expr = self
+                    .expr
+                    .clone()
+                    .group_by(
+                        vec![index_cell],
+                        vec![
+                            Aggregation::of(columns_cell.clone(), AggFunc::Collect),
+                            Aggregation::of(values_cell.clone(), AggFunc::Collect),
+                        ],
+                        true,
+                    )
+                    .map(MapFunc::PivotFlatten {
+                        label_source: columns_cell,
+                        value_source: values_cell,
+                        output_labels,
+                    });
+                Ok(self.derive(expr))
+            }
+            PivotPlan::PivotOtherAxisThenTranspose => {
+                let output_labels = self.distinct_values_of(&index_cell)?;
+                // After the final TRANSPOSE the column labels are the `columns` values
+                // in group (sorted) order; re-project them into the same
+                // first-occurrence order the direct plan produces so both plans are
+                // interchangeable.
+                let column_order = self.distinct_values_of(&columns_cell)?;
+                let expr = self
+                    .expr
+                    .clone()
+                    .group_by(
+                        vec![columns_cell],
+                        vec![
+                            Aggregation::of(index_cell.clone(), AggFunc::Collect),
+                            Aggregation::of(values_cell.clone(), AggFunc::Collect),
+                        ],
+                        true,
+                    )
+                    .map(MapFunc::PivotFlatten {
+                        label_source: index_cell,
+                        value_source: values_cell,
+                        output_labels,
+                    })
+                    .transpose()
+                    .project(ColumnSelector::ByLabels(column_order));
+                Ok(self.derive(expr))
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------ combining
+
+    /// Ordered concatenation (pandas `append` / `pd.concat`).
+    pub fn append(&self, other: &PandasFrame) -> PandasFrame {
+        self.derive(self.expr.clone().union(other.expr.clone()))
+    }
+
+    /// Equi-join on shared columns (pandas `merge(on=...)`).
+    pub fn merge_on(&self, other: &PandasFrame, on: &[&str], how: JoinType) -> PandasFrame {
+        let keys = on.iter().map(|c| Cell::Str((*c).into())).collect();
+        self.derive(
+            self.expr
+                .clone()
+                .join(other.expr.clone(), JoinOn::Columns(keys), how),
+        )
+    }
+
+    /// Join on row labels (pandas `merge(left_index=True, right_index=True)`) —
+    /// workflow step A2.
+    pub fn merge_index(&self, other: &PandasFrame, how: JoinType) -> PandasFrame {
+        self.derive(
+            self.expr
+                .clone()
+                .join(other.expr.clone(), JoinOn::RowLabels, how),
+        )
+    }
+
+    // ------------------------------------------------------------------ group & aggregate
+
+    /// GROUPBY with explicit aggregations.
+    pub fn groupby_agg(
+        &self,
+        keys: &[&str],
+        aggs: Vec<Aggregation>,
+        keys_as_labels: bool,
+    ) -> PandasFrame {
+        let keys = keys.iter().map(|c| Cell::Str((*c).into())).collect();
+        self.derive(self.expr.clone().group_by(keys, aggs, keys_as_labels))
+    }
+
+    /// Count rows per group — the Figure 2 "groupby (n)" query.
+    pub fn groupby_count(&self, keys: &[&str]) -> PandasFrame {
+        self.groupby_agg(keys, vec![Aggregation::count_rows()], false)
+    }
+
+    /// Number of non-null values per column of interest, as a single-row frame — the
+    /// Figure 2 "groupby (1)" query.
+    pub fn count_non_null(&self, column: &str) -> PandasFrame {
+        self.groupby_agg(
+            &[],
+            vec![Aggregation::of(column, AggFunc::CountNonNull)
+                .with_alias(format!("{column}_non_null"))],
+            false,
+        )
+    }
+
+    /// Frequency of each distinct value of a column, most frequent first (pandas
+    /// `value_counts`).
+    pub fn value_counts(&self, column: &str) -> PandasFrame {
+        let counted = self.groupby_agg(&[column], vec![Aggregation::count_rows()], false);
+        counted.sort_values(&["count"], false)
+    }
+
+    /// Global numeric aggregate over one column.
+    fn global_agg(&self, column: &str, func: AggFunc, alias: &str) -> DfResult<Cell> {
+        let frame = self
+            .groupby_agg(
+                &[],
+                vec![Aggregation::of(column, func).with_alias(alias)],
+                false,
+            )
+            .collect()?;
+        Ok(frame.cell(0, 0)?.clone())
+    }
+
+    /// Sum of a column (pandas `df["c"].sum()`).
+    pub fn sum(&self, column: &str) -> DfResult<Cell> {
+        self.global_agg(column, AggFunc::Sum, "sum")
+    }
+
+    /// Mean of a column.
+    pub fn mean(&self, column: &str) -> DfResult<Cell> {
+        self.global_agg(column, AggFunc::Mean, "mean")
+    }
+
+    /// Minimum of a column.
+    pub fn min(&self, column: &str) -> DfResult<Cell> {
+        self.global_agg(column, AggFunc::Min, "min")
+    }
+
+    /// Maximum of a column.
+    pub fn max(&self, column: &str) -> DfResult<Cell> {
+        self.global_agg(column, AggFunc::Max, "max")
+    }
+
+    /// Summary statistics of every numeric column (pandas `describe`): one row per
+    /// statistic, one column per numeric column.
+    pub fn describe(&self) -> DfResult<DataFrame> {
+        let df = self.collect()?;
+        let numeric: Vec<(Cell, Vec<f64>)> = (0..df.n_cols())
+            .filter(|&j| df.columns()[j].peek_domain().is_numeric())
+            .map(|j| {
+                let values: Vec<f64> = df.columns()[j]
+                    .cells()
+                    .iter()
+                    .filter_map(Cell::as_f64)
+                    .collect();
+                (
+                    df.col_labels().get(j).cloned().unwrap_or(Cell::Null),
+                    values,
+                )
+            })
+            .collect();
+        if numeric.is_empty() {
+            return Err(DfError::EmptyInput("describe() needs numeric columns".into()));
+        }
+        let stats = ["count", "mean", "std", "min", "max"];
+        let mut columns: Vec<Vec<Cell>> = Vec::with_capacity(numeric.len());
+        for (_, values) in &numeric {
+            let count = values.len() as f64;
+            let mean = if values.is_empty() {
+                f64::NAN
+            } else {
+                values.iter().sum::<f64>() / count
+            };
+            let std = if values.len() > 1 {
+                (values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (count - 1.0)).sqrt()
+            } else {
+                f64::NAN
+            };
+            let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let to_cell = |v: f64| {
+                if v.is_finite() {
+                    Cell::Float(v)
+                } else {
+                    Cell::Null
+                }
+            };
+            columns.push(vec![
+                Cell::Float(count),
+                to_cell(mean),
+                to_cell(std),
+                to_cell(min),
+                to_cell(max),
+            ]);
+        }
+        let labels: Vec<Cell> = numeric.iter().map(|(l, _)| l.clone()).collect();
+        DataFrame::from_parts(
+            columns
+                .into_iter()
+                .map(df_core::dataframe::Column::new)
+                .collect(),
+            df_types::labels::Labels::from_iter(stats.to_vec()),
+            df_types::labels::Labels::new(labels),
+        )
+    }
+
+    // ------------------------------------------------------------------ window
+
+    /// Cumulative sum over the given columns (pandas `cumsum`).
+    pub fn cumsum(&self, columns: &[&str]) -> PandasFrame {
+        self.window_op(columns, WindowFunc::CumSum)
+    }
+
+    /// Cumulative max (pandas `cummax`).
+    pub fn cummax(&self, columns: &[&str]) -> PandasFrame {
+        self.window_op(columns, WindowFunc::CumMax)
+    }
+
+    /// Row-to-row difference (pandas `diff`).
+    pub fn diff(&self, columns: &[&str], lag: usize) -> PandasFrame {
+        self.window_op(columns, WindowFunc::Diff { lag })
+    }
+
+    /// Shift rows down (pandas `shift`).
+    pub fn shift(&self, columns: &[&str], offset: i64) -> PandasFrame {
+        self.window_op(columns, WindowFunc::Shift { offset })
+    }
+
+    /// Trailing rolling mean (pandas `rolling(n).mean()`).
+    pub fn rolling_mean(&self, columns: &[&str], size: usize) -> PandasFrame {
+        self.window_op(columns, WindowFunc::RollingMean { size })
+    }
+
+    fn window_op(&self, columns: &[&str], func: WindowFunc) -> PandasFrame {
+        let selector = if columns.is_empty() {
+            ColumnSelector::Numeric
+        } else {
+            ColumnSelector::ByLabels(columns.iter().map(|c| Cell::Str((*c).into())).collect())
+        };
+        self.derive(self.expr.clone().window(selector, func))
+    }
+
+    // ------------------------------------------------------------------ linear algebra
+
+    /// Pairwise covariance of the numeric columns (pandas `cov`) — workflow step A3.
+    pub fn cov(&self) -> DfResult<DataFrame> {
+        linalg::covariance(&self.collect()?)
+    }
+
+    /// Pearson correlation of the numeric columns (pandas `corr`).
+    pub fn corr(&self) -> DfResult<DataFrame> {
+        linalg::correlation(&self.collect()?)
+    }
+
+    // ------------------------------------------------------------------ helpers
+
+    /// Distinct values of a column, in first-occurrence order (a PROJECTION +
+    /// DROP DUPLICATES sub-query executed through the session's engine).
+    pub fn distinct_values_of(&self, column: &Cell) -> DfResult<Vec<Cell>> {
+        let expr = self
+            .expr
+            .clone()
+            .project(ColumnSelector::ByLabels(vec![column.clone()]))
+            .drop_duplicates();
+        let frame = self.session.query().collect(&expr)?;
+        let mut seen: Vec<CellKey> = Vec::new();
+        let mut out = Vec::new();
+        for cell in frame.columns()[0].cells() {
+            let key = cell.group_key();
+            if !seen.contains(&key) && !cell.is_null() {
+                seen.push(key);
+                out.push(cell.clone());
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use df_types::cell::cell;
+
+    fn session() -> Arc<Session> {
+        Session::modin_with(
+            df_engine::engine::ModinConfig::sequential().with_partition_size(8, 4),
+            df_engine::session::EvalMode::Eager,
+        )
+    }
+
+    fn products(session: &Arc<Session>) -> PandasFrame {
+        PandasFrame::from_rows(
+            session,
+            vec!["name", "price", "rating", "wireless"],
+            vec![
+                vec![cell("iPhone 11"), cell(699), cell(4.6), cell("Yes")],
+                vec![cell("iPhone 11 Pro"), cell(999), cell(4.8), cell("Yes")],
+                vec![cell("iPhone 8"), cell(449), Cell::Null, cell("No")],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_inspection() {
+        let s = session();
+        let df = products(&s);
+        assert_eq!(df.shape().unwrap(), (3, 4));
+        assert_eq!(df.head(2).unwrap().n_rows(), 2);
+        assert_eq!(df.tail(1).unwrap().cell(0, 0).unwrap(), &cell("iPhone 8"));
+        assert!(df.display(2).unwrap().contains("iPhone 11"));
+        let dtypes = df.dtypes().unwrap();
+        assert_eq!(dtypes[1].1, Domain::Int);
+        assert!(df.to_csv_string().unwrap().starts_with("name,price"));
+    }
+
+    #[test]
+    fn filtering_and_projection() {
+        let s = session();
+        let df = products(&s);
+        assert_eq!(df.filter_gt("price", 500).unwrap().shape().unwrap(), (2, 4));
+        assert_eq!(
+            df.filter_eq("wireless", "No").unwrap().shape().unwrap(),
+            (1, 4)
+        );
+        assert_eq!(df.dropna(&["rating"]).unwrap().shape().unwrap(), (2, 4));
+        assert_eq!(df.dropna(&[]).unwrap().shape().unwrap(), (2, 4));
+        assert_eq!(df.slice(1, 3).shape().unwrap(), (2, 4));
+        assert_eq!(df.select(&["name", "price"]).shape().unwrap(), (3, 2));
+        assert_eq!(df.drop_columns(&["name"]).shape().unwrap(), (3, 3));
+        assert_eq!(df.column("price").shape().unwrap(), (3, 1));
+        assert_eq!(df.select_numeric().shape().unwrap(), (3, 2));
+    }
+
+    #[test]
+    fn point_update_and_map_column_match_figure1_cleaning_steps() {
+        let s = session();
+        let df = products(&s);
+        // C1: fix an anomalous value.
+        let fixed = df.iloc_set(0, 1, 650).unwrap();
+        assert_eq!(fixed.iloc(0, 1).unwrap(), cell(650));
+        // C3: Yes/No → 1/0 on one column.
+        let binary = fixed
+            .map_column("wireless", "yes_no_to_binary", |c| match c.as_str() {
+                Some("Yes") => cell(1),
+                Some("No") => cell(0),
+                _ => Cell::Null,
+            })
+            .unwrap();
+        let collected = binary.collect().unwrap();
+        assert_eq!(collected.cell(0, 3).unwrap(), &cell(1));
+        assert_eq!(collected.cell(2, 3).unwrap(), &cell(0));
+        assert!(binary.map_column("missing", "noop", |c| c.clone()).is_err());
+    }
+
+    #[test]
+    fn fillna_isna_astype_and_transforms() {
+        let s = session();
+        let df = products(&s);
+        assert_eq!(
+            df.fillna(0).collect().unwrap().cell(2, 2).unwrap(),
+            &cell(0)
+        );
+        assert_eq!(
+            df.isna().collect().unwrap().cell(2, 2).unwrap(),
+            &cell(true)
+        );
+        assert_eq!(
+            df.isnull().collect().unwrap().cell(0, 2).unwrap(),
+            &cell(false)
+        );
+        assert_eq!(
+            df.astype("price", Domain::Float)
+                .collect()
+                .unwrap()
+                .cell(0, 1)
+                .unwrap(),
+            &cell(699.0)
+        );
+        assert_eq!(
+            df.str_upper().collect().unwrap().cell(0, 0).unwrap(),
+            &cell("IPHONE 11")
+        );
+        let doubled = df.transform_cells("double_ints", |c| match c {
+            Cell::Int(v) => Cell::Int(v * 2),
+            other => other.clone(),
+        });
+        assert_eq!(doubled.collect().unwrap().cell(0, 1).unwrap(), &cell(1398));
+        let applied = df.apply_rows("price_rating", vec!["price_per_rating"], |row| {
+            let price = row.get(&cell("price")).and_then(Cell::as_f64);
+            let rating = row.get(&cell("rating")).and_then(Cell::as_f64);
+            vec![match (price, rating) {
+                (Some(p), Some(r)) => Cell::Float(p / r),
+                _ => Cell::Null,
+            }]
+        });
+        assert_eq!(applied.shape().unwrap(), (3, 1));
+    }
+
+    #[test]
+    fn one_hot_encoding_discovers_categories() {
+        let s = session();
+        let df = products(&s).select(&["wireless", "price"]);
+        let encoded = df.get_dummies(&["wireless"]).unwrap().collect().unwrap();
+        assert_eq!(encoded.shape(), (3, 3));
+        assert_eq!(
+            encoded.col_labels().as_slice(),
+            &[cell("wireless_Yes"), cell("wireless_No"), cell("price")]
+        );
+        assert_eq!(encoded.cell(2, 1).unwrap(), &cell(1));
+        // Empty list auto-selects non-numeric columns.
+        let auto = products(&s)
+            .select(&["wireless", "price"])
+            .get_dummies(&[])
+            .unwrap()
+            .collect()
+            .unwrap();
+        assert_eq!(auto.shape(), (3, 3));
+    }
+
+    #[test]
+    fn reshaping_set_reset_index_and_transpose() {
+        let s = session();
+        let df = products(&s);
+        let indexed = df.set_index("name");
+        let collected = indexed.collect().unwrap();
+        assert_eq!(collected.shape(), (3, 3));
+        assert_eq!(collected.row_labels().as_slice()[1], cell("iPhone 11 Pro"));
+        let restored = indexed.reset_index("name").collect().unwrap();
+        assert_eq!(restored.shape(), (3, 4));
+        assert_eq!(restored.cell(0, 0).unwrap(), &cell("iPhone 11"));
+        let transposed = df.t().collect().unwrap();
+        assert_eq!(transposed.shape(), (4, 3));
+        assert_eq!(df.transpose().transpose().shape().unwrap(), (3, 4));
+    }
+
+    #[test]
+    fn sorting_dedup_and_value_counts() {
+        let s = session();
+        let df = products(&s);
+        let sorted = df.sort_values(&["price"], true).collect().unwrap();
+        assert_eq!(sorted.cell(0, 0).unwrap(), &cell("iPhone 8"));
+        let appended = df.append(&df);
+        assert_eq!(appended.shape().unwrap(), (6, 4));
+        assert_eq!(appended.drop_duplicates().shape().unwrap(), (3, 4));
+        let counts = appended.value_counts("wireless").collect().unwrap();
+        assert_eq!(counts.cell(0, 0).unwrap(), &cell("Yes"));
+        assert_eq!(counts.cell(0, 1).unwrap(), &cell(4));
+    }
+
+    #[test]
+    fn merging_on_columns_and_on_index() {
+        let s = session();
+        let features = products(&s).select(&["name", "price"]);
+        let ratings = PandasFrame::from_rows(
+            &s,
+            vec!["name", "stars"],
+            vec![
+                vec![cell("iPhone 11"), cell(5)],
+                vec![cell("iPhone 8"), cell(4)],
+            ],
+        )
+        .unwrap();
+        let joined = features.merge_on(&ratings, &["name"], JoinType::Inner);
+        assert_eq!(joined.shape().unwrap(), (2, 3));
+        let left = features.merge_on(&ratings, &["name"], JoinType::Left).collect().unwrap();
+        assert_eq!(left.shape(), (3, 3));
+        assert_eq!(left.cell(1, 2).unwrap(), &Cell::Null);
+        // Index join, as in workflow step A2.
+        let by_index = features
+            .set_index("name")
+            .merge_index(&ratings.set_index("name"), JoinType::Inner)
+            .collect()
+            .unwrap();
+        assert_eq!(by_index.shape(), (2, 2));
+    }
+
+    #[test]
+    fn groupby_aggregates_and_global_reductions() {
+        let s = session();
+        let df = products(&s);
+        let by_wireless = df.groupby_count(&["wireless"]).collect().unwrap();
+        assert_eq!(by_wireless.shape(), (2, 2));
+        assert_eq!(by_wireless.cell(1, 1).unwrap(), &cell(2));
+        let non_null = df.count_non_null("rating").collect().unwrap();
+        assert_eq!(non_null.cell(0, 0).unwrap(), &cell(2));
+        assert_eq!(df.sum("price").unwrap(), cell(2147.0));
+        assert_eq!(df.max("price").unwrap(), cell(999));
+        assert_eq!(df.min("price").unwrap(), cell(449));
+        let mean = df.mean("price").unwrap().as_f64().unwrap();
+        assert!((mean - 715.666).abs() < 0.01);
+        let described = df.describe().unwrap();
+        assert_eq!(described.shape(), (5, 2));
+        assert_eq!(described.cell(0, 0).unwrap(), &cell(3.0));
+    }
+
+    #[test]
+    fn window_operations() {
+        let s = session();
+        let df = products(&s);
+        let cumsum = df.cumsum(&["price"]).collect().unwrap();
+        assert_eq!(cumsum.cell(2, 1).unwrap(), &cell(2147.0));
+        let diff = df.diff(&["price"], 1).collect().unwrap();
+        assert_eq!(diff.cell(1, 1).unwrap(), &cell(300.0));
+        let shifted = df.shift(&["price"], 1).collect().unwrap();
+        assert_eq!(shifted.cell(0, 1).unwrap(), &Cell::Null);
+        let cummax = df.cummax(&[]).collect().unwrap();
+        assert_eq!(cummax.cell(2, 1).unwrap(), &cell(999.0));
+        let rolling = df.rolling_mean(&["price"], 2).collect().unwrap();
+        assert_eq!(rolling.cell(1, 1).unwrap(), &cell(849.0));
+    }
+
+    #[test]
+    fn covariance_and_correlation() {
+        let s = session();
+        let df = products(&s).dropna(&["rating"]).unwrap();
+        let cov = df.cov().unwrap();
+        assert_eq!(cov.shape(), (2, 2));
+        let corr = df.corr().unwrap();
+        let r = corr.cell(0, 1).unwrap().as_f64().unwrap();
+        assert!((r - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pivot_reproduces_figure5_with_both_plans() {
+        let s = session();
+        let sales = PandasFrame::from_dataframe(&s, df_workloads::figure5_narrow_table());
+        let expected = df_workloads::figure5_wide_by_year();
+        for plan in [PivotPlan::Direct, PivotPlan::PivotOtherAxisThenTranspose] {
+            let wide = sales
+                .pivot_with_plan("Year", "Month", "Sales", plan)
+                .unwrap()
+                .collect()
+                .unwrap();
+            assert!(
+                wide.same_data(&expected),
+                "plan {plan:?} gave\n{wide}\nexpected\n{expected}"
+            );
+        }
+        // The direct plan uses GROUPBY + MAP; the alternative adds a TRANSPOSE.
+        let direct = sales.pivot("Year", "Month", "Sales").unwrap();
+        assert_eq!(direct.expr().transpose_count(), 0);
+        let alt = sales
+            .pivot_with_plan("Year", "Month", "Sales", PivotPlan::PivotOtherAxisThenTranspose)
+            .unwrap();
+        assert_eq!(alt.expr().transpose_count(), 1);
+    }
+
+    #[test]
+    fn baseline_and_modin_sessions_agree_through_the_api() {
+        let modin = session();
+        let baseline = Session::baseline();
+        for s in [&modin, &baseline] {
+            let df = products(s);
+            let out = df
+                .fillna(0)
+                .filter_gt("price", 500)
+                .unwrap()
+                .groupby_count(&["wireless"])
+                .collect()
+                .unwrap();
+            assert_eq!(out.shape(), (1, 2));
+            assert_eq!(out.cell(0, 1).unwrap(), &cell(2));
+        }
+    }
+
+    #[test]
+    fn distinct_values_preserve_first_occurrence_order() {
+        let s = session();
+        let df = products(&s);
+        let values = df.distinct_values_of(&cell("wireless")).unwrap();
+        assert_eq!(values, vec![cell("Yes"), cell("No")]);
+    }
+}

@@ -1,0 +1,237 @@
+//! The pandas-operator → dataframe-algebra rewrite catalogue.
+//!
+//! Paper Table 2 lists pandas operators that map one-to-one onto algebra operators;
+//! §4.4 then walks through operators that are *compositions* of algebra operators
+//! (`get_dummies`, `pivot`, `agg`, `reindex_like`). This module records both mappings
+//! as data so the Table 2 experiment can print and verify them against the expression
+//! trees [`crate::frame::PandasFrame`] actually builds.
+
+/// How a pandas operator maps onto the algebra.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RewriteKind {
+    /// The pandas operator is exactly one algebra operator (Table 2).
+    OneToOne {
+        /// The algebra operator name.
+        algebra_op: &'static str,
+    },
+    /// The pandas operator expands into a sequence of algebra operators (§4.4).
+    Composition {
+        /// The algebra operators, in application order.
+        algebra_ops: &'static [&'static str],
+    },
+}
+
+/// One row of the rewrite catalogue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rewrite {
+    /// The pandas operator name.
+    pub pandas_op: &'static str,
+    /// Short description of what the pandas operator does (Table 2's third column).
+    pub description: &'static str,
+    /// How it rewrites into the algebra.
+    pub kind: RewriteKind,
+    /// The `PandasFrame` method implementing the rewrite in this crate.
+    pub implemented_by: &'static str,
+}
+
+/// The Table 2 one-to-one mappings.
+pub fn table2_rewrites() -> Vec<Rewrite> {
+    vec![
+        Rewrite {
+            pandas_op: "fillna",
+            description: "Convert null values to another value",
+            kind: RewriteKind::OneToOne { algebra_op: "MAP" },
+            implemented_by: "PandasFrame::fillna",
+        },
+        Rewrite {
+            pandas_op: "isnull",
+            description: "Determine if elements are null",
+            kind: RewriteKind::OneToOne { algebra_op: "MAP" },
+            implemented_by: "PandasFrame::isnull",
+        },
+        Rewrite {
+            pandas_op: "transpose",
+            description: "Exchange the columns and rows",
+            kind: RewriteKind::OneToOne {
+                algebra_op: "TRANSPOSE",
+            },
+            implemented_by: "PandasFrame::transpose",
+        },
+        Rewrite {
+            pandas_op: "set_index",
+            description: "Set the dataframe row labels using existing column(s)",
+            kind: RewriteKind::OneToOne {
+                algebra_op: "TOLABELS",
+            },
+            implemented_by: "PandasFrame::set_index",
+        },
+        Rewrite {
+            pandas_op: "reset_index",
+            description: "Insert the row labels into the dataframe and reset to default",
+            kind: RewriteKind::OneToOne {
+                algebra_op: "FROMLABELS",
+            },
+            implemented_by: "PandasFrame::reset_index",
+        },
+    ]
+}
+
+/// The §4.4 mappings: pandas operators that are either direct algebra analogues or
+/// compositions of several algebra operators.
+pub fn extended_rewrites() -> Vec<Rewrite> {
+    let mut rewrites = vec![
+        Rewrite {
+            pandas_op: "sort_values",
+            description: "Lexicographically order rows",
+            kind: RewriteKind::OneToOne { algebra_op: "SORT" },
+            implemented_by: "PandasFrame::sort_values",
+        },
+        Rewrite {
+            pandas_op: "merge",
+            description: "Join two dataframes on columns or row labels",
+            kind: RewriteKind::OneToOne { algebra_op: "JOIN" },
+            implemented_by: "PandasFrame::merge_on / merge_index",
+        },
+        Rewrite {
+            pandas_op: "groupby",
+            description: "Group identical attribute values",
+            kind: RewriteKind::OneToOne {
+                algebra_op: "GROUPBY",
+            },
+            implemented_by: "PandasFrame::groupby_agg",
+        },
+        Rewrite {
+            pandas_op: "append",
+            description: "Ordered concatenation of two dataframes",
+            kind: RewriteKind::OneToOne { algebra_op: "UNION" },
+            implemented_by: "PandasFrame::append",
+        },
+        Rewrite {
+            pandas_op: "drop_duplicates",
+            description: "Remove duplicate rows",
+            kind: RewriteKind::OneToOne {
+                algebra_op: "DROP_DUPLICATES",
+            },
+            implemented_by: "PandasFrame::drop_duplicates",
+        },
+        Rewrite {
+            pandas_op: "cummax / diff / shift",
+            description: "Sliding-window transformations over the inherent order",
+            kind: RewriteKind::OneToOne {
+                algebra_op: "WINDOW",
+            },
+            implemented_by: "PandasFrame::cummax / diff / shift",
+        },
+        Rewrite {
+            pandas_op: "astype / str.upper / applymap",
+            description: "Uniform per-row or per-cell transformations",
+            kind: RewriteKind::OneToOne { algebra_op: "MAP" },
+            implemented_by: "PandasFrame::astype / str_upper / transform_cells",
+        },
+    ];
+    rewrites.extend(vec![
+        Rewrite {
+            pandas_op: "get_dummies",
+            description: "One-hot encode categorical columns (output arity is data-dependent)",
+            kind: RewriteKind::Composition {
+                algebra_ops: &["PROJECTION", "DROP_DUPLICATES", "MAP"],
+            },
+            implemented_by: "PandasFrame::get_dummies",
+        },
+        Rewrite {
+            pandas_op: "pivot",
+            description: "Elevate a column of data into the column labels and reshape",
+            kind: RewriteKind::Composition {
+                algebra_ops: &["GROUPBY(collect)", "MAP(flatten)", "TOLABELS", "TRANSPOSE"],
+            },
+            implemented_by: "PandasFrame::pivot",
+        },
+        Rewrite {
+            pandas_op: "agg(['f1','f2',...])",
+            description: "Per-column aggregates, one output row per aggregate",
+            kind: RewriteKind::Composition {
+                algebra_ops: &["GROUPBY", "UNION"],
+            },
+            implemented_by: "PandasFrame::groupby_agg + append",
+        },
+        Rewrite {
+            pandas_op: "reindex_like",
+            description: "Reorder rows/columns to match a reference dataframe",
+            kind: RewriteKind::Composition {
+                algebra_ops: &["FROMLABELS", "JOIN", "MAP", "TOLABELS"],
+            },
+            implemented_by: "tests::reindex_like composition",
+        },
+        Rewrite {
+            pandas_op: "value_counts",
+            description: "Frequency of each distinct value, most frequent first",
+            kind: RewriteKind::Composition {
+                algebra_ops: &["GROUPBY", "SORT"],
+            },
+            implemented_by: "PandasFrame::value_counts",
+        },
+    ]);
+    rewrites
+}
+
+/// Render the catalogue as fixed-width text (the artefact the Table 2 bench prints).
+pub fn render_catalogue(rewrites: &[Rewrite]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<28} {:<38} {}\n",
+        "pandas operator", "algebra rewrite", "description"
+    ));
+    for rewrite in rewrites {
+        let algebra = match &rewrite.kind {
+            RewriteKind::OneToOne { algebra_op } => (*algebra_op).to_string(),
+            RewriteKind::Composition { algebra_ops } => algebra_ops.join(" -> "),
+        };
+        out.push_str(&format!(
+            "{:<28} {:<38} {}\n",
+            rewrite.pandas_op, algebra, rewrite.description
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_has_the_paper_rows() {
+        let rewrites = table2_rewrites();
+        assert_eq!(rewrites.len(), 5);
+        let ops: Vec<&str> = rewrites.iter().map(|r| r.pandas_op).collect();
+        assert_eq!(
+            ops,
+            vec!["fillna", "isnull", "transpose", "set_index", "reset_index"]
+        );
+        // Every Table 2 entry is a one-to-one mapping.
+        assert!(rewrites
+            .iter()
+            .all(|r| matches!(r.kind, RewriteKind::OneToOne { .. })));
+    }
+
+    #[test]
+    fn extended_catalogue_contains_compositions() {
+        let rewrites = extended_rewrites();
+        assert!(rewrites.len() >= 12);
+        let pivot = rewrites.iter().find(|r| r.pandas_op == "pivot").unwrap();
+        match &pivot.kind {
+            RewriteKind::Composition { algebra_ops } => {
+                assert!(algebra_ops.contains(&"GROUPBY(collect)"));
+                assert!(algebra_ops.contains(&"TRANSPOSE"));
+            }
+            _ => panic!("pivot must be a composition"),
+        }
+    }
+
+    #[test]
+    fn catalogue_renders_every_row() {
+        let text = render_catalogue(&table2_rewrites());
+        assert!(text.contains("fillna"));
+        assert!(text.contains("TOLABELS"));
+        assert_eq!(text.lines().count(), 6);
+    }
+}

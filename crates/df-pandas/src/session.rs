@@ -1,0 +1,102 @@
+//! Analysis sessions: an engine choice plus an evaluation mode.
+//!
+//! Mirrors the paper's architecture (§3.3): the user-facing API (here
+//! [`crate::frame::PandasFrame`]) is engine-agnostic; a [`Session`] decides which
+//! backend executes the rewritten algebra expressions (the MODIN-like engine, the
+//! pandas-like baseline, or the reference executor) and how statements are scheduled
+//! (eager, lazy or opportunistic — §6.1.1).
+
+use std::sync::Arc;
+
+use df_core::engine::{Engine, EngineKind, ReferenceEngine};
+
+use df_baseline::{BaselineConfig, BaselineEngine};
+use df_engine::engine::{ModinConfig, ModinEngine};
+use df_engine::session::{EvalMode, QuerySession, SessionStats};
+
+/// A configured analysis session.
+pub struct Session {
+    query: QuerySession,
+    kind: EngineKind,
+}
+
+impl Session {
+    /// A session backed by the scalable (MODIN-like) engine with eager evaluation —
+    /// the drop-in-replacement configuration the paper targets.
+    pub fn modin() -> Arc<Session> {
+        Session::with_engine(Arc::new(ModinEngine::new()), EvalMode::Eager)
+    }
+
+    /// A MODIN-backed session with an explicit engine configuration and mode.
+    pub fn modin_with(config: ModinConfig, mode: EvalMode) -> Arc<Session> {
+        Session::with_engine(Arc::new(ModinEngine::with_config(config)), mode)
+    }
+
+    /// A session backed by the pandas-like baseline engine (always eager).
+    pub fn baseline() -> Arc<Session> {
+        Session::with_engine(Arc::new(BaselineEngine::new()), EvalMode::Eager)
+    }
+
+    /// A baseline-backed session with an explicit configuration.
+    pub fn baseline_with(config: BaselineConfig) -> Arc<Session> {
+        Session::with_engine(Arc::new(BaselineEngine::with_config(config)), EvalMode::Eager)
+    }
+
+    /// A session backed by the reference executor (semantics ground truth).
+    pub fn reference() -> Arc<Session> {
+        Session::with_engine(Arc::new(ReferenceEngine), EvalMode::Eager)
+    }
+
+    /// A session over an arbitrary engine and evaluation mode.
+    pub fn with_engine(engine: Arc<dyn Engine>, mode: EvalMode) -> Arc<Session> {
+        let kind = engine.kind();
+        Arc::new(Session {
+            query: QuerySession::new(engine, mode),
+            kind,
+        })
+    }
+
+    /// Which engine backs this session.
+    pub fn engine_kind(&self) -> EngineKind {
+        self.kind
+    }
+
+    /// The evaluation mode in force.
+    pub fn mode(&self) -> EvalMode {
+        self.query.mode()
+    }
+
+    /// The underlying query session (statement scheduling, caching, prefix execution).
+    pub fn query(&self) -> &QuerySession {
+        &self.query
+    }
+
+    /// Scheduling / caching counters for this session.
+    pub fn stats(&self) -> SessionStats {
+        self.query.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_pick_the_right_engines() {
+        assert_eq!(Session::modin().engine_kind(), EngineKind::Modin);
+        assert_eq!(Session::baseline().engine_kind(), EngineKind::Baseline);
+        assert_eq!(Session::reference().engine_kind(), EngineKind::Reference);
+        assert_eq!(Session::modin().mode(), EvalMode::Eager);
+        let lazy = Session::modin_with(ModinConfig::sequential(), EvalMode::Lazy);
+        assert_eq!(lazy.mode(), EvalMode::Lazy);
+        let constrained = Session::baseline_with(BaselineConfig::unconstrained());
+        assert_eq!(constrained.engine_kind(), EngineKind::Baseline);
+    }
+
+    #[test]
+    fn stats_start_at_zero() {
+        let session = Session::modin();
+        assert_eq!(session.stats().statements, 0);
+        assert_eq!(session.stats().executions, 0);
+    }
+}

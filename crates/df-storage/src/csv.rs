@@ -1,0 +1,278 @@
+//! CSV ingest and egress.
+//!
+//! Paper §5.1: "external storage in data science is often untyped … most data files
+//! used in data science today (notably those in the ever-popular csv format)" carry no
+//! schema. `read_csv_str` therefore produces a dataframe whose cells are all raw
+//! strings (`Σ*`) with *no* domains set — schema induction and parsing happen later,
+//! on demand, exactly as the paper's lazy-schema discussion requires. `read_csv_typed`
+//! is the convenience path that induces and parses immediately (what pandas does).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+use df_types::cell::Cell;
+use df_types::error::{DfError, DfResult};
+
+use df_core::dataframe::{Column, DataFrame};
+
+/// Options controlling CSV parsing.
+#[derive(Debug, Clone)]
+pub struct CsvOptions {
+    /// Field delimiter (default `,`).
+    pub delimiter: char,
+    /// Whether the first record holds column labels (default true).
+    pub has_header: bool,
+    /// Parse and type columns immediately after reading (pandas behaviour). When false
+    /// the result stays in the raw `Σ*` state.
+    pub infer_schema: bool,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        CsvOptions {
+            delimiter: ',',
+            has_header: true,
+            infer_schema: false,
+        }
+    }
+}
+
+/// Parse one CSV record, honouring double-quote quoting and embedded delimiters.
+fn split_record(line: &str, delimiter: char) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut current = String::new();
+    let mut in_quotes = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            if c == '"' {
+                if chars.peek() == Some(&'"') {
+                    current.push('"');
+                    chars.next();
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                current.push(c);
+            }
+        } else if c == '"' {
+            in_quotes = true;
+        } else if c == delimiter {
+            fields.push(std::mem::take(&mut current));
+        } else {
+            current.push(c);
+        }
+    }
+    fields.push(current);
+    fields
+}
+
+/// Quote a field if it contains the delimiter, a quote, or a newline.
+fn quote_field(field: &str, delimiter: char) -> String {
+    if field.contains(delimiter) || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Read a CSV document from any reader into an untyped (raw `Σ*`) dataframe.
+pub fn read_csv_reader<R: Read>(reader: R, options: &CsvOptions) -> DfResult<DataFrame> {
+    let buf = BufReader::new(reader);
+    let mut lines = buf.lines();
+    let mut header: Option<Vec<String>> = None;
+    let mut columns: Vec<Vec<Cell>> = Vec::new();
+    let mut n_cols = 0usize;
+    let mut row_count = 0usize;
+    if options.has_header {
+        match lines.next() {
+            Some(line) => {
+                let fields = split_record(&line?, options.delimiter);
+                n_cols = fields.len();
+                header = Some(fields);
+                columns = vec![Vec::new(); n_cols];
+            }
+            None => return Ok(DataFrame::empty()),
+        }
+    }
+    for line in lines {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let fields = split_record(&line, options.delimiter);
+        if header.is_none() && columns.is_empty() {
+            n_cols = fields.len();
+            columns = vec![Vec::new(); n_cols];
+        }
+        if fields.len() != n_cols {
+            return Err(DfError::shape(
+                format!("{n_cols} fields per record"),
+                format!("{} fields at data row {row_count}", fields.len()),
+            ));
+        }
+        for (slot, field) in columns.iter_mut().zip(fields) {
+            if df_types::domain::is_null_token(&field) {
+                slot.push(Cell::Null);
+            } else {
+                slot.push(Cell::Str(field));
+            }
+        }
+        row_count += 1;
+    }
+    let labels: Vec<Cell> = match header {
+        Some(names) => names.into_iter().map(Cell::Str).collect(),
+        None => (0..n_cols).map(|i| Cell::Int(i as i64)).collect(),
+    };
+    let columns: Vec<Column> = columns.into_iter().map(Column::new).collect();
+    let mut df = DataFrame::from_parts(
+        columns,
+        df_types::labels::Labels::positional(row_count),
+        df_types::labels::Labels::new(labels),
+    )?;
+    if options.infer_schema {
+        df.parse_all();
+    }
+    Ok(df)
+}
+
+/// Read a CSV document from a string.
+pub fn read_csv_str(content: &str, options: &CsvOptions) -> DfResult<DataFrame> {
+    read_csv_reader(content.as_bytes(), options)
+}
+
+/// Read a CSV file from disk.
+pub fn read_csv_path(path: impl AsRef<Path>, options: &CsvOptions) -> DfResult<DataFrame> {
+    let file = std::fs::File::open(path)?;
+    read_csv_reader(file, options)
+}
+
+/// Serialise a dataframe as CSV (header + records, labels omitted — matching
+/// `to_csv(index=False)`).
+pub fn write_csv_string(df: &DataFrame, options: &CsvOptions) -> String {
+    let mut out = String::new();
+    if options.has_header {
+        let header: Vec<String> = df
+            .col_labels()
+            .as_slice()
+            .iter()
+            .map(|l| quote_field(&l.to_raw_string(), options.delimiter))
+            .collect();
+        out.push_str(&header.join(&options.delimiter.to_string()));
+        out.push('\n');
+    }
+    for i in 0..df.n_rows() {
+        let record: Vec<String> = df
+            .columns()
+            .iter()
+            .map(|c| quote_field(&c.cells()[i].to_raw_string(), options.delimiter))
+            .collect();
+        out.push_str(&record.join(&options.delimiter.to_string()));
+        out.push('\n');
+    }
+    out
+}
+
+/// Write a dataframe to a CSV file on disk.
+pub fn write_csv_path(
+    df: &DataFrame,
+    path: impl AsRef<Path>,
+    options: &CsvOptions,
+) -> DfResult<()> {
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(write_csv_string(df, options).as_bytes())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use df_types::cell::cell;
+    use df_types::domain::Domain;
+
+    const SAMPLE: &str = "name,price,rating\niPhone 11,699,4.6\niPhone SE,399,4.5\n";
+
+    #[test]
+    fn read_csv_produces_untyped_raw_cells() {
+        let df = read_csv_str(SAMPLE, &CsvOptions::default()).unwrap();
+        assert_eq!(df.shape(), (2, 3));
+        assert_eq!(df.cell(0, 1).unwrap(), &cell("699"));
+        assert_eq!(df.schema(), vec![None, None, None]);
+    }
+
+    #[test]
+    fn read_csv_with_schema_inference_types_columns() {
+        let options = CsvOptions {
+            infer_schema: true,
+            ..CsvOptions::default()
+        };
+        let df = read_csv_str(SAMPLE, &options).unwrap();
+        assert_eq!(df.cell(0, 1).unwrap(), &cell(699));
+        assert_eq!(
+            df.schema(),
+            vec![Some(Domain::Str), Some(Domain::Int), Some(Domain::Float)]
+        );
+    }
+
+    #[test]
+    fn quoting_and_embedded_delimiters_round_trip() {
+        let csv = "id,desc\n1,\"a, b\"\n2,\"say \"\"hi\"\"\"\n";
+        let df = read_csv_str(csv, &CsvOptions::default()).unwrap();
+        assert_eq!(df.cell(0, 1).unwrap(), &cell("a, b"));
+        assert_eq!(df.cell(1, 1).unwrap(), &cell("say \"hi\""));
+        let written = write_csv_string(&df, &CsvOptions::default());
+        let reread = read_csv_str(&written, &CsvOptions::default()).unwrap();
+        assert!(reread.same_data(&df));
+    }
+
+    #[test]
+    fn missing_fields_and_ragged_rows() {
+        let csv = "a,b\n1,\n2,x\n";
+        let df = read_csv_str(csv, &CsvOptions::default()).unwrap();
+        assert_eq!(df.cell(0, 1).unwrap(), &Cell::Null);
+        let ragged = "a,b\n1\n";
+        assert!(read_csv_str(ragged, &CsvOptions::default()).is_err());
+    }
+
+    #[test]
+    fn headerless_files_get_positional_column_labels() {
+        let options = CsvOptions {
+            has_header: false,
+            ..CsvOptions::default()
+        };
+        let df = read_csv_str("1,2\n3,4\n", &options).unwrap();
+        assert_eq!(df.col_labels().as_slice(), &[cell(0), cell(1)]);
+        assert_eq!(df.shape(), (2, 2));
+    }
+
+    #[test]
+    fn alternative_delimiters() {
+        let options = CsvOptions {
+            delimiter: ';',
+            ..CsvOptions::default()
+        };
+        let df = read_csv_str("a;b\n1;2\n", &options).unwrap();
+        assert_eq!(df.cell(0, 1).unwrap(), &cell("2"));
+        let out = write_csv_string(&df, &options);
+        assert!(out.starts_with("a;b\n"));
+    }
+
+    #[test]
+    fn empty_input_yields_empty_frame() {
+        let df = read_csv_str("", &CsvOptions::default()).unwrap();
+        assert_eq!(df.shape(), (0, 0));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("df_storage_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.csv");
+        let df = read_csv_str(SAMPLE, &CsvOptions::default()).unwrap();
+        write_csv_path(&df, &path, &CsvOptions::default()).unwrap();
+        let reread = read_csv_path(&path, &CsvOptions::default()).unwrap();
+        assert!(reread.same_data(&df));
+        assert!(read_csv_path(dir.join("missing.csv"), &CsvOptions::default()).is_err());
+        std::fs::remove_file(path).ok();
+    }
+}

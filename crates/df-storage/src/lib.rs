@@ -1,0 +1,12 @@
+//! # df-storage
+//!
+//! The storage layer of the MODIN architecture (paper §3.3, Figure 3): untyped CSV
+//! ingest/egress ([`csv`]) and the main-memory + spill-to-disk partition store
+//! ([`spill`]) that lets intermediate dataframes exceed main memory without the
+//! out-of-memory failures pandas exhibits.
+
+pub mod csv;
+pub mod spill;
+
+pub use csv::{read_csv_path, read_csv_str, write_csv_path, write_csv_string, CsvOptions};
+pub use spill::{PartitionId, SpillStats, SpillStore};

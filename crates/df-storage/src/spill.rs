@@ -1,0 +1,364 @@
+//! The out-of-core partition store ("memory spillover").
+//!
+//! Paper §3.3, storage layer: "MODIN's modular storage layer supports both main memory
+//! and persistent storage out-of-core …, allowing intermediate dataframes to exceed
+//! main-memory limitations while not throwing memory errors, unlike pandas. To maintain
+//! pandas semantics, the dataframe partitions are freed from persistent storage once a
+//! session ends."
+//!
+//! [`SpillStore`] keeps partitions in memory up to a byte budget; when the budget is
+//! exceeded the least-recently-used partitions are written to spill files in a
+//! session-scoped temporary directory and transparently re-loaded on access. Dropping
+//! the store removes its directory, matching the "freed once a session ends" semantics.
+
+use std::collections::HashMap;
+use std::io::{BufWriter, Read, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use df_types::cell::Cell;
+use df_types::error::{DfError, DfResult};
+use df_types::labels::Labels;
+
+use df_core::dataframe::{Column, DataFrame};
+
+use crate::csv::{read_csv_str, write_csv_string, CsvOptions};
+
+/// Identifier of a partition held by a [`SpillStore`].
+pub type PartitionId = u64;
+
+/// Statistics describing the store's behaviour, used by tests and the storage ablation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpillStats {
+    /// Partitions currently resident in memory.
+    pub in_memory: usize,
+    /// Partitions currently only on disk.
+    pub spilled: usize,
+    /// Total spill-out events since the store was created.
+    pub spill_outs: u64,
+    /// Total load-back events since the store was created.
+    pub load_backs: u64,
+    /// Approximate bytes currently held in memory.
+    pub memory_bytes: usize,
+}
+
+struct Slot {
+    frame: Option<DataFrame>,
+    spill_path: Option<PathBuf>,
+    approx_bytes: usize,
+    last_touch: u64,
+}
+
+/// An in-memory partition store with spill-to-disk overflow.
+pub struct SpillStore {
+    memory_budget_bytes: usize,
+    directory: PathBuf,
+    clock: AtomicU64,
+    next_id: AtomicU64,
+    inner: Mutex<HashMap<PartitionId, Slot>>,
+    spill_outs: AtomicU64,
+    load_backs: AtomicU64,
+}
+
+impl SpillStore {
+    /// Create a store with the given in-memory byte budget. Spill files live under a
+    /// fresh subdirectory of the system temp dir.
+    pub fn new(memory_budget_bytes: usize) -> DfResult<Self> {
+        let directory = std::env::temp_dir().join(format!(
+            "rustframe-spill-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos())
+                .unwrap_or(0)
+        ));
+        std::fs::create_dir_all(&directory)?;
+        Ok(SpillStore {
+            memory_budget_bytes,
+            directory,
+            clock: AtomicU64::new(0),
+            next_id: AtomicU64::new(0),
+            inner: Mutex::new(HashMap::new()),
+            spill_outs: AtomicU64::new(0),
+            load_backs: AtomicU64::new(0),
+        })
+    }
+
+    /// A store that effectively never spills (large budget) — used when out-of-core
+    /// behaviour is not under test.
+    pub fn unbounded() -> DfResult<Self> {
+        SpillStore::new(usize::MAX / 2)
+    }
+
+    /// Insert a partition, spilling older partitions if the memory budget is exceeded.
+    pub fn put(&self, frame: DataFrame) -> DfResult<PartitionId> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let approx_bytes = frame.approx_size_bytes();
+        let touch = self.clock.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut inner = self.inner.lock();
+            inner.insert(
+                id,
+                Slot {
+                    frame: Some(frame),
+                    spill_path: None,
+                    approx_bytes,
+                    last_touch: touch,
+                },
+            );
+        }
+        self.enforce_budget()?;
+        Ok(id)
+    }
+
+    /// Fetch a partition, transparently loading it back from disk if it was spilled.
+    pub fn get(&self, id: PartitionId) -> DfResult<DataFrame> {
+        let touch = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.inner.lock();
+        let slot = inner
+            .get_mut(&id)
+            .ok_or_else(|| DfError::internal(format!("unknown partition id {id}")))?;
+        slot.last_touch = touch;
+        if let Some(frame) = &slot.frame {
+            return Ok(frame.clone());
+        }
+        let path = slot
+            .spill_path
+            .clone()
+            .ok_or_else(|| DfError::internal("partition has neither memory nor spill copy"))?;
+        drop(inner);
+        let frame = read_spill_file(&path)?;
+        self.load_backs.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.inner.lock();
+        if let Some(slot) = inner.get_mut(&id) {
+            slot.frame = Some(frame.clone());
+            slot.approx_bytes = frame.approx_size_bytes();
+        }
+        drop(inner);
+        self.enforce_budget()?;
+        Ok(frame)
+    }
+
+    /// Remove a partition entirely (memory and disk).
+    pub fn remove(&self, id: PartitionId) -> DfResult<()> {
+        let mut inner = self.inner.lock();
+        if let Some(slot) = inner.remove(&id) {
+            if let Some(path) = slot.spill_path {
+                std::fs::remove_file(path).ok();
+            }
+        }
+        Ok(())
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> SpillStats {
+        let inner = self.inner.lock();
+        let mut stats = SpillStats {
+            spill_outs: self.spill_outs.load(Ordering::Relaxed),
+            load_backs: self.load_backs.load(Ordering::Relaxed),
+            ..SpillStats::default()
+        };
+        for slot in inner.values() {
+            if slot.frame.is_some() {
+                stats.in_memory += 1;
+                stats.memory_bytes += slot.approx_bytes;
+            } else {
+                stats.spilled += 1;
+            }
+        }
+        stats
+    }
+
+    /// Spill least-recently-used partitions until the memory budget is respected.
+    fn enforce_budget(&self) -> DfResult<()> {
+        loop {
+            let victim = {
+                let inner = self.inner.lock();
+                let total: usize = inner
+                    .values()
+                    .filter(|s| s.frame.is_some())
+                    .map(|s| s.approx_bytes)
+                    .sum();
+                if total <= self.memory_budget_bytes {
+                    return Ok(());
+                }
+                // Pick the least recently used resident partition.
+                inner
+                    .iter()
+                    .filter(|(_, s)| s.frame.is_some())
+                    .min_by_key(|(_, s)| s.last_touch)
+                    .map(|(&id, _)| id)
+            };
+            let Some(victim) = victim else {
+                return Ok(());
+            };
+            self.spill_one(victim)?;
+        }
+    }
+
+    fn spill_one(&self, id: PartitionId) -> DfResult<()> {
+        let frame = {
+            let mut inner = self.inner.lock();
+            let Some(slot) = inner.get_mut(&id) else {
+                return Ok(());
+            };
+            slot.frame.take()
+        };
+        let Some(frame) = frame else { return Ok(()) };
+        let path = self.directory.join(format!("part-{id}.spill"));
+        write_spill_file(&frame, &path)?;
+        self.spill_outs.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.inner.lock();
+        if let Some(slot) = inner.get_mut(&id) {
+            slot.spill_path = Some(path);
+        }
+        Ok(())
+    }
+}
+
+impl Drop for SpillStore {
+    fn drop(&mut self) {
+        // Partitions are freed from persistent storage once the session ends.
+        std::fs::remove_dir_all(&self.directory).ok();
+    }
+}
+
+/// Spill file format: a small header with the row/column labels followed by the CSV
+/// serialisation of the data. Plain text keeps the workspace dependency-free; the
+/// format is internal and never exposed to users.
+fn write_spill_file(frame: &DataFrame, path: &PathBuf) -> DfResult<()> {
+    let file = std::fs::File::create(path)?;
+    let mut writer = BufWriter::new(file);
+    let row_labels: Vec<String> = frame
+        .row_labels()
+        .as_slice()
+        .iter()
+        .map(Cell::to_raw_string)
+        .collect();
+    writeln!(writer, "{}", row_labels.join("\u{1f}"))?;
+    let body = write_csv_string(frame, &CsvOptions::default());
+    writer.write_all(body.as_bytes())?;
+    Ok(())
+}
+
+fn read_spill_file(path: &PathBuf) -> DfResult<DataFrame> {
+    let mut content = String::new();
+    std::fs::File::open(path)?.read_to_string(&mut content)?;
+    let (labels_line, body) = content
+        .split_once('\n')
+        .ok_or_else(|| DfError::internal("corrupt spill file"))?;
+    let mut df = read_csv_str(body, &CsvOptions::default())?;
+    // Re-type the data: spill files are written from typed frames, so parsing restores
+    // the domains that were already known.
+    df.parse_all();
+    let labels: Vec<Cell> = if labels_line.is_empty() {
+        Vec::new()
+    } else {
+        labels_line
+            .split('\u{1f}')
+            .map(|s| {
+                if s.is_empty() {
+                    Cell::Null
+                } else if let Ok(v) = s.parse::<i64>() {
+                    Cell::Int(v)
+                } else {
+                    Cell::Str(s.to_string())
+                }
+            })
+            .collect()
+    };
+    if labels.len() == df.n_rows() {
+        df = df.with_row_labels(Labels::new(labels))?;
+    }
+    Ok(df)
+}
+
+/// Convenience: build a dataframe column-by-column from typed cells (used by tests).
+pub fn frame_of(columns: Vec<(&str, Vec<Cell>)>) -> DfResult<DataFrame> {
+    let labels: Vec<Cell> = columns.iter().map(|(l, _)| Cell::Str((*l).into())).collect();
+    let cols: Vec<Column> = columns.into_iter().map(|(_, c)| Column::new(c)).collect();
+    let rows = cols.first().map(|c| c.len()).unwrap_or(0);
+    DataFrame::from_parts(cols, Labels::positional(rows), Labels::new(labels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use df_types::cell::cell;
+
+    fn frame(tag: i64, rows: usize) -> DataFrame {
+        frame_of(vec![
+            ("id", (0..rows).map(|i| cell(i as i64 + tag)).collect()),
+            ("name", (0..rows).map(|i| cell(format!("row-{i}"))).collect()),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn put_get_round_trip_in_memory() {
+        let store = SpillStore::unbounded().unwrap();
+        let df = frame(0, 10);
+        let id = store.put(df.clone()).unwrap();
+        let back = store.get(id).unwrap();
+        assert_eq!(back.shape(), df.shape());
+        assert_eq!(store.stats().in_memory, 1);
+        assert_eq!(store.stats().spilled, 0);
+    }
+
+    #[test]
+    fn exceeding_the_budget_spills_lru_partitions() {
+        // Budget fits roughly one partition, so inserting three forces spills.
+        let one = frame(0, 50);
+        let budget = one.approx_size_bytes() + one.approx_size_bytes() / 2;
+        let store = SpillStore::new(budget).unwrap();
+        let a = store.put(frame(0, 50)).unwrap();
+        let b = store.put(frame(100, 50)).unwrap();
+        let c = store.put(frame(200, 50)).unwrap();
+        let stats = store.stats();
+        assert!(stats.spill_outs >= 1, "expected at least one spill: {stats:?}");
+        assert!(stats.spilled >= 1);
+        // All partitions remain readable, including spilled ones.
+        for (id, tag) in [(a, 0), (b, 100), (c, 200)] {
+            let back = store.get(id).unwrap();
+            assert_eq!(back.shape(), (50, 2));
+            assert_eq!(back.cell(0, 0).unwrap(), &cell(tag));
+        }
+        assert!(store.stats().load_backs >= 1);
+    }
+
+    #[test]
+    fn spilled_partitions_preserve_row_labels_and_types() {
+        let store = SpillStore::new(1).unwrap(); // everything spills immediately
+        let df = frame(0, 5)
+            .with_row_labels(vec!["a", "b", "c", "d", "e"])
+            .unwrap();
+        let id = store.put(df).unwrap();
+        let back = store.get(id).unwrap();
+        assert_eq!(back.row_labels().as_slice()[1], cell("b"));
+        assert_eq!(back.cell(2, 0).unwrap(), &cell(2));
+    }
+
+    #[test]
+    fn remove_and_unknown_ids() {
+        let store = SpillStore::unbounded().unwrap();
+        let id = store.put(frame(0, 3)).unwrap();
+        store.remove(id).unwrap();
+        assert!(store.get(id).is_err());
+        assert!(store.get(9999).is_err());
+        store.remove(12345).unwrap();
+    }
+
+    #[test]
+    fn spill_directory_is_removed_on_drop() {
+        let dir;
+        {
+            let store = SpillStore::new(1).unwrap();
+            dir = store.directory.clone();
+            store.put(frame(0, 5)).unwrap();
+            assert!(dir.exists());
+        }
+        assert!(!dir.exists());
+    }
+}

@@ -1,0 +1,189 @@
+//! Shared error type for the workspace.
+//!
+//! Every fallible operation in the data model, the algebra, the engines and the pandas
+//! API layer returns [`DfResult`]. The variants follow the failure modes the paper calls
+//! out: missing labels, shape mismatches, type mismatches discovered after schema
+//! induction, unsupported operations (the Table 3 capability matrix), and resource
+//! exhaustion (used by the baseline to model pandas failing to transpose frames beyond
+//! ~6 GB, paper §3.2).
+
+use std::fmt;
+
+/// Convenience alias used across all crates in the workspace.
+pub type DfResult<T> = Result<T, DfError>;
+
+/// Error raised by dataframe operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DfError {
+    /// A referenced column label does not exist.
+    ColumnNotFound(String),
+    /// A referenced row label does not exist.
+    RowNotFound(String),
+    /// A positional reference is out of bounds: `(axis, index, len)`.
+    IndexOutOfBounds {
+        /// `"row"` or `"column"`.
+        axis: &'static str,
+        /// The requested position.
+        index: usize,
+        /// The axis length.
+        len: usize,
+    },
+    /// Two dataframes (or a dataframe and a value vector) have incompatible shapes.
+    ShapeMismatch {
+        /// Human-readable description of what was expected.
+        expected: String,
+        /// Human-readable description of what was found.
+        found: String,
+    },
+    /// A value could not be interpreted in the required domain.
+    TypeMismatch {
+        /// The domain the operation required.
+        expected: String,
+        /// The offending value, rendered as a string.
+        found: String,
+    },
+    /// A raw string could not be parsed by the domain's parsing function `p_i`.
+    ParseError {
+        /// Target domain name.
+        domain: String,
+        /// The raw input.
+        value: String,
+    },
+    /// The operation is valid in the dataframe algebra but not supported by this engine
+    /// (the dataframe-like systems of Table 3 reject several operators).
+    Unsupported(String),
+    /// The engine ran out of its configured resources. The baseline uses this to model
+    /// pandas crashing / not completing (paper §3.2: "pandas is unable to run transpose
+    /// beyond 6 GB").
+    ResourceExhausted(String),
+    /// An aggregation or window function was applied to an empty group or frame where
+    /// it has no defined result.
+    EmptyInput(String),
+    /// Duplicate labels were found where unique labels are required.
+    DuplicateLabel(String),
+    /// An I/O failure from the storage layer (CSV ingest, spill files).
+    Io(String),
+    /// Internal invariant violation; indicates a bug rather than user error.
+    Internal(String),
+}
+
+impl DfError {
+    /// Shorthand constructor for [`DfError::ColumnNotFound`].
+    pub fn column_not_found(label: impl fmt::Display) -> Self {
+        DfError::ColumnNotFound(label.to_string())
+    }
+
+    /// Shorthand constructor for [`DfError::RowNotFound`].
+    pub fn row_not_found(label: impl fmt::Display) -> Self {
+        DfError::RowNotFound(label.to_string())
+    }
+
+    /// Shorthand constructor for [`DfError::Unsupported`].
+    pub fn unsupported(msg: impl Into<String>) -> Self {
+        DfError::Unsupported(msg.into())
+    }
+
+    /// Shorthand constructor for [`DfError::Internal`].
+    pub fn internal(msg: impl Into<String>) -> Self {
+        DfError::Internal(msg.into())
+    }
+
+    /// Shorthand constructor for [`DfError::ShapeMismatch`].
+    pub fn shape(expected: impl Into<String>, found: impl Into<String>) -> Self {
+        DfError::ShapeMismatch {
+            expected: expected.into(),
+            found: found.into(),
+        }
+    }
+
+    /// Shorthand constructor for [`DfError::TypeMismatch`].
+    pub fn type_mismatch(expected: impl Into<String>, found: impl fmt::Display) -> Self {
+        DfError::TypeMismatch {
+            expected: expected.into(),
+            found: found.to_string(),
+        }
+    }
+
+    /// True when the error models a capacity failure rather than a semantic one. The
+    /// figure-2 harness uses this to record "did not finish" points for the baseline.
+    pub fn is_resource_exhausted(&self) -> bool {
+        matches!(self, DfError::ResourceExhausted(_))
+    }
+}
+
+impl fmt::Display for DfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DfError::ColumnNotFound(l) => write!(f, "column label not found: {l:?}"),
+            DfError::RowNotFound(l) => write!(f, "row label not found: {l:?}"),
+            DfError::IndexOutOfBounds { axis, index, len } => {
+                write!(f, "{axis} index {index} out of bounds for length {len}")
+            }
+            DfError::ShapeMismatch { expected, found } => {
+                write!(f, "shape mismatch: expected {expected}, found {found}")
+            }
+            DfError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            DfError::ParseError { domain, value } => {
+                write!(f, "cannot parse {value:?} as {domain}")
+            }
+            DfError::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
+            DfError::ResourceExhausted(msg) => write!(f, "resource exhausted: {msg}"),
+            DfError::EmptyInput(msg) => write!(f, "empty input: {msg}"),
+            DfError::DuplicateLabel(l) => write!(f, "duplicate label: {l}"),
+            DfError::Io(msg) => write!(f, "i/o error: {msg}"),
+            DfError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DfError {}
+
+impl From<std::io::Error> for DfError {
+    fn from(err: std::io::Error) -> Self {
+        DfError::Io(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_column_not_found() {
+        let err = DfError::column_not_found("price");
+        assert_eq!(err.to_string(), "column label not found: \"price\"");
+    }
+
+    #[test]
+    fn display_index_out_of_bounds() {
+        let err = DfError::IndexOutOfBounds {
+            axis: "row",
+            index: 9,
+            len: 3,
+        };
+        assert_eq!(err.to_string(), "row index 9 out of bounds for length 3");
+    }
+
+    #[test]
+    fn resource_exhausted_is_flagged() {
+        assert!(DfError::ResourceExhausted("cap".into()).is_resource_exhausted());
+        assert!(!DfError::Unsupported("x".into()).is_resource_exhausted());
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let err: DfError = io.into();
+        assert!(matches!(err, DfError::Io(_)));
+    }
+
+    #[test]
+    fn shape_and_type_helpers_format() {
+        let s = DfError::shape("3 columns", "2 columns").to_string();
+        assert!(s.contains("expected 3 columns"));
+        let t = DfError::type_mismatch("int", "abc").to_string();
+        assert!(t.contains("expected int"));
+    }
+}

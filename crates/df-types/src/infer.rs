@@ -1,0 +1,288 @@
+//! The schema induction function `S` and lazy-schema bookkeeping.
+//!
+//! Paper §4.2 defines `S : (Σ*)^m → Dom`, which maps an array of raw strings to a
+//! domain, so that an unspecified entry of the schema vector `D_n` can be induced post
+//! hoc from the column's contents. Paper §5.1 then argues that running `S` (and the
+//! subsequent parsing) is one of the dominant costs in dataframe systems and must be
+//! *deferred*, *cached* and *reused* whenever possible.
+//!
+//! This module provides:
+//!
+//! * [`induce_from_strings`] — the literal `S` over raw strings, used at CSV ingest.
+//! * [`induce_domain`] — induction over already-typed cells (widening via
+//!   [`Domain::unify`]), used when a derived column's domain must be recovered.
+//! * [`SchemaSlot`] — a per-column slot that distinguishes *declared*, *induced* and
+//!   *unknown* domains and counts how many induction scans were performed. Engines use
+//!   the counter in the §5.1 ablation benchmark to show how many scans rewrite rules
+//!   avoided.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::cell::Cell;
+use crate::domain::{is_null_token, Domain};
+
+/// Global counter of schema-induction scans, used by the ablation harness to attribute
+/// cost to `S` without invasive plumbing. Incremented by [`induce_from_strings`] and
+/// [`induce_domain`].
+static INDUCTION_SCANS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of induction scans performed by the whole process so far.
+pub fn induction_scan_count() -> u64 {
+    INDUCTION_SCANS.load(Ordering::Relaxed)
+}
+
+/// Reset the global induction scan counter (test / benchmark helper).
+pub fn reset_induction_scan_count() {
+    INDUCTION_SCANS.store(0, Ordering::Relaxed);
+}
+
+/// The schema induction function `S` over raw strings.
+///
+/// Scans the column once and returns the narrowest domain that every non-null entry
+/// parses into, using the widening order bool → int → float → datetime → category/str.
+/// A column whose non-null values are all drawn from a small set of repeated strings is
+/// classified as `category` (mirroring pandas' heuristic use of categoricals); anything
+/// else falls back to `Σ*`.
+pub fn induce_from_strings<'a, I>(values: I) -> Domain
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    INDUCTION_SCANS.fetch_add(1, Ordering::Relaxed);
+    let mut candidate: Option<Domain> = None;
+    let mut distinct: std::collections::HashSet<&str> = std::collections::HashSet::new();
+    let mut non_null = 0usize;
+    for raw in values {
+        let trimmed = raw.trim();
+        if is_null_token(trimmed) {
+            continue;
+        }
+        non_null += 1;
+        if distinct.len() < CATEGORY_DISTINCT_CAP {
+            distinct.insert(trimmed);
+        }
+        let this = narrowest_domain_of_str(trimmed);
+        candidate = Some(match candidate {
+            None => this,
+            Some(prev) => prev.unify(this),
+        });
+    }
+    match candidate {
+        None => Domain::Str,
+        Some(Domain::Str) => {
+            if non_null >= CATEGORY_MIN_ROWS
+                && distinct.len() < CATEGORY_DISTINCT_CAP
+                && distinct.len() * CATEGORY_RATIO < non_null
+            {
+                Domain::Category
+            } else {
+                Domain::Str
+            }
+        }
+        Some(domain) => domain,
+    }
+}
+
+/// Induction over already-typed cells: widen the natural domains of all non-null cells.
+pub fn induce_domain<'a, I>(cells: I) -> Domain
+where
+    I: IntoIterator<Item = &'a Cell>,
+{
+    INDUCTION_SCANS.fetch_add(1, Ordering::Relaxed);
+    let mut candidate: Option<Domain> = None;
+    for cell in cells {
+        let Some(domain) = cell.natural_domain() else {
+            continue;
+        };
+        candidate = Some(match candidate {
+            None => domain,
+            Some(prev) => prev.unify(domain),
+        });
+    }
+    candidate.unwrap_or(Domain::Str)
+}
+
+/// Maximum number of distinct values a string column may have to be induced as
+/// `category` rather than `Σ*`.
+const CATEGORY_DISTINCT_CAP: usize = 32;
+/// Minimum number of non-null rows before the category heuristic applies.
+const CATEGORY_MIN_ROWS: usize = 16;
+/// A column is categorical when `distinct * RATIO < non_null`.
+const CATEGORY_RATIO: usize = 4;
+
+/// The narrowest domain a single raw string belongs to.
+fn narrowest_domain_of_str(trimmed: &str) -> Domain {
+    // Only the canonical spellings induce booleans. "Yes"/"No" style columns stay in
+    // the string domains (pandas keeps them as Object too); Domain::Bool.parse still
+    // accepts them when the user explicitly casts.
+    if matches!(trimmed.to_ascii_lowercase().as_str(), "true" | "false") {
+        return Domain::Bool;
+    }
+    if trimmed.parse::<i64>().is_ok() {
+        return Domain::Int;
+    }
+    if trimmed.parse::<f64>().is_ok() {
+        return Domain::Float;
+    }
+    if crate::domain::parse_datetime_seconds(trimmed).is_some() {
+        return Domain::DateTime;
+    }
+    Domain::Str
+}
+
+/// Per-column schema slot implementing the paper's "lazily induced schema".
+///
+/// A slot is in one of three states: *declared* (the user or an upstream operator fixed
+/// the domain — no induction needed), *induced* (a previous scan computed and cached the
+/// domain), or *unknown* (induction will run on first demand). The slot also records how
+/// many times induction ran for it, which the §5.1 ablation reports.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SchemaSlot {
+    declared: Option<Domain>,
+    induced: Option<Domain>,
+    inductions: u64,
+}
+
+impl SchemaSlot {
+    /// A slot with no domain information; induction will run on demand.
+    pub fn unknown() -> Self {
+        SchemaSlot::default()
+    }
+
+    /// A slot whose domain was declared a priori (relational-style) or fixed by an
+    /// operator with a known output type (e.g. a MAP whose UDF always returns ints).
+    pub fn declared(domain: Domain) -> Self {
+        SchemaSlot {
+            declared: Some(domain),
+            induced: None,
+            inductions: 0,
+        }
+    }
+
+    /// The domain if it is already known (declared or previously induced), without
+    /// triggering an induction scan.
+    pub fn known(&self) -> Option<Domain> {
+        self.declared.or(self.induced)
+    }
+
+    /// True when resolving the domain would require running `S`.
+    pub fn needs_induction(&self) -> bool {
+        self.known().is_none()
+    }
+
+    /// Resolve the domain, running the provided induction thunk if necessary and
+    /// caching its result (paper §5.1.2: reuse of type information).
+    pub fn resolve_with(&mut self, induce: impl FnOnce() -> Domain) -> Domain {
+        if let Some(domain) = self.known() {
+            return domain;
+        }
+        let domain = induce();
+        self.induced = Some(domain);
+        self.inductions += 1;
+        domain
+    }
+
+    /// Forget any induced (but not declared) domain; used after operators that may have
+    /// changed the column's contents in a way the rewrite rules could not reason about.
+    pub fn invalidate(&mut self) {
+        self.induced = None;
+    }
+
+    /// Declare the domain, overriding any cached induction.
+    pub fn declare(&mut self, domain: Domain) {
+        self.declared = Some(domain);
+        self.induced = None;
+    }
+
+    /// Number of induction scans this slot has performed.
+    pub fn induction_count(&self) -> u64 {
+        self.inductions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::cell;
+
+    #[test]
+    fn induces_int_float_bool_columns() {
+        assert_eq!(induce_from_strings(["1", "2", "3"]), Domain::Int);
+        assert_eq!(induce_from_strings(["1", "2.5"]), Domain::Float);
+        assert_eq!(induce_from_strings(["true", "false", "true"]), Domain::Bool);
+        assert_eq!(induce_from_strings(["2020-01-01", "2020-02-01"]), Domain::DateTime);
+    }
+
+    #[test]
+    fn nulls_are_ignored_and_all_null_defaults_to_str() {
+        assert_eq!(induce_from_strings(["", "NA", "3"]), Domain::Int);
+        assert_eq!(induce_from_strings(["", "NA", "null"]), Domain::Str);
+    }
+
+    #[test]
+    fn mixed_numeric_and_text_widen_to_str() {
+        assert_eq!(induce_from_strings(["1", "abc"]), Domain::Str);
+        assert_eq!(induce_from_strings(["2.5", "2020-01-01"]), Domain::Str);
+    }
+
+    #[test]
+    fn repeated_small_vocabulary_becomes_category() {
+        let values: Vec<String> = (0..40)
+            .map(|i| if i % 2 == 0 { "SUV" } else { "sedan" }.to_string())
+            .collect();
+        let refs: Vec<&str> = values.iter().map(String::as_str).collect();
+        assert_eq!(induce_from_strings(refs), Domain::Category);
+    }
+
+    #[test]
+    fn large_vocabulary_stays_str() {
+        let values: Vec<String> = (0..200).map(|i| format!("value-{i}")).collect();
+        let refs: Vec<&str> = values.iter().map(String::as_str).collect();
+        assert_eq!(induce_from_strings(refs), Domain::Str);
+    }
+
+    #[test]
+    fn induce_domain_over_cells_widens() {
+        assert_eq!(induce_domain(&[cell(1), cell(2.5)]), Domain::Float);
+        assert_eq!(induce_domain(&[cell(true), cell(false)]), Domain::Bool);
+        assert_eq!(induce_domain(&[Cell::Null, Cell::Null]), Domain::Str);
+        assert_eq!(induce_domain(&[cell(1), cell("x")]), Domain::Str);
+    }
+
+    #[test]
+    fn schema_slot_declared_skips_induction() {
+        let mut slot = SchemaSlot::declared(Domain::Int);
+        assert!(!slot.needs_induction());
+        let domain = slot.resolve_with(|| panic!("induction must not run"));
+        assert_eq!(domain, Domain::Int);
+        assert_eq!(slot.induction_count(), 0);
+    }
+
+    #[test]
+    fn schema_slot_caches_induced_domain() {
+        let mut slot = SchemaSlot::unknown();
+        assert!(slot.needs_induction());
+        assert_eq!(slot.resolve_with(|| Domain::Float), Domain::Float);
+        // Second resolve must not run the thunk again.
+        assert_eq!(slot.resolve_with(|| panic!("cached")), Domain::Float);
+        assert_eq!(slot.induction_count(), 1);
+        slot.invalidate();
+        assert!(slot.needs_induction());
+    }
+
+    #[test]
+    fn schema_slot_declare_overrides_cache() {
+        let mut slot = SchemaSlot::unknown();
+        slot.resolve_with(|| Domain::Str);
+        slot.declare(Domain::Int);
+        assert_eq!(slot.known(), Some(Domain::Int));
+    }
+
+    #[test]
+    fn induction_counter_increments() {
+        reset_induction_scan_count();
+        let before = induction_scan_count();
+        induce_from_strings(["1", "2"]);
+        induce_domain(&[cell(1)]);
+        assert_eq!(induction_scan_count(), before + 2);
+    }
+}

@@ -1,0 +1,34 @@
+//! # df-types
+//!
+//! Foundational value types for the dataframe data model of *Towards Scalable
+//! Dataframe Systems* (Petersohn et al., VLDB 2020), §4.2.
+//!
+//! The paper defines a dataframe as a tuple `(A_mn, R_m, C_n, D_n)` whose entries come
+//! from a known set of domains `Dom = {Σ*, int, float, bool, category, …}`, each with a
+//! distinguished null value and a parsing function `p_i : Σ* → dom_i`, together with a
+//! *schema induction function* `S : (Σ*)^m → Dom` that assigns a domain to a column of
+//! raw strings after the fact. This crate provides exactly those building blocks:
+//!
+//! * [`cell::Cell`] — a single dataframe entry (data *or* label; the paper requires
+//!   labels to come from the same domain set as data).
+//! * [`domain::Domain`] — the domain set `Dom` and its parsing functions `p_i`.
+//! * [`infer`] — the schema induction function `S` and helpers for deferring / caching
+//!   induction (paper §5.1).
+//! * [`labels`] — ordered label vectors with positional and named lookup.
+//! * [`error`] — the shared error type used across the workspace.
+//!
+//! Everything here is engine-agnostic: the reference executor (`df-core`), the
+//! pandas-like baseline (`df-baseline`) and the scalable engine (`df-engine`) all share
+//! these definitions, which is what lets the benchmark harness compare them fairly.
+
+pub mod cell;
+pub mod domain;
+pub mod error;
+pub mod infer;
+pub mod labels;
+
+pub use cell::{cell, Cell};
+pub use domain::Domain;
+pub use error::{DfError, DfResult};
+pub use infer::{induce_domain, induce_from_strings, SchemaSlot};
+pub use labels::{LabelVec, Labels};

@@ -1,0 +1,149 @@
+//! Differential testing: the pandas-like baseline and the MODIN-like engine must agree
+//! with the reference executor cell-for-cell on randomly generated frames and
+//! pipelines. This is the workspace's core correctness argument: the scalable engine
+//! may partition, parallelise, defer and rewrite however it likes, but the visible
+//! semantics are pinned by `df-core::ops`.
+
+use proptest::prelude::*;
+
+use df_baseline::BaselineEngine;
+use df_core::algebra::{
+    AggFunc, Aggregation, AlgebraExpr, CmpOp, ColumnSelector, MapFunc, Predicate, SortSpec,
+    WindowFunc,
+};
+use df_core::engine::{Engine, ReferenceEngine};
+use df_engine::engine::{ModinConfig, ModinEngine};
+use df_types::cell::cell;
+use df_workloads::random::{random_frame, RandomFrameConfig};
+
+/// The pipelines exercised by the differential test, parameterised by a small integer.
+fn pipeline(choice: u8, base: AlgebraExpr) -> AlgebraExpr {
+    match choice % 8 {
+        0 => base.map(MapFunc::IsNullMask),
+        1 => base.select(Predicate::ColCmp {
+            column: cell("int_0"),
+            op: CmpOp::Gt,
+            value: cell(0),
+        }),
+        2 => base.group_by(
+            vec![cell("cat_0")],
+            vec![
+                Aggregation::count_rows(),
+                Aggregation::of("float_0", AggFunc::Sum).with_alias("sum"),
+                Aggregation::of("float_0", AggFunc::Mean).with_alias("mean"),
+            ],
+            false,
+        ),
+        3 => base.transpose().map(MapFunc::FillNull(cell(0))),
+        4 => base.sort(SortSpec::ascending(vec![cell("int_0"), cell("float_0")])),
+        5 => base
+            .clone()
+            .select(Predicate::NotNull { column: cell("int_0") })
+            .window(
+                ColumnSelector::ByLabels(vec![cell("int_0")]),
+                WindowFunc::CumSum,
+            ),
+        6 => base
+            .to_labels("cat_0")
+            .from_labels("cat_0_restored")
+            .drop_duplicates(),
+        _ => base.map(MapFunc::FillNull(cell(1))).limit(7, false),
+    }
+}
+
+fn engines() -> (BaselineEngine, ModinEngine, ModinEngine) {
+    (
+        BaselineEngine::new(),
+        ModinEngine::with_config(ModinConfig::sequential().with_partition_size(16, 3)),
+        ModinEngine::with_config(ModinConfig::default().with_threads(3).with_partition_size(16, 3)),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn engines_agree_on_random_pipelines(
+        rows in 0usize..120,
+        seed in 0u64..10_000,
+        null_fraction in 0.0f64..0.4,
+        choice in 0u8..8,
+    ) {
+        let frame = random_frame(&RandomFrameConfig {
+            rows,
+            int_cols: 2,
+            float_cols: 2,
+            category_cols: 1,
+            null_fraction,
+            seed,
+        })
+        .unwrap();
+        let expr = pipeline(choice, AlgebraExpr::literal(frame));
+        let reference = ReferenceEngine.execute(&expr).unwrap();
+        let (baseline, modin_seq, modin_par) = engines();
+        let baseline_result = baseline.execute(&expr).unwrap();
+        let modin_seq_result = modin_seq.execute(&expr).unwrap();
+        let modin_par_result = modin_par.execute(&expr).unwrap();
+        // Float aggregates may be re-associated across partitions, so the comparison
+        // allows a tiny relative tolerance on numeric cells.
+        prop_assert!(baseline_result.approx_same_data(&reference, 1e-9),
+            "baseline disagrees with reference for pipeline {choice}");
+        prop_assert!(modin_seq_result.approx_same_data(&reference, 1e-9),
+            "sequential modin disagrees with reference for pipeline {choice}");
+        prop_assert!(modin_par_result.approx_same_data(&reference, 1e-9),
+            "parallel modin disagrees with reference for pipeline {choice}");
+    }
+
+    #[test]
+    fn prefix_execution_agrees_with_full_execution(
+        rows in 1usize..150,
+        seed in 0u64..10_000,
+        k in 1usize..20,
+    ) {
+        let frame = random_frame(&RandomFrameConfig {
+            rows,
+            seed,
+            ..RandomFrameConfig::default()
+        })
+        .unwrap();
+        let expr = AlgebraExpr::literal(frame).map(MapFunc::IsNullMask);
+        let engine = ModinEngine::with_config(ModinConfig::sequential().with_partition_size(16, 3));
+        let full = engine.execute(&expr).unwrap();
+        let prefix = engine.execute_prefix(&expr, k).unwrap();
+        let suffix = engine.execute_suffix(&expr, k).unwrap();
+        prop_assert!(prefix.same_data(&full.head(k)));
+        prop_assert!(suffix.same_data(&full.tail(k)));
+    }
+}
+
+#[test]
+fn engines_agree_on_joins_and_unions() {
+    let left = random_frame(&RandomFrameConfig {
+        rows: 40,
+        seed: 1,
+        ..RandomFrameConfig::default()
+    })
+    .unwrap();
+    let right = random_frame(&RandomFrameConfig {
+        rows: 25,
+        seed: 2,
+        ..RandomFrameConfig::default()
+    })
+    .unwrap();
+    let (baseline, modin_seq, modin_par) = engines();
+    for expr in [
+        AlgebraExpr::literal(left.clone()).union(AlgebraExpr::literal(right.clone())),
+        AlgebraExpr::literal(left.clone()).difference(AlgebraExpr::literal(right.clone())),
+        AlgebraExpr::literal(left.clone()).join(
+            AlgebraExpr::literal(right.clone()),
+            df_core::algebra::JoinOn::Columns(vec![cell("cat_0")]),
+            df_core::algebra::JoinType::Inner,
+        ),
+        AlgebraExpr::literal(left.head(6)).cross(AlgebraExpr::literal(right.head(4))),
+    ] {
+        let reference = ReferenceEngine.execute(&expr).unwrap();
+        assert!(baseline.execute(&expr).unwrap().same_data(&reference));
+        assert!(modin_seq.execute(&expr).unwrap().same_data(&reference));
+        assert!(modin_par.execute(&expr).unwrap().same_data(&reference));
+    }
+}

@@ -1,0 +1,117 @@
+//! Integration test: the end-to-end Figure 1 workflow (R1, C1–C4, A1–A3) must run on
+//! every engine and produce identical results — the "unmodified pandas code runs on
+//! MODIN" requirement of paper §3.
+
+use std::sync::Arc;
+
+use df_core::algebra::JoinType;
+use df_core::dataframe::DataFrame;
+use df_pandas::{PandasFrame, Session};
+use df_types::cell::{cell, Cell};
+
+fn raw_products(session: &Arc<Session>) -> PandasFrame {
+    let df = DataFrame::from_rows(
+        vec!["iPhone 11", "iPhone 11 Pro", "iPhone SE"],
+        vec![
+            vec![cell("6.1-inch"), cell("5.8-inch"), cell("4.7-inch")],
+            vec![cell("12MP"), cell("120MP"), cell("7MP")],
+            vec![cell("Yes"), cell("Yes"), cell("No")],
+        ],
+    )
+    .unwrap()
+    .with_row_labels(vec!["Display", "Front Camera", "Wireless Charging"])
+    .unwrap();
+    PandasFrame::from_dataframe(session, df)
+}
+
+fn prices(session: &Arc<Session>) -> PandasFrame {
+    PandasFrame::from_rows(
+        session,
+        vec!["product", "price", "rating"],
+        vec![
+            vec![cell("iPhone 11"), cell(699.0), cell(4.6)],
+            vec![cell("iPhone 11 Pro"), cell(999.0), cell(4.8)],
+            vec![cell("iPhone SE"), cell(399.0), cell(4.5)],
+        ],
+    )
+    .unwrap()
+    .set_index("product")
+}
+
+fn run_workflow(session: &Arc<Session>) -> (DataFrame, DataFrame) {
+    // C1: fix the anomalous 120MP front camera.
+    let products = raw_products(session).iloc_set(1, 1, "12MP").unwrap();
+    // C2: transpose so products are rows.
+    let products = products.t();
+    // C3: Wireless Charging Yes/No -> 1/0.
+    let products = products
+        .map_column("Wireless Charging", "binary", |c| match c.as_str() {
+            Some("Yes") => cell(1),
+            Some("No") => cell(0),
+            _ => Cell::Null,
+        })
+        .unwrap();
+    // A1: one-hot encode the remaining categorical features.
+    let one_hot = products.get_dummies(&["Display", "Front Camera"]).unwrap();
+    // A2: join with prices on the row labels (product names).
+    let joined = prices(session).merge_index(&one_hot, JoinType::Inner);
+    // A3: covariance over the numeric frame.
+    let cov = joined.cov().unwrap();
+    (joined.collect().unwrap(), cov)
+}
+
+#[test]
+fn figure1_workflow_runs_identically_on_modin_and_baseline() {
+    let (modin_joined, modin_cov) = run_workflow(&Session::modin());
+    let (baseline_joined, baseline_cov) = run_workflow(&Session::baseline());
+    let (reference_joined, reference_cov) = run_workflow(&Session::reference());
+    assert!(modin_joined.same_data(&baseline_joined));
+    assert!(modin_joined.same_data(&reference_joined));
+    assert!(modin_cov.same_data(&baseline_cov));
+    assert!(modin_cov.same_data(&reference_cov));
+}
+
+#[test]
+fn figure1_workflow_produces_expected_values() {
+    let (joined, cov) = run_workflow(&Session::modin());
+    // 3 products x (price, rating, wireless, 3 display categories, 2 camera categories
+    // — the 120MP anomaly was fixed in C1, so only 12MP and 7MP remain).
+    assert_eq!(joined.shape(), (3, 8));
+    assert_eq!(joined.row_labels().as_slice()[0], cell("iPhone 11"));
+    // Wireless charging became 1/0.
+    let wireless_col = joined.col_position(&cell("Wireless Charging")).unwrap();
+    assert_eq!(joined.cell(0, wireless_col).unwrap(), &cell(1));
+    assert_eq!(joined.cell(2, wireless_col).unwrap(), &cell(0));
+    // The fixed point update survived the pipeline: no 120MP category exists.
+    assert!(joined.col_position(&cell("Front Camera_120MP")).is_err());
+    assert!(joined.col_position(&cell("Front Camera_12MP")).is_ok());
+    // The covariance matrix is square over the numeric columns and symmetric.
+    assert_eq!(cov.n_rows(), cov.n_cols());
+    for i in 0..cov.n_rows() {
+        for j in 0..cov.n_cols() {
+            let a = cov.cell(i, j).unwrap().as_f64();
+            let b = cov.cell(j, i).unwrap().as_f64();
+            match (a, b) {
+                (Some(a), Some(b)) => assert!((a - b).abs() < 1e-9),
+                (None, None) => {}
+                _ => panic!("asymmetric covariance at ({i}, {j})"),
+            }
+        }
+    }
+    // Price and rating move together in this toy data: positive covariance.
+    let price_rating = cov.cell(0, 1).unwrap().as_f64().unwrap();
+    assert!(price_rating > 0.0);
+}
+
+#[test]
+fn intermediate_inspection_matches_full_result_prefixes() {
+    // §6.1.2: the head() the analyst inspects must agree with the prefix of the full
+    // materialised result, even though the engine may compute it differently.
+    let session = Session::modin();
+    let products = raw_products(&session).t();
+    let head = products.head(2).unwrap();
+    let full = products.collect().unwrap();
+    assert!(head.same_data(&full.head(2)));
+    let tail = products.tail(1).unwrap();
+    assert!(tail.same_data(&full.tail(1)));
+}
