@@ -179,7 +179,7 @@ impl BaselineEngine {
             | AlgebraExpr::FromLabels { input, .. }
             | AlgebraExpr::Limit { input, .. } => {
                 let value = self.eval(input)?;
-                *input = Box::new(AlgebraExpr::literal(value));
+                **input = AlgebraExpr::literal(value);
             }
             AlgebraExpr::Union { left, right }
             | AlgebraExpr::Difference { left, right }
@@ -187,8 +187,8 @@ impl BaselineEngine {
             | AlgebraExpr::Join { left, right, .. } => {
                 let left_value = self.eval(left)?;
                 let right_value = self.eval(right)?;
-                *left = Box::new(AlgebraExpr::literal(left_value));
-                *right = Box::new(AlgebraExpr::literal(right_value));
+                **left = AlgebraExpr::literal(left_value);
+                **right = AlgebraExpr::literal(right_value);
             }
         }
         Ok(rewritten)
@@ -252,11 +252,8 @@ mod tests {
 
     #[test]
     fn eager_schema_induction_types_results() {
-        let raw = DataFrame::from_columns(
-            vec!["price"],
-            vec![vec![cell("10"), cell("20")]],
-        )
-        .unwrap();
+        let raw =
+            DataFrame::from_columns(vec!["price"], vec![vec![cell("10"), cell("20")]]).unwrap();
         let out = BaselineEngine::new()
             .execute(&AlgebraExpr::literal(raw))
             .unwrap();
@@ -267,11 +264,9 @@ mod tests {
 
     #[test]
     fn transpose_cap_models_pandas_failure() {
-        let big = DataFrame::from_columns(
-            vec!["v"],
-            vec![(0..100).map(|i| cell(i as i64)).collect()],
-        )
-        .unwrap();
+        let big =
+            DataFrame::from_columns(vec!["v"], vec![(0..100).map(|i| cell(i as i64)).collect()])
+                .unwrap();
         let engine = BaselineEngine::with_config(BaselineConfig {
             max_transpose_cells: Some(50),
             ..BaselineConfig::default()
@@ -293,11 +288,9 @@ mod tests {
             max_cells_in_memory: Some(10),
             ..BaselineConfig::default()
         });
-        let left = DataFrame::from_columns(
-            vec!["v"],
-            vec![(0..10).map(|i| cell(i as i64)).collect()],
-        )
-        .unwrap();
+        let left =
+            DataFrame::from_columns(vec!["v"], vec![(0..10).map(|i| cell(i as i64)).collect()])
+                .unwrap();
         let expr = AlgebraExpr::literal(left.clone()).cross(AlgebraExpr::literal(left));
         let err = engine.execute(&expr).unwrap_err();
         assert!(err.is_resource_exhausted());

@@ -17,7 +17,11 @@ use df_engine::session::{EvalMode, QuerySession};
 use df_types::cell::cell;
 use df_workloads::taxi::{generate_typed, TaxiConfig};
 
-fn scripted_session(mode: EvalMode, taxi: &df_core::dataframe::DataFrame, think_ms: u64) -> (f64, String) {
+fn scripted_session(
+    mode: EvalMode,
+    taxi: &df_core::dataframe::DataFrame,
+    think_ms: u64,
+) -> (f64, String) {
     let engine = std::sync::Arc::new(ModinEngine::with_config(
         ModinConfig::default().with_partition_size(8_192, 8),
     ));
@@ -64,8 +68,8 @@ fn scripted_session(mode: EvalMode, taxi: &df_core::dataframe::DataFrame, think_
 }
 
 fn main() {
-    let rows = df_bench::env_usize("DF_BENCH_SESSION_ROWS", 40_000);
-    let think_ms = df_bench::env_usize("DF_BENCH_THINK_MS", 150) as u64;
+    let rows = df_bench::env_usize("DF_BENCH_SESSION_ROWS", df_bench::smoke_scaled(40_000, 500));
+    let think_ms = df_bench::env_usize("DF_BENCH_THINK_MS", df_bench::smoke_scaled(150, 5)) as u64;
     let taxi = generate_typed(&TaxiConfig {
         base_rows: rows,
         ..TaxiConfig::default()

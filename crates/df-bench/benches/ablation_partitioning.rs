@@ -15,7 +15,10 @@ use df_types::cell::cell;
 use df_workloads::taxi::{generate_typed, TaxiConfig};
 
 fn main() {
-    let rows = df_bench::env_usize("DF_BENCH_ABLATION_ROWS", 30_000);
+    let rows = df_bench::env_usize(
+        "DF_BENCH_ABLATION_ROWS",
+        df_bench::smoke_scaled(30_000, 500),
+    );
     let taxi = generate_typed(&TaxiConfig {
         base_rows: rows,
         ..TaxiConfig::default()

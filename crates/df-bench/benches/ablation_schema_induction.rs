@@ -13,10 +13,10 @@
 //! The per-arm schema-induction scan counter (from `df-types`) is reported alongside
 //! wall-clock time.
 
+use df_baseline::{BaselineConfig, BaselineEngine};
 use df_bench::{render_table, time_once, BenchRecord};
 use df_core::algebra::{Aggregation, AlgebraExpr, MapFunc, Predicate};
 use df_core::engine::Engine;
-use df_baseline::{BaselineConfig, BaselineEngine};
 use df_engine::engine::{ModinConfig, ModinEngine};
 use df_types::cell::cell;
 use df_types::infer::{induction_scan_count, reset_induction_scan_count};
@@ -37,7 +37,7 @@ fn pipeline(taxi: &df_core::dataframe::DataFrame) -> AlgebraExpr {
 }
 
 fn main() {
-    let rows = df_bench::env_usize("DF_BENCH_SCHEMA_ROWS", 20_000);
+    let rows = df_bench::env_usize("DF_BENCH_SCHEMA_ROWS", df_bench::smoke_scaled(20_000, 500));
     let taxi = generate_raw(&TaxiConfig {
         base_rows: rows,
         ..TaxiConfig::default()

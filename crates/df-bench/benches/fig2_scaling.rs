@@ -12,7 +12,7 @@
 use df_bench::{env_usize, render_table, run_fig2, speedup_summary, Fig2Config};
 
 fn main() {
-    let max_replication = env_usize("DF_BENCH_MAX_REPLICATION", 8);
+    let max_replication = env_usize("DF_BENCH_MAX_REPLICATION", df_bench::smoke_scaled(8, 2));
     let replications: Vec<usize> = [1usize, 2, 4, 6, 8, 11]
         .into_iter()
         .filter(|&r| r <= max_replication)
@@ -26,7 +26,10 @@ fn main() {
         config.base_rows, config.replications, config.threads
     );
     let records = run_fig2(&config);
-    println!("{}", render_table("Figure 2: run times for Modin and Pandas", &records));
+    println!(
+        "{}",
+        render_table("Figure 2: run times for Modin and Pandas", &records)
+    );
     println!("== Figure 2: speedup (baseline / modin) ==");
     println!("{:<18} {:<10} {:>8}", "experiment", "parameter", "speedup");
     for (experiment, parameter, speedup) in speedup_summary(&records) {

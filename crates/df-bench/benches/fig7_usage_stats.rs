@@ -9,7 +9,7 @@ use df_bench::{render_table, time_once, BenchRecord};
 use df_workloads::notebooks::{analyze_corpus, generate_corpus, usage_dataframe, CorpusConfig};
 
 fn main() {
-    let notebooks = df_bench::env_usize("DF_BENCH_NOTEBOOKS", 2_000);
+    let notebooks = df_bench::env_usize("DF_BENCH_NOTEBOOKS", df_bench::smoke_scaled(2_000, 200));
     let mut records = Vec::new();
     for scale in [notebooks / 4, notebooks / 2, notebooks] {
         let config = CorpusConfig {
@@ -35,5 +35,8 @@ fn main() {
             println!("{}", table.head(15).display_with(15));
         }
     }
-    println!("{}", render_table("Figure 7: corpus analysis cost", &records));
+    println!(
+        "{}",
+        render_table("Figure 7: corpus analysis cost", &records)
+    );
 }

@@ -13,7 +13,7 @@ use df_pandas::{PandasFrame, Session};
 use df_workloads::sales::{generate_sales, SalesConfig};
 
 fn main() {
-    let years = df_bench::env_usize("DF_BENCH_PIVOT_YEARS", 200);
+    let years = df_bench::env_usize("DF_BENCH_PIVOT_YEARS", df_bench::smoke_scaled(200, 20));
     let months = 12;
     let sales = generate_sales(&SalesConfig {
         years,
@@ -30,7 +30,12 @@ fn main() {
     // rows. Plan (a) groups directly by Year; plan (b) groups by Month (far fewer
     // groups) and transposes the small result.
     for (label, index, columns, plan) in [
-        ("group by Year, direct (fig 8a)", "Year", "Month", PivotPlan::Direct),
+        (
+            "group by Year, direct (fig 8a)",
+            "Year",
+            "Month",
+            PivotPlan::Direct,
+        ),
         (
             "group by Month + transpose (fig 8b)",
             "Year",
@@ -58,7 +63,10 @@ fn main() {
         results[0].same_data(&results[1]),
         "both Figure 8 plans must produce the same pivoted table"
     );
-    println!("{}", render_table("Figure 8: alternative pivot plans", &records));
+    println!(
+        "{}",
+        render_table("Figure 8: alternative pivot plans", &records)
+    );
     let chosen = choose_pivot_plan(years, months);
     println!(
         "cost-based chooser: grouping directly needs {years} distinct Year groups, the other \

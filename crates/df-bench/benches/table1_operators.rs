@@ -8,8 +8,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use df_core::algebra::{
-    AggFunc, Aggregation, AlgebraExpr, CmpOp, ColumnSelector, JoinOn, JoinType, MapFunc,
-    Predicate, SortSpec, WindowFunc,
+    AggFunc, Aggregation, AlgebraExpr, CmpOp, ColumnSelector, JoinOn, JoinType, MapFunc, Predicate,
+    SortSpec, WindowFunc,
 };
 use df_core::engine::Engine;
 use df_engine::engine::{ModinConfig, ModinEngine};
@@ -36,14 +36,19 @@ fn operator_expressions() -> Vec<(&'static str, AlgebraExpr)> {
         ),
         (
             "PROJECTION",
-            base.clone()
-                .project(ColumnSelector::ByLabels(vec![cell("vendor_id"), cell("fare_amount")])),
+            base.clone().project(ColumnSelector::ByLabels(vec![
+                cell("vendor_id"),
+                cell("fare_amount"),
+            ])),
         ),
         ("UNION", base.clone().union(small_base.clone())),
         ("DIFFERENCE", base.clone().difference(small_base.clone())),
         (
             "CROSS_PRODUCT",
-            small_base.clone().limit(40, false).cross(small_base.clone().limit(40, false)),
+            small_base
+                .clone()
+                .limit(40, false)
+                .cross(small_base.clone().limit(40, false)),
         ),
         (
             "JOIN",
@@ -67,11 +72,13 @@ fn operator_expressions() -> Vec<(&'static str, AlgebraExpr)> {
         ),
         (
             "SORT",
-            base.clone().sort(SortSpec::ascending(vec![cell("fare_amount")])),
+            base.clone()
+                .sort(SortSpec::ascending(vec![cell("fare_amount")])),
         ),
         (
             "RENAME",
-            base.clone().rename(vec![(cell("vendor_id"), cell("vendor"))]),
+            base.clone()
+                .rename(vec![(cell("vendor_id"), cell("vendor"))]),
         ),
         (
             "WINDOW",
@@ -125,7 +132,11 @@ fn bench_operators(c: &mut Criterion) {
         .measurement_time(std::time::Duration::from_millis(800));
     for (name, expr) in operator_expressions() {
         group.bench_function(name, |b| {
-            b.iter(|| engine.execute(std::hint::black_box(&expr)).expect("operator executes"))
+            b.iter(|| {
+                engine
+                    .execute(std::hint::black_box(&expr))
+                    .expect("operator executes")
+            })
         });
     }
     group.finish();

@@ -5,11 +5,11 @@
 //! one-to-one rewrite empirically: the pandas-style method and the hand-built algebra
 //! expression are executed on both engines and compared cell-for-cell, with timings.
 
+use df_baseline::BaselineEngine;
 use df_bench::{render_table, time_once, BenchRecord};
 use df_core::algebra::{AlgebraExpr, MapFunc};
 use df_core::dataframe::DataFrame;
 use df_core::engine::Engine;
-use df_baseline::BaselineEngine;
 use df_engine::engine::ModinEngine;
 use df_pandas::{extended_rewrites, render_catalogue, table2_rewrites, PandasFrame, Session};
 use df_types::cell::Cell;
@@ -39,7 +39,9 @@ fn algebra_side(base: &AlgebraExpr, op: &str, engine: &dyn Engine) -> DataFrame 
         "reset_index" => base.clone().from_labels("row_id"),
         other => panic!("unknown table-2 operator {other}"),
     };
-    engine.execute(&expr).expect("algebra-side rewrite executes")
+    engine
+        .execute(&expr)
+        .expect("algebra-side rewrite executes")
 }
 
 fn main() {
@@ -51,7 +53,7 @@ fn main() {
     println!();
 
     let taxi = generate_typed(&TaxiConfig {
-        base_rows: df_bench::env_usize("DF_BENCH_TABLE2_ROWS", 4_000),
+        base_rows: df_bench::env_usize("DF_BENCH_TABLE2_ROWS", df_bench::smoke_scaled(4_000, 300)),
         ..TaxiConfig::default()
     })
     .expect("workload generation");
@@ -94,7 +96,9 @@ fn main() {
         render_table("Table 2: rewrite equivalence and cost per engine", &records)
     );
     assert!(
-        records.iter().all(|r| r.note.contains("equivalent_to_api=true")),
+        records
+            .iter()
+            .all(|r| r.note.contains("equivalent_to_api=true")),
         "every Table 2 rewrite must be equivalent to the pandas-style API result"
     );
 }

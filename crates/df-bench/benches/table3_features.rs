@@ -5,8 +5,8 @@
 //! pandas-like baseline, the reference executor, and a deliberately restricted
 //! "relational-like" capability set standing in for Spark/Dask-style systems.
 
-use df_core::engine::{Capabilities, Engine};
 use df_baseline::BaselineEngine;
+use df_core::engine::{Capabilities, Engine};
 use df_engine::engine::ModinEngine;
 
 fn main() {

@@ -81,6 +81,23 @@ pub fn env_usize(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// True when the bench target was invoked in Criterion-style test mode
+/// (`cargo bench -- --test`): compile-and-run-check the target, don't measure.
+pub fn smoke_test_mode() -> bool {
+    std::env::args().any(|arg| arg == "--test")
+}
+
+/// Pick `full` for a real measurement run and `smoke` under `cargo bench -- --test`,
+/// so CI run-checks every bench target in seconds. Env overrides still win because
+/// the result feeds [`env_usize`]'s default.
+pub fn smoke_scaled(full: usize, smoke: usize) -> usize {
+    if smoke_test_mode() {
+        smoke
+    } else {
+        full
+    }
+}
+
 /// The four queries of Figure 2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Fig2Query {
@@ -153,7 +170,7 @@ pub struct Fig2Config {
 
 impl Default for Fig2Config {
     fn default() -> Self {
-        let base_rows = env_usize("DF_BENCH_BASE_ROWS", 6_000);
+        let base_rows = env_usize("DF_BENCH_BASE_ROWS", smoke_scaled(6_000, 300));
         Fig2Config {
             base_rows,
             replications: vec![1, 2, 4, 6, 8],

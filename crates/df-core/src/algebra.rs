@@ -76,9 +76,7 @@ impl ColumnSelector {
                 }
                 Ok(positions.clone())
             }
-            ColumnSelector::ByLabels(labels) => {
-                labels.iter().map(|l| df.col_position(l)).collect()
-            }
+            ColumnSelector::ByLabels(labels) => labels.iter().map(|l| df.col_position(l)).collect(),
             ColumnSelector::Numeric => Ok((0..df.n_cols())
                 .filter(|&j| df.columns()[j].peek_domain().is_numeric())
                 .collect()),
@@ -177,23 +175,19 @@ pub enum Predicate {
 
 impl Predicate {
     /// Evaluate the predicate for the row at `position`.
-    pub fn matches(&self, df: &DataFrame, position: usize, row: RowView<'_>) -> bool {
+    pub fn matches(&self, position: usize, row: RowView<'_>) -> bool {
         match self {
             Predicate::True => true,
             Predicate::ColCmp { column, op, value } => row
                 .get(column)
                 .map(|cell| op.eval(cell, value))
                 .unwrap_or(false),
-            Predicate::IsNull { column } => {
-                row.get(column).map(Cell::is_null).unwrap_or(false)
-            }
-            Predicate::NotNull { column } => {
-                row.get(column).map(|c| !c.is_null()).unwrap_or(false)
-            }
+            Predicate::IsNull { column } => row.get(column).map(Cell::is_null).unwrap_or(false),
+            Predicate::NotNull { column } => row.get(column).map(|c| !c.is_null()).unwrap_or(false),
             Predicate::PositionRange { start, end } => position >= *start && position < *end,
-            Predicate::Not(inner) => !inner.matches(df, position, row),
-            Predicate::And(a, b) => a.matches(df, position, row) && b.matches(df, position, row),
-            Predicate::Or(a, b) => a.matches(df, position, row) || b.matches(df, position, row),
+            Predicate::Not(inner) => !inner.matches(position, row),
+            Predicate::And(a, b) => a.matches(position, row) && b.matches(position, row),
+            Predicate::Or(a, b) => a.matches(position, row) || b.matches(position, row),
             Predicate::Custom { func, .. } => func(row),
         }
     }
@@ -315,7 +309,9 @@ impl MapFunc {
     pub fn preserves_arity(&self) -> bool {
         !matches!(
             self,
-            MapFunc::OneHot { .. } | MapFunc::PivotFlatten { .. } | MapFunc::Custom { .. }
+            MapFunc::OneHot { .. }
+                | MapFunc::PivotFlatten { .. }
+                | MapFunc::Custom { .. }
                 | MapFunc::ProjectValues(_)
         )
     }
@@ -714,12 +710,7 @@ impl AlgebraExpr {
 
     /// Depth of the expression tree.
     pub fn depth(&self) -> usize {
-        1 + self
-            .children()
-            .iter()
-            .map(|c| c.depth())
-            .max()
-            .unwrap_or(0)
+        1 + self.children().iter().map(|c| c.depth()).max().unwrap_or(0)
     }
 
     /// Count how many TRANSPOSE nodes occur in the tree — the optimizer reports this
@@ -760,9 +751,7 @@ impl AlgebraExpr {
                 out.push(')');
             }
             AlgebraExpr::Union { left, right } => binary_fingerprint(out, "union", left, right),
-            AlgebraExpr::Difference { left, right } => {
-                binary_fingerprint(out, "diff", left, right)
-            }
+            AlgebraExpr::Difference { left, right } => binary_fingerprint(out, "diff", left, right),
             AlgebraExpr::CrossProduct { left, right } => {
                 binary_fingerprint(out, "cross", left, right)
             }
@@ -1002,19 +991,27 @@ mod tests {
         let df = frame();
         assert_eq!(ColumnSelector::All.resolve(&df).unwrap(), vec![0, 1]);
         assert_eq!(
-            ColumnSelector::ByLabels(vec![cell("b")]).resolve(&df).unwrap(),
+            ColumnSelector::ByLabels(vec![cell("b")])
+                .resolve(&df)
+                .unwrap(),
             vec![1]
         );
         assert_eq!(
-            ColumnSelector::ByPositions(vec![1, 0]).resolve(&df).unwrap(),
+            ColumnSelector::ByPositions(vec![1, 0])
+                .resolve(&df)
+                .unwrap(),
             vec![1, 0]
         );
         assert_eq!(ColumnSelector::Numeric.resolve(&df).unwrap(), vec![0]);
         assert_eq!(
-            ColumnSelector::Excluding(vec![cell("a")]).resolve(&df).unwrap(),
+            ColumnSelector::Excluding(vec![cell("a")])
+                .resolve(&df)
+                .unwrap(),
             vec![1]
         );
-        assert!(ColumnSelector::ByLabels(vec![cell("z")]).resolve(&df).is_err());
+        assert!(ColumnSelector::ByLabels(vec![cell("z")])
+            .resolve(&df)
+            .is_err());
         assert!(ColumnSelector::ByPositions(vec![9]).resolve(&df).is_err());
     }
 
@@ -1040,27 +1037,32 @@ mod tests {
             op: CmpOp::Gt,
             value: cell(0),
         };
-        assert!(pred.matches(&df, 0, row));
+        assert!(pred.matches(0, row));
         assert!(!pred.is_position_only());
         let positional = Predicate::And(
             Box::new(Predicate::PositionRange { start: 0, end: 5 }),
             Box::new(Predicate::True),
         );
         assert!(positional.is_position_only());
-        assert!(positional.matches(&df, 3, row));
+        assert!(positional.matches(3, row));
         let negated = Predicate::Not(Box::new(Predicate::IsNull { column: cell("a") }));
-        assert!(negated.matches(&df, 0, row));
+        assert!(negated.matches(0, row));
         let custom = Predicate::Custom {
             name: "has_x".into(),
-            func: Arc::new(|r: RowView<'_>| r.get(&cell("b")).map(|c| c == &cell("x")).unwrap_or(false)),
+            func: Arc::new(|r: RowView<'_>| {
+                r.get(&cell("b")).map(|c| c == &cell("x")).unwrap_or(false)
+            }),
         };
-        assert!(custom.matches(&df, 0, row));
+        assert!(custom.matches(0, row));
         assert!(format!("{custom:?}").contains("has_x"));
     }
 
     #[test]
     fn map_func_static_domains_and_arity() {
-        assert_eq!(MapFunc::IsNullMask.static_output_domain(), Some(Domain::Bool));
+        assert_eq!(
+            MapFunc::IsNullMask.static_output_domain(),
+            Some(Domain::Bool)
+        );
         assert_eq!(MapFunc::StrUpper.static_output_domain(), None);
         assert!(MapFunc::FillNull(Cell::Null).preserves_arity());
         assert!(!MapFunc::OneHot {
@@ -1111,7 +1113,9 @@ mod tests {
         assert_eq!(expr.depth(), 6);
         assert_eq!(expr.transpose_count(), 1);
         assert_eq!(expr.name(), "LIMIT");
-        let join = base.clone().join(base.clone(), JoinOn::RowLabels, JoinType::Inner);
+        let join = base
+            .clone()
+            .join(base.clone(), JoinOn::RowLabels, JoinType::Inner);
         assert_eq!(join.children().len(), 2);
         assert_eq!(join.name(), "JOIN");
     }

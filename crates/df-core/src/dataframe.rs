@@ -122,9 +122,7 @@ impl Column {
             // text such as "42" is recognised; typed columns widen their natural
             // domains.
             if cells.iter().any(|c| matches!(c, Cell::Str(_)))
-                && cells
-                    .iter()
-                    .all(|c| matches!(c, Cell::Str(_) | Cell::Null))
+                && cells.iter().all(|c| matches!(c, Cell::Str(_) | Cell::Null))
             {
                 induce_from_strings(cells.iter().filter_map(|c| c.as_str()))
             } else {
@@ -200,10 +198,7 @@ impl DataFrame {
 
     /// Build a dataframe from column labels and per-column cell vectors. Row labels
     /// default to positional ranks.
-    pub fn from_columns(
-        col_labels: impl Into<Labels>,
-        columns: Vec<Vec<Cell>>,
-    ) -> DfResult<Self> {
+    pub fn from_columns(col_labels: impl Into<Labels>, columns: Vec<Vec<Cell>>) -> DfResult<Self> {
         let col_labels = col_labels.into();
         if col_labels.len() != columns.len() {
             return Err(DfError::shape(
@@ -386,22 +381,13 @@ impl DataFrame {
                 len: self.n_rows(),
             });
         }
-        Ok(self
-            .columns
-            .iter()
-            .map(|c| c.cells()[i].clone())
-            .collect())
+        Ok(self.columns.iter().map(|c| c.cells()[i].clone()).collect())
     }
 
     /// Iterate rows as owned vectors (reference-executor convenience; engines avoid
     /// this when they can stay columnar).
     pub fn iter_rows(&self) -> impl Iterator<Item = Vec<Cell>> + '_ {
-        (0..self.n_rows()).map(move |i| {
-            self.columns
-                .iter()
-                .map(|c| c.cells()[i].clone())
-                .collect()
-        })
+        (0..self.n_rows()).map(move |i| self.columns.iter().map(|c| c.cells()[i].clone()).collect())
     }
 
     /// The current schema `D_n`, with `None` for entries not yet declared or induced.
@@ -411,12 +397,18 @@ impl DataFrame {
 
     /// Resolve (inducing and caching where necessary) the schema of every column.
     pub fn resolve_schema(&mut self) -> Vec<Domain> {
-        self.columns.iter_mut().map(Column::resolve_domain).collect()
+        self.columns
+            .iter_mut()
+            .map(Column::resolve_domain)
+            .collect()
     }
 
     /// Resolve the schema and parse all raw string cells into their domains.
     pub fn parse_all(&mut self) -> Vec<Domain> {
-        self.columns.iter_mut().map(Column::parse_in_place).collect()
+        self.columns
+            .iter_mut()
+            .map(Column::parse_in_place)
+            .collect()
     }
 
     /// Declare the full schema a priori (relational style). Lengths must match.
@@ -541,7 +533,7 @@ impl DataFrame {
 
     /// Append a column at the end of the frame.
     pub fn push_column(&mut self, label: Cell, column: Column) -> DfResult<()> {
-        if column.len() != self.n_rows() && !(self.n_cols() == 0) {
+        if column.len() != self.n_rows() && self.n_cols() != 0 {
             return Err(DfError::shape(
                 format!("a column of length {}", self.n_rows()),
                 format!("length {}", column.len()),
@@ -602,15 +594,12 @@ impl DataFrame {
                 _ => a == b,
             }
         }
-        self.columns
-            .iter()
-            .zip(other.columns.iter())
-            .all(|(a, b)| {
-                a.cells()
-                    .iter()
-                    .zip(b.cells())
-                    .all(|(x, y)| cell_close(x, y, rel_tol))
-            })
+        self.columns.iter().zip(other.columns.iter()).all(|(a, b)| {
+            a.cells()
+                .iter()
+                .zip(b.cells())
+                .all(|(x, y)| cell_close(x, y, rel_tol))
+        })
     }
 
     /// Render the paper's tabular view: the first and last `peek` rows with labels,
@@ -635,7 +624,11 @@ impl DataFrame {
         out.push_str(&schema_line.join("\t"));
         out.push('\n');
         let write_row = |i: usize, out: &mut String| {
-            let mut parts = vec![self.row_labels.get(i).map(Cell::to_string).unwrap_or_default()];
+            let mut parts = vec![self
+                .row_labels
+                .get(i)
+                .map(Cell::to_string)
+                .unwrap_or_default()];
             for column in &self.columns {
                 parts.push(column.cells()[i].to_string());
             }
@@ -836,11 +829,9 @@ mod tests {
 
     #[test]
     fn display_shows_prefix_and_suffix() {
-        let df = DataFrame::from_columns(
-            vec!["v"],
-            vec![(0..20).map(|i| cell(i as i64)).collect()],
-        )
-        .unwrap();
+        let df =
+            DataFrame::from_columns(vec!["v"], vec![(0..20).map(|i| cell(i as i64)).collect()])
+                .unwrap();
         let view = df.display_with(2);
         assert!(view.contains("shape: 20 x 1"));
         assert!(view.contains("...\n"));
@@ -862,8 +853,8 @@ mod tests {
 
     #[test]
     fn approx_same_data_tolerates_float_reassociation() {
-        let a = DataFrame::from_rows(vec!["v"], vec![vec![cell(0.1 + 0.2)], vec![cell(1.0)]])
-            .unwrap();
+        let a =
+            DataFrame::from_rows(vec!["v"], vec![vec![cell(0.1 + 0.2)], vec![cell(1.0)]]).unwrap();
         let b = DataFrame::from_rows(vec!["v"], vec![vec![cell(0.3)], vec![cell(1.0)]]).unwrap();
         assert!(!a.same_data(&b));
         assert!(a.approx_same_data(&b, 1e-12));

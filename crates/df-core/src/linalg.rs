@@ -57,11 +57,7 @@ pub fn covariance(df: &DataFrame) -> DfResult<DataFrame> {
         .into_iter()
         .map(|cells| Column::with_domain(cells, Domain::Float))
         .collect();
-    DataFrame::from_parts(
-        columns,
-        Labels::new(labels.clone()),
-        Labels::new(labels),
-    )
+    DataFrame::from_parts(columns, Labels::new(labels.clone()), Labels::new(labels))
 }
 
 /// Pearson correlation matrix of the numeric columns (pandas `DataFrame.corr`).
@@ -220,11 +216,7 @@ mod tests {
             vec![vec![cell(1.0), cell(2.0)], vec![cell(3.0), cell(4.0)]],
         )
         .unwrap();
-        let b = DataFrame::from_rows(
-            vec!["d1"],
-            vec![vec![cell(5.0)], vec![cell(6.0)]],
-        )
-        .unwrap();
+        let b = DataFrame::from_rows(vec!["d1"], vec![vec![cell(5.0)], vec![cell(6.0)]]).unwrap();
         let product = matmul(&a, &b).unwrap();
         assert_eq!(product.shape(), (2, 1));
         assert_eq!(product.cell(0, 0).unwrap(), &cell(17.0));

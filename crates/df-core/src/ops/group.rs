@@ -77,7 +77,7 @@ pub fn group_by(
             columns.push(Column::new(cells.clone()));
         }
     }
-    for (agg, cells) in aggs.iter().zip(agg_columns.into_iter()) {
+    for (agg, cells) in aggs.iter().zip(agg_columns) {
         labels.push(agg.output_label());
         columns.push(Column::new(cells));
     }

@@ -135,10 +135,7 @@ mod tests {
         )
         .unwrap();
         let mut round_trip = transpose(&transpose(&df).unwrap()).unwrap();
-        assert_eq!(
-            round_trip.resolve_schema(),
-            vec![Domain::Int, Domain::Str]
-        );
+        assert_eq!(round_trip.resolve_schema(), vec![Domain::Int, Domain::Str]);
     }
 
     #[test]
@@ -182,11 +179,9 @@ mod tests {
 
     #[test]
     fn limit_takes_prefix_or_suffix() {
-        let df = DataFrame::from_columns(
-            vec!["v"],
-            vec![(0..10).map(|i| cell(i as i64)).collect()],
-        )
-        .unwrap();
+        let df =
+            DataFrame::from_columns(vec!["v"], vec![(0..10).map(|i| cell(i as i64)).collect()])
+                .unwrap();
         assert_eq!(limit(&df, 3, false).cell(2, 0).unwrap(), &cell(2));
         assert_eq!(limit(&df, 3, true).cell(0, 0).unwrap(), &cell(7));
         assert_eq!(limit(&df, 99, false).shape(), (10, 1));

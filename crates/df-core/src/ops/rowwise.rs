@@ -25,7 +25,7 @@ pub fn selection(df: &DataFrame, predicate: &Predicate) -> DfResult<DataFrame> {
             row_label: df.row_labels().get(i).unwrap_or(&Cell::Null),
             cells: &row,
         };
-        if predicate.matches(df, i, view) {
+        if predicate.matches(i, view) {
             keep.push(i);
         }
     }
@@ -53,7 +53,11 @@ pub fn rename(df: &DataFrame, mapping: &[(Cell, Cell)]) -> DfResult<DataFrame> {
 /// materialise row views.
 pub fn map(df: &DataFrame, func: &MapFunc) -> DfResult<DataFrame> {
     match func {
-        MapFunc::IsNullMask => Ok(cellwise(df, |c| Cell::Bool(c.is_null()), Some(Domain::Bool))),
+        MapFunc::IsNullMask => Ok(cellwise(
+            df,
+            |c| Cell::Bool(c.is_null()),
+            Some(Domain::Bool),
+        )),
         MapFunc::FillNull(value) => Ok(cellwise(
             df,
             |c| {
@@ -185,8 +189,7 @@ fn one_hot(df: &DataFrame, column: &Cell, categories: &[Cell]) -> DfResult<DataF
             for category in categories {
                 let cells: Vec<Cell> = (0..n_rows)
                     .map(|i| {
-                        let matches =
-                            col.cells()[i].group_key() == category.group_key();
+                        let matches = col.cells()[i].group_key() == category.group_key();
                         Cell::Int(i64::from(matches))
                     })
                     .collect();
@@ -326,9 +329,21 @@ mod tests {
     #[test]
     fn selection_null_predicates() {
         let df = products();
-        let nulls = selection(&df, &Predicate::IsNull { column: cell("price") }).unwrap();
+        let nulls = selection(
+            &df,
+            &Predicate::IsNull {
+                column: cell("price"),
+            },
+        )
+        .unwrap();
         assert_eq!(nulls.shape(), (1, 3));
-        let non_null = selection(&df, &Predicate::NotNull { column: cell("price") }).unwrap();
+        let non_null = selection(
+            &df,
+            &Predicate::NotNull {
+                column: cell("price"),
+            },
+        )
+        .unwrap();
         assert_eq!(non_null.shape(), (2, 3));
     }
 
@@ -395,11 +410,8 @@ mod tests {
 
     #[test]
     fn map_parse_raw_types_string_columns() {
-        let df = DataFrame::from_columns(
-            vec!["price"],
-            vec![vec![cell("10"), cell("20")]],
-        )
-        .unwrap();
+        let df =
+            DataFrame::from_columns(vec!["price"], vec![vec![cell("10"), cell("20")]]).unwrap();
         let out = map(&df, &MapFunc::ParseRaw).unwrap();
         assert_eq!(out.cell(0, 0).unwrap(), &cell(10));
     }
@@ -514,10 +526,7 @@ mod tests {
                     Cell::List(vec![cell("Jan"), cell("Feb")]),
                     Cell::List(vec![cell(100), cell(110)]),
                 ],
-                vec![
-                    Cell::List(vec![cell("Jan")]),
-                    Cell::List(vec![cell(300)]),
-                ],
+                vec![Cell::List(vec![cell("Jan")]), Cell::List(vec![cell(300)])],
             ],
         )
         .unwrap();

@@ -53,9 +53,8 @@ pub fn difference(left: &DataFrame, right: &DataFrame) -> DfResult<DataFrame> {
             format!("{} columns", right.n_cols()),
         ));
     }
-    let right_rows: HashSet<Vec<CellKey>> = (0..right.n_rows())
-        .map(|i| row_key(right, i))
-        .collect();
+    let right_rows: HashSet<Vec<CellKey>> =
+        (0..right.n_rows()).map(|i| row_key(right, i)).collect();
     let keep: Vec<usize> = (0..left.n_rows())
         .filter(|&i| !right_rows.contains(&row_key(left, i)))
         .collect();
@@ -214,7 +213,10 @@ fn join_on_columns(
             for &j in &right_value_positions {
                 cells.push(right.columns()[j].cells()[rp].clone());
             }
-            rows.push((right.row_labels().get(rp).cloned().unwrap_or(Cell::Null), cells));
+            rows.push((
+                right.row_labels().get(rp).cloned().unwrap_or(Cell::Null),
+                cells,
+            ));
         }
     }
     let right_value_labels = Labels::new(
@@ -278,7 +280,9 @@ mod tests {
         assert!(union(&left, &DataFrame::from_rows(vec!["x"], vec![]).unwrap()).is_err());
         // Union with an empty frame returns the other side.
         assert!(union(&left, &DataFrame::empty()).unwrap().same_data(&left));
-        assert!(union(&DataFrame::empty(), &right).unwrap().same_data(&right));
+        assert!(union(&DataFrame::empty(), &right)
+            .unwrap()
+            .same_data(&right));
     }
 
     #[test]
@@ -321,7 +325,13 @@ mod tests {
             vec![vec![cell(2), cell(20)], vec![cell(3), cell(30)]],
         )
         .unwrap();
-        let out = join(&left, &right, &JoinOn::Columns(vec![cell("id")]), JoinType::Inner).unwrap();
+        let out = join(
+            &left,
+            &right,
+            &JoinOn::Columns(vec![cell("id")]),
+            JoinType::Inner,
+        )
+        .unwrap();
         assert_eq!(out.shape(), (1, 3));
         assert_eq!(
             out.col_labels().as_slice(),
@@ -342,12 +352,22 @@ mod tests {
             vec![vec![cell(2), cell(20)], vec![cell(3), cell(30)]],
         )
         .unwrap();
-        let left_join =
-            join(&left, &right, &JoinOn::Columns(vec![cell("id")]), JoinType::Left).unwrap();
+        let left_join = join(
+            &left,
+            &right,
+            &JoinOn::Columns(vec![cell("id")]),
+            JoinType::Left,
+        )
+        .unwrap();
         assert_eq!(left_join.shape(), (2, 3));
         assert_eq!(left_join.cell(0, 2).unwrap(), &Cell::Null);
-        let outer =
-            join(&left, &right, &JoinOn::Columns(vec![cell("id")]), JoinType::Outer).unwrap();
+        let outer = join(
+            &left,
+            &right,
+            &JoinOn::Columns(vec![cell("id")]),
+            JoinType::Outer,
+        )
+        .unwrap();
         assert_eq!(outer.shape(), (3, 3));
         assert_eq!(outer.cell(2, 0).unwrap(), &cell(3));
         assert_eq!(outer.cell(2, 1).unwrap(), &Cell::Null);
@@ -375,6 +395,12 @@ mod tests {
     fn join_on_missing_key_errors() {
         let left = frame(vec![vec![cell(1), cell("a")]]);
         let right = frame(vec![vec![cell(1), cell("b")]]);
-        assert!(join(&left, &right, &JoinOn::Columns(vec![cell("zz")]), JoinType::Inner).is_err());
+        assert!(join(
+            &left,
+            &right,
+            &JoinOn::Columns(vec![cell("zz")]),
+            JoinType::Inner
+        )
+        .is_err());
     }
 }

@@ -145,15 +145,29 @@ mod tests {
     #[test]
     fn rolling_mean_and_sum_need_full_windows() {
         let df = series(vec![cell(2), cell(4), cell(6), Cell::Null, cell(8)]);
-        let mean = window(&df, &ColumnSelector::All, &WindowFunc::RollingMean { size: 2 }).unwrap();
+        let mean = window(
+            &df,
+            &ColumnSelector::All,
+            &WindowFunc::RollingMean { size: 2 },
+        )
+        .unwrap();
         assert_eq!(
             col(&mean),
             vec![Cell::Null, cell(3.0), cell(5.0), Cell::Null, Cell::Null]
         );
-        let sum = window(&df, &ColumnSelector::All, &WindowFunc::RollingSum { size: 2 }).unwrap();
+        let sum = window(
+            &df,
+            &ColumnSelector::All,
+            &WindowFunc::RollingSum { size: 2 },
+        )
+        .unwrap();
         assert_eq!(col(&sum)[1], cell(6.0));
-        let degenerate =
-            window(&df, &ColumnSelector::All, &WindowFunc::RollingSum { size: 0 }).unwrap();
+        let degenerate = window(
+            &df,
+            &ColumnSelector::All,
+            &WindowFunc::RollingSum { size: 0 },
+        )
+        .unwrap();
         assert_eq!(col(&degenerate), vec![Cell::Null; 5]);
     }
 

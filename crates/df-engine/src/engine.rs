@@ -180,11 +180,7 @@ impl ModinEngine {
             other => {
                 let rewritten = self.assemble_children(other)?;
                 let result = ops::execute_reference(&rewritten)?;
-                PartitionGrid::from_dataframe(
-                    &result,
-                    self.config.scheme,
-                    self.config.partitioning,
-                )
+                PartitionGrid::from_dataframe(&result, self.config.scheme, self.config.partitioning)
             }
         }
     }
@@ -207,7 +203,7 @@ impl ModinEngine {
             | AlgebraExpr::FromLabels { input, .. }
             | AlgebraExpr::Limit { input, .. } => {
                 let value = self.eval(input)?.assemble()?;
-                *input = Box::new(AlgebraExpr::literal(value));
+                **input = AlgebraExpr::literal(value);
             }
             AlgebraExpr::Union { left, right }
             | AlgebraExpr::Difference { left, right }
@@ -215,8 +211,8 @@ impl ModinEngine {
             | AlgebraExpr::Join { left, right, .. } => {
                 let left_value = self.eval(left)?.assemble()?;
                 let right_value = self.eval(right)?.assemble()?;
-                *left = Box::new(AlgebraExpr::literal(left_value));
-                *right = Box::new(AlgebraExpr::literal(right_value));
+                **left = AlgebraExpr::literal(left_value);
+                **right = AlgebraExpr::literal(right_value);
             }
         }
         Ok(rewritten)
@@ -401,7 +397,8 @@ fn mergeable(func: &AggFunc) -> bool {
 /// The partial (per-band) aggregations needed to later merge one logical aggregation.
 fn partial_plan(agg: &Aggregation) -> Vec<Aggregation> {
     let label = agg.output_label();
-    let partial_label = |suffix: &str| Cell::Str(format!("__partial_{}_{suffix}", label.to_raw_string()));
+    let partial_label =
+        |suffix: &str| Cell::Str(format!("__partial_{}_{suffix}", label.to_raw_string()));
     match agg.func {
         AggFunc::Mean => vec![
             Aggregation {
@@ -471,7 +468,11 @@ fn finalize_merged(
 ) -> DfResult<DataFrame> {
     // The merge pass produced columns named either by the final label or by the partial
     // labels (for Mean). Assemble the final column set in the requested order.
-    let key_columns: Vec<Cell> = if keys_as_labels { vec![] } else { keys.to_vec() };
+    let key_columns: Vec<Cell> = if keys_as_labels {
+        vec![]
+    } else {
+        keys.to_vec()
+    };
     let mut final_columns: Vec<(Cell, Vec<Cell>)> = Vec::new();
     for key in &key_columns {
         let j = result.col_position(key)?;
@@ -543,11 +544,7 @@ fn finalize_merged(
         .into_iter()
         .map(|(_, cells)| df_core::dataframe::Column::new(cells))
         .collect();
-    result = DataFrame::from_parts(
-        columns,
-        row_labels,
-        df_types::labels::Labels::new(labels),
-    )?;
+    result = DataFrame::from_parts(columns, row_labels, df_types::labels::Labels::new(labels))?;
     Ok(result)
 }
 
@@ -643,10 +640,11 @@ mod tests {
                 .clone()
                 .project(ColumnSelector::ByLabels(vec![cell("fare"), cell("vendor")])),
         );
-        assert_matches_reference(&base.clone().select(Predicate::PositionRange {
-            start: 37,
-            end: 61,
-        }));
+        assert_matches_reference(
+            &base
+                .clone()
+                .select(Predicate::PositionRange { start: 37, end: 61 }),
+        );
         assert_matches_reference(&base.rename(vec![(cell("vendor"), cell("vendor_id"))]));
     }
 
@@ -744,9 +742,10 @@ mod tests {
             vec![Aggregation::count_rows()],
             false,
         );
-        let sequential = ModinEngine::with_config(ModinConfig::sequential().with_partition_size(32, 8))
-            .execute(&expr)
-            .unwrap();
+        let sequential =
+            ModinEngine::with_config(ModinConfig::sequential().with_partition_size(32, 8))
+                .execute(&expr)
+                .unwrap();
         let parallel = ModinEngine::with_config(
             ModinConfig::default()
                 .with_threads(4)

@@ -78,8 +78,7 @@ impl ParallelExecutor {
         // each worker drains. Results are written into pre-allocated slots so order is
         // preserved without sorting.
         let queue = Mutex::new(items.into_iter().enumerate().collect::<Vec<_>>());
-        let results: Vec<Mutex<Option<DfResult<U>>>> =
-            (0..n).map(|_| Mutex::new(None)).collect();
+        let results: Vec<Mutex<Option<DfResult<U>>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let workers = self.threads.min(n);
         std::thread::scope(|scope| {
             for _ in 0..workers {
@@ -91,8 +90,9 @@ impl ParallelExecutor {
                     match next {
                         Some((index, item)) => {
                             let outcome = f(index, item);
-                            *results[index].lock().expect("executor result slot poisoned") =
-                                Some(outcome);
+                            *results[index]
+                                .lock()
+                                .expect("executor result slot poisoned") = Some(outcome);
                         }
                         None => break,
                     }

@@ -248,9 +248,9 @@ fn push_limits(expr: &AlgebraExpr) -> (AlgebraExpr, usize) {
 fn count_induction_skippable(expr: &AlgebraExpr) -> usize {
     let own = match expr {
         AlgebraExpr::Selection { predicate, .. } => usize::from(predicate.is_position_only()),
-        AlgebraExpr::Map { func, .. } => {
-            usize::from(func.static_output_domain().is_some() || matches!(func, MapFunc::FillNull(_)))
-        }
+        AlgebraExpr::Map { func, .. } => usize::from(
+            func.static_output_domain().is_some() || matches!(func, MapFunc::FillNull(_)),
+        ),
         AlgebraExpr::Projection { .. }
         | AlgebraExpr::Rename { .. }
         | AlgebraExpr::Limit { .. }
@@ -418,7 +418,10 @@ mod tests {
 
     #[test]
     fn pivot_axis_choice_follows_distinct_counts() {
-        assert_eq!(choose_pivot_plan(12, 3), PivotPlan::PivotOtherAxisThenTranspose);
+        assert_eq!(
+            choose_pivot_plan(12, 3),
+            PivotPlan::PivotOtherAxisThenTranspose
+        );
         assert_eq!(choose_pivot_plan(3, 12), PivotPlan::Direct);
         assert_eq!(choose_pivot_plan(5, 5), PivotPlan::Direct);
     }

@@ -403,11 +403,14 @@ mod tests {
 
     #[test]
     fn assemble_round_trips_the_original_frame() {
-        let df = frame(57, 5).with_row_labels(
-            (0..57).map(|i| format!("r{i}")).collect::<Vec<_>>(),
-        )
-        .unwrap();
-        for scheme in [PartitionScheme::Row, PartitionScheme::Column, PartitionScheme::Block] {
+        let df = frame(57, 5)
+            .with_row_labels((0..57).map(|i| format!("r{i}")).collect::<Vec<_>>())
+            .unwrap();
+        for scheme in [
+            PartitionScheme::Row,
+            PartitionScheme::Column,
+            PartitionScheme::Block,
+        ] {
             let grid = PartitionGrid::from_dataframe(
                 &df,
                 scheme,

@@ -64,7 +64,10 @@ pub struct QueryFuture {
 impl QueryFuture {
     /// True if the background computation has finished (successfully or not).
     pub fn is_ready(&self) -> bool {
-        self.handle.as_ref().map(|h| h.is_finished()).unwrap_or(true)
+        self.handle
+            .as_ref()
+            .map(|h| h.is_finished())
+            .unwrap_or(true)
     }
 
     /// The fingerprint of the expression this future computes.

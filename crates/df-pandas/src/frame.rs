@@ -18,8 +18,8 @@ use df_types::domain::Domain;
 use df_types::error::{DfError, DfResult};
 
 use df_core::algebra::{
-    AggFunc, Aggregation, AlgebraExpr, CmpOp, ColumnSelector, JoinOn, JoinType, MapFunc,
-    Predicate, RowView, SortSpec, WindowFunc,
+    AggFunc, Aggregation, AlgebraExpr, CmpOp, ColumnSelector, JoinOn, JoinType, MapFunc, Predicate,
+    RowView, SortSpec, WindowFunc,
 };
 use df_core::dataframe::DataFrame;
 use df_core::linalg;
@@ -164,7 +164,12 @@ impl PandasFrame {
 
     /// Positional point update (`df.iloc[i, j] = value`) — workflow step C1. Eager by
     /// necessity: the frame is materialised, patched, and becomes a new literal.
-    pub fn iloc_set(&self, row: usize, col: usize, value: impl Into<Cell>) -> DfResult<PandasFrame> {
+    pub fn iloc_set(
+        &self,
+        row: usize,
+        col: usize,
+        value: impl Into<Cell>,
+    ) -> DfResult<PandasFrame> {
         let mut df = self.collect()?;
         df.set_cell(row, col, value.into())?;
         Ok(PandasFrame::from_dataframe(&self.session, df))
@@ -210,10 +215,8 @@ impl PandasFrame {
         };
         let mut predicate = Predicate::True;
         for column in columns {
-            predicate = Predicate::And(
-                Box::new(predicate),
-                Box::new(Predicate::NotNull { column }),
-            );
+            predicate =
+                Predicate::And(Box::new(predicate), Box::new(Predicate::NotNull { column }));
         }
         Ok(self.filter(predicate))
     }
@@ -606,7 +609,9 @@ impl PandasFrame {
             })
             .collect();
         if numeric.is_empty() {
-            return Err(DfError::EmptyInput("describe() needs numeric columns".into()));
+            return Err(DfError::EmptyInput(
+                "describe() needs numeric columns".into(),
+            ));
         }
         let stats = ["count", "mean", "std", "min", "max"];
         let mut columns: Vec<Vec<Cell>> = Vec::with_capacity(numeric.len());
@@ -909,7 +914,10 @@ mod tests {
         .unwrap();
         let joined = features.merge_on(&ratings, &["name"], JoinType::Inner);
         assert_eq!(joined.shape().unwrap(), (2, 3));
-        let left = features.merge_on(&ratings, &["name"], JoinType::Left).collect().unwrap();
+        let left = features
+            .merge_on(&ratings, &["name"], JoinType::Left)
+            .collect()
+            .unwrap();
         assert_eq!(left.shape(), (3, 3));
         assert_eq!(left.cell(1, 2).unwrap(), &Cell::Null);
         // Index join, as in workflow step A2.
@@ -987,7 +995,12 @@ mod tests {
         let direct = sales.pivot("Year", "Month", "Sales").unwrap();
         assert_eq!(direct.expr().transpose_count(), 0);
         let alt = sales
-            .pivot_with_plan("Year", "Month", "Sales", PivotPlan::PivotOtherAxisThenTranspose)
+            .pivot_with_plan(
+                "Year",
+                "Month",
+                "Sales",
+                PivotPlan::PivotOtherAxisThenTranspose,
+            )
             .unwrap();
         assert_eq!(alt.expr().transpose_count(), 1);
     }

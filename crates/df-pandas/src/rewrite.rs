@@ -103,7 +103,9 @@ pub fn extended_rewrites() -> Vec<Rewrite> {
         Rewrite {
             pandas_op: "append",
             description: "Ordered concatenation of two dataframes",
-            kind: RewriteKind::OneToOne { algebra_op: "UNION" },
+            kind: RewriteKind::OneToOne {
+                algebra_op: "UNION",
+            },
             implemented_by: "PandasFrame::append",
         },
         Rewrite {

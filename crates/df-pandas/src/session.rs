@@ -39,7 +39,10 @@ impl Session {
 
     /// A baseline-backed session with an explicit configuration.
     pub fn baseline_with(config: BaselineConfig) -> Arc<Session> {
-        Session::with_engine(Arc::new(BaselineEngine::with_config(config)), EvalMode::Eager)
+        Session::with_engine(
+            Arc::new(BaselineEngine::with_config(config)),
+            EvalMode::Eager,
+        )
     }
 
     /// A session backed by the reference executor (semantics ground truth).

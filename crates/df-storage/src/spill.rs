@@ -277,7 +277,10 @@ fn read_spill_file(path: &PathBuf) -> DfResult<DataFrame> {
 
 /// Convenience: build a dataframe column-by-column from typed cells (used by tests).
 pub fn frame_of(columns: Vec<(&str, Vec<Cell>)>) -> DfResult<DataFrame> {
-    let labels: Vec<Cell> = columns.iter().map(|(l, _)| Cell::Str((*l).into())).collect();
+    let labels: Vec<Cell> = columns
+        .iter()
+        .map(|(l, _)| Cell::Str((*l).into()))
+        .collect();
     let cols: Vec<Column> = columns.into_iter().map(|(_, c)| Column::new(c)).collect();
     let rows = cols.first().map(|c| c.len()).unwrap_or(0);
     DataFrame::from_parts(cols, Labels::positional(rows), Labels::new(labels))
@@ -291,7 +294,10 @@ mod tests {
     fn frame(tag: i64, rows: usize) -> DataFrame {
         frame_of(vec![
             ("id", (0..rows).map(|i| cell(i as i64 + tag)).collect()),
-            ("name", (0..rows).map(|i| cell(format!("row-{i}"))).collect()),
+            (
+                "name",
+                (0..rows).map(|i| cell(format!("row-{i}"))).collect(),
+            ),
         ])
         .unwrap()
     }
@@ -317,7 +323,10 @@ mod tests {
         let b = store.put(frame(100, 50)).unwrap();
         let c = store.put(frame(200, 50)).unwrap();
         let stats = store.stats();
-        assert!(stats.spill_outs >= 1, "expected at least one spill: {stats:?}");
+        assert!(
+            stats.spill_outs >= 1,
+            "expected at least one spill: {stats:?}"
+        );
         assert!(stats.spilled >= 1);
         // All partitions remain readable, including spilled ones.
         for (id, tag) in [(a, 0), (b, 100), (c, 200)] {

@@ -187,9 +187,7 @@ impl Cell {
         let inline = std::mem::size_of::<Cell>();
         match self {
             Cell::Str(s) => inline + s.len(),
-            Cell::List(items) => {
-                inline + items.iter().map(Cell::approx_size_bytes).sum::<usize>()
-            }
+            Cell::List(items) => inline + items.iter().map(Cell::approx_size_bytes).sum::<usize>(),
             _ => inline,
         }
     }
@@ -363,11 +361,25 @@ mod tests {
 
     #[test]
     fn total_ordering_sorts_nulls_last_and_mixes_domains() {
-        let mut cells = vec![Cell::Null, cell("b"), cell(2), cell(1.5), cell(true), cell("a")];
+        let mut cells = vec![
+            Cell::Null,
+            cell("b"),
+            cell(2),
+            cell(1.5),
+            cell(true),
+            cell("a"),
+        ];
         cells.sort_by(|a, b| a.total_cmp(b));
         assert_eq!(
             cells,
-            vec![cell(true), cell(1.5), cell(2), cell("a"), cell("b"), Cell::Null]
+            vec![
+                cell(true),
+                cell(1.5),
+                cell(2),
+                cell("a"),
+                cell("b"),
+                Cell::Null
+            ]
         );
     }
 

@@ -118,15 +118,17 @@ impl Domain {
     /// Check whether an already-typed cell is a member of the domain (nulls belong to
     /// every domain). Used when a schema is declared rather than induced.
     pub fn validate(&self, cell: &Cell) -> bool {
-        match (self, cell) {
-            (_, Cell::Null) => true,
-            (Domain::Str, Cell::Str(_)) | (Domain::Category, Cell::Str(_)) => true,
-            (Domain::Int, Cell::Int(_)) | (Domain::DateTime, Cell::Int(_)) => true,
-            (Domain::Float, Cell::Float(_) | Cell::Int(_)) => true,
-            (Domain::Bool, Cell::Bool(_)) => true,
-            (Domain::Composite, Cell::List(_)) => true,
-            _ => false,
-        }
+        matches!(
+            (self, cell),
+            (_, Cell::Null)
+                | (Domain::Str, Cell::Str(_))
+                | (Domain::Category, Cell::Str(_))
+                | (Domain::Int, Cell::Int(_))
+                | (Domain::DateTime, Cell::Int(_))
+                | (Domain::Float, Cell::Float(_) | Cell::Int(_))
+                | (Domain::Bool, Cell::Bool(_))
+                | (Domain::Composite, Cell::List(_))
+        )
     }
 
     /// Coerce a typed cell into this domain if a lossless (or conventional) conversion
@@ -304,7 +306,11 @@ mod tests {
     fn null_tokens_parse_to_null_in_every_domain() {
         for domain in [Domain::Int, Domain::Float, Domain::Bool, Domain::Str] {
             for token in ["", "NA", "NaN", "null", "None", " n/a "] {
-                assert_eq!(domain.parse(token).unwrap(), Cell::Null, "{domain} {token:?}");
+                assert_eq!(
+                    domain.parse(token).unwrap(),
+                    Cell::Null,
+                    "{domain} {token:?}"
+                );
             }
         }
     }

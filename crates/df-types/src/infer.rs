@@ -209,7 +209,10 @@ mod tests {
         assert_eq!(induce_from_strings(["1", "2", "3"]), Domain::Int);
         assert_eq!(induce_from_strings(["1", "2.5"]), Domain::Float);
         assert_eq!(induce_from_strings(["true", "false", "true"]), Domain::Bool);
-        assert_eq!(induce_from_strings(["2020-01-01", "2020-02-01"]), Domain::DateTime);
+        assert_eq!(
+            induce_from_strings(["2020-01-01", "2020-02-01"]),
+            Domain::DateTime
+        );
     }
 
     #[test]

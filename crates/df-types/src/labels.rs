@@ -21,6 +21,15 @@ pub struct Labels {
 /// Convenience alias used in operator signatures.
 pub type LabelVec = Vec<Cell>;
 
+/// Labels from anything convertible to cells (string names, integers, …).
+impl<T: Into<Cell>> FromIterator<T> for Labels {
+    fn from_iter<I: IntoIterator<Item = T>>(values: I) -> Self {
+        Labels {
+            values: values.into_iter().map(Into::into).collect(),
+        }
+    }
+}
+
 impl Labels {
     /// Labels from an explicit vector of cells.
     pub fn new(values: Vec<Cell>) -> Self {
@@ -32,13 +41,6 @@ impl Labels {
     pub fn positional(len: usize) -> Self {
         Labels {
             values: (0..len).map(|i| Cell::Int(i as i64)).collect(),
-        }
-    }
-
-    /// Labels from anything convertible to cells (string names, integers, …).
-    pub fn from_iter<T: Into<Cell>>(values: impl IntoIterator<Item = T>) -> Self {
-        Labels {
-            values: values.into_iter().map(Into::into).collect(),
         }
     }
 

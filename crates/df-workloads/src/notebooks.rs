@@ -216,9 +216,17 @@ mod tests {
     fn popular_functions_dominate_the_long_tail() {
         let stats = analyze_corpus(&small_corpus());
         let head = stats.total_occurrences.get("head").copied().unwrap_or(0);
-        let kurtosis = stats.total_occurrences.get("kurtosis").copied().unwrap_or(0);
+        let kurtosis = stats
+            .total_occurrences
+            .get("kurtosis")
+            .copied()
+            .unwrap_or(0);
         assert!(head > kurtosis * 5, "head={head} kurtosis={kurtosis}");
-        let read_csv = stats.total_occurrences.get("read_csv").copied().unwrap_or(0);
+        let read_csv = stats
+            .total_occurrences
+            .get("read_csv")
+            .copied()
+            .unwrap_or(0);
         assert!(read_csv > 0);
     }
 

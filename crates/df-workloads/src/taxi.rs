@@ -127,7 +127,7 @@ fn build(config: &TaxiConfig, raw: bool) -> DfResult<DataFrame> {
             Cell::Float(tolls),
             Cell::Float(total),
         ];
-        for (slot, value) in columns.iter_mut().zip(values.into_iter()) {
+        for (slot, value) in columns.iter_mut().zip(values) {
             let value = if raw {
                 match value {
                     Cell::Null => Cell::Null,
@@ -188,11 +188,7 @@ mod tests {
         let a = generate_typed(&config).unwrap();
         let b = generate_typed(&config).unwrap();
         assert!(a.same_data(&b));
-        let c = generate_typed(&TaxiConfig {
-            seed: 99,
-            ..config
-        })
-        .unwrap();
+        let c = generate_typed(&TaxiConfig { seed: 99, ..config }).unwrap();
         assert!(!a.same_data(&c));
     }
 

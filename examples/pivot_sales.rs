@@ -32,8 +32,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(wide_by_year.collect()?.same_data(&figure5_wide_by_year()));
 
     // The Figure 8 alternative: pivot over the other axis and transpose the result.
-    let alternative =
-        narrow.pivot_with_plan("Year", "Month", "Sales", PivotPlan::PivotOtherAxisThenTranspose)?;
+    let alternative = narrow.pivot_with_plan(
+        "Year",
+        "Month",
+        "Sales",
+        PivotPlan::PivotOtherAxisThenTranspose,
+    )?;
     assert!(alternative.collect()?.same_data(&figure5_wide_by_year()));
     println!(
         "alternative plan produces the identical table using {} transpose(s)",
@@ -46,18 +50,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The transpose of the wide-by-year table is the paper's "Wide Table of MONTHs".
     let wide_by_month = wide_by_year.t();
-    println!("transposed: wide table of months\n{}", wide_by_month.display(8)?);
+    println!(
+        "transposed: wide table of months\n{}",
+        wide_by_month.display(8)?
+    );
 
     // Unpivot: back from the wide table to the narrow table via FROMLABELS + apply.
     let restored = wide_by_year
         .reset_index("Year")
-        .apply_rows(
-            "unpivot",
-            vec!["Year", "Jan", "Feb", "Mar"],
-            |row| row.cells.to_vec(),
-        )
+        .apply_rows("unpivot", vec!["Year", "Jan", "Feb", "Mar"], |row| {
+            row.cells.to_vec()
+        })
         .collect()?;
-    println!("unpivot scaffolding (year column restored)\n{}", restored.display_with(4));
+    println!(
+        "unpivot scaffolding (year column restored)\n{}",
+        restored.display_with(4)
+    );
 
     Ok(())
 }

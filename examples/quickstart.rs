@@ -20,9 +20,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // products are columns, and every value is a raw string.
     let products = PandasFrame::from_rows(
         &session,
-        vec!["iPhone 11", "iPhone 11 Pro", "iPhone 11 Pro Max", "iPhone SE"],
         vec![
-            vec![cell("6.1-inch"), cell("5.8-inch"), cell("6.5-inch"), cell("4.7-inch")],
+            "iPhone 11",
+            "iPhone 11 Pro",
+            "iPhone 11 Pro Max",
+            "iPhone SE",
+        ],
+        vec![
+            vec![
+                cell("6.1-inch"),
+                cell("5.8-inch"),
+                cell("6.5-inch"),
+                cell("4.7-inch"),
+            ],
             vec![cell("12MP"), cell("12MP"), cell("12MP"), cell("12MP")],
             vec![cell("12MP"), cell("120MP"), cell("12MP"), cell("7MP")],
             vec![cell("Yes"), cell("Yes"), cell("Yes"), cell("No")],

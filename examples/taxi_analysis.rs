@@ -23,7 +23,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         replication: 1,
         ..TaxiConfig::default()
     })?;
-    println!("generated {} taxi trips x {} columns (untyped CSV-style cells)", rows, taxi.n_cols());
+    println!(
+        "generated {} taxi trips x {} columns (untyped CSV-style cells)",
+        rows,
+        taxi.n_cols()
+    );
 
     for (name, session) in [
         ("modin-engine", Session::modin()),
@@ -35,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let start = Instant::now();
         let mask = trips.isna();
         let (null_rows, _) = mask.shape()?;
-        println!("map (null mask) over {null_rows} rows: {:?}", start.elapsed());
+        println!(
+            "map (null mask) over {null_rows} rows: {:?}",
+            start.elapsed()
+        );
 
         let start = Instant::now();
         let by_passengers = trips.groupby_count(&["passenger_count"]).collect()?;

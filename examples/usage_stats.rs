@@ -55,15 +55,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .rename(&[("function", "bucket")])
         .groupby_agg(
             &["bucket"],
-            vec![df_core::algebra::Aggregation::of(
-                "occurrences",
-                df_core::algebra::AggFunc::Sum,
-            )
-            .with_alias("total_calls")],
+            vec![
+                df_core::algebra::Aggregation::of("occurrences", df_core::algebra::AggFunc::Sum)
+                    .with_alias("total_calls"),
+            ],
             false,
         )
         .sort_values(&["total_calls"], false);
-    println!("usage by category:\n{}", by_bucket.collect()?.display_with(8));
+    println!(
+        "usage by category:\n{}",
+        by_bucket.collect()?.display_with(8)
+    );
 
     Ok(())
 }

@@ -38,7 +38,9 @@ fn pipeline(choice: u8, base: AlgebraExpr) -> AlgebraExpr {
         4 => base.sort(SortSpec::ascending(vec![cell("int_0"), cell("float_0")])),
         5 => base
             .clone()
-            .select(Predicate::NotNull { column: cell("int_0") })
+            .select(Predicate::NotNull {
+                column: cell("int_0"),
+            })
             .window(
                 ColumnSelector::ByLabels(vec![cell("int_0")]),
                 WindowFunc::CumSum,
@@ -55,7 +57,11 @@ fn engines() -> (BaselineEngine, ModinEngine, ModinEngine) {
     (
         BaselineEngine::new(),
         ModinEngine::with_config(ModinConfig::sequential().with_partition_size(16, 3)),
-        ModinEngine::with_config(ModinConfig::default().with_threads(3).with_partition_size(16, 3)),
+        ModinEngine::with_config(
+            ModinConfig::default()
+                .with_threads(3)
+                .with_partition_size(16, 3),
+        ),
     )
 }
 

@@ -8,13 +8,19 @@ use df_pandas::{PandasFrame, Session};
 use df_storage::csv::{read_csv_str, write_csv_string, CsvOptions};
 use df_storage::spill::SpillStore;
 use df_types::cell::cell;
-use df_workloads::sales::{figure5_narrow_table, figure5_wide_by_year, generate_sales, SalesConfig};
+use df_workloads::sales::{
+    figure5_narrow_table, figure5_wide_by_year, generate_sales, SalesConfig,
+};
 
 #[test]
 fn figure5_pivot_matches_the_paper_table_on_every_engine() {
     for session in [Session::modin(), Session::baseline(), Session::reference()] {
         let narrow = PandasFrame::from_dataframe(&session, figure5_narrow_table());
-        let wide = narrow.pivot("Year", "Month", "Sales").unwrap().collect().unwrap();
+        let wide = narrow
+            .pivot("Year", "Month", "Sales")
+            .unwrap()
+            .collect()
+            .unwrap();
         assert!(
             wide.same_data(&figure5_wide_by_year()),
             "engine {:?} produced\n{wide}",
@@ -39,7 +45,12 @@ fn figure8_plans_agree_on_generated_sales_data() {
         .collect()
         .unwrap();
     let alternative = frame
-        .pivot_with_plan("Year", "Month", "Sales", PivotPlan::PivotOtherAxisThenTranspose)
+        .pivot_with_plan(
+            "Year",
+            "Month",
+            "Sales",
+            PivotPlan::PivotOtherAxisThenTranspose,
+        )
         .unwrap()
         .collect()
         .unwrap();
@@ -59,7 +70,11 @@ fn unpivot_round_trip_restores_the_narrow_table_contents() {
     let session = Session::modin();
     let narrow = figure5_narrow_table();
     let frame = PandasFrame::from_dataframe(&session, narrow.clone());
-    let wide = frame.pivot("Year", "Month", "Sales").unwrap().collect().unwrap();
+    let wide = frame
+        .pivot("Year", "Month", "Sales")
+        .unwrap()
+        .collect()
+        .unwrap();
     let mut triples: Vec<(String, String, String)> = Vec::new();
     for (i, year) in wide.row_labels().as_slice().iter().enumerate() {
         for (j, month) in wide.col_labels().as_slice().iter().enumerate() {
@@ -121,17 +136,15 @@ fn spill_store_round_trips_engine_results() {
     .unwrap();
     let engine = ModinEngine::with_config(ModinConfig::sequential().with_partition_size(16, 4));
     let grouped = engine
-        .execute(
-            &df_core::algebra::AlgebraExpr::literal(sales).group_by(
-                vec![cell("Year")],
-                vec![df_core::algebra::Aggregation::of(
+        .execute(&df_core::algebra::AlgebraExpr::literal(sales).group_by(
+            vec![cell("Year")],
+            vec![df_core::algebra::Aggregation::of(
                     "Sales",
                     df_core::algebra::AggFunc::Sum,
                 )
                 .with_alias("total")],
-                false,
-            ),
-        )
+            false,
+        ))
         .unwrap();
     let store = SpillStore::new(1).unwrap(); // spill everything immediately
     let id = store.put(grouped.clone()).unwrap();

@@ -2,9 +2,9 @@
 //! matrix: the pandas-style API must produce exactly the algebra operators the paper's
 //! tables claim, and the engines' capability probes must reproduce the feature matrix.
 
+use df_baseline::BaselineEngine;
 use df_core::algebra::{AlgebraExpr, MapFunc};
 use df_core::engine::{Capabilities, Engine, ReferenceEngine};
-use df_baseline::BaselineEngine;
 use df_engine::engine::ModinEngine;
 use df_pandas::{table2_rewrites, PandasFrame, RewriteKind, Session};
 use df_types::cell::cell;
@@ -110,7 +110,11 @@ fn reindex_like_composition_from_the_paper_section_4_4() {
 
     let reindexed = reference_frame
         .reset_index("key")
-        .merge_on(&target.reset_index("key"), &["key"], df_core::algebra::JoinType::Left)
+        .merge_on(
+            &target.reset_index("key"),
+            &["key"],
+            df_core::algebra::JoinType::Left,
+        )
         .select(&["key", "value"])
         .set_index("key")
         .collect()
@@ -185,11 +189,18 @@ fn every_table1_operator_executes_on_every_engine() {
     let base = AlgebraExpr::literal(df);
     let other = AlgebraExpr::literal(other);
     let expressions: Vec<AlgebraExpr> = vec![
-        base.clone().select(df_core::algebra::Predicate::NotNull { column: cell("int_0") }),
-        base.clone().project(df_core::algebra::ColumnSelector::ByLabels(vec![cell("float_0")])),
+        base.clone().select(df_core::algebra::Predicate::NotNull {
+            column: cell("int_0"),
+        }),
+        base.clone()
+            .project(df_core::algebra::ColumnSelector::ByLabels(vec![cell(
+                "float_0",
+            )])),
         base.clone().union(other.clone()),
         base.clone().difference(other.clone()),
-        base.clone().limit(5, false).cross(other.clone().limit(3, false)),
+        base.clone()
+            .limit(5, false)
+            .cross(other.clone().limit(3, false)),
         base.clone().join(
             other.clone(),
             df_core::algebra::JoinOn::Columns(vec![cell("cat_0")]),
@@ -201,7 +212,8 @@ fn every_table1_operator_executes_on_every_engine() {
             vec![df_core::algebra::Aggregation::count_rows()],
             false,
         ),
-        base.clone().sort(df_core::algebra::SortSpec::ascending(vec![cell("int_0")])),
+        base.clone()
+            .sort(df_core::algebra::SortSpec::ascending(vec![cell("int_0")])),
         base.clone().rename(vec![(cell("int_0"), cell("renamed"))]),
         base.clone().window(
             df_core::algebra::ColumnSelector::ByLabels(vec![cell("float_0")]),
@@ -212,11 +224,21 @@ fn every_table1_operator_executes_on_every_engine() {
         base.clone().to_labels("cat_0"),
         base.from_labels("rank"),
     ];
-    assert_eq!(expressions.len(), 15, "14 operators + LIMIT helper via cross");
+    assert_eq!(
+        expressions.len(),
+        15,
+        "14 operators + LIMIT helper via cross"
+    );
     for expr in expressions {
         let reference = ReferenceEngine.execute(&expr).unwrap();
-        assert!(BaselineEngine::new().execute(&expr).unwrap().same_data(&reference));
-        assert!(ModinEngine::new().execute(&expr).unwrap().same_data(&reference));
+        assert!(BaselineEngine::new()
+            .execute(&expr)
+            .unwrap()
+            .same_data(&reference));
+        assert!(ModinEngine::new()
+            .execute(&expr)
+            .unwrap()
+            .same_data(&reference));
         // Every Cell in the result renders (guards against panics in Display paths).
         let _ = reference.display_with(3);
     }

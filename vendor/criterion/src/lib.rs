@@ -1,0 +1,293 @@
+//! Offline shim for the `criterion` benchmark harness.
+//!
+//! The build environment has no network access, so this workspace vendors the slice of
+//! the Criterion API its benches use: `Criterion`, `BenchmarkGroup` with
+//! `sample_size`/`warm_up_time`/`measurement_time`/`bench_function`/`finish`,
+//! `Bencher::iter`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Semantics match Criterion where it matters for CI:
+//! * `cargo bench` measures each benchmark (warm-up, then `sample_size` samples) and
+//!   prints a mean/min/max per-iteration time.
+//! * `cargo bench -- --test` runs every benchmark exactly once and reports `ok`,
+//!   mirroring Criterion's test mode so benches are compile- and run-checked cheaply.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const DEFAULT_SAMPLE_SIZE: usize = 20;
+const DEFAULT_WARM_UP: Duration = Duration::from_millis(300);
+const DEFAULT_MEASUREMENT: Duration = Duration::from_millis(1_500);
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    test_mode: bool,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            test_mode: false,
+            sample_size: DEFAULT_SAMPLE_SIZE,
+            warm_up_time: DEFAULT_WARM_UP,
+            measurement_time: DEFAULT_MEASUREMENT,
+        }
+    }
+}
+
+impl Criterion {
+    /// Reads the harness-relevant CLI flags (`--test`) from `std::env::args`.
+    pub fn configure_from_args(mut self) -> Self {
+        self.test_mode = std::env::args().any(|arg| arg == "--test");
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn warm_up_time(mut self, dur: Duration) -> Self {
+        self.warm_up_time = dur;
+        self
+    }
+
+    pub fn measurement_time(mut self, dur: Duration) -> Self {
+        self.measurement_time = dur;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            warm_up_time: None,
+            measurement_time: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let settings = (
+            self.test_mode,
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+        );
+        run_benchmark(id, settings, f);
+        self
+    }
+}
+
+/// A named group of related benchmarks sharing measurement settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    warm_up_time: Option<Duration>,
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, dur: Duration) -> &mut Self {
+        self.warm_up_time = Some(dur);
+        self
+    }
+
+    pub fn measurement_time(&mut self, dur: Duration) -> &mut Self {
+        self.measurement_time = Some(dur);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let settings = (
+            self.criterion.test_mode,
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            self.warm_up_time.unwrap_or(self.criterion.warm_up_time),
+            self.measurement_time
+                .unwrap_or(self.criterion.measurement_time),
+        );
+        run_benchmark(&format!("{}/{id}", self.name), settings, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F>(id: &str, settings: (bool, usize, Duration, Duration), mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let (test_mode, sample_size, warm_up_time, measurement_time) = settings;
+    if test_mode {
+        let mut bencher = Bencher {
+            mode: Mode::TestOnce,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        println!("test {id} ... ok");
+        return;
+    }
+
+    // Warm-up pass: run the routine until the warm-up budget elapses.
+    let mut bencher = Bencher {
+        mode: Mode::TimeBoxed(warm_up_time),
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+
+    // Measurement pass: collect `sample_size` timed samples within the budget.
+    let mut bencher = Bencher {
+        mode: Mode::Sample {
+            count: sample_size,
+            budget: measurement_time,
+        },
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    let samples = bencher.samples;
+    if samples.is_empty() {
+        println!("{id:<40} (no samples)");
+        return;
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    println!(
+        "{id:<40} time: [{} {} {}]",
+        format_ns(min),
+        format_ns(mean),
+        format_ns(max)
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+#[derive(Debug)]
+enum Mode {
+    TestOnce,
+    TimeBoxed(Duration),
+    Sample { count: usize, budget: Duration },
+}
+
+/// Handed to the benchmark closure; `iter` drives the routine under measurement.
+#[derive(Debug)]
+pub struct Bencher {
+    mode: Mode,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        match self.mode {
+            Mode::TestOnce => {
+                black_box(routine());
+            }
+            Mode::TimeBoxed(budget) => {
+                let start = Instant::now();
+                while start.elapsed() < budget {
+                    black_box(routine());
+                }
+            }
+            Mode::Sample { count, budget } => {
+                // Calibrate iterations-per-sample so one sample is cheap but non-zero.
+                let calibration = Instant::now();
+                black_box(routine());
+                let once = calibration.elapsed().max(Duration::from_nanos(1));
+                let per_sample = (budget.as_nanos() / count.max(1) as u128).max(1);
+                let iters = ((per_sample / once.as_nanos().max(1)).clamp(1, 1_000_000)) as usize;
+
+                let start = Instant::now();
+                self.samples.clear();
+                for _ in 0..count {
+                    let sample_start = Instant::now();
+                    for _ in 0..iters {
+                        black_box(routine());
+                    }
+                    self.samples
+                        .push(sample_start.elapsed().as_nanos() as f64 / iters as f64);
+                    if start.elapsed() > budget.saturating_mul(2) {
+                        break; // Hard cap: never run wildly past the budget.
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_each_bench_once() {
+        let mut calls = 0usize;
+        let mut criterion = Criterion {
+            test_mode: true,
+            ..Criterion::default()
+        };
+        let mut group = criterion.benchmark_group("unit");
+        group.bench_function("count_calls", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn measurement_mode_collects_samples() {
+        let mut criterion = Criterion::default()
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20));
+        criterion.bench_function("spin", |b| b.iter(|| black_box(2u64 + 2)));
+    }
+}

@@ -1,0 +1,291 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! The build environment has no network access, so this workspace vendors the slice of
+//! proptest it uses: the `proptest! { #![proptest_config(...)] #[test] fn f(x in
+//! strategy, ...) { ... } }` macro form with numeric-range strategies, plus
+//! `prop_assert!`/`prop_assert_eq!`. Each generated test draws `cases` deterministic
+//! samples (seeded from the test's module path and name, overridable via
+//! `PROPTEST_SEED`) and reports the failing inputs on the first violated assertion.
+//! Shrinking is intentionally not implemented — failures print the exact inputs, which
+//! the deterministic seeding makes reproducible.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::fmt::Debug;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A source of random values of one type; numeric ranges implement it directly.
+    pub trait Strategy {
+        type Value: Debug;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_int_strategy {
+        ($($ty:ty),+ $(,)?) => {$(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let offset = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + offset as i128) as $ty
+                }
+            }
+
+            impl Strategy for RangeInclusive<$ty> {
+                type Value = $ty;
+
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start() <= self.end(), "empty strategy range");
+                    let span = (*self.end() as i128 - *self.start() as i128) as u128 + 1;
+                    let offset = (rng.next_u64() as u128) % span;
+                    (*self.start() as i128 + offset as i128) as $ty
+                }
+            }
+        )+};
+    }
+
+    impl_int_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    macro_rules! impl_float_strategy {
+        ($($ty:ty),+ $(,)?) => {$(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                    self.start + unit as $ty * (self.end - self.start)
+                }
+            }
+        )+};
+    }
+
+    impl_float_strategy!(f32, f64);
+}
+
+pub mod test_runner {
+    use std::fmt;
+
+    /// Per-test configuration; only `cases` is honoured by this shim.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    /// A rejected test case, produced by `prop_assert!` and friends.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        pub fn fail(message: impl Into<String>) -> Self {
+            Self {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// Deterministic SplitMix64 generator driving strategy sampling.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds from the test's identity so every test gets an independent,
+        /// reproducible stream. `PROPTEST_SEED` perturbs all streams at once.
+        pub fn deterministic(test_name: &str) -> Self {
+            // FNV-1a over the test name.
+            let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+            for byte in test_name.bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x1000_0000_01b3);
+            }
+            if let Ok(seed) = std::env::var("PROPTEST_SEED") {
+                if let Ok(seed) = seed.parse::<u64>() {
+                    hash ^= seed.rotate_left(17);
+                }
+            }
+            Self { state: hash }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (
+        config = $config:expr;
+        $(
+            #[test]
+            fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+        )*
+    ) => {$(
+        #[test]
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::TestRng::deterministic(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for case in 0..config.cases {
+                $(
+                    let $arg = $crate::strategy::Strategy::sample(&($strategy), &mut rng);
+                )+
+                let outcome = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    Ok(())
+                })();
+                if let ::std::result::Result::Err(error) = outcome {
+                    let inputs: ::std::vec::Vec<::std::string::String> = ::std::vec![
+                        $(::std::format!("{} = {:?}", stringify!($arg), &$arg)),+
+                    ];
+                    ::std::panic!(
+                        "proptest case {} of {} failed: {}\n  inputs: {}",
+                        case + 1,
+                        config.cases,
+                        error,
+                        inputs.join(", "),
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: {} — {}",
+                    stringify!($cond),
+                    ::std::format!($($fmt)+),
+                ),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: {} == {}\n    left: {:?}\n   right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    left,
+                    right,
+                ),
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left != right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: {} != {}\n    both: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    left,
+                ),
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn samples_stay_in_range(x in 0usize..10, y in -5i64..5, f in 0.0f64..1.0) {
+            prop_assert!(x < 10);
+            prop_assert!((-5..5).contains(&y), "y out of range: {y}");
+            prop_assert!((0.0..1.0).contains(&f));
+            prop_assert_eq!(x + 1, x + 1);
+            prop_assert_ne!(x as i64 - 100, y);
+        }
+    }
+
+    #[test]
+    fn failing_case_reports_inputs() {
+        let result = std::panic::catch_unwind(|| {
+            let mut rng = crate::test_runner::TestRng::deterministic("unit::failing");
+            let value = crate::strategy::Strategy::sample(&(0usize..4), &mut rng);
+            let outcome = (|| -> Result<(), TestCaseError> {
+                prop_assert!(value > 100, "value was {value}");
+                Ok(())
+            })();
+            outcome.unwrap();
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,194 @@
+//! Offline shim for the `rand` crate (0.8-style API).
+//!
+//! The build environment has no network access, so this workspace vendors the slice of
+//! `rand` it uses: `SeedableRng::seed_from_u64`, `Rng::gen_range` over half-open and
+//! inclusive numeric ranges, and `Rng::gen_bool`. The generator behind
+//! [`rngs::StdRng`] is SplitMix64 — statistically fine for synthetic workload
+//! generation and fully deterministic for a given seed, which is all the workspace
+//! requires (it makes no cryptographic claims).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level source of randomness.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// High-level sampling helpers, implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        assert!(!range.is_empty(), "cannot sample from an empty range");
+        range.sample_single(self)
+    }
+
+    fn gen_bool(&mut self, probability: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "gen_bool probability must lie in [0, 1], got {probability}"
+        );
+        unit_f64(self.next_u64()) < probability
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A type whose uniform distribution over an interval can be sampled.
+///
+/// The blanket [`SampleRange`] impls below are deliberately generic over `T:
+/// SampleUniform` (mirroring real rand) so that untyped integer literals in range
+/// expressions unify with the surrounding context instead of falling back to `i32`.
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    /// Uniform sample from the half-open interval `[low, high)`.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    /// Uniform sample from the closed interval `[low, high]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+/// A range that knows how to draw a uniform sample of `T` from itself.
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    fn is_empty(&self) -> bool;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+
+    fn is_empty(&self) -> bool {
+        // NaN endpoints compare as incomparable and therefore count as empty.
+        self.start.partial_cmp(&self.end) != Some(std::cmp::Ordering::Less)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+
+    fn is_empty(&self) -> bool {
+        !matches!(
+            self.start().partial_cmp(self.end()),
+            Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+        )
+    }
+}
+
+fn unit_f64(bits: u64) -> f64 {
+    // 53 high-quality bits -> uniform in [0, 1).
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+macro_rules! impl_int_sample_uniform {
+    ($($ty:ty),+ $(,)?) => {$(
+        impl SampleUniform for $ty {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                let span = (high as i128 - low as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (low as i128 + offset as i128) as $ty
+            }
+
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                let span = (high as i128 - low as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128) % span;
+                (low as i128 + offset as i128) as $ty
+            }
+        }
+    )+};
+}
+
+impl_int_sample_uniform!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! impl_float_sample_uniform {
+    ($($ty:ty),+ $(,)?) => {$(
+        impl SampleUniform for $ty {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                let unit = unit_f64(rng.next_u64()) as $ty;
+                low + unit * (high - low)
+            }
+
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                // Measure-zero distinction from the half-open case; good enough here.
+                Self::sample_half_open(rng, low, high)
+            }
+        }
+    )+};
+}
+
+impl_float_sample_uniform!(f32, f64);
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic SplitMix64 generator standing in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            Self { state }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-100i64..100);
+            assert!((-100..100).contains(&v));
+            let w = rng.gen_range(1usize..=6);
+            assert!((1..=6).contains(&w));
+            let f = rng.gen_range(0.25f64..4.0);
+            assert!((0.25..4.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "observed rate {rate}");
+        assert!((0..1_000).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..1_000).all(|_| rng.gen_bool(1.0)));
+    }
+}
