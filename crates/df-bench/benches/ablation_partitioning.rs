@@ -19,6 +19,12 @@ fn main() {
         "DF_BENCH_ABLATION_ROWS",
         df_bench::smoke_scaled(30_000, 500),
     );
+    let threads = df_bench::env_usize(
+        "DF_BENCH_ABLATION_THREADS",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    );
     let taxi = generate_typed(&TaxiConfig {
         base_rows: rows,
         ..TaxiConfig::default()
@@ -52,18 +58,21 @@ fn main() {
     ] {
         let engine = ModinEngine::with_config(
             ModinConfig::default()
+                .with_threads(threads)
                 .with_scheme(scheme)
                 .with_partition_size((rows / 8).max(1024), 4),
         );
         for (name, expr) in &queries {
+            let shuffles_before = engine.shuffles_dispatched();
             let (result, elapsed) = time_once(|| engine.execute(expr));
             let shape = result.expect("query executes").shape();
+            let shuffles = engine.shuffles_dispatched() - shuffles_before;
             records.push(BenchRecord {
                 experiment: format!("abl-partition/{name}"),
                 system: format!("{scheme:?}"),
                 parameter: format!("{rows} rows"),
                 seconds: Some(elapsed.as_secs_f64()),
-                note: format!("out={shape:?}"),
+                note: format!("out={shape:?}, threads={threads}, shuffles={shuffles}"),
             });
         }
         // Show that TRANSPOSE itself stays metadata-only regardless of scheme.
@@ -85,4 +94,5 @@ fn main() {
             &records
         )
     );
+    df_bench::emit_json_env(&records);
 }

@@ -1,12 +1,16 @@
 //! Table 1: the 14-operator dataframe algebra.
 //!
 //! The paper's Table 1 is a definition table rather than a measurement, so this target
-//! does two things: (1) it prints the operator roster with its properties as a
-//! conformance check, and (2) it micro-benchmarks every operator on the scalable
-//! engine with Criterion, giving a per-operator cost profile over a fixed workload.
+//! does three things: (1) it prints the operator roster with its properties as a
+//! conformance check, (2) it wall-clock-times every operator once at a configurable
+//! scale (`DF_BENCH_TABLE1_ROWS`, default 30k; `DF_BENCH_TABLE1_THREADS`, default 4)
+//! and emits the records to the `DF_BENCH_JSON` snapshot so the perf trajectory is
+//! tracked per PR, and (3) it micro-benchmarks every operator on the scalable engine
+//! with Criterion over a small fixed workload.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::Criterion;
 
+use df_bench::{render_table, time_once, BenchRecord};
 use df_core::algebra::{
     AggFunc, Aggregation, AlgebraExpr, CmpOp, ColumnSelector, JoinOn, JoinType, MapFunc, Predicate,
     SortSpec, WindowFunc,
@@ -16,9 +20,9 @@ use df_engine::engine::{ModinConfig, ModinEngine};
 use df_types::cell::cell;
 use df_workloads::taxi::{generate_typed, TaxiConfig};
 
-fn operator_expressions() -> Vec<(&'static str, AlgebraExpr)> {
+fn operator_expressions(rows: usize) -> Vec<(&'static str, AlgebraExpr)> {
     let taxi = generate_typed(&TaxiConfig {
-        base_rows: 2_000,
+        base_rows: rows,
         ..TaxiConfig::default()
     })
     .expect("workload generation");
@@ -122,15 +126,43 @@ fn print_table1() {
     println!();
 }
 
+/// Wall-clock one execution of every operator at measurement scale, recording each
+/// operator's time and how many shuffles/fallbacks it dispatched.
+fn timing_pass() -> Vec<BenchRecord> {
+    let rows = df_bench::env_usize("DF_BENCH_TABLE1_ROWS", df_bench::smoke_scaled(30_000, 500));
+    let threads = df_bench::env_usize("DF_BENCH_TABLE1_THREADS", 4);
+    let mut records = Vec::new();
+    for (name, expr) in operator_expressions(rows) {
+        let engine = ModinEngine::with_config(
+            ModinConfig::default()
+                .with_threads(threads)
+                .with_partition_size((rows / 8).max(512), 8),
+        );
+        let (result, elapsed) = time_once(|| engine.execute(&expr));
+        let shape = result.expect("operator executes").shape();
+        records.push(BenchRecord {
+            experiment: format!("table1/{name}"),
+            system: "modin-engine".to_string(),
+            parameter: format!("{rows} rows"),
+            seconds: Some(elapsed.as_secs_f64()),
+            note: format!(
+                "out={shape:?}, threads={threads}, shuffles={}, fallbacks={}",
+                engine.shuffles_dispatched(),
+                engine.fallbacks_dispatched()
+            ),
+        });
+    }
+    records
+}
+
 fn bench_operators(c: &mut Criterion) {
-    print_table1();
     let engine = ModinEngine::with_config(ModinConfig::default().with_partition_size(512, 8));
     let mut group = c.benchmark_group("table1_operators");
     group
         .sample_size(10)
         .warm_up_time(std::time::Duration::from_millis(200))
         .measurement_time(std::time::Duration::from_millis(800));
-    for (name, expr) in operator_expressions() {
+    for (name, expr) in operator_expressions(2_000) {
         group.bench_function(name, |b| {
             b.iter(|| {
                 engine
@@ -142,5 +174,14 @@ fn bench_operators(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_operators);
-criterion_main!(benches);
+fn main() {
+    print_table1();
+    let records = timing_pass();
+    println!(
+        "{}",
+        render_table("Table 1 operators: wall-clock per execution", &records)
+    );
+    df_bench::emit_json_env(&records);
+    let mut criterion = Criterion::default().configure_from_args();
+    bench_operators(&mut criterion);
+}

@@ -45,6 +45,235 @@ impl BenchRecord {
     }
 }
 
+/// Environment variable naming the JSON file bench targets append their records to.
+pub const JSON_ENV_VAR: &str = "DF_BENCH_JSON";
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serialise records as a JSON array, one object per line.
+pub fn records_to_json(records: &[BenchRecord]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        let seconds = match r.seconds {
+            Some(s) => format!("{s}"),
+            None => "null".to_string(),
+        };
+        out.push_str(&format!(
+            "  {{\"experiment\":\"{}\",\"system\":\"{}\",\"parameter\":\"{}\",\"seconds\":{},\"note\":\"{}\"}}{}\n",
+            json_escape(&r.experiment),
+            json_escape(&r.system),
+            json_escape(&r.parameter),
+            seconds,
+            json_escape(&r.note),
+            if i + 1 < records.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Parse a JSON array of [`BenchRecord`] objects (the subset of JSON that
+/// [`records_to_json`] emits — flat objects with string / number / null fields).
+pub fn parse_records_json(text: &str) -> Result<Vec<BenchRecord>, String> {
+    let mut parser = JsonParser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    parser.expect(b'[')?;
+    let mut records = Vec::new();
+    parser.skip_ws();
+    if parser.peek() == Some(b']') {
+        return Ok(records);
+    }
+    loop {
+        records.push(parser.parse_record()?);
+        parser.skip_ws();
+        match parser.next() {
+            Some(b',') => parser.skip_ws(),
+            Some(b']') => break,
+            other => return Err(format!("expected ',' or ']', found {other:?}")),
+        }
+    }
+    Ok(records)
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl JsonParser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .peek()
+            .is_some_and(|b| b == b' ' || b == b'\n' || b == b'\r' || b == b'\t')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek();
+        self.pos += 1;
+        b
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        match self.next() {
+            Some(b) if b == byte => Ok(()),
+            other => Err(format!("expected {:?}, found {other:?}", byte as char)),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let digit = self
+                                .next()
+                                .and_then(|b| (b as char).to_digit(16))
+                                .ok_or("bad \\u escape")?;
+                            code = code * 16 + digit;
+                        }
+                        out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some(b) => {
+                    // Multi-byte UTF-8: copy the raw bytes of the code point.
+                    let start = self.pos - 1;
+                    let len = match b {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    self.pos = start + len;
+                    let slice = self
+                        .bytes
+                        .get(start..self.pos)
+                        .ok_or("truncated UTF-8 sequence")?;
+                    out.push_str(std::str::from_utf8(slice).map_err(|e| e.to_string())?);
+                }
+            }
+        }
+    }
+
+    fn parse_number_or_null(&mut self) -> Result<Option<f64>, String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(b"null") {
+            self.pos += 4;
+            return Ok(None);
+        }
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        text.parse::<f64>().map(Some).map_err(|e| e.to_string())
+    }
+
+    fn parse_record(&mut self) -> Result<BenchRecord, String> {
+        self.skip_ws();
+        self.expect(b'{')?;
+        let mut record = BenchRecord {
+            experiment: String::new(),
+            system: String::new(),
+            parameter: String::new(),
+            seconds: None,
+            note: String::new(),
+        };
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            match key.as_str() {
+                "experiment" => record.experiment = self.parse_string()?,
+                "system" => record.system = self.parse_string()?,
+                "parameter" => record.parameter = self.parse_string()?,
+                "note" => record.note = self.parse_string()?,
+                "seconds" => record.seconds = self.parse_number_or_null()?,
+                other => return Err(format!("unknown field {other:?}")),
+            }
+            self.skip_ws();
+            match self.next() {
+                Some(b',') => {}
+                Some(b'}') => return Ok(record),
+                other => return Err(format!("expected ',' or '}}', found {other:?}")),
+            }
+        }
+    }
+}
+
+/// Append records to the JSON file at `path`, merging with any records already in it
+/// (several bench targets write to one snapshot file). Parse/IO problems are reported
+/// on stderr rather than failing the bench run.
+pub fn emit_json_to(path: &str, records: &[BenchRecord]) {
+    let mut all = match std::fs::read_to_string(path) {
+        Ok(existing) => match parse_records_json(&existing) {
+            Ok(records) => records,
+            Err(err) => {
+                eprintln!("{JSON_ENV_VAR}: ignoring unparseable {path}: {err}");
+                Vec::new()
+            }
+        },
+        Err(_) => Vec::new(),
+    };
+    all.extend(records.iter().cloned());
+    if let Err(err) = std::fs::write(path, records_to_json(&all)) {
+        eprintln!("{JSON_ENV_VAR}: cannot write {path}: {err}");
+    }
+}
+
+/// [`emit_json_to`] the file named by `DF_BENCH_JSON`; a no-op when the variable is
+/// unset or empty.
+pub fn emit_json_env(records: &[BenchRecord]) {
+    let Ok(path) = std::env::var(JSON_ENV_VAR) else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    emit_json_to(&path, records);
+}
+
 /// Render records as an aligned text table, grouped in input order.
 pub fn render_table(title: &str, records: &[BenchRecord]) -> String {
     let mut out = String::new();
@@ -328,6 +557,53 @@ mod tests {
         assert!(table.contains("fig2-map"));
         let speedups = speedup_summary(&records);
         assert!(!speedups.is_empty());
+    }
+
+    #[test]
+    fn json_records_round_trip() {
+        let records = vec![
+            BenchRecord {
+                experiment: "table1/JOIN".into(),
+                system: "modin-engine".into(),
+                parameter: "30000 rows".into(),
+                seconds: Some(1.25),
+                note: "out=(3000, 18) \"quoted\"\nnewline\\slash".into(),
+            },
+            BenchRecord {
+                experiment: "fig2-transpose".into(),
+                system: "pandas-baseline".into(),
+                parameter: "x3".into(),
+                seconds: None,
+                note: String::new(),
+            },
+        ];
+        let json = records_to_json(&records);
+        let parsed = parse_records_json(&json).expect("round trip parses");
+        assert_eq!(parsed, records);
+        assert_eq!(parse_records_json("[]").unwrap(), vec![]);
+        assert!(parse_records_json("{").is_err());
+        assert!(parse_records_json("[{\"bogus\":1}]").is_err());
+    }
+
+    #[test]
+    fn emit_json_to_appends_to_existing_snapshots() {
+        let dir = std::env::temp_dir().join(format!("df-bench-json-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("records.json").to_string_lossy().into_owned();
+        let record = |name: &str| BenchRecord {
+            experiment: name.into(),
+            system: "s".into(),
+            parameter: "p".into(),
+            seconds: Some(0.5),
+            note: String::new(),
+        };
+        emit_json_to(&path, &[record("first")]);
+        emit_json_to(&path, &[record("second")]);
+        let merged = parse_records_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].experiment, "first");
+        assert_eq!(merged[1].experiment, "second");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -272,6 +272,13 @@ impl DataFrame {
         })
     }
 
+    /// Consume the dataframe, returning its columns and both label vectors. The
+    /// multi-way concatenation helpers use this to move cell buffers instead of
+    /// cloning them.
+    pub fn into_parts(self) -> (Vec<Column>, Labels, Labels) {
+        (self.columns, self.row_labels, self.col_labels)
+    }
+
     /// Replace the row labels (must match the row count).
     pub fn with_row_labels(mut self, labels: impl Into<Labels>) -> DfResult<Self> {
         let labels = labels.into();

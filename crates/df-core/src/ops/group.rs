@@ -1,13 +1,160 @@
 //! GROUPBY, DROP DUPLICATES and SORT.
 
 use std::collections::HashMap;
+use std::hash::Hasher;
 
-use df_types::cell::{Cell, CellKey};
+use df_types::cell::{Cell, CellKey, StableHasher};
 use df_types::error::{DfError, DfResult};
 use df_types::labels::Labels;
 
 use crate::algebra::{AggFunc, Aggregation, SortSpec};
 use crate::dataframe::{Column, DataFrame};
+
+/// Streaming accumulator for one aggregation over one group. The GROUPBY kernel
+/// updates these while scanning the frame once, instead of first collecting row-index
+/// lists per group and then re-gathering the grouped cells per aggregate.
+#[derive(Debug, Clone)]
+enum AggState {
+    Count(i64),
+    CountNonNull(i64),
+    Sum {
+        total: f64,
+        any_numeric: bool,
+    },
+    Mean {
+        total: f64,
+        count: usize,
+    },
+    /// Std keeps the group's numeric values so finalisation can run the exact
+    /// two-pass formula the reference semantics are defined by.
+    Std(Vec<f64>),
+    Min(Option<Cell>),
+    Max(Option<Cell>),
+    First(Option<Cell>),
+    Last(Option<Cell>),
+    Collect(Vec<Cell>),
+}
+
+impl AggState {
+    fn new(func: &AggFunc) -> AggState {
+        match func {
+            AggFunc::Count => AggState::Count(0),
+            AggFunc::CountNonNull => AggState::CountNonNull(0),
+            AggFunc::Sum => AggState::Sum {
+                total: 0.0,
+                any_numeric: false,
+            },
+            AggFunc::Mean => AggState::Mean {
+                total: 0.0,
+                count: 0,
+            },
+            AggFunc::Std => AggState::Std(Vec::new()),
+            AggFunc::Min => AggState::Min(None),
+            AggFunc::Max => AggState::Max(None),
+            AggFunc::First => AggState::First(None),
+            AggFunc::Last => AggState::Last(None),
+            AggFunc::Collect => AggState::Collect(Vec::new()),
+        }
+    }
+
+    /// Fold one cell of the aggregated column into the state. `cell` is `None` only
+    /// for column-less aggregations (COUNT over whole rows).
+    fn update(&mut self, cell: Option<&Cell>) {
+        match self {
+            AggState::Count(n) => *n += 1,
+            AggState::CountNonNull(n) => {
+                if cell.is_some_and(|c| !c.is_null()) {
+                    *n += 1;
+                }
+            }
+            AggState::Sum { total, any_numeric } => {
+                if let Some(v) = cell.and_then(Cell::as_f64) {
+                    *total += v;
+                    *any_numeric = true;
+                }
+            }
+            AggState::Mean { total, count } => {
+                if let Some(v) = cell.and_then(Cell::as_f64) {
+                    *total += v;
+                    *count += 1;
+                }
+            }
+            AggState::Std(values) => {
+                if let Some(v) = cell.and_then(Cell::as_f64) {
+                    values.push(v);
+                }
+            }
+            AggState::Min(best) => {
+                if let Some(c) = cell.filter(|c| !c.is_null()) {
+                    // `min_by` keeps the *last* of equal minima; mirror that.
+                    let replace = best
+                        .as_ref()
+                        .map(|b| c.total_cmp(b) != std::cmp::Ordering::Greater)
+                        .unwrap_or(true);
+                    if replace {
+                        *best = Some(c.clone());
+                    }
+                }
+            }
+            AggState::Max(best) => {
+                if let Some(c) = cell.filter(|c| !c.is_null()) {
+                    // `max_by` keeps the *last* of equal maxima; mirror that.
+                    let replace = best
+                        .as_ref()
+                        .map(|b| c.total_cmp(b) != std::cmp::Ordering::Less)
+                        .unwrap_or(true);
+                    if replace {
+                        *best = Some(c.clone());
+                    }
+                }
+            }
+            AggState::First(slot) => {
+                if slot.is_none() {
+                    *slot = Some(cell.cloned().unwrap_or(Cell::Null));
+                }
+            }
+            AggState::Last(slot) => {
+                *slot = Some(cell.cloned().unwrap_or(Cell::Null));
+            }
+            AggState::Collect(values) => {
+                values.push(cell.cloned().unwrap_or(Cell::Null));
+            }
+        }
+    }
+
+    fn finalize(self) -> Cell {
+        match self {
+            AggState::Count(n) | AggState::CountNonNull(n) => Cell::Int(n),
+            AggState::Sum { total, any_numeric } => {
+                if any_numeric {
+                    Cell::Float(total)
+                } else {
+                    Cell::Null
+                }
+            }
+            AggState::Mean { total, count } => {
+                if count == 0 {
+                    Cell::Null
+                } else {
+                    Cell::Float(total / count as f64)
+                }
+            }
+            AggState::Std(values) => {
+                if values.len() < 2 {
+                    Cell::Null
+                } else {
+                    let mean = values.iter().sum::<f64>() / values.len() as f64;
+                    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>()
+                        / (values.len() - 1) as f64;
+                    Cell::Float(var.sqrt())
+                }
+            }
+            AggState::Min(best) | AggState::Max(best) => best.unwrap_or(Cell::Null),
+            AggState::First(slot) | AggState::Last(slot) => slot.unwrap_or(Cell::Null),
+            AggState::Collect(values) => Cell::List(values),
+        }
+    }
+}
 
 /// GROUPBY: group rows by the key columns (an empty key list forms a single global
 /// group — the Figure 2 "groupby (1)" query) and compute the requested aggregations.
@@ -16,6 +163,11 @@ use crate::dataframe::{Column, DataFrame};
 /// also the paper's "Order: New" for GROUPBY. When `keys_as_labels` is set the key
 /// values become the result's row labels (pandas' implicit TOLABELS, §4.3); otherwise
 /// they stay as leading data columns.
+///
+/// This is a single-pass streaming kernel: each row's key cells are hashed in place
+/// (no per-row `Vec<CellKey>` allocation) to find or create its group, and every
+/// aggregation's [`AggState`] is folded forward during the same scan, so the frame is
+/// read exactly once regardless of how many groups or aggregates there are.
 pub fn group_by(
     df: &DataFrame,
     keys: &[Cell],
@@ -26,29 +178,71 @@ pub fn group_by(
         .iter()
         .map(|k| df.col_position(k))
         .collect::<DfResult<_>>()?;
-    // Map from key tuple to (first-occurrence order, row positions).
-    let mut groups: HashMap<Vec<CellKey>, Vec<usize>> = HashMap::new();
-    let mut group_order: Vec<(Vec<CellKey>, Vec<Cell>)> = Vec::new();
-    for i in 0..df.n_rows() {
-        let key_cells: Vec<Cell> = key_positions
-            .iter()
-            .map(|&j| df.columns()[j].cells()[i].clone())
-            .collect();
-        let key: Vec<CellKey> = key_cells.iter().map(Cell::group_key).collect();
-        if !groups.contains_key(&key) {
-            group_order.push((key.clone(), key_cells));
+    // Resolve aggregation input columns up front; `None` means "whole rows" and is
+    // only meaningful for COUNT.
+    let mut agg_positions: Vec<Option<usize>> = Vec::with_capacity(aggs.len());
+    for agg in aggs {
+        match &agg.column {
+            Some(label) => agg_positions.push(Some(df.col_position(label)?)),
+            None => {
+                if agg.func != AggFunc::Count {
+                    return Err(DfError::unsupported(
+                        "aggregations other than Count require a column argument",
+                    ));
+                }
+                agg_positions.push(None);
+            }
         }
-        groups.entry(key).or_default().push(i);
+    }
+
+    // Hash-indexed group table: bucket hash -> group ids with that hash, verified by
+    // group-key equality against the group's stored key cells.
+    let mut table: HashMap<u64, Vec<usize>> = HashMap::new();
+    let mut group_keys: Vec<Vec<Cell>> = Vec::new();
+    let mut states: Vec<Vec<AggState>> = Vec::new();
+    let columns = df.columns();
+    for i in 0..df.n_rows() {
+        let mut hasher = StableHasher::default();
+        for &j in &key_positions {
+            columns[j].cells()[i].hash_key(&mut hasher);
+        }
+        let candidates = table.entry(hasher.finish()).or_default();
+        let gi = candidates
+            .iter()
+            .copied()
+            .find(|&g| {
+                key_positions
+                    .iter()
+                    .zip(group_keys[g].iter())
+                    .all(|(&j, key_cell)| key_cell.key_eq(&columns[j].cells()[i]))
+            })
+            .unwrap_or_else(|| {
+                let g = group_keys.len();
+                group_keys.push(
+                    key_positions
+                        .iter()
+                        .map(|&j| columns[j].cells()[i].clone())
+                        .collect(),
+                );
+                states.push(aggs.iter().map(|a| AggState::new(&a.func)).collect());
+                candidates.push(g);
+                g
+            });
+        for (state, position) in states[gi].iter_mut().zip(agg_positions.iter()) {
+            state.update(position.map(|j| &columns[j].cells()[i]));
+        }
     }
     if df.n_rows() == 0 && keys.is_empty() {
         // A global aggregate over an empty frame still produces one (empty) group so
         // that COUNT returns 0 rather than an empty frame.
-        group_order.push((Vec::new(), Vec::new()));
-        groups.insert(Vec::new(), Vec::new());
+        group_keys.push(Vec::new());
+        states.push(aggs.iter().map(|a| AggState::new(&a.func)).collect());
     }
-    // Ascending order on key values.
-    group_order.sort_by(|(_, a), (_, b)| {
-        for (x, y) in a.iter().zip(b.iter()) {
+
+    // Ascending order on key values, stable on first-occurrence order.
+    let mut order: Vec<usize> = (0..group_keys.len()).collect();
+    order.sort_by(|&a, &b| {
+        for (x, y) in group_keys[a].iter().zip(group_keys[b].iter()) {
             let ord = x.total_cmp(y);
             if ord != std::cmp::Ordering::Equal {
                 return ord;
@@ -57,15 +251,17 @@ pub fn group_by(
         std::cmp::Ordering::Equal
     });
 
-    let mut key_columns: Vec<Vec<Cell>> = vec![Vec::with_capacity(group_order.len()); keys.len()];
-    let mut agg_columns: Vec<Vec<Cell>> = vec![Vec::with_capacity(group_order.len()); aggs.len()];
-    for (key, key_cells) in &group_order {
-        let rows = &groups[key];
-        for (slot, cell) in key_columns.iter_mut().zip(key_cells.iter()) {
+    let n_groups = order.len();
+    let mut key_columns: Vec<Vec<Cell>> = vec![Vec::with_capacity(n_groups); keys.len()];
+    let mut agg_columns: Vec<Vec<Cell>> = vec![Vec::with_capacity(n_groups); aggs.len()];
+    let mut finalized: Vec<Option<Vec<AggState>>> = states.into_iter().map(Some).collect();
+    for &g in &order {
+        for (slot, cell) in key_columns.iter_mut().zip(group_keys[g].iter()) {
             slot.push(cell.clone());
         }
-        for (slot, agg) in agg_columns.iter_mut().zip(aggs.iter()) {
-            slot.push(aggregate(df, rows, agg)?);
+        let group_states = finalized[g].take().expect("each group finalized once");
+        for (slot, state) in agg_columns.iter_mut().zip(group_states) {
+            slot.push(state.finalize());
         }
     }
 
@@ -84,9 +280,10 @@ pub fn group_by(
 
     let row_labels = if keys_as_labels && !keys.is_empty() {
         Labels::new(
-            group_order
+            order
                 .iter()
-                .map(|(_, key_cells)| {
+                .map(|&g| {
+                    let key_cells = &group_keys[g];
                     if key_cells.len() == 1 {
                         key_cells[0].clone()
                     } else {
@@ -96,74 +293,10 @@ pub fn group_by(
                 .collect(),
         )
     } else {
-        Labels::positional(group_order.len())
+        Labels::positional(n_groups)
     };
 
     DataFrame::from_parts(columns, row_labels, Labels::new(labels))
-}
-
-/// Compute one aggregation over the rows of one group.
-fn aggregate(df: &DataFrame, rows: &[usize], agg: &Aggregation) -> DfResult<Cell> {
-    let column = match &agg.column {
-        None => {
-            return match agg.func {
-                AggFunc::Count => Ok(Cell::Int(rows.len() as i64)),
-                _ => Err(DfError::unsupported(
-                    "aggregations other than Count require a column argument",
-                )),
-            }
-        }
-        Some(label) => {
-            let j = df.col_position(label)?;
-            &df.columns()[j]
-        }
-    };
-    let values: Vec<&Cell> = rows.iter().map(|&i| &column.cells()[i]).collect();
-    let non_null: Vec<&Cell> = values.iter().copied().filter(|c| !c.is_null()).collect();
-    let numeric: Vec<f64> = non_null.iter().filter_map(|c| c.as_f64()).collect();
-    Ok(match agg.func {
-        AggFunc::Count => Cell::Int(values.len() as i64),
-        AggFunc::CountNonNull => Cell::Int(non_null.len() as i64),
-        AggFunc::Sum => {
-            if numeric.is_empty() {
-                Cell::Null
-            } else {
-                Cell::Float(numeric.iter().sum())
-            }
-        }
-        AggFunc::Mean => {
-            if numeric.is_empty() {
-                Cell::Null
-            } else {
-                Cell::Float(numeric.iter().sum::<f64>() / numeric.len() as f64)
-            }
-        }
-        AggFunc::Std => {
-            if numeric.len() < 2 {
-                Cell::Null
-            } else {
-                let mean = numeric.iter().sum::<f64>() / numeric.len() as f64;
-                let var = numeric.iter().map(|v| (v - mean).powi(2)).sum::<f64>()
-                    / (numeric.len() - 1) as f64;
-                Cell::Float(var.sqrt())
-            }
-        }
-        AggFunc::Min => non_null
-            .iter()
-            .copied()
-            .min_by(|a, b| a.total_cmp(b))
-            .cloned()
-            .unwrap_or(Cell::Null),
-        AggFunc::Max => non_null
-            .iter()
-            .copied()
-            .max_by(|a, b| a.total_cmp(b))
-            .cloned()
-            .unwrap_or(Cell::Null),
-        AggFunc::First => values.first().copied().cloned().unwrap_or(Cell::Null),
-        AggFunc::Last => values.last().copied().cloned().unwrap_or(Cell::Null),
-        AggFunc::Collect => Cell::List(values.into_iter().cloned().collect()),
-    })
 }
 
 /// DROP DUPLICATES: remove rows whose full-row value already appeared earlier,

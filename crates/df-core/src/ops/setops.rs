@@ -6,6 +6,7 @@
 use std::collections::{HashMap, HashSet};
 
 use df_types::cell::{Cell, CellKey};
+use df_types::domain::Domain;
 use df_types::error::{DfError, DfResult};
 use df_types::labels::Labels;
 
@@ -42,6 +43,64 @@ pub fn union(left: &DataFrame, right: &DataFrame) -> DfResult<DataFrame> {
         left.row_labels().concat(right.row_labels()),
         left.col_labels().clone(),
     )
+}
+
+/// Multi-way ordered UNION: concatenate every frame in order with one pre-sized
+/// allocation per column, moving cell buffers instead of cloning them.
+///
+/// Semantically equivalent to folding [`union`] left-to-right (zero-column frames act
+/// as identity, arity mismatches error), but O(total) instead of O(frames · total):
+/// the fold re-copies the accumulator for every additional frame, which made
+/// band-by-band assembly of a partitioned dataframe quadratic in the band count.
+pub fn union_all(frames: Vec<DataFrame>) -> DfResult<DataFrame> {
+    let mut frames = frames;
+    if frames.len() <= 1 {
+        return Ok(frames.pop().unwrap_or_else(DataFrame::empty));
+    }
+    // Zero-column frames are the identity element of ordered UNION; a fold over only
+    // such frames yields the last one.
+    if frames.iter().all(|f| f.n_cols() == 0) {
+        return Ok(frames.pop().unwrap_or_else(DataFrame::empty));
+    }
+    frames.retain(|f| f.n_cols() > 0);
+    let n_cols = frames[0].n_cols();
+    if let Some(bad) = frames.iter().find(|f| f.n_cols() != n_cols) {
+        return Err(DfError::shape(
+            format!("{n_cols} columns"),
+            format!("{} columns", bad.n_cols()),
+        ));
+    }
+    let total_rows: usize = frames.iter().map(DataFrame::n_rows).sum();
+    let col_labels = frames[0].col_labels().clone();
+    // A column's domain survives concatenation only when every input agrees on it.
+    let mut domains: Vec<Option<Domain>> = frames[0].schema();
+    for frame in frames.iter().skip(1) {
+        for (slot, domain) in domains.iter_mut().zip(frame.schema()) {
+            if *slot != domain {
+                *slot = None;
+            }
+        }
+    }
+    let mut cells: Vec<Vec<Cell>> = (0..n_cols)
+        .map(|_| Vec::with_capacity(total_rows))
+        .collect();
+    let mut row_labels: Vec<Cell> = Vec::with_capacity(total_rows);
+    for frame in frames {
+        let (columns, labels, _) = frame.into_parts();
+        for (slot, column) in cells.iter_mut().zip(columns) {
+            slot.append(&mut column.into_cells());
+        }
+        row_labels.append(&mut labels.into_vec());
+    }
+    let columns = cells
+        .into_iter()
+        .zip(domains)
+        .map(|(cells, domain)| match domain {
+            Some(domain) => Column::with_domain(cells, domain),
+            None => Column::new(cells),
+        })
+        .collect();
+    DataFrame::from_parts(columns, Labels::new(row_labels), col_labels)
 }
 
 /// DIFFERENCE: rows of the left dataframe whose full-row value does not appear in the
@@ -283,6 +342,35 @@ mod tests {
         assert!(union(&DataFrame::empty(), &right)
             .unwrap()
             .same_data(&right));
+    }
+
+    #[test]
+    fn union_all_matches_the_pairwise_fold() {
+        let a = frame(vec![vec![cell(1), cell("a")], vec![cell(2), cell("b")]]);
+        let b = frame(vec![vec![cell(3), cell("c")]]);
+        let c = frame(vec![vec![cell(4), cell("d")], vec![cell(5), cell("e")]]);
+        let folded = union(&union(&a, &b).unwrap(), &c).unwrap();
+        let multi = union_all(vec![a.clone(), b.clone(), c.clone()]).unwrap();
+        assert!(multi.same_data(&folded));
+        // Identity and edge cases.
+        assert!(union_all(vec![]).unwrap().same_data(&DataFrame::empty()));
+        assert!(union_all(vec![a.clone()]).unwrap().same_data(&a));
+        assert!(
+            union_all(vec![DataFrame::empty(), b.clone(), DataFrame::empty()])
+                .unwrap()
+                .same_data(&b)
+        );
+        let mismatched = DataFrame::from_rows(vec!["x"], vec![vec![cell(1)]]).unwrap();
+        assert!(union_all(vec![a.clone(), mismatched]).is_err());
+        // Consistent known domains survive; conflicting ones reset to unknown.
+        let mut typed_a = a.clone();
+        typed_a.resolve_schema();
+        let mut typed_b = b.clone();
+        typed_b.resolve_schema();
+        let merged = union_all(vec![typed_a, typed_b]).unwrap();
+        assert_eq!(merged.schema()[0], Some(df_types::domain::Domain::Int));
+        let merged_mixed = union_all(vec![a.clone(), b]).unwrap();
+        assert_eq!(merged_mixed.schema(), vec![None, None]);
     }
 
     #[test]

@@ -18,10 +18,17 @@
 //! * *TRANSPOSE* is metadata-only: the partition grid swaps its axes and each block
 //!   flips an orientation flag (paper §3.1), deferring any physical block transposes
 //!   to the operators that actually read the data.
-//! * Everything else (JOIN, SORT, WINDOW, …) assembles its input and reuses the
-//!   reference semantics; correctness first, and these operators are not on the
-//!   paper's critical path.
+//! * *JOIN, SORT, DROP_DUPLICATES and DIFFERENCE* run partition-parallel through the
+//!   [`crate::shuffle`] subsystem: hash (or sampled range) exchanges co-locate keys,
+//!   the per-bucket kernels run in parallel, and the ordered semantics are restored
+//!   from position tags. Small join/difference build sides are broadcast instead of
+//!   shuffled.
+//! * The remaining operators (WINDOW, CROSS_PRODUCT, TOLABELS, FROMLABELS) assemble
+//!   their input and reuse the reference semantics; the engine counts those
+//!   assemblies in [`ModinEngine::fallbacks_dispatched`] so tests and the README's
+//!   execution-strategy table stay honest.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use df_types::cell::Cell;
@@ -34,7 +41,8 @@ use df_core::ops;
 
 use crate::executor::ParallelExecutor;
 use crate::optimizer::{optimize, OptimizerConfig, RewriteStats};
-use crate::partition::{PartitionConfig, PartitionGrid, PartitionScheme};
+use crate::partition::{hstack_all, PartitionConfig, PartitionGrid, PartitionScheme};
+use crate::shuffle;
 
 /// Configuration of the scalable engine.
 #[derive(Debug, Clone)]
@@ -51,6 +59,10 @@ pub struct ModinConfig {
     /// operator actually needs their domains (paper §5.1.1). When false the engine
     /// eagerly parses literals like the baseline does — the ablation arm.
     pub defer_schema_induction: bool,
+    /// JOIN / DIFFERENCE build sides with at most this many rows are broadcast to
+    /// every partition instead of hash-shuffling both inputs. Set to 0 to force the
+    /// shuffle path (differential tests do this).
+    pub broadcast_threshold_rows: usize,
 }
 
 impl Default for ModinConfig {
@@ -63,6 +75,7 @@ impl Default for ModinConfig {
             scheme: PartitionScheme::Row,
             optimizer: OptimizerConfig::default(),
             defer_schema_induction: true,
+            broadcast_threshold_rows: 4096,
         }
     }
 }
@@ -97,12 +110,22 @@ impl ModinConfig {
         self.scheme = scheme;
         self
     }
+
+    /// Override the broadcast threshold for JOIN / DIFFERENCE build sides.
+    pub fn with_broadcast_threshold(mut self, rows: usize) -> Self {
+        self.broadcast_threshold_rows = rows;
+        self
+    }
 }
 
 /// The scalable, partitioned, parallel dataframe engine.
 pub struct ModinEngine {
     config: ModinConfig,
     executor: ParallelExecutor,
+    /// How many operators assembled their whole input and delegated to the reference
+    /// semantics (the "fallback" strategy). Partition-parallel operators never touch
+    /// this; tests assert on it to keep the dispatch table honest.
+    fallbacks: AtomicU64,
 }
 
 impl ModinEngine {
@@ -114,7 +137,11 @@ impl ModinEngine {
     /// An engine with an explicit configuration.
     pub fn with_config(config: ModinConfig) -> Self {
         let executor = ParallelExecutor::new(config.threads);
-        ModinEngine { config, executor }
+        ModinEngine {
+            config,
+            executor,
+            fallbacks: AtomicU64::new(0),
+        }
     }
 
     /// The active configuration.
@@ -125,6 +152,43 @@ impl ModinEngine {
     /// Number of per-partition tasks the engine has dispatched so far.
     pub fn tasks_dispatched(&self) -> u64 {
         self.executor.tasks_run()
+    }
+
+    /// Number of shuffles (hash/range exchanges) the engine has dispatched so far.
+    pub fn shuffles_dispatched(&self) -> u64 {
+        self.executor.shuffles_run()
+    }
+
+    /// Number of operators that fell back to assemble-and-delegate execution.
+    pub fn fallbacks_dispatched(&self) -> u64 {
+        self.fallbacks.load(Ordering::Relaxed)
+    }
+
+    fn note_fallback(&self) {
+        self.fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Buckets for a shuffle: at least the worker count, and enough to keep several
+    /// buckets per existing band on small test grids.
+    fn bucket_count(&self, grid: &PartitionGrid) -> usize {
+        self.executor
+            .threads()
+            .max(grid.n_row_bands().min(8))
+            .max(1)
+    }
+
+    /// Shuffle tuning for one operator, derived from the engine configuration.
+    fn shuffle_options(&self, grid: &PartitionGrid) -> shuffle::ShuffleOptions {
+        shuffle::ShuffleOptions {
+            buckets: self.bucket_count(grid),
+            band_rows: self.config.partitioning.target_rows,
+            broadcast_rows: self.config.broadcast_threshold_rows,
+        }
+    }
+
+    /// Re-partition an assembled fallback result under the engine's configuration.
+    fn repartition(&self, frame: &DataFrame) -> DfResult<PartitionGrid> {
+        PartitionGrid::from_dataframe(frame, self.config.scheme, self.config.partitioning)
     }
 
     /// Run the optimizer alone (used by benches to report rewrite statistics).
@@ -139,10 +203,13 @@ impl ModinEngine {
     }
 
     fn partition_literal(&self, df: &Arc<DataFrame>) -> DfResult<PartitionGrid> {
-        let mut frame = df.as_ref().clone();
-        if !self.config.defer_schema_induction {
-            frame.parse_all();
+        if self.config.defer_schema_induction {
+            // Deferred induction touches nothing: partition the shared literal
+            // directly instead of paying a defensive whole-frame clone first.
+            return PartitionGrid::from_dataframe(df, self.config.scheme, self.config.partitioning);
         }
+        let mut frame = df.as_ref().clone();
+        frame.parse_all();
         PartitionGrid::from_dataframe(&frame, self.config.scheme, self.config.partitioning)
     }
 
@@ -171,18 +238,96 @@ impl ModinEngine {
                 // Ordered concatenation: keep both sides partitioned and stack bands.
                 let left = self.eval(left)?;
                 let right = self.eval(right)?;
-                let mut bands = left.row_bands()?;
-                bands.extend(right.row_bands()?);
+                let mut bands = left.into_row_bands()?;
+                bands.extend(right.into_row_bands()?);
                 Ok(PartitionGrid::from_row_bands(bands))
             }
+            AlgebraExpr::Sort { input, spec } => self.eval_sort(input, spec),
+            AlgebraExpr::DropDuplicates { input } => self.eval_drop_duplicates(input),
+            AlgebraExpr::Difference { left, right } => self.eval_difference(left, right),
+            AlgebraExpr::Join {
+                left,
+                right,
+                on,
+                how,
+            } => self.eval_join(left, right, on, *how),
             // Operators without a partitioned strategy: assemble and delegate to the
             // reference semantics, then re-partition the result.
             other => {
+                self.note_fallback();
                 let rewritten = self.assemble_children(other)?;
                 let result = ops::execute_reference(&rewritten)?;
-                PartitionGrid::from_dataframe(&result, self.config.scheme, self.config.partitioning)
+                self.repartition(&result)
             }
         }
+    }
+
+    /// Partition-parallel stable SORT via range shuffle. Unstable sorts delegate to
+    /// the reference so tie order stays bit-for-bit identical to `sort_unstable`.
+    fn eval_sort(
+        &self,
+        input: &AlgebraExpr,
+        spec: &df_core::algebra::SortSpec,
+    ) -> DfResult<PartitionGrid> {
+        let grid = self.eval(input)?;
+        if !spec.stable {
+            self.note_fallback();
+            let result = ops::group::sort(&grid.into_dataframe()?, spec)?;
+            return self.repartition(&result);
+        }
+        let buckets = self.bucket_count(&grid);
+        shuffle::parallel_sort(&self.executor, grid, spec, buckets)
+    }
+
+    /// Partition-parallel DROP_DUPLICATES via full-row hash shuffle.
+    fn eval_drop_duplicates(&self, input: &AlgebraExpr) -> DfResult<PartitionGrid> {
+        let grid = self.eval(input)?;
+        if grid.shape().1 == 0 {
+            self.note_fallback();
+            let result = ops::group::drop_duplicates(&grid.into_dataframe()?)?;
+            return self.repartition(&result);
+        }
+        let options = self.shuffle_options(&grid);
+        shuffle::parallel_drop_duplicates(&self.executor, grid, options)
+    }
+
+    /// Partition-parallel DIFFERENCE via broadcast or full-row hash shuffle.
+    fn eval_difference(&self, left: &AlgebraExpr, right: &AlgebraExpr) -> DfResult<PartitionGrid> {
+        let left = self.eval(left)?;
+        let right = self.eval(right)?;
+        let (_, left_cols) = left.shape();
+        let (_, right_cols) = right.shape();
+        if left_cols == 0 || right_cols == 0 || left_cols != right_cols {
+            // Degenerate arities (and their error cases) follow reference semantics.
+            self.note_fallback();
+            let result =
+                ops::setops::difference(&left.into_dataframe()?, &right.into_dataframe()?)?;
+            return self.repartition(&result);
+        }
+        let options = self.shuffle_options(&left);
+        shuffle::parallel_difference(&self.executor, left, right, options)
+    }
+
+    /// Partition-parallel JOIN via broadcast or co-partitioning hash shuffle.
+    fn eval_join(
+        &self,
+        left: &AlgebraExpr,
+        right: &AlgebraExpr,
+        on: &df_core::algebra::JoinOn,
+        how: df_core::algebra::JoinType,
+    ) -> DfResult<PartitionGrid> {
+        let left = self.eval(left)?;
+        let right = self.eval(right)?;
+        if left.shape().1 == 0 || right.shape().1 == 0 {
+            // Zero-column inputs cannot carry the position tags the shuffle needs;
+            // these degenerate joins follow reference semantics directly.
+            self.note_fallback();
+            let result =
+                ops::setops::join(&left.into_dataframe()?, &right.into_dataframe()?, on, how)?;
+            return self.repartition(&result);
+        }
+        let options = self.shuffle_options(&left);
+        shuffle::parallel_join(&self.executor, left, right, on, how, options)
     }
 
     /// Replace each child with a literal holding its assembled value.
@@ -202,15 +347,15 @@ impl ModinEngine {
             | AlgebraExpr::ToLabels { input, .. }
             | AlgebraExpr::FromLabels { input, .. }
             | AlgebraExpr::Limit { input, .. } => {
-                let value = self.eval(input)?.assemble()?;
+                let value = self.eval(input)?.into_dataframe()?;
                 **input = AlgebraExpr::literal(value);
             }
             AlgebraExpr::Union { left, right }
             | AlgebraExpr::Difference { left, right }
             | AlgebraExpr::CrossProduct { left, right }
             | AlgebraExpr::Join { left, right, .. } => {
-                let left_value = self.eval(left)?.assemble()?;
-                let right_value = self.eval(right)?.assemble()?;
+                let left_value = self.eval(left)?.into_dataframe()?;
+                let right_value = self.eval(right)?.into_dataframe()?;
                 **left = AlgebraExpr::literal(left_value);
                 **right = AlgebraExpr::literal(right_value);
             }
@@ -224,7 +369,7 @@ impl ModinEngine {
         grid: PartitionGrid,
         f: impl Fn(&DataFrame) -> DfResult<DataFrame> + Send + Sync,
     ) -> DfResult<PartitionGrid> {
-        let bands = grid.row_bands()?;
+        let bands = grid.into_row_bands()?;
         let mapped = self.executor.par_map(bands, |_, band| f(&band))?;
         Ok(PartitionGrid::from_row_bands(mapped))
     }
@@ -264,7 +409,7 @@ impl ModinEngine {
         let grid = self.eval(input)?;
         if let Predicate::PositionRange { start, end } = predicate {
             // Positional selection: adjust the range per band using band offsets.
-            let bands = grid.row_bands()?;
+            let bands = grid.into_row_bands()?;
             let mut offset = 0usize;
             let mut out = Vec::with_capacity(bands.len());
             for band in bands {
@@ -282,8 +427,8 @@ impl ModinEngine {
     fn eval_limit(&self, input: &AlgebraExpr, k: usize, from_end: bool) -> DfResult<PartitionGrid> {
         let grid = self.eval(input)?;
         if from_end {
-            let assembled = grid.assemble()?;
-            return Ok(PartitionGrid::single(assembled.tail(k)));
+            // Suffix mirror of the prefix path: only trailing bands are materialised.
+            return Ok(PartitionGrid::single(grid.suffix(k)?));
         }
         Ok(PartitionGrid::single(grid.prefix(k)?))
     }
@@ -298,26 +443,20 @@ impl ModinEngine {
         let grid = self.eval(input)?;
         if !aggs.iter().all(|a| mergeable(&a.func)) {
             // Fall back: single-pass over the assembled frame.
-            let assembled = grid.assemble()?;
+            self.note_fallback();
+            let assembled = grid.into_dataframe()?;
             let result = ops::group::group_by(&assembled, keys, aggs, keys_as_labels)?;
             return Ok(PartitionGrid::single(result));
         }
         // Phase 1 (map): partial aggregation per row band, keys kept as data columns.
         let partial_aggs: Vec<Aggregation> = aggs.iter().flat_map(partial_plan).collect();
         let keys_vec = keys.to_vec();
-        let bands = grid.row_bands()?;
+        let bands = grid.into_row_bands()?;
         let partials = self.executor.par_map(bands, |_, band| {
             ops::group::group_by(&band, &keys_vec, &partial_aggs, false)
         })?;
         // Phase 2 (reduce): concatenate partials and merge per key.
-        let mut merged: Option<DataFrame> = None;
-        for partial in partials {
-            merged = Some(match merged {
-                None => partial,
-                Some(acc) => ops::setops::union(&acc, &partial)?,
-            });
-        }
-        let combined = merged.unwrap_or_else(DataFrame::empty);
+        let combined = ops::setops::union_all(partials)?;
         let merge_aggs: Vec<Aggregation> = aggs.iter().flat_map(merge_plans).collect();
         let mut result = ops::group::group_by(&combined, keys, &merge_aggs, keys_as_labels)?;
         // Post-process Mean (sum of sums / sum of counts) and restore output labels.
@@ -338,7 +477,7 @@ impl Engine for ModinEngine {
     }
 
     fn execute(&self, expr: &AlgebraExpr) -> DfResult<DataFrame> {
-        self.execute_partitioned(expr)?.assemble()
+        self.execute_partitioned(expr)?.into_dataframe()
     }
 
     fn capabilities(&self) -> Capabilities {
@@ -353,13 +492,13 @@ impl Engine for ModinEngine {
         // operators (§6.1.2), then let the partition-aware prefix path finish the job.
         let limited = expr.clone().limit(k, false);
         let (optimized, _) = optimize(&limited, self.config.optimizer);
-        self.eval(&optimized)?.assemble()
+        self.eval(&optimized)?.into_dataframe()
     }
 
     fn execute_suffix(&self, expr: &AlgebraExpr, k: usize) -> DfResult<DataFrame> {
         let limited = expr.clone().limit(k, true);
         let (optimized, _) = optimize(&limited, self.config.optimizer);
-        self.eval(&optimized)?.assemble()
+        self.eval(&optimized)?.into_dataframe()
     }
 }
 
@@ -571,15 +710,11 @@ fn rebuild_grid_like(parts: Vec<(crate::partition::Partition, bool)>) -> DfResul
     let bands_frames: DfResult<Vec<DataFrame>> = blocks
         .into_iter()
         .map(|band| {
-            let mut merged: Option<DataFrame> = None;
-            for part in band {
-                let block = part.materialize()?;
-                merged = Some(match merged {
-                    None => block,
-                    Some(acc) => crate::partition::hstack(&acc, &block)?,
-                });
-            }
-            Ok(merged.unwrap_or_else(DataFrame::empty))
+            let materialized: Vec<DataFrame> = band
+                .iter()
+                .map(crate::partition::Partition::materialize)
+                .collect::<DfResult<_>>()?;
+            hstack_all(materialized)
         })
         .collect();
     Ok(PartitionGrid::from_row_bands(bands_frames?))
@@ -720,6 +855,54 @@ mod tests {
             df_core::algebra::JoinOn::Columns(vec![cell("vendor")]),
             df_core::algebra::JoinType::Inner,
         ));
+    }
+
+    #[test]
+    fn shuffle_operators_never_fall_back() {
+        // The acceptance criterion of the shuffle subsystem: JOIN, SORT,
+        // DROP_DUPLICATES and DIFFERENCE run partition-parallel, not through the
+        // assemble-and-delegate path. Each operator gets a fresh engine so the
+        // counters are attributable.
+        let base = || AlgebraExpr::literal(trips(120));
+        let other = || AlgebraExpr::literal(trips(40));
+        let shuffled: Vec<(&str, AlgebraExpr)> = vec![
+            ("SORT", base().sort(SortSpec::ascending(vec![cell("fare")]))),
+            ("DROP_DUPLICATES", base().drop_duplicates()),
+            ("DIFFERENCE", base().difference(other())),
+            (
+                "JOIN",
+                base().join(
+                    other(),
+                    df_core::algebra::JoinOn::Columns(vec![cell("vendor")]),
+                    df_core::algebra::JoinType::Inner,
+                ),
+            ),
+        ];
+        for (name, expr) in shuffled {
+            // Broadcast threshold 0 forces the full shuffle machinery for the binary
+            // operators; unary ones shuffle regardless.
+            let engine = ModinEngine::with_config(
+                ModinConfig::sequential()
+                    .with_partition_size(16, 2)
+                    .with_broadcast_threshold(0),
+            );
+            let result = engine.execute(&expr).unwrap();
+            let reference = ReferenceEngine.execute(&expr).unwrap();
+            assert!(result.same_data(&reference), "{name} diverged");
+            assert_eq!(engine.fallbacks_dispatched(), 0, "{name} fell back");
+            assert!(engine.shuffles_dispatched() > 0, "{name} did not shuffle");
+            assert!(engine.tasks_dispatched() > 0);
+        }
+        // And the remaining fallback operators do count their assembly.
+        let engine = ModinEngine::with_config(ModinConfig::sequential().with_partition_size(16, 2));
+        engine
+            .execute(&base().window(
+                ColumnSelector::ByLabels(vec![cell("fare")]),
+                WindowFunc::CumSum,
+            ))
+            .unwrap();
+        assert_eq!(engine.fallbacks_dispatched(), 1);
+        assert_eq!(engine.shuffles_dispatched(), 0);
     }
 
     #[test]

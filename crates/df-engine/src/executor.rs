@@ -18,6 +18,7 @@ pub struct ParallelExecutor {
     threads: usize,
     tasks_run: AtomicU64,
     batches_run: AtomicU64,
+    shuffles_run: AtomicU64,
 }
 
 impl ParallelExecutor {
@@ -27,6 +28,7 @@ impl ParallelExecutor {
             threads: threads.max(1),
             tasks_run: AtomicU64::new(0),
             batches_run: AtomicU64::new(0),
+            shuffles_run: AtomicU64::new(0),
         }
     }
 
@@ -51,6 +53,17 @@ impl ParallelExecutor {
     /// Total number of fan-out batches executed so far.
     pub fn batches_run(&self) -> u64 {
         self.batches_run.load(Ordering::Relaxed)
+    }
+
+    /// Total number of shuffles (hash or range exchanges) executed so far. Recorded by
+    /// the shuffle subsystem so ablations can report shuffle counts per query.
+    pub fn shuffles_run(&self) -> u64 {
+        self.shuffles_run.load(Ordering::Relaxed)
+    }
+
+    /// Record one shuffle (called by the shuffle subsystem per exchange).
+    pub fn record_shuffle(&self) {
+        self.shuffles_run.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Apply `f` to every item, in parallel across the pool, returning results in input
@@ -131,6 +144,9 @@ mod tests {
         assert_eq!(out.len(), 100);
         assert_eq!(executor.tasks_run(), 100);
         assert_eq!(executor.batches_run(), 1);
+        assert_eq!(executor.shuffles_run(), 0);
+        executor.record_shuffle();
+        assert_eq!(executor.shuffles_run(), 1);
     }
 
     #[test]

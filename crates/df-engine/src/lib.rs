@@ -4,6 +4,9 @@
 //!
 //! * [`partition`] — row / column / block partitioning of dataframes and the
 //!   metadata-only TRANSPOSE (paper §3.1).
+//! * [`shuffle`] — hash/range exchanges and the partition-parallel JOIN, SORT,
+//!   DROP_DUPLICATES and DIFFERENCE kernels built on them (paper §3.1's expensive
+//!   operators).
 //! * [`executor`] — the task-parallel execution layer (the paper's Ray/Dask slot),
 //!   here an in-process scoped thread pool.
 //! * [`optimizer`] — logical rewrite rules: transpose cancellation, selection fusion,
@@ -19,9 +22,11 @@ pub mod executor;
 pub mod optimizer;
 pub mod partition;
 pub mod session;
+pub mod shuffle;
 
 pub use engine::{ModinConfig, ModinEngine};
 pub use executor::ParallelExecutor;
 pub use optimizer::{choose_pivot_plan, optimize, OptimizerConfig, PivotPlan, RewriteStats};
 pub use partition::{PartitionConfig, PartitionGrid, PartitionScheme};
 pub use session::{EvalMode, QueryFuture, QuerySession, SessionStats};
+pub use shuffle::{ShuffleKey, ShuffleOptions};

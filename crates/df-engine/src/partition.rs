@@ -111,6 +111,16 @@ impl Partition {
         }
     }
 
+    /// Consume the partition and materialise its logical block, moving the stored
+    /// frame when no transpose is pending (the zero-copy half of assembly).
+    pub fn into_materialized(self) -> DfResult<DataFrame> {
+        if self.transposed {
+            reshape::transpose(&self.frame)
+        } else {
+            Ok(self.frame)
+        }
+    }
+
     /// Replace the block's contents with an already-materialised frame.
     pub fn replace(&mut self, frame: DataFrame) {
         self.frame = frame;
@@ -151,13 +161,26 @@ impl PartitionGrid {
         let row_bands = split_ranges(m, row_chunk);
         let col_bands = split_ranges(n, col_chunk);
         let mut blocks = Vec::with_capacity(row_bands.len());
-        for (row_start, row_end) in &row_bands {
-            let row_slice = df.slice_rows(*row_start, *row_end);
+        for &(row_start, row_end) in &row_bands {
+            let row_labels = Labels::new(df.row_labels().as_slice()[row_start..row_end].to_vec());
             let mut band = Vec::with_capacity(col_bands.len());
-            for (col_start, col_end) in &col_bands {
-                let positions: Vec<usize> = (*col_start..*col_end).collect();
-                let block = row_slice.take_columns(&positions)?;
-                band.push(Partition::new(block, *row_start, *col_start));
+            for &(col_start, col_end) in &col_bands {
+                // Build each block with a single pass over its cells (slicing rows and
+                // then selecting columns would copy every cell twice).
+                let columns: Vec<Column> = (col_start..col_end)
+                    .map(|j| {
+                        let source = &df.columns()[j];
+                        let cells = source.cells()[row_start..row_end].to_vec();
+                        match source.known_domain() {
+                            Some(domain) => Column::with_domain(cells, domain),
+                            None => Column::new(cells),
+                        }
+                    })
+                    .collect();
+                let col_labels =
+                    Labels::new(df.col_labels().as_slice()[col_start..col_end].to_vec());
+                let block = DataFrame::from_parts(columns, row_labels.clone(), col_labels)?;
+                band.push(Partition::new(block, row_start, col_start));
             }
             blocks.push(band);
         }
@@ -241,30 +264,39 @@ impl PartitionGrid {
     pub fn row_bands(&self) -> DfResult<Vec<DataFrame>> {
         let mut bands = Vec::with_capacity(self.n_row_bands());
         for band in &self.blocks {
-            let mut merged: Option<DataFrame> = None;
-            for part in band {
-                let block = part.materialize()?;
-                merged = Some(match merged {
-                    None => block,
-                    Some(acc) => hstack(&acc, &block)?,
-                });
-            }
-            bands.push(merged.unwrap_or_else(DataFrame::empty));
+            let blocks: Vec<DataFrame> = band
+                .iter()
+                .map(Partition::materialize)
+                .collect::<DfResult<_>>()?;
+            bands.push(hstack_all(blocks)?);
+        }
+        Ok(bands)
+    }
+
+    /// Like [`PartitionGrid::row_bands`], but consuming the grid: blocks that need no
+    /// deferred transpose are moved instead of cloned, so assembling an owned grid
+    /// copies no cells on the common row-partitioned path.
+    pub fn into_row_bands(self) -> DfResult<Vec<DataFrame>> {
+        let mut bands = Vec::with_capacity(self.blocks.len());
+        for band in self.blocks {
+            let materialized: Vec<DataFrame> = band
+                .into_iter()
+                .map(Partition::into_materialized)
+                .collect::<DfResult<_>>()?;
+            bands.push(hstack_all(materialized)?);
         }
         Ok(bands)
     }
 
     /// Assemble the full logical dataframe.
     pub fn assemble(&self) -> DfResult<DataFrame> {
-        let bands = self.row_bands()?;
-        let mut merged: Option<DataFrame> = None;
-        for band in bands {
-            merged = Some(match merged {
-                None => band,
-                Some(acc) => setops::union(&acc, &band)?,
-            });
-        }
-        Ok(merged.unwrap_or_else(DataFrame::empty))
+        setops::union_all(self.row_bands()?)
+    }
+
+    /// Assemble by consuming the grid — the copy-free variant of
+    /// [`PartitionGrid::assemble`] for callers that own the grid.
+    pub fn into_dataframe(self) -> DfResult<DataFrame> {
+        setops::union_all(self.into_row_bands()?)
     }
 
     /// The metadata-only TRANSPOSE (paper §3.1): swap the grid axes and flip every
@@ -292,29 +324,45 @@ impl PartitionGrid {
     /// First `k` logical rows, touching only the row bands needed to produce them
     /// (the partition-aware half of §6.1.2 prefix execution).
     pub fn prefix(&self, k: usize) -> DfResult<DataFrame> {
-        let mut collected: Option<DataFrame> = None;
+        let mut collected: Vec<DataFrame> = Vec::new();
         let mut remaining = k;
         for band in &self.blocks {
             if remaining == 0 {
                 break;
             }
-            let mut merged: Option<DataFrame> = None;
-            for part in band {
-                let block = part.materialize()?;
-                merged = Some(match merged {
-                    None => block,
-                    Some(acc) => hstack(&acc, &block)?,
-                });
-            }
-            let band_frame = merged.unwrap_or_else(DataFrame::empty);
+            let blocks: Vec<DataFrame> = band
+                .iter()
+                .map(Partition::materialize)
+                .collect::<DfResult<_>>()?;
+            let band_frame = hstack_all(blocks)?;
             let take = band_frame.head(remaining);
             remaining = remaining.saturating_sub(take.n_rows());
-            collected = Some(match collected {
-                None => take,
-                Some(acc) => setops::union(&acc, &take)?,
-            });
+            collected.push(take);
         }
-        Ok(collected.unwrap_or_else(DataFrame::empty))
+        setops::union_all(collected)
+    }
+
+    /// Last `k` logical rows, touching only the trailing row bands needed to produce
+    /// them — the suffix mirror of [`PartitionGrid::prefix`], so `tail` inspection
+    /// (§6.1.2) never assembles the whole frame either.
+    pub fn suffix(&self, k: usize) -> DfResult<DataFrame> {
+        let mut collected: Vec<DataFrame> = Vec::new();
+        let mut remaining = k;
+        for band in self.blocks.iter().rev() {
+            if remaining == 0 {
+                break;
+            }
+            let blocks: Vec<DataFrame> = band
+                .iter()
+                .map(Partition::materialize)
+                .collect::<DfResult<_>>()?;
+            let band_frame = hstack_all(blocks)?;
+            let take = band_frame.tail(remaining);
+            remaining = remaining.saturating_sub(take.n_rows());
+            collected.push(take);
+        }
+        collected.reverse();
+        setops::union_all(collected)
     }
 
     /// Number of partitions whose transpose is still deferred (used in tests and the
@@ -340,6 +388,41 @@ pub fn hstack(left: &DataFrame, right: &DataFrame) -> DfResult<DataFrame> {
     columns.extend(right.columns().iter().cloned());
     let labels = left.col_labels().concat(right.col_labels());
     DataFrame::from_parts(columns, left.row_labels().clone(), labels)
+}
+
+/// Multi-way [`hstack`]: concatenate all frames side by side with a single pre-sized
+/// column vector, moving each frame's columns instead of cloning them. Row labels come
+/// from the first frame; row counts must agree. Equivalent to folding `hstack`
+/// left-to-right but O(total columns) instead of re-copying the accumulator per frame.
+pub fn hstack_all(frames: Vec<DataFrame>) -> DfResult<DataFrame> {
+    let mut frames = frames;
+    if frames.len() <= 1 {
+        return Ok(frames.pop().unwrap_or_else(DataFrame::empty));
+    }
+    let n_rows = frames[0].n_rows();
+    if let Some(bad) = frames.iter().find(|f| f.n_rows() != n_rows) {
+        return Err(DfError::shape(
+            format!("{n_rows} rows"),
+            format!("{} rows", bad.n_rows()),
+        ));
+    }
+    let total_cols: usize = frames.iter().map(DataFrame::n_cols).sum();
+    let mut columns: Vec<Column> = Vec::with_capacity(total_cols);
+    let mut col_labels: Vec<df_types::cell::Cell> = Vec::with_capacity(total_cols);
+    let mut row_labels: Option<Labels> = None;
+    for frame in frames {
+        let (frame_columns, frame_row_labels, frame_col_labels) = frame.into_parts();
+        if row_labels.is_none() {
+            row_labels = Some(frame_row_labels);
+        }
+        columns.extend(frame_columns);
+        col_labels.extend(frame_col_labels.into_vec());
+    }
+    DataFrame::from_parts(
+        columns,
+        row_labels.unwrap_or_default(),
+        Labels::new(col_labels),
+    )
 }
 
 /// Split `len` items into contiguous `(start, end)` ranges of at most `chunk` items.
@@ -466,6 +549,52 @@ mod tests {
         assert!(head.same_data(&df.head(15)));
         let all = grid.prefix(1000).unwrap();
         assert_eq!(all.shape(), (100, 3));
+    }
+
+    #[test]
+    fn suffix_touches_only_trailing_bands() {
+        let df = frame(100, 3)
+            .with_row_labels((0..100).map(|i| format!("r{i}")).collect::<Vec<_>>())
+            .unwrap();
+        let grid = PartitionGrid::from_dataframe(
+            &df,
+            PartitionScheme::Row,
+            PartitionConfig {
+                target_rows: 10,
+                target_cols: 8,
+            },
+        )
+        .unwrap();
+        let tail = grid.suffix(15).unwrap();
+        assert_eq!(tail.shape(), (15, 3));
+        assert!(tail.same_data(&df.tail(15)));
+        let all = grid.suffix(1000).unwrap();
+        assert!(all.same_data(&df));
+        assert_eq!(grid.suffix(0).unwrap().n_rows(), 0);
+        // Block scheme exercises the hstack path inside suffix.
+        let blocks = PartitionGrid::from_dataframe(
+            &df,
+            PartitionScheme::Block,
+            PartitionConfig {
+                target_rows: 30,
+                target_cols: 2,
+            },
+        )
+        .unwrap();
+        assert!(blocks.suffix(37).unwrap().same_data(&df.tail(37)));
+    }
+
+    #[test]
+    fn hstack_all_matches_the_pairwise_fold() {
+        let a = frame(5, 2);
+        let b = frame(5, 1);
+        let c = frame(5, 3);
+        let folded = hstack(&hstack(&a, &b).unwrap(), &c).unwrap();
+        let multi = hstack_all(vec![a.clone(), b.clone(), c]).unwrap();
+        assert!(multi.same_data(&folded));
+        assert!(hstack_all(vec![]).unwrap().same_data(&DataFrame::empty()));
+        assert!(hstack_all(vec![a.clone()]).unwrap().same_data(&a));
+        assert!(hstack_all(vec![a, frame(4, 1)]).is_err());
     }
 
     #[test]

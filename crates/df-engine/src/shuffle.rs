@@ -1,0 +1,1150 @@
+//! Hash and range shuffles: partition-parallel JOIN, SORT, DROP DUPLICATES and
+//! DIFFERENCE.
+//!
+//! Paper §3.1 calls these the expensive operators of Table 1, and §3.3 runs them on a
+//! task-parallel engine by *exchanging* rows between partitions so that every key
+//! lands in exactly one partition. This module is that exchange layer:
+//!
+//! * [`PartitionGrid::shuffle`] is the primitive: every row band is split into `P`
+//!   key-hashed buckets in parallel (via [`ParallelExecutor::par_map`]), and bucket
+//!   `b` of the output concatenates the `b`-th slice of every band, so equal keys are
+//!   co-located while rows within a bucket keep their global order.
+//! * [`parallel_join`] hash-joins co-partitioned buckets (or broadcasts the build side
+//!   when it is small), [`parallel_drop_duplicates`] and [`parallel_difference`]
+//!   deduplicate/anti-join per bucket, and [`parallel_sort`] runs per-band sorts, a
+//!   sampled range partitioning, and a stable k-way merge per range.
+//!
+//! The dataframe algebra is *ordered* (Table 1: result order comes from the parent or
+//! the left argument), so the hash operators restore order afterwards: inputs are
+//! tagged with their global row position before the shuffle, and the combined result
+//! is sorted back by that tag and the tag projected away. Bucket hashing uses
+//! [`Cell::hash_key`] through the deterministic [`StableHasher`], which makes results
+//! identical across thread counts and runs.
+
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::hash::Hasher;
+
+use df_types::cell::{Cell, StableHasher};
+use df_types::error::{DfError, DfResult};
+use df_types::labels::Labels;
+
+use df_core::algebra::{JoinOn, JoinType, SortSpec};
+use df_core::dataframe::{Column, DataFrame};
+use df_core::ops::{group, setops};
+
+use crate::executor::ParallelExecutor;
+use crate::partition::PartitionGrid;
+
+/// Column label used to tag the left/only input's global row positions.
+const POS_LABEL: &str = "__shuffle:pos";
+/// Column label used to tag the right input's global row positions in joins.
+const RIGHT_POS_LABEL: &str = "__shuffle:rpos";
+
+/// Tuning knobs threaded from the engine configuration into the shuffle operators.
+#[derive(Debug, Clone, Copy)]
+pub struct ShuffleOptions {
+    /// Number of hash/range buckets rows are exchanged into.
+    pub buckets: usize,
+    /// Target rows per output band when re-banding order-restored results.
+    pub band_rows: usize,
+    /// JOIN / DIFFERENCE build sides up to this many rows are broadcast instead of
+    /// shuffled.
+    pub broadcast_rows: usize,
+}
+
+/// What a shuffle (or a per-bucket hash table) keys rows on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShuffleKey {
+    /// Hash the cells at these column positions.
+    Positions(Vec<usize>),
+    /// Hash the row label (JOIN on row labels).
+    RowLabels,
+}
+
+impl PartitionGrid {
+    /// The hash-shuffle primitive: redistribute rows into `buckets` row bands keyed by
+    /// the hash of `key`, splitting every existing band in parallel and concatenating
+    /// bucket-wise. Rows that share a key land in the same output band; rows within a
+    /// band keep their global relative order.
+    pub fn shuffle(
+        &self,
+        executor: &ParallelExecutor,
+        key: &ShuffleKey,
+        buckets: usize,
+    ) -> DfResult<PartitionGrid> {
+        let bands = shuffle_bands(executor, self.row_bands()?, key, buckets)?;
+        Ok(PartitionGrid::from_row_bands(bands))
+    }
+}
+
+/// Hash one row's key cells into a stable bucket hash.
+fn row_hash(frame: &DataFrame, i: usize, key: &ShuffleKey) -> u64 {
+    let mut hasher = StableHasher::default();
+    match key {
+        ShuffleKey::Positions(positions) => {
+            for &j in positions {
+                frame.columns()[j].cells()[i].hash_key(&mut hasher);
+            }
+        }
+        ShuffleKey::RowLabels => {
+            if let Some(label) = frame.row_labels().get(i) {
+                label.hash_key(&mut hasher);
+            }
+        }
+    }
+    hasher.finish()
+}
+
+/// Group-key equality of two rows' key cells (the verification step behind the hash).
+fn keys_match(
+    a: &DataFrame,
+    ai: usize,
+    a_key: &ShuffleKey,
+    b: &DataFrame,
+    bi: usize,
+    b_key: &ShuffleKey,
+) -> bool {
+    match (a_key, b_key) {
+        (ShuffleKey::Positions(ap), ShuffleKey::Positions(bp)) => {
+            ap.len() == bp.len()
+                && ap.iter().zip(bp.iter()).all(|(&aj, &bj)| {
+                    a.columns()[aj].cells()[ai].key_eq(&b.columns()[bj].cells()[bi])
+                })
+        }
+        (ShuffleKey::RowLabels, ShuffleKey::RowLabels) => {
+            match (a.row_labels().get(ai), b.row_labels().get(bi)) {
+                (Some(x), Some(y)) => x.key_eq(y),
+                _ => false,
+            }
+        }
+        _ => false,
+    }
+}
+
+fn validate_key(frame: &DataFrame, key: &ShuffleKey) -> DfResult<()> {
+    if let ShuffleKey::Positions(positions) = key {
+        for &j in positions {
+            if j >= frame.n_cols() {
+                return Err(DfError::IndexOutOfBounds {
+                    axis: "column",
+                    index: j,
+                    len: frame.n_cols(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Shuffle full-width row bands into `buckets` key-hashed bands.
+fn shuffle_bands(
+    executor: &ParallelExecutor,
+    bands: Vec<DataFrame>,
+    key: &ShuffleKey,
+    buckets: usize,
+) -> DfResult<Vec<DataFrame>> {
+    let p = buckets.max(1);
+    executor.record_shuffle();
+    let split = executor.par_map(bands, |_, band| split_band(&band, key, p))?;
+    let mut per_bucket: Vec<Vec<DataFrame>> =
+        (0..p).map(|_| Vec::with_capacity(split.len())).collect();
+    for band_buckets in split {
+        for (b, frame) in band_buckets.into_iter().enumerate() {
+            per_bucket[b].push(frame);
+        }
+    }
+    executor.par_map(per_bucket, |_, frames| setops::union_all(frames))
+}
+
+/// Split one band into `p` key-hashed bucket slices, preserving row order per bucket.
+fn split_band(band: &DataFrame, key: &ShuffleKey, p: usize) -> DfResult<Vec<DataFrame>> {
+    validate_key(band, key)?;
+    if p == 1 {
+        return Ok(vec![band.clone()]);
+    }
+    let mut bucket_rows: Vec<Vec<usize>> = vec![Vec::new(); p];
+    for i in 0..band.n_rows() {
+        let bucket = (row_hash(band, i, key) % p as u64) as usize;
+        bucket_rows[bucket].push(i);
+    }
+    bucket_rows
+        .into_iter()
+        .map(|rows| band.take_rows(&rows))
+        .collect()
+}
+
+/// Hash index over one frame's rows: bucket hash -> row positions (verified against
+/// [`keys_match`] before use, because distinct keys may share a hash).
+struct RowIndex {
+    map: HashMap<u64, Vec<usize>>,
+}
+
+impl RowIndex {
+    fn build(frame: &DataFrame, key: &ShuffleKey) -> DfResult<RowIndex> {
+        validate_key(frame, key)?;
+        let mut map: HashMap<u64, Vec<usize>> = HashMap::with_capacity(frame.n_rows());
+        for i in 0..frame.n_rows() {
+            map.entry(row_hash(frame, i, key)).or_default().push(i);
+        }
+        Ok(RowIndex { map })
+    }
+
+    fn candidates(&self, hash: u64) -> &[usize] {
+        self.map.get(&hash).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+/// Tag every band with a trailing column of global row positions so order can be
+/// restored after a hash shuffle scatters the rows.
+fn tag_bands(
+    executor: &ParallelExecutor,
+    bands: Vec<DataFrame>,
+    label: &Cell,
+) -> DfResult<Vec<DataFrame>> {
+    let mut offset = 0usize;
+    let items: Vec<(DataFrame, usize)> = bands
+        .into_iter()
+        .map(|band| {
+            let start = offset;
+            offset += band.n_rows();
+            (band, start)
+        })
+        .collect();
+    executor.par_map(items, |_, (mut band, start)| {
+        let cells: Vec<Cell> = (0..band.n_rows())
+            .map(|i| Cell::Int((start + i) as i64))
+            .collect();
+        band.push_column(label.clone(), Column::new(cells))?;
+        Ok(band)
+    })
+}
+
+/// Sort a combined frame back into input order by its integer position-tag columns
+/// (identified by *position*, never by label — user columns are free to share the
+/// sentinel labels), project the tags away, and emit the result as row bands of at
+/// most `band_rows` rows so downstream operators keep their partition parallelism.
+/// Null tags (the OUTER join's unmatched-right block) sort last, minor tags breaking
+/// the tie.
+fn restore_order(
+    executor: &ParallelExecutor,
+    frame: DataFrame,
+    tag_positions: &[usize],
+    band_rows: usize,
+) -> DfResult<Vec<DataFrame>> {
+    let tag = |j: usize, i: usize| frame.columns()[j].cells()[i].as_i64();
+    let mut order: Vec<usize> = (0..frame.n_rows()).collect();
+    // Tag tuples are unique by construction, so an unstable sort is deterministic.
+    order.sort_unstable_by(|&a, &b| {
+        for &j in tag_positions {
+            let ord = match (tag(j, a), tag(j, b)) {
+                (Some(x), Some(y)) => x.cmp(&y),
+                (Some(_), None) => Ordering::Less,
+                (None, Some(_)) => Ordering::Greater,
+                (None, None) => Ordering::Equal,
+            };
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        Ordering::Equal
+    });
+    let keep: Vec<usize> = (0..frame.n_cols())
+        .filter(|j| !tag_positions.contains(j))
+        .collect();
+    let col_labels = Labels::new(
+        keep.iter()
+            .map(|&j| frame.col_labels().get(j).cloned().unwrap_or(Cell::Null))
+            .collect(),
+    );
+    let mut chunks: Vec<Vec<usize>> = order
+        .chunks(band_rows.max(1))
+        .map(<[usize]>::to_vec)
+        .collect();
+    if chunks.is_empty() {
+        // Keep an explicit empty band so the grid preserves the column structure.
+        chunks.push(Vec::new());
+    }
+    executor.par_map(chunks, |_, positions| {
+        let columns: Vec<Column> = keep
+            .iter()
+            .map(|&j| gather(&frame.columns()[j], &positions))
+            .collect();
+        let row_labels = frame.row_labels().select(&positions)?;
+        DataFrame::from_parts(columns, row_labels, col_labels.clone())
+    })
+}
+
+/// Clone the cells of `column` at `positions` into a new column, keeping a known
+/// domain (row selection cannot change a column's domain).
+fn gather(column: &Column, positions: &[usize]) -> Column {
+    let cells: Vec<Cell> = positions
+        .iter()
+        .map(|&i| column.cells()[i].clone())
+        .collect();
+    preserve_domain(column, cells)
+}
+
+/// Like [`gather`], but `None` positions produce nulls (null-extension of unmatched
+/// join rows). Null belongs to every domain, so a known domain still survives.
+fn gather_optional(column: &Column, positions: &[Option<usize>]) -> Column {
+    let cells: Vec<Cell> = positions
+        .iter()
+        .map(|p| match p {
+            Some(i) => column.cells()[*i].clone(),
+            None => Cell::Null,
+        })
+        .collect();
+    preserve_domain(column, cells)
+}
+
+fn preserve_domain(source: &Column, cells: Vec<Cell>) -> Column {
+    match source.known_domain() {
+        Some(domain) => Column::with_domain(cells, domain),
+        None => Column::new(cells),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JOIN
+// ---------------------------------------------------------------------------
+
+/// Resolved key/value column layout of one join.
+struct JoinLayout {
+    left_key: ShuffleKey,
+    right_key: ShuffleKey,
+    /// Right columns emitted after the left columns (all of them for a label join,
+    /// the non-key ones for a column join).
+    right_value_positions: Vec<usize>,
+}
+
+fn join_layout(left: &DataFrame, right: &DataFrame, on: &JoinOn) -> DfResult<JoinLayout> {
+    match on {
+        JoinOn::RowLabels => Ok(JoinLayout {
+            left_key: ShuffleKey::RowLabels,
+            right_key: ShuffleKey::RowLabels,
+            right_value_positions: (0..right.n_cols()).collect(),
+        }),
+        JoinOn::Columns(keys) => {
+            let left_positions: Vec<usize> = keys
+                .iter()
+                .map(|k| left.col_position(k))
+                .collect::<DfResult<_>>()?;
+            let right_positions: Vec<usize> = keys
+                .iter()
+                .map(|k| right.col_position(k))
+                .collect::<DfResult<_>>()?;
+            let right_value_positions: Vec<usize> = (0..right.n_cols())
+                .filter(|j| !right_positions.contains(j))
+                .collect();
+            Ok(JoinLayout {
+                left_key: ShuffleKey::Positions(left_positions),
+                right_key: ShuffleKey::Positions(right_positions),
+                right_value_positions,
+            })
+        }
+    }
+}
+
+/// Hash-join one left band against an indexed right frame, preserving left order.
+/// Returns the joined band plus the set of matched right rows (for OUTER joins).
+fn join_band(
+    band: &DataFrame,
+    right: &DataFrame,
+    index: &RowIndex,
+    layout: &JoinLayout,
+    how: JoinType,
+) -> DfResult<(DataFrame, Vec<bool>)> {
+    let mut left_take: Vec<usize> = Vec::new();
+    let mut right_take: Vec<Option<usize>> = Vec::new();
+    let mut matched = vec![false; right.n_rows()];
+    for i in 0..band.n_rows() {
+        let mut any = false;
+        for &rp in index.candidates(row_hash(band, i, &layout.left_key)) {
+            if keys_match(band, i, &layout.left_key, right, rp, &layout.right_key) {
+                any = true;
+                matched[rp] = true;
+                left_take.push(i);
+                right_take.push(Some(rp));
+            }
+        }
+        if !any && matches!(how, JoinType::Left | JoinType::Outer) {
+            left_take.push(i);
+            right_take.push(None);
+        }
+    }
+    let mut columns: Vec<Column> =
+        Vec::with_capacity(band.n_cols() + layout.right_value_positions.len());
+    for column in band.columns() {
+        columns.push(gather(column, &left_take));
+    }
+    for &j in &layout.right_value_positions {
+        columns.push(gather_optional(&right.columns()[j], &right_take));
+    }
+    let col_labels = joined_col_labels(band.col_labels(), right, layout);
+    let row_labels = band.row_labels().select(&left_take)?;
+    Ok((
+        DataFrame::from_parts(columns, row_labels, col_labels)?,
+        matched,
+    ))
+}
+
+fn joined_col_labels(left_labels: &Labels, right: &DataFrame, layout: &JoinLayout) -> Labels {
+    let value_labels = Labels::new(
+        layout
+            .right_value_positions
+            .iter()
+            .map(|&j| right.col_labels().get(j).cloned().unwrap_or(Cell::Null))
+            .collect(),
+    );
+    left_labels.concat(&value_labels)
+}
+
+/// The OUTER-join tail: right rows nobody matched, null-extended on the left side
+/// (with right key values pulled into the left key columns for column joins), in
+/// right order. `left_labels` are the pre-join left column labels.
+fn unmatched_right_frame(
+    left_labels: &Labels,
+    right: &DataFrame,
+    layout: &JoinLayout,
+    matched: &[bool],
+) -> DfResult<DataFrame> {
+    let positions: Vec<usize> = (0..right.n_rows()).filter(|&i| !matched[i]).collect();
+    let mut columns: Vec<Column> =
+        Vec::with_capacity(left_labels.len() + layout.right_value_positions.len());
+    for j in 0..left_labels.len() {
+        let from_right_key = match (&layout.left_key, &layout.right_key) {
+            (ShuffleKey::Positions(lp), ShuffleKey::Positions(rp)) => {
+                lp.iter().position(|&p| p == j).map(|k| rp[k])
+            }
+            _ => None,
+        };
+        match from_right_key {
+            Some(rj) => columns.push(gather(&right.columns()[rj], &positions)),
+            None => columns.push(Column::new(vec![Cell::Null; positions.len()])),
+        }
+    }
+    for &j in &layout.right_value_positions {
+        columns.push(gather(&right.columns()[j], &positions));
+    }
+    let col_labels = joined_col_labels(left_labels, right, layout);
+    let row_labels = right.row_labels().select(&positions)?;
+    DataFrame::from_parts(columns, row_labels, col_labels)
+}
+
+/// Partition-parallel ordered JOIN.
+///
+/// When the right (build) side has at most `broadcast_rows` rows it is assembled once
+/// and broadcast: every left band probes the shared index in parallel and the output
+/// keeps left order for free. Larger build sides take the shuffle path: both inputs
+/// are tagged with their global positions, hash-shuffled on the join key into
+/// co-partitioned buckets, joined bucket-by-bucket in parallel, and the combined
+/// result is sorted back by the position tags (left first, then right — exactly the
+/// reference order, including the trailing unmatched-right block of OUTER joins).
+pub fn parallel_join(
+    executor: &ParallelExecutor,
+    left: PartitionGrid,
+    right: PartitionGrid,
+    on: &JoinOn,
+    how: JoinType,
+    options: ShuffleOptions,
+) -> DfResult<PartitionGrid> {
+    let (right_rows, _) = right.shape();
+    if right_rows <= options.broadcast_rows {
+        return broadcast_join(executor, left, right, on, how);
+    }
+    shuffle_join(executor, left, right, on, how, options)
+}
+
+fn broadcast_join(
+    executor: &ParallelExecutor,
+    left: PartitionGrid,
+    right: PartitionGrid,
+    on: &JoinOn,
+    how: JoinType,
+) -> DfResult<PartitionGrid> {
+    let right_frame = right.into_dataframe()?;
+    let bands = left.into_row_bands()?;
+    let left_labels = bands[0].col_labels().clone();
+    let layout = join_layout(&bands[0], &right_frame, on)?;
+    let index = RowIndex::build(&right_frame, &layout.right_key)?;
+    let results = executor.par_map(bands, |_, band| {
+        join_band(&band, &right_frame, &index, &layout, how)
+    })?;
+    let mut matched = vec![false; right_frame.n_rows()];
+    let mut frames = Vec::with_capacity(results.len() + 1);
+    for (frame, band_matched) in results {
+        for (slot, hit) in matched.iter_mut().zip(band_matched) {
+            *slot |= hit;
+        }
+        frames.push(frame);
+    }
+    if matches!(how, JoinType::Outer) {
+        frames.push(unmatched_right_frame(
+            &left_labels,
+            &right_frame,
+            &layout,
+            &matched,
+        )?);
+    }
+    Ok(PartitionGrid::from_row_bands(frames))
+}
+
+fn shuffle_join(
+    executor: &ParallelExecutor,
+    left: PartitionGrid,
+    right: PartitionGrid,
+    on: &JoinOn,
+    how: JoinType,
+    options: ShuffleOptions,
+) -> DfResult<PartitionGrid> {
+    let lpos = Cell::Str(POS_LABEL.to_string());
+    let rpos = Cell::Str(RIGHT_POS_LABEL.to_string());
+    let left_bands = tag_bands(executor, left.into_row_bands()?, &lpos)?;
+    let right_bands = tag_bands(executor, right.into_row_bands()?, &rpos)?;
+    let left_tagged_cols = left_bands[0].n_cols();
+    let layout = join_layout(&left_bands[0], &right_bands[0], on)?;
+    let left_shuffled = shuffle_bands(executor, left_bands, &layout.left_key, options.buckets)?;
+    let right_shuffled = shuffle_bands(executor, right_bands, &layout.right_key, options.buckets)?;
+    let pairs: Vec<(DataFrame, DataFrame)> =
+        left_shuffled.into_iter().zip(right_shuffled).collect();
+    let joined = executor.par_map(pairs, |_, (left_bucket, right_bucket)| {
+        let index = RowIndex::build(&right_bucket, &layout.right_key)?;
+        let (frame, matched) = join_band(&left_bucket, &right_bucket, &index, &layout, how)?;
+        if matches!(how, JoinType::Outer) {
+            // Keys are co-partitioned, so a right row unmatched in its bucket is
+            // unmatched globally.
+            let tail =
+                unmatched_right_frame(left_bucket.col_labels(), &right_bucket, &layout, &matched)?;
+            return setops::union_all(vec![frame, tail]);
+        }
+        Ok(frame)
+    })?;
+    let combined = setops::union_all(joined)?;
+    // The tags sit at structurally known positions: the left tag is the last left
+    // column, the right tag is the last column overall (it is the right input's
+    // trailing column, and value columns keep their relative order).
+    let lpos_at = left_tagged_cols - 1;
+    let rpos_at = combined.n_cols() - 1;
+    let bands = restore_order(executor, combined, &[lpos_at, rpos_at], options.band_rows)?;
+    Ok(PartitionGrid::from_row_bands(bands))
+}
+
+// ---------------------------------------------------------------------------
+// DROP DUPLICATES and DIFFERENCE
+// ---------------------------------------------------------------------------
+
+/// Partition-parallel ordered DROP DUPLICATES: shuffle on the full-row hash so every
+/// duplicate family is co-located (still in global order within its bucket), keep each
+/// bucket's first occurrences in parallel, then restore global order via the position
+/// tag.
+pub fn parallel_drop_duplicates(
+    executor: &ParallelExecutor,
+    grid: PartitionGrid,
+    options: ShuffleOptions,
+) -> DfResult<PartitionGrid> {
+    let (_, n_cols) = grid.shape();
+    let pos = Cell::Str(POS_LABEL.to_string());
+    let tagged = tag_bands(executor, grid.into_row_bands()?, &pos)?;
+    let key = ShuffleKey::Positions((0..n_cols).collect());
+    let shuffled = shuffle_bands(executor, tagged, &key, options.buckets)?;
+    let kept = executor.par_map(shuffled, |_, bucket| {
+        let mut seen: HashMap<u64, Vec<usize>> = HashMap::new();
+        let mut keep: Vec<usize> = Vec::new();
+        for i in 0..bucket.n_rows() {
+            let candidates = seen.entry(row_hash(&bucket, i, &key)).or_default();
+            let duplicate = candidates
+                .iter()
+                .any(|&j| keys_match(&bucket, i, &key, &bucket, j, &key));
+            if !duplicate {
+                candidates.push(i);
+                keep.push(i);
+            }
+        }
+        bucket.take_rows(&keep)
+    })?;
+    let combined = setops::union_all(kept)?;
+    // The position tag is the trailing column appended by tag_bands.
+    let pos_at = combined.n_cols() - 1;
+    let bands = restore_order(executor, combined, &[pos_at], options.band_rows)?;
+    Ok(PartitionGrid::from_row_bands(bands))
+}
+
+/// Partition-parallel ordered DIFFERENCE (anti-join on whole rows). Small right sides
+/// are broadcast — each left band filters against the shared row index in parallel and
+/// band order is preserved outright; larger right sides are co-partitioned by row hash
+/// and order is restored via the position tag.
+pub fn parallel_difference(
+    executor: &ParallelExecutor,
+    left: PartitionGrid,
+    right: PartitionGrid,
+    options: ShuffleOptions,
+) -> DfResult<PartitionGrid> {
+    let (right_rows, n_cols) = right.shape();
+    let key = ShuffleKey::Positions((0..n_cols).collect());
+    if right_rows <= options.broadcast_rows {
+        let right_frame = right.into_dataframe()?;
+        let index = RowIndex::build(&right_frame, &key)?;
+        let filtered = executor.par_map(left.into_row_bands()?, |_, band| {
+            let keep: Vec<usize> = (0..band.n_rows())
+                .filter(|&i| {
+                    !index
+                        .candidates(row_hash(&band, i, &key))
+                        .iter()
+                        .any(|&rp| keys_match(&band, i, &key, &right_frame, rp, &key))
+                })
+                .collect();
+            band.take_rows(&keep)
+        })?;
+        return Ok(PartitionGrid::from_row_bands(filtered));
+    }
+    let pos = Cell::Str(POS_LABEL.to_string());
+    let tagged = tag_bands(executor, left.into_row_bands()?, &pos)?;
+    let left_shuffled = shuffle_bands(executor, tagged, &key, options.buckets)?;
+    let right_shuffled = shuffle_bands(executor, right.into_row_bands()?, &key, options.buckets)?;
+    let pairs: Vec<(DataFrame, DataFrame)> =
+        left_shuffled.into_iter().zip(right_shuffled).collect();
+    let filtered = executor.par_map(pairs, |_, (left_bucket, right_bucket)| {
+        let index = RowIndex::build(&right_bucket, &key)?;
+        let keep: Vec<usize> = (0..left_bucket.n_rows())
+            .filter(|&i| {
+                !index
+                    .candidates(row_hash(&left_bucket, i, &key))
+                    .iter()
+                    .any(|&rp| keys_match(&left_bucket, i, &key, &right_bucket, rp, &key))
+            })
+            .collect();
+        left_bucket.take_rows(&keep)
+    })?;
+    let combined = setops::union_all(filtered)?;
+    let pos_at = combined.n_cols() - 1;
+    let bands = restore_order(executor, combined, &[pos_at], options.band_rows)?;
+    Ok(PartitionGrid::from_row_bands(bands))
+}
+
+// ---------------------------------------------------------------------------
+// SORT
+// ---------------------------------------------------------------------------
+
+/// Partition-parallel stable SORT: sort every band in parallel, pick range splitters
+/// from a sorted sample of band keys, carve each sorted band into contiguous
+/// per-range runs, and k-way-merge each range's runs in parallel. The output grid's
+/// bands are the sorted ranges in order, so assembly is a plain concatenation.
+pub fn parallel_sort(
+    executor: &ParallelExecutor,
+    grid: PartitionGrid,
+    spec: &SortSpec,
+    buckets: usize,
+) -> DfResult<PartitionGrid> {
+    let bands = grid.into_row_bands()?;
+    let key_positions: Vec<usize> = spec
+        .by
+        .iter()
+        .map(|k| bands[0].col_position(k))
+        .collect::<DfResult<_>>()?;
+    let sorted_bands = executor.par_map(bands, |_, band| group::sort(&band, spec))?;
+    let p = buckets.max(1);
+    let splitters = choose_splitters(&sorted_bands, &key_positions, spec, p);
+    executor.record_shuffle();
+    let ranged = executor.par_map(sorted_bands, |_, band| {
+        Ok(split_sorted_band(&band, &key_positions, spec, &splitters))
+    })?;
+    let n_ranges = splitters.len() + 1;
+    let mut per_range: Vec<Vec<DataFrame>> = (0..n_ranges)
+        .map(|_| Vec::with_capacity(ranged.len()))
+        .collect();
+    for band_ranges in ranged {
+        for (r, run) in band_ranges.into_iter().enumerate() {
+            per_range[r].push(run);
+        }
+    }
+    let merged = executor.par_map(per_range, |_, runs| {
+        merge_sorted_runs(runs, &key_positions, spec)
+    })?;
+    Ok(PartitionGrid::from_row_bands(merged))
+}
+
+/// Compare two key tuples under the sort spec's per-key direction.
+fn compare_keys(a: &[Cell], b: &[Cell], spec: &SortSpec) -> Ordering {
+    for (idx, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        let mut ord = x.total_cmp(y);
+        if !spec.is_ascending(idx) {
+            ord = ord.reverse();
+        }
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+/// Compare a key tuple against row `i` of `frame` under the sort spec.
+fn compare_key_to_row(
+    key: &[Cell],
+    frame: &DataFrame,
+    i: usize,
+    key_positions: &[usize],
+    spec: &SortSpec,
+) -> Ordering {
+    for (idx, (k, &j)) in key.iter().zip(key_positions.iter()).enumerate() {
+        let mut ord = k.total_cmp(&frame.columns()[j].cells()[i]);
+        if !spec.is_ascending(idx) {
+            ord = ord.reverse();
+        }
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+/// Compare row `ai` of `a` against row `bi` of `b` under the sort spec.
+fn compare_rows(
+    a: &DataFrame,
+    ai: usize,
+    b: &DataFrame,
+    bi: usize,
+    key_positions: &[usize],
+    spec: &SortSpec,
+) -> Ordering {
+    for (idx, &j) in key_positions.iter().enumerate() {
+        let mut ord = a.columns()[j].cells()[ai].total_cmp(&b.columns()[j].cells()[bi]);
+        if !spec.is_ascending(idx) {
+            ord = ord.reverse();
+        }
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+/// Sample each sorted band at regular intervals and pick `p - 1` splitter keys at even
+/// quantiles of the sorted sample. Splitters define a pure function of the key, so all
+/// rows of one key family land in the same range regardless of band or thread count.
+fn choose_splitters(
+    bands: &[DataFrame],
+    key_positions: &[usize],
+    spec: &SortSpec,
+    p: usize,
+) -> Vec<Vec<Cell>> {
+    if p <= 1 {
+        return Vec::new();
+    }
+    const OVERSAMPLE: usize = 8;
+    let per_band = p * OVERSAMPLE;
+    let mut samples: Vec<Vec<Cell>> = Vec::new();
+    for band in bands {
+        let n = band.n_rows();
+        if n == 0 {
+            continue;
+        }
+        let take = per_band.min(n);
+        for s in 0..take {
+            let i = s * n / take;
+            samples.push(
+                key_positions
+                    .iter()
+                    .map(|&j| band.columns()[j].cells()[i].clone())
+                    .collect(),
+            );
+        }
+    }
+    if samples.is_empty() {
+        return Vec::new();
+    }
+    samples.sort_by(|a, b| compare_keys(a, b, spec));
+    (1..p)
+        .map(|b| samples[(b * samples.len() / p).min(samples.len() - 1)].clone())
+        .collect()
+}
+
+/// Carve a sorted band into `splitters.len() + 1` contiguous range slices: range `r`
+/// holds the rows greater than splitter `r - 1` and at most splitter `r`.
+fn split_sorted_band(
+    band: &DataFrame,
+    key_positions: &[usize],
+    spec: &SortSpec,
+    splitters: &[Vec<Cell>],
+) -> Vec<DataFrame> {
+    if splitters.is_empty() {
+        return vec![band.clone()];
+    }
+    let mut bounds = Vec::with_capacity(splitters.len() + 2);
+    bounds.push(0usize);
+    let mut start = 0usize;
+    for splitter in splitters {
+        // First index (>= start) whose row sorts strictly after the splitter.
+        let mut lo = start;
+        let mut hi = band.n_rows();
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if compare_key_to_row(splitter, band, mid, key_positions, spec) == Ordering::Less {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        bounds.push(lo);
+        start = lo;
+    }
+    bounds.push(band.n_rows());
+    bounds
+        .windows(2)
+        .map(|w| band.slice_rows(w[0], w[1]))
+        .collect()
+}
+
+/// Stable k-way merge of per-band sorted runs: ties resolve to the lowest band index,
+/// which — combined with stable per-band sorts — preserves the original global order
+/// of equal keys.
+fn merge_sorted_runs(
+    runs: Vec<DataFrame>,
+    key_positions: &[usize],
+    spec: &SortSpec,
+) -> DfResult<DataFrame> {
+    let mut runs = runs;
+    if runs.len() <= 1 {
+        return Ok(runs.pop().unwrap_or_else(DataFrame::empty));
+    }
+    let total: usize = runs.iter().map(DataFrame::n_rows).sum();
+    let mut heads = vec![0usize; runs.len()];
+    let mut order: Vec<(usize, usize)> = Vec::with_capacity(total);
+    loop {
+        let mut best: Option<usize> = None;
+        for (r, run) in runs.iter().enumerate() {
+            if heads[r] >= run.n_rows() {
+                continue;
+            }
+            best = Some(match best {
+                None => r,
+                Some(b) => {
+                    if compare_rows(run, heads[r], &runs[b], heads[b], key_positions, spec)
+                        == Ordering::Less
+                    {
+                        r
+                    } else {
+                        b
+                    }
+                }
+            });
+        }
+        match best {
+            Some(r) => {
+                order.push((r, heads[r]));
+                heads[r] += 1;
+            }
+            None => break,
+        }
+    }
+    let n_cols = runs[0].n_cols();
+    let mut columns: Vec<Column> = Vec::with_capacity(n_cols);
+    for j in 0..n_cols {
+        let mut cells = Vec::with_capacity(total);
+        for &(r, i) in &order {
+            cells.push(runs[r].columns()[j].cells()[i].clone());
+        }
+        let mut domain = runs[0].columns()[j].known_domain();
+        for run in runs.iter().skip(1) {
+            if run.columns()[j].known_domain() != domain {
+                domain = None;
+            }
+        }
+        columns.push(match domain {
+            Some(domain) => Column::with_domain(cells, domain),
+            None => Column::new(cells),
+        });
+    }
+    let mut labels = Vec::with_capacity(total);
+    for &(r, i) in &order {
+        labels.push(runs[r].row_labels().as_slice()[i].clone());
+    }
+    DataFrame::from_parts(columns, Labels::new(labels), runs[0].col_labels().clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::{PartitionConfig, PartitionScheme};
+    use df_types::cell::cell;
+
+    fn opts(buckets: usize, band_rows: usize, broadcast_rows: usize) -> ShuffleOptions {
+        ShuffleOptions {
+            buckets,
+            band_rows,
+            broadcast_rows,
+        }
+    }
+
+    fn grid_of(df: &DataFrame, rows: usize) -> PartitionGrid {
+        PartitionGrid::from_dataframe(
+            df,
+            PartitionScheme::Row,
+            PartitionConfig {
+                target_rows: rows,
+                target_cols: 8,
+            },
+        )
+        .unwrap()
+    }
+
+    fn mixed_frame(rows: usize) -> DataFrame {
+        let k: Vec<Cell> = (0..rows)
+            .map(|i| {
+                if i % 11 == 0 {
+                    Cell::Null
+                } else {
+                    cell((i % 5) as i64)
+                }
+            })
+            .collect();
+        let v: Vec<Cell> = (0..rows).map(|i| cell((i as f64) * 0.5)).collect();
+        let s: Vec<Cell> = (0..rows).map(|i| cell(format!("s{}", i % 3))).collect();
+        DataFrame::from_columns(vec!["k", "v", "s"], vec![k, v, s]).unwrap()
+    }
+
+    #[test]
+    fn shuffle_co_locates_keys_and_preserves_per_bucket_order() {
+        let df = mixed_frame(60);
+        let executor = ParallelExecutor::new(2);
+        let grid = grid_of(&df, 13);
+        let key = ShuffleKey::Positions(vec![0]);
+        let shuffled = grid.shuffle(&executor, &key, 4).unwrap();
+        assert_eq!(shuffled.n_row_bands(), 4);
+        assert_eq!(shuffled.shape(), (60, 3));
+        assert!(executor.shuffles_run() >= 1);
+        // Every key family lives in exactly one bucket, and position tags (column v
+        // doubles as one: v = row / 2) are increasing within each bucket.
+        let mut homes: HashMap<u64, usize> = HashMap::new();
+        for (b, band) in shuffled.row_bands().unwrap().iter().enumerate() {
+            let mut last_v = f64::NEG_INFINITY;
+            for i in 0..band.n_rows() {
+                let h = row_hash(band, i, &key);
+                assert_eq!(*homes.entry(h).or_insert(b), b, "key split across buckets");
+                let v = band.columns()[1].cells()[i].as_f64().unwrap();
+                assert!(v > last_v, "bucket broke global row order");
+                last_v = v;
+            }
+        }
+    }
+
+    #[test]
+    fn shuffle_validates_key_positions() {
+        let df = mixed_frame(10);
+        let executor = ParallelExecutor::new(1);
+        let grid = grid_of(&df, 4);
+        assert!(grid
+            .shuffle(&executor, &ShuffleKey::Positions(vec![9]), 2)
+            .is_err());
+    }
+
+    #[test]
+    fn range_sort_matches_reference_for_all_directions() {
+        let df = mixed_frame(57);
+        let executor = ParallelExecutor::new(3);
+        for ascending in [vec![true], vec![false], vec![false, true]] {
+            let spec = SortSpec {
+                by: vec![cell("k"), cell("v")],
+                ascending,
+                stable: true,
+            };
+            let expected = group::sort(&df, &spec).unwrap();
+            let sorted = parallel_sort(&executor, grid_of(&df, 9), &spec, 4)
+                .unwrap()
+                .assemble()
+                .unwrap();
+            assert!(
+                sorted.same_data(&expected),
+                "parallel sort diverged for {spec:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn shuffle_join_and_broadcast_join_agree_with_reference() {
+        let left = mixed_frame(40);
+        let right = {
+            let k: Vec<Cell> = (0..12).map(|i| cell((i % 6) as i64)).collect();
+            let w: Vec<Cell> = (0..12).map(|i| cell(i as i64 * 10)).collect();
+            DataFrame::from_columns(vec!["k", "w"], vec![k, w]).unwrap()
+        };
+        let on = JoinOn::Columns(vec![cell("k")]);
+        let executor = ParallelExecutor::new(2);
+        for how in [JoinType::Inner, JoinType::Left, JoinType::Outer] {
+            let expected = setops::join(&left, &right, &on, how).unwrap();
+            for broadcast_rows in [usize::MAX, 0] {
+                let joined = parallel_join(
+                    &executor,
+                    grid_of(&left, 7),
+                    grid_of(&right, 5),
+                    &on,
+                    how,
+                    opts(3, 10, broadcast_rows),
+                )
+                .unwrap()
+                .assemble()
+                .unwrap();
+                assert!(
+                    joined.same_data(&expected),
+                    "join {how:?} (broadcast_rows={broadcast_rows}) diverged\nexpected:\n{expected}\ngot:\n{joined}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn label_join_takes_both_paths() {
+        let left = mixed_frame(12)
+            .with_row_labels((0..12).map(|i| format!("r{}", i % 7)).collect::<Vec<_>>())
+            .unwrap();
+        let right = mixed_frame(9)
+            .with_row_labels((0..9).map(|i| format!("r{i}")).collect::<Vec<_>>())
+            .unwrap();
+        let executor = ParallelExecutor::new(2);
+        for how in [JoinType::Inner, JoinType::Left, JoinType::Outer] {
+            let expected = setops::join(&left, &right, &JoinOn::RowLabels, how).unwrap();
+            for broadcast_rows in [usize::MAX, 0] {
+                let joined = parallel_join(
+                    &executor,
+                    grid_of(&left, 5),
+                    grid_of(&right, 4),
+                    &JoinOn::RowLabels,
+                    how,
+                    opts(3, 10, broadcast_rows),
+                )
+                .unwrap()
+                .assemble()
+                .unwrap();
+                assert!(joined.same_data(&expected), "label join {how:?} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn drop_duplicates_and_difference_agree_with_reference() {
+        let df = mixed_frame(50);
+        // Duplicate-heavy frame: repeat the first 10 rows a few times.
+        let dup = setops::union_all(vec![df.head(10), df.head(25), df.clone()]).unwrap();
+        let executor = ParallelExecutor::new(2);
+        let expected = group::drop_duplicates(&dup).unwrap();
+        let deduped = parallel_drop_duplicates(&executor, grid_of(&dup, 11), opts(4, 10, 0))
+            .unwrap()
+            .assemble()
+            .unwrap();
+        assert!(deduped.same_data(&expected), "drop_duplicates diverged");
+
+        let right = df.slice_rows(5, 30);
+        let expected = setops::difference(&df, &right).unwrap();
+        for broadcast_rows in [usize::MAX, 0] {
+            let out = parallel_difference(
+                &executor,
+                grid_of(&df, 11),
+                grid_of(&right, 7),
+                opts(4, 10, broadcast_rows),
+            )
+            .unwrap()
+            .assemble()
+            .unwrap();
+            assert!(
+                out.same_data(&expected),
+                "difference (broadcast_rows={broadcast_rows}) diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn user_columns_may_share_the_tag_labels() {
+        // Tag columns are resolved by position, so frames whose own columns carry the
+        // sentinel labels still round-trip correctly through every shuffle operator.
+        let n = 30usize;
+        let a: Vec<Cell> = (0..n).map(|i| cell((i % 4) as i64)).collect();
+        let b: Vec<Cell> = (0..n).map(|i| cell((n - i) as i64)).collect();
+        let c: Vec<Cell> = (0..n).map(|i| cell(format!("x{}", i % 3))).collect();
+        let df = DataFrame::from_columns(vec![POS_LABEL, RIGHT_POS_LABEL, "key"], vec![a, b, c])
+            .unwrap();
+        let dup = setops::union_all(vec![df.head(8), df.clone()]).unwrap();
+        let executor = ParallelExecutor::new(2);
+
+        let deduped = parallel_drop_duplicates(&executor, grid_of(&dup, 7), opts(4, 10, 0))
+            .unwrap()
+            .assemble()
+            .unwrap();
+        assert!(deduped.same_data(&group::drop_duplicates(&dup).unwrap()));
+
+        let right = df.slice_rows(3, 17);
+        let out = parallel_difference(
+            &executor,
+            grid_of(&df, 7),
+            grid_of(&right, 5),
+            opts(4, 10, 0),
+        )
+        .unwrap()
+        .assemble()
+        .unwrap();
+        assert!(out.same_data(&setops::difference(&df, &right).unwrap()));
+
+        let on = JoinOn::Columns(vec![cell("key")]);
+        for how in [JoinType::Inner, JoinType::Left, JoinType::Outer] {
+            let expected = setops::join(&df, &right, &on, how).unwrap();
+            let joined = parallel_join(
+                &executor,
+                grid_of(&df, 7),
+                grid_of(&right, 5),
+                &on,
+                how,
+                opts(3, 10, 0),
+            )
+            .unwrap()
+            .assemble()
+            .unwrap();
+            assert!(
+                joined.same_data(&expected),
+                "join {how:?} with colliding labels diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn shuffle_operators_keep_results_banded() {
+        // Order restoration re-bands its output so downstream operators stay
+        // partition-parallel instead of degenerating to one giant band.
+        let df = mixed_frame(64);
+        let executor = ParallelExecutor::new(2);
+        let deduped = parallel_drop_duplicates(&executor, grid_of(&df, 8), opts(4, 16, 0)).unwrap();
+        assert!(deduped.n_row_bands() >= 4);
+        assert_eq!(deduped.shape(), (64, 3));
+        for band in deduped.row_bands().unwrap().iter().take(3) {
+            assert_eq!(band.n_rows(), 16);
+        }
+        // Empty results keep their column structure in a single empty band.
+        let empty =
+            parallel_difference(&executor, grid_of(&df, 8), grid_of(&df, 8), opts(4, 16, 0))
+                .unwrap()
+                .assemble()
+                .unwrap();
+        assert_eq!(empty.shape(), (0, 3));
+    }
+
+    #[test]
+    fn results_are_identical_across_thread_and_bucket_counts() {
+        let df = mixed_frame(80);
+        let spec = SortSpec::ascending(vec![cell("s"), cell("k")]);
+        let reference = group::sort(&df, &spec).unwrap();
+        for threads in [1, 4] {
+            for buckets in [1, 3, 8] {
+                let executor = ParallelExecutor::new(threads);
+                let sorted = parallel_sort(&executor, grid_of(&df, 16), &spec, buckets)
+                    .unwrap()
+                    .assemble()
+                    .unwrap();
+                assert!(sorted.same_data(&reference));
+                let deduped =
+                    parallel_drop_duplicates(&executor, grid_of(&df, 16), opts(buckets, 9, 0))
+                        .unwrap()
+                        .assemble()
+                        .unwrap();
+                assert!(deduped.same_data(&group::drop_duplicates(&df).unwrap()));
+            }
+        }
+    }
+}

@@ -147,6 +147,72 @@ impl Cell {
         }
     }
 
+    /// Feed the cell's canonical group-key form into a hasher without materialising a
+    /// [`CellKey`]. This is the allocation-free path the shuffle subsystem and the
+    /// single-pass GROUPBY kernel hash millions of cells through: floats are normalised
+    /// exactly like [`Cell::group_key`] (`-0.0` folds into `0.0`, all NaNs collapse),
+    /// and strings are hashed in place instead of being cloned into a key.
+    pub fn hash_key<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Cell::Null => state.write_u8(0),
+            Cell::Str(s) => {
+                state.write_u8(1);
+                state.write(s.as_bytes());
+                // Length terminator so ("ab","c") and ("a","bc") hash differently when
+                // several cells stream into one hasher.
+                state.write_u8(0xff);
+                state.write_usize(s.len());
+            }
+            Cell::Int(v) => {
+                state.write_u8(2);
+                state.write_i64(*v);
+            }
+            Cell::Float(v) => {
+                let normalised = if v.is_nan() {
+                    f64::NAN.to_bits()
+                } else if *v == 0.0 {
+                    0.0_f64.to_bits()
+                } else {
+                    v.to_bits()
+                };
+                state.write_u8(3);
+                state.write_u64(normalised);
+            }
+            Cell::Bool(b) => {
+                state.write_u8(4);
+                state.write_u8(u8::from(*b));
+            }
+            Cell::List(items) => {
+                state.write_u8(5);
+                state.write_usize(items.len());
+                for item in items {
+                    item.hash_key(state);
+                }
+            }
+        }
+    }
+
+    /// Equality under group-key semantics: agrees with comparing [`Cell::group_key`]
+    /// values (all NaNs equal, `-0.0 == 0.0`, no cross-domain numeric widening) but
+    /// allocates nothing.
+    pub fn key_eq(&self, other: &Cell) -> bool {
+        match (self, other) {
+            (Cell::Float(a), Cell::Float(b)) => (a.is_nan() && b.is_nan()) || a == b,
+            (Cell::List(a), Cell::List(b)) => {
+                a.len() == b.len() && a.iter().zip(b.iter()).all(|(x, y)| x.key_eq(y))
+            }
+            _ => self == other,
+        }
+    }
+
+    /// A deterministic 64-bit hash of the cell's group key, stable across threads and
+    /// runs (FNV-1a based). Used for bucket assignment during shuffles.
+    pub fn bucket_hash(&self) -> u64 {
+        let mut hasher = StableHasher::default();
+        self.hash_key(&mut hasher);
+        hasher.finish()
+    }
+
     /// Total ordering used by `SORT` and by ordered set operations. Nulls sort last;
     /// values of different domains sort by a fixed domain precedence (bool < numeric <
     /// string < composite), mirroring the permissive ordering pandas applies to
@@ -206,7 +272,34 @@ impl Eq for Cell {}
 
 impl Hash for Cell {
     fn hash<H: Hasher>(&self, state: &mut H) {
-        self.group_key().hash(state);
+        // Consistent with `PartialEq`: equal cells (including 0.0 / -0.0) feed the
+        // hasher identically, without the `group_key` allocation the old path paid.
+        self.hash_key(state);
+    }
+}
+
+/// A deterministic, dependency-free FNV-1a hasher. The shuffle subsystem keys its
+/// bucket assignment on this so that partition placement is reproducible across
+/// thread counts, runs and platforms (`std`'s `DefaultHasher` makes no such promise).
+#[derive(Debug, Clone)]
+pub struct StableHasher(u64);
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        StableHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for StableHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
     }
 }
 
@@ -396,6 +489,56 @@ mod tests {
         let c = Cell::List(vec![cell(1)]);
         assert_eq!(a.total_cmp(&b), Ordering::Less);
         assert_eq!(c.total_cmp(&a), Ordering::Less);
+    }
+
+    #[test]
+    fn key_eq_matches_group_key_equality() {
+        let probes = vec![
+            Cell::Null,
+            cell(0.0),
+            cell(-0.0),
+            Cell::Float(f64::NAN),
+            Cell::Float(-f64::NAN),
+            cell(1),
+            cell(1.0),
+            cell("a"),
+            cell(true),
+            Cell::List(vec![cell(1), Cell::Float(f64::NAN)]),
+            Cell::List(vec![cell(1)]),
+        ];
+        for a in &probes {
+            for b in &probes {
+                assert_eq!(
+                    a.key_eq(b),
+                    a.group_key() == b.group_key(),
+                    "key_eq disagrees with group_key for {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_hash_is_stable_and_respects_key_eq() {
+        assert_eq!(cell(0.0).bucket_hash(), cell(-0.0).bucket_hash());
+        assert_eq!(
+            Cell::Float(f64::NAN).bucket_hash(),
+            Cell::Float(-f64::NAN).bucket_hash()
+        );
+        assert_ne!(cell(1).bucket_hash(), cell(2).bucket_hash());
+        // Str hashing embeds a terminator: shifting bytes between adjacent cells in a
+        // multi-cell stream must change the combined hash.
+        use std::hash::{Hash, Hasher};
+        let combined = |cells: &[Cell]| {
+            let mut h = StableHasher::default();
+            for c in cells {
+                c.hash(&mut h);
+            }
+            h.finish()
+        };
+        assert_ne!(
+            combined(&[cell("ab"), cell("c")]),
+            combined(&[cell("a"), cell("bc")])
+        );
     }
 
     #[test]
