@@ -554,9 +554,16 @@ impl DataFrame {
         Ok(())
     }
 
-    /// Approximate memory footprint of the data array in bytes.
+    /// Approximate memory footprint of the frame in bytes: the data array plus both
+    /// label vectors. This drives the storage layer's spill budget, so it must track
+    /// real sizes — a frame with heavyweight string labels costs what it costs.
     pub fn approx_size_bytes(&self) -> usize {
-        self.columns.iter().map(Column::approx_size_bytes).sum()
+        self.columns
+            .iter()
+            .map(Column::approx_size_bytes)
+            .sum::<usize>()
+            + self.row_labels.approx_size_bytes()
+            + self.col_labels.approx_size_bytes()
     }
 
     /// Positional ranks of all rows — exposed because several operators (FROMLABELS,

@@ -166,7 +166,7 @@ impl AggState {
 ///
 /// This is a single-pass streaming kernel: each row's key cells are hashed in place
 /// (no per-row `Vec<CellKey>` allocation) to find or create its group, and every
-/// aggregation's [`AggState`] is folded forward during the same scan, so the frame is
+/// aggregation's internal accumulator (`AggState`) is folded forward during the same scan, so the frame is
 /// read exactly once regardless of how many groups or aggregates there are.
 pub fn group_by(
     df: &DataFrame,

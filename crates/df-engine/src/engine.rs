@@ -31,6 +31,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use df_storage::spill::{SpillStats, SpillStore};
 use df_types::cell::Cell;
 use df_types::error::DfResult;
 
@@ -39,15 +40,16 @@ use df_core::dataframe::DataFrame;
 use df_core::engine::{Capabilities, Engine, EngineKind};
 use df_core::ops;
 
-use crate::executor::ParallelExecutor;
+use crate::executor::{default_threads, ParallelExecutor};
 use crate::optimizer::{optimize, OptimizerConfig, RewriteStats};
-use crate::partition::{hstack_all, PartitionConfig, PartitionGrid, PartitionScheme};
+use crate::partition::{hstack_all, Partition, PartitionConfig, PartitionGrid, PartitionScheme};
 use crate::shuffle;
 
 /// Configuration of the scalable engine.
 #[derive(Debug, Clone)]
 pub struct ModinConfig {
-    /// Worker threads for per-partition fan-out. Defaults to the machine's parallelism.
+    /// Worker threads for per-partition fan-out. Defaults to `DF_THREADS` when set,
+    /// otherwise the machine's parallelism.
     pub threads: usize,
     /// Partition sizing.
     pub partitioning: PartitionConfig,
@@ -63,19 +65,24 @@ pub struct ModinConfig {
     /// every partition instead of hash-shuffling both inputs. Set to 0 to force the
     /// shuffle path (differential tests do this).
     pub broadcast_threshold_rows: usize,
+    /// Out-of-core memory budget (paper §3.3): when set, the engine creates a
+    /// session-scoped [`SpillStore`] with this many bytes of in-memory budget and
+    /// every operator keeps its partitions in the store — least-recently-used bands
+    /// spill to disk instead of exhausting memory, and are freed when the engine
+    /// drops. `None` (the default) keeps all partitions resident.
+    pub memory_budget_bytes: Option<usize>,
 }
 
 impl Default for ModinConfig {
     fn default() -> Self {
         ModinConfig {
-            threads: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
+            threads: default_threads(),
             partitioning: PartitionConfig::default(),
             scheme: PartitionScheme::Row,
             optimizer: OptimizerConfig::default(),
             defer_schema_induction: true,
             broadcast_threshold_rows: 4096,
+            memory_budget_bytes: None,
         }
     }
 }
@@ -116,12 +123,23 @@ impl ModinConfig {
         self.broadcast_threshold_rows = rows;
         self
     }
+
+    /// Enable out-of-core execution with the given in-memory byte budget.
+    pub fn with_memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget_bytes = Some(bytes);
+        self
+    }
 }
 
 /// The scalable, partitioned, parallel dataframe engine.
 pub struct ModinEngine {
     config: ModinConfig,
     executor: ParallelExecutor,
+    /// The session-scoped spill store, present when the configuration sets a memory
+    /// budget. Shared with the executor so every fan-out layer stores through it; its
+    /// spill directory is removed when the engine (and all outstanding partition
+    /// handles) drop — the paper's "freed once a session ends".
+    store: Option<Arc<SpillStore>>,
     /// How many operators assembled their whole input and delegated to the reference
     /// semantics (the "fallback" strategy). Partition-parallel operators never touch
     /// this; tests assert on it to keep the dispatch table honest.
@@ -135,18 +153,48 @@ impl ModinEngine {
     }
 
     /// An engine with an explicit configuration.
+    ///
+    /// # Panics
+    /// Panics if a memory budget is configured and the session's spill directory
+    /// cannot be created under the system temp dir — use
+    /// [`ModinEngine::try_with_config`] to handle that I/O error instead.
     pub fn with_config(config: ModinConfig) -> Self {
-        let executor = ParallelExecutor::new(config.threads);
-        ModinEngine {
+        ModinEngine::try_with_config(config).expect("cannot create session spill directory")
+    }
+
+    /// The fallible form of [`ModinEngine::with_config`]: creating an out-of-core
+    /// engine touches the filesystem (the session's spill directory), and this
+    /// constructor propagates that I/O error instead of panicking.
+    pub fn try_with_config(config: ModinConfig) -> DfResult<Self> {
+        let store = match config.memory_budget_bytes {
+            Some(budget) => Some(Arc::new(SpillStore::new(budget)?)),
+            None => None,
+        };
+        let executor = ParallelExecutor::new(config.threads).with_store(store.clone());
+        Ok(ModinEngine {
             config,
             executor,
+            store,
             fallbacks: AtomicU64::new(0),
-        }
+        })
     }
 
     /// The active configuration.
     pub fn config(&self) -> &ModinConfig {
         &self.config
+    }
+
+    /// The session's spill store, when a memory budget is configured.
+    pub fn store(&self) -> Option<&Arc<SpillStore>> {
+        self.store.as_ref()
+    }
+
+    /// Out-of-core statistics of the session's spill store (all zero when the engine
+    /// runs without a memory budget). Reported next to
+    /// [`ModinEngine::shuffles_dispatched`] by the benches and asserted by the spill
+    /// equivalence suite.
+    pub fn spill_stats(&self) -> SpillStats {
+        self.store.as_ref().map(|s| s.stats()).unwrap_or_default()
     }
 
     /// Number of per-partition tasks the engine has dispatched so far.
@@ -188,7 +236,17 @@ impl ModinEngine {
 
     /// Re-partition an assembled fallback result under the engine's configuration.
     fn repartition(&self, frame: &DataFrame) -> DfResult<PartitionGrid> {
-        PartitionGrid::from_dataframe(frame, self.config.scheme, self.config.partitioning)
+        PartitionGrid::from_dataframe_in(
+            frame,
+            self.config.scheme,
+            self.config.partitioning,
+            self.store.as_ref(),
+        )
+    }
+
+    /// Wrap a single assembled result, keeping it under the memory budget.
+    fn single(&self, frame: DataFrame) -> DfResult<PartitionGrid> {
+        PartitionGrid::single_in(frame, self.store.as_ref())
     }
 
     /// Run the optimizer alone (used by benches to report rewrite statistics).
@@ -206,11 +264,11 @@ impl ModinEngine {
         if self.config.defer_schema_induction {
             // Deferred induction touches nothing: partition the shared literal
             // directly instead of paying a defensive whole-frame clone first.
-            return PartitionGrid::from_dataframe(df, self.config.scheme, self.config.partitioning);
+            return self.repartition(df);
         }
         let mut frame = df.as_ref().clone();
         frame.parse_all();
-        PartitionGrid::from_dataframe(&frame, self.config.scheme, self.config.partitioning)
+        self.repartition(&frame)
     }
 
     fn eval(&self, expr: &AlgebraExpr) -> DfResult<PartitionGrid> {
@@ -235,12 +293,14 @@ impl ModinEngine {
                 keys_as_labels,
             } => self.eval_group_by(input, keys, aggs, *keys_as_labels),
             AlgebraExpr::Union { left, right } => {
-                // Ordered concatenation: keep both sides partitioned and stack bands.
+                // Ordered concatenation: keep both sides partitioned and stack their
+                // band *handles* — no band is loaded, so a union of two
+                // larger-than-memory grids stays larger than memory.
                 let left = self.eval(left)?;
                 let right = self.eval(right)?;
-                let mut bands = left.into_row_bands()?;
-                bands.extend(right.into_row_bands()?);
-                Ok(PartitionGrid::from_row_bands(bands))
+                let mut parts = left.into_band_partitions(self.store.as_ref())?;
+                parts.extend(right.into_band_partitions(self.store.as_ref())?);
+                Ok(PartitionGrid::from_band_partitions(parts))
             }
             AlgebraExpr::Sort { input, spec } => self.eval_sort(input, spec),
             AlgebraExpr::DropDuplicates { input } => self.eval_drop_duplicates(input),
@@ -363,39 +423,39 @@ impl ModinEngine {
         Ok(rewritten)
     }
 
-    /// Apply a full-width row-band operator in parallel across bands.
+    /// Apply a full-width row-band operator in parallel across bands, under the
+    /// out-of-core lifecycle: each worker loads one band, computes, and checks the
+    /// result into the session store (when a budget is set).
     fn rowwise(
         &self,
         grid: PartitionGrid,
         f: impl Fn(&DataFrame) -> DfResult<DataFrame> + Send + Sync,
     ) -> DfResult<PartitionGrid> {
-        let bands = grid.into_row_bands()?;
-        let mapped = self.executor.par_map(bands, |_, band| f(&band))?;
-        Ok(PartitionGrid::from_row_bands(mapped))
+        grid.map_bands(&self.executor, self.store.as_ref(), move |_, band| f(&band))
     }
 
     fn eval_map(&self, input: &AlgebraExpr, func: &MapFunc) -> DfResult<PartitionGrid> {
         let grid = self.eval(input)?;
         // Per-cell maps are orientation- and band-agnostic: run them on every block
-        // without resolving deferred transposes or gathering whole rows.
+        // without resolving deferred transposes or gathering whole rows. Each worker
+        // loads its block, maps it, and stores the result.
         if per_cell_safe(func) {
+            let store = self.store.clone();
             let blocks = grid.into_blocks();
             let flat: Vec<_> = blocks.into_iter().flatten().collect();
             let mapped = self.executor.par_map(flat, |_, part| {
-                let result = ops::rowwise::map(part.stored(), func)?;
-                let mut new_part = part.clone();
-                new_part.replace(result);
-                // Preserve the deferred-transpose flag by re-flipping: `replace`
-                // cleared it, but a per-cell map commutes with transpose, so the block
-                // stays logically transposed.
-                if part.is_deferred_transpose() {
-                    Ok((new_part, true))
-                } else {
-                    Ok((new_part, false))
-                }
+                let block = part.load_stored()?;
+                let result = ops::rowwise::map(&block, func)?;
+                drop(block);
+                let mapped_part =
+                    Partition::new_in(result, part.row_offset, part.col_offset, store.as_ref())?;
+                // A per-cell map commutes with transpose, so a block whose transpose
+                // was deferred stays logically transposed; the flag rides along and
+                // `rebuild_grid_like` resolves it.
+                Ok((mapped_part, part.is_deferred_transpose()))
             })?;
             // Rebuild the grid structure: blocks were flattened row-band-major.
-            return rebuild_grid_like(mapped);
+            return rebuild_grid_like(mapped, self.store.as_ref());
         }
         // Row-generic maps need whole rows: work per row band.
         self.rowwise(grid, move |band| ops::rowwise::map(band, func))
@@ -408,18 +468,24 @@ impl ModinEngine {
     ) -> DfResult<PartitionGrid> {
         let grid = self.eval(input)?;
         if let Predicate::PositionRange { start, end } = predicate {
-            // Positional selection: adjust the range per band using band offsets.
-            let bands = grid.into_row_bands()?;
-            let mut offset = 0usize;
-            let mut out = Vec::with_capacity(bands.len());
-            for band in bands {
+            // Positional selection: adjust the range per band using band offsets,
+            // which come from grid metadata — no band is loaded outside its worker.
+            let counts = grid.band_row_counts();
+            let offsets: Vec<usize> = counts
+                .iter()
+                .scan(0usize, |acc, &len| {
+                    let offset = *acc;
+                    *acc += len;
+                    Some(offset)
+                })
+                .collect();
+            let (start, end) = (*start, *end);
+            return grid.map_bands(&self.executor, self.store.as_ref(), move |i, band| {
                 let len = band.n_rows();
-                let band_start = start.saturating_sub(offset).min(len);
-                let band_end = end.saturating_sub(offset).min(len);
-                out.push(band.slice_rows(band_start, band_end));
-                offset += len;
-            }
-            return Ok(PartitionGrid::from_row_bands(out));
+                let band_start = start.saturating_sub(offsets[i]).min(len);
+                let band_end = end.saturating_sub(offsets[i]).min(len);
+                Ok(band.slice_rows(band_start, band_end))
+            });
         }
         self.rowwise(grid, move |band| ops::rowwise::selection(band, predicate))
     }
@@ -428,9 +494,9 @@ impl ModinEngine {
         let grid = self.eval(input)?;
         if from_end {
             // Suffix mirror of the prefix path: only trailing bands are materialised.
-            return Ok(PartitionGrid::single(grid.suffix(k)?));
+            return self.single(grid.suffix(k)?);
         }
-        Ok(PartitionGrid::single(grid.prefix(k)?))
+        self.single(grid.prefix(k)?)
     }
 
     fn eval_group_by(
@@ -446,13 +512,14 @@ impl ModinEngine {
             self.note_fallback();
             let assembled = grid.into_dataframe()?;
             let result = ops::group::group_by(&assembled, keys, aggs, keys_as_labels)?;
-            return Ok(PartitionGrid::single(result));
+            return self.single(result);
         }
         // Phase 1 (map): partial aggregation per row band, keys kept as data columns.
+        // Bands are loaded inside their workers, so only the bands being aggregated
+        // are resident; the partial states are group-sized, not band-sized.
         let partial_aggs: Vec<Aggregation> = aggs.iter().flat_map(partial_plan).collect();
         let keys_vec = keys.to_vec();
-        let bands = grid.into_row_bands()?;
-        let partials = self.executor.par_map(bands, |_, band| {
+        let partials = grid.par_bands(&self.executor, |_, band| {
             ops::group::group_by(&band, &keys_vec, &partial_aggs, false)
         })?;
         // Phase 2 (reduce): concatenate partials and merge per key.
@@ -461,7 +528,7 @@ impl ModinEngine {
         let mut result = ops::group::group_by(&combined, keys, &merge_aggs, keys_as_labels)?;
         // Post-process Mean (sum of sums / sum of counts) and restore output labels.
         result = finalize_merged(result, keys, aggs, keys_as_labels)?;
-        Ok(PartitionGrid::single(result))
+        self.single(result)
     }
 }
 
@@ -690,34 +757,33 @@ fn finalize_merged(
 /// Rebuild a grid from flattened `(partition, deferred_transpose)` pairs produced by a
 /// per-cell block map. The pairs arrive in row-band-major order with their original
 /// offsets intact, so the band structure can be recovered by grouping on `row_offset`.
-fn rebuild_grid_like(parts: Vec<(crate::partition::Partition, bool)>) -> DfResult<PartitionGrid> {
+/// Bands are assembled one at a time (consuming each block's handle as it goes), and
+/// the rebuilt full-width bands are checked back into the store.
+fn rebuild_grid_like(
+    parts: Vec<(Partition, bool)>,
+    store: Option<&Arc<SpillStore>>,
+) -> DfResult<PartitionGrid> {
     use std::collections::BTreeMap;
-    let mut bands: BTreeMap<usize, Vec<crate::partition::Partition>> = BTreeMap::new();
+    let mut bands: BTreeMap<usize, Vec<Partition>> = BTreeMap::new();
     for (mut part, was_transposed) in parts {
         if was_transposed {
             // Re-materialise orientation: the block data is still stored transposed, so
             // resolve it now to keep the rebuilt grid simple.
-            let logical = ops::reshape::transpose(part.stored())?;
+            let logical = ops::reshape::transpose(&part.load_stored()?)?;
             part.replace(logical);
         }
         bands.entry(part.row_offset).or_default().push(part);
     }
-    let mut blocks: Vec<Vec<crate::partition::Partition>> = Vec::new();
+    let mut band_parts: Vec<Partition> = Vec::with_capacity(bands.len());
     for (_, mut band) in bands {
         band.sort_by_key(|p| p.col_offset);
-        blocks.push(band);
+        let materialized: Vec<DataFrame> = band
+            .into_iter()
+            .map(Partition::into_materialized)
+            .collect::<DfResult<_>>()?;
+        band_parts.push(Partition::new_in(hstack_all(materialized)?, 0, 0, store)?);
     }
-    let bands_frames: DfResult<Vec<DataFrame>> = blocks
-        .into_iter()
-        .map(|band| {
-            let materialized: Vec<DataFrame> = band
-                .iter()
-                .map(crate::partition::Partition::materialize)
-                .collect::<DfResult<_>>()?;
-            hstack_all(materialized)
-        })
-        .collect();
-    Ok(PartitionGrid::from_row_bands(bands_frames?))
+    Ok(PartitionGrid::from_band_partitions(band_parts))
 }
 
 #[cfg(test)]

@@ -6,16 +6,43 @@
 //! closure out over partitions on worker threads and collects results in order. A
 //! `threads = 1` configuration degenerates to sequential execution, which the tests use
 //! for determinism and the ablations use to isolate layout effects from parallelism.
+//!
+//! The executor also carries the session's optional [`SpillStore`]: when the engine is
+//! configured with a memory budget, every fan-out layer (per-band maps, shuffles, the
+//! JOIN/SORT/DROP_DUPLICATES/DIFFERENCE kernels) reaches the store through
+//! [`ParallelExecutor::store`] so partitions follow the out-of-core
+//! load → compute → store-and-maybe-spill lifecycle.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
+use df_storage::spill::SpillStore;
 use df_types::error::{DfError, DfResult};
 
+/// The default worker count: the `DF_THREADS` environment variable when set (CI runs
+/// the test suite as a matrix over it), otherwise the machine's available parallelism.
+pub fn default_threads() -> usize {
+    threads_from_env(std::env::var("DF_THREADS").ok().as_deref())
+}
+
+/// Resolve a `DF_THREADS`-style override against the machine's parallelism. Split out
+/// of [`default_threads`] so the precedence is unit-testable without touching the
+/// process environment.
+fn threads_from_env(raw: Option<&str>) -> usize {
+    if let Some(threads) = raw.and_then(|v| v.trim().parse::<usize>().ok()) {
+        if threads >= 1 {
+            return threads;
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 /// A scoped thread-pool executor for per-partition work.
-#[derive(Debug)]
 pub struct ParallelExecutor {
     threads: usize,
+    store: Option<Arc<SpillStore>>,
     tasks_run: AtomicU64,
     batches_run: AtomicU64,
     shuffles_run: AtomicU64,
@@ -26,18 +53,28 @@ impl ParallelExecutor {
     pub fn new(threads: usize) -> Self {
         ParallelExecutor {
             threads: threads.max(1),
+            store: None,
             tasks_run: AtomicU64::new(0),
             batches_run: AtomicU64::new(0),
             shuffles_run: AtomicU64::new(0),
         }
     }
 
-    /// An executor sized to the machine's available parallelism.
+    /// An executor sized to the machine's available parallelism (or `DF_THREADS`).
     pub fn default_parallelism() -> Self {
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        ParallelExecutor::new(threads)
+        ParallelExecutor::new(default_threads())
+    }
+
+    /// Attach the session's spill store: band-level operators built on this executor
+    /// will keep their results in the store (and therefore under its memory budget).
+    pub fn with_store(mut self, store: Option<Arc<SpillStore>>) -> Self {
+        self.store = store;
+        self
+    }
+
+    /// The session's spill store, when the engine runs with a memory budget.
+    pub fn store(&self) -> Option<&Arc<SpillStore>> {
+        self.store.as_ref()
     }
 
     /// Number of worker threads used for fan-out.
@@ -185,5 +222,25 @@ mod tests {
     #[test]
     fn default_parallelism_reports_at_least_one_thread() {
         assert!(ParallelExecutor::default().threads() >= 1);
+    }
+
+    #[test]
+    fn df_threads_override_wins_when_valid() {
+        assert_eq!(threads_from_env(Some("4")), 4);
+        assert_eq!(threads_from_env(Some(" 2 ")), 2);
+        let auto = threads_from_env(None);
+        assert!(auto >= 1);
+        // Zero and garbage fall back to the machine's parallelism.
+        assert_eq!(threads_from_env(Some("0")), auto);
+        assert_eq!(threads_from_env(Some("not-a-number")), auto);
+    }
+
+    #[test]
+    fn store_attaches_and_detaches() {
+        let executor = ParallelExecutor::new(2);
+        assert!(executor.store().is_none());
+        let store = Arc::new(SpillStore::unbounded().unwrap());
+        let executor = executor.with_store(Some(Arc::clone(&store)));
+        assert!(Arc::ptr_eq(executor.store().unwrap(), &store));
     }
 }

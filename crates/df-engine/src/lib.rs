@@ -24,9 +24,10 @@ pub mod partition;
 pub mod session;
 pub mod shuffle;
 
+pub use df_storage::spill::{SpillStats, SpillStore};
 pub use engine::{ModinConfig, ModinEngine};
-pub use executor::ParallelExecutor;
+pub use executor::{default_threads, ParallelExecutor};
 pub use optimizer::{choose_pivot_plan, optimize, OptimizerConfig, PivotPlan, RewriteStats};
-pub use partition::{PartitionConfig, PartitionGrid, PartitionScheme};
+pub use partition::{Partition, PartitionConfig, PartitionGrid, PartitionHandle, PartitionScheme};
 pub use session::{EvalMode, QueryFuture, QuerySession, SessionStats};
 pub use shuffle::{ShuffleKey, ShuffleOptions};

@@ -1,8 +1,8 @@
 //! Partitioned representation of a dataframe.
 //!
-//! Paper §3.1: MODIN "flexibly move[s] between common partitioning schemes: row-based,
+//! Paper §3.1: MODIN "flexibly move\[s\] between common partitioning schemes: row-based,
 //! column-based, or block-based partitioning, depending on the operation", and
-//! implements TRANSPOSE by individually transposing blocks and then only "chang[ing]
+//! implements TRANSPOSE by individually transposing blocks and then only "chang\[ing\]
 //! the overall metadata tracking the new locations of each of the blocks", so a large
 //! transpose requires no communication.
 //!
@@ -11,13 +11,29 @@
 //! orientation flag. `PartitionGrid::transpose` flips the grid and the flags without
 //! touching any cell; blocks materialise their transposed form lazily when an operator
 //! actually needs their data.
+//!
+//! Blocks are owned through a [`PartitionHandle`] (paper §3.3's storage layer): either
+//! *resident* — the handle holds the [`DataFrame`] directly — or *stored* — the block
+//! lives in a session-scoped [`SpillStore`] that keeps partitions in memory up to a
+//! byte budget and transparently spills the least-recently-used ones to disk. Handles
+//! are cheap to clone (stored blocks are reference-counted) and the block is removed
+//! from the store when its last handle drops, so intermediate results never leak.
+//! Operators built on [`PartitionGrid::par_bands`] / [`PartitionGrid::map_bands`]
+//! follow the out-of-core lifecycle: each worker *loads* one band, *computes*, and
+//! *stores* the result — pinning only the bands actively being transformed.
 
+use std::fmt;
+use std::sync::Arc;
+
+use df_storage::spill::{PartitionId, SpillStore};
 use df_types::error::{DfError, DfResult};
 use df_types::labels::Labels;
 
 use df_core::dataframe::{Column, DataFrame};
 use df_core::ops::reshape;
 use df_core::ops::setops;
+
+use crate::executor::ParallelExecutor;
 
 /// How a frame is split into partitions (paper §3.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -48,10 +64,115 @@ impl Default for PartitionConfig {
     }
 }
 
+/// A block checked into a session-scoped [`SpillStore`]. The stored-orientation shape
+/// and column labels are cached so grid metadata (shapes, offsets, band row counts,
+/// key-column resolution) never has to load the block; the store entry is removed
+/// when the last handle to this block drops. Row labels are *not* cached — they scale
+/// with the data and caching them would defeat the spill.
+pub struct StoredBlock {
+    store: Arc<SpillStore>,
+    id: PartitionId,
+    rows: usize,
+    cols: usize,
+    col_labels: Labels,
+}
+
+impl Drop for StoredBlock {
+    fn drop(&mut self) {
+        self.store.remove(self.id).ok();
+    }
+}
+
+impl fmt::Debug for StoredBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StoredBlock")
+            .field("id", &self.id)
+            .field("rows", &self.rows)
+            .field("cols", &self.cols)
+            .finish()
+    }
+}
+
+/// Where a partition's block physically lives (paper §3.3's modular storage layer):
+/// directly in memory, or in the session's [`SpillStore`] under its memory budget.
+#[derive(Debug, Clone)]
+pub enum PartitionHandle {
+    /// The handle owns the block in memory.
+    Resident(DataFrame),
+    /// The block is managed by a spill store; loading it may read a spill file.
+    Stored(Arc<StoredBlock>),
+}
+
+impl PartitionHandle {
+    /// Wrap a frame: checked into `store` when one is provided, resident otherwise.
+    pub fn new_in(frame: DataFrame, store: Option<&Arc<SpillStore>>) -> DfResult<PartitionHandle> {
+        match store {
+            Some(store) => {
+                let (rows, cols) = frame.shape();
+                let col_labels = frame.col_labels().clone();
+                let id = store.put(frame)?;
+                Ok(PartitionHandle::Stored(Arc::new(StoredBlock {
+                    store: Arc::clone(store),
+                    id,
+                    rows,
+                    cols,
+                    col_labels,
+                })))
+            }
+            None => Ok(PartitionHandle::Resident(frame)),
+        }
+    }
+
+    /// Stored-orientation shape, from metadata only (never loads the block).
+    pub fn shape(&self) -> (usize, usize) {
+        match self {
+            PartitionHandle::Resident(frame) => frame.shape(),
+            PartitionHandle::Stored(block) => (block.rows, block.cols),
+        }
+    }
+
+    /// True when the block currently lives in a spill store rather than this handle.
+    pub fn is_stored(&self) -> bool {
+        matches!(self, PartitionHandle::Stored(_))
+    }
+
+    /// Stored-orientation column labels, from metadata only (never loads the block).
+    pub fn col_labels(&self) -> Labels {
+        match self {
+            PartitionHandle::Resident(frame) => frame.col_labels().clone(),
+            PartitionHandle::Stored(block) => block.col_labels.clone(),
+        }
+    }
+
+    /// Load the block (cloning a resident frame, fetching — and possibly reading back
+    /// from disk — a stored one).
+    pub fn load(&self) -> DfResult<DataFrame> {
+        match self {
+            PartitionHandle::Resident(frame) => Ok(frame.clone()),
+            PartitionHandle::Stored(block) => block.store.get(block.id),
+        }
+    }
+
+    /// Consume the handle and take the block: a resident frame moves out copy-free; a
+    /// uniquely-held stored block is taken out of the store (freeing its budget);
+    /// a stored block with other live handles is fetched non-destructively.
+    pub fn into_frame(self) -> DfResult<DataFrame> {
+        match self {
+            PartitionHandle::Resident(frame) => Ok(frame),
+            PartitionHandle::Stored(block) => match Arc::try_unwrap(block) {
+                // `take` removes the entry; the unwrapped block's Drop then finds
+                // nothing to remove, which is fine.
+                Ok(block) => block.store.take(block.id),
+                Err(shared) => shared.store.get(shared.id),
+            },
+        }
+    }
+}
+
 /// One rectangular block of a partitioned dataframe.
 #[derive(Debug, Clone)]
 pub struct Partition {
-    frame: DataFrame,
+    handle: PartitionHandle,
     /// Global row offset of this block's first row.
     pub row_offset: usize,
     /// Global column offset of this block's first column.
@@ -63,31 +184,49 @@ pub struct Partition {
 }
 
 impl Partition {
-    /// Wrap a materialised block.
+    /// Wrap a materialised block held in memory.
     pub fn new(frame: DataFrame, row_offset: usize, col_offset: usize) -> Self {
         Partition {
-            frame,
+            handle: PartitionHandle::Resident(frame),
             row_offset,
             col_offset,
             transposed: false,
         }
     }
 
+    /// Wrap a materialised block, checking it into `store` when one is provided (the
+    /// "store-and-maybe-spill" step of the out-of-core lifecycle).
+    pub fn new_in(
+        frame: DataFrame,
+        row_offset: usize,
+        col_offset: usize,
+        store: Option<&Arc<SpillStore>>,
+    ) -> DfResult<Self> {
+        Ok(Partition {
+            handle: PartitionHandle::new_in(frame, store)?,
+            row_offset,
+            col_offset,
+            transposed: false,
+        })
+    }
+
     /// Logical number of rows of the block.
     pub fn n_rows(&self) -> usize {
+        let (rows, cols) = self.handle.shape();
         if self.transposed {
-            self.frame.n_cols()
+            cols
         } else {
-            self.frame.n_rows()
+            rows
         }
     }
 
     /// Logical number of columns of the block.
     pub fn n_cols(&self) -> usize {
+        let (rows, cols) = self.handle.shape();
         if self.transposed {
-            self.frame.n_rows()
+            rows
         } else {
-            self.frame.n_cols()
+            cols
         }
     }
 
@@ -96,34 +235,52 @@ impl Partition {
         self.transposed
     }
 
-    /// Borrow the stored frame without resolving a deferred transpose (used by
-    /// operators that are orientation-agnostic, e.g. per-cell maps).
-    pub fn stored(&self) -> &DataFrame {
-        &self.frame
+    /// Logical column labels of the block. Metadata-only for the common untransposed
+    /// case; a deferred transpose must materialise (its logical column labels are the
+    /// stored row labels, which handles deliberately do not cache).
+    pub fn col_labels(&self) -> DfResult<Labels> {
+        if self.transposed {
+            return Ok(self.materialize()?.col_labels().clone());
+        }
+        Ok(self.handle.col_labels())
+    }
+
+    /// The handle this partition owns its block through.
+    pub fn handle(&self) -> &PartitionHandle {
+        &self.handle
+    }
+
+    /// Load the block in its *stored* orientation, without resolving a deferred
+    /// transpose (used by operators that are orientation-agnostic, e.g. per-cell
+    /// maps).
+    pub fn load_stored(&self) -> DfResult<DataFrame> {
+        self.handle.load()
     }
 
     /// Materialise the logical block, resolving any deferred transpose.
     pub fn materialize(&self) -> DfResult<DataFrame> {
+        let frame = self.handle.load()?;
         if self.transposed {
-            reshape::transpose(&self.frame)
+            reshape::transpose(&frame)
         } else {
-            Ok(self.frame.clone())
+            Ok(frame)
         }
     }
 
-    /// Consume the partition and materialise its logical block, moving the stored
-    /// frame when no transpose is pending (the zero-copy half of assembly).
+    /// Consume the partition and materialise its logical block, moving the block out
+    /// of its handle (and freeing its store entry) when no transpose is pending.
     pub fn into_materialized(self) -> DfResult<DataFrame> {
+        let frame = self.handle.into_frame()?;
         if self.transposed {
-            reshape::transpose(&self.frame)
+            reshape::transpose(&frame)
         } else {
-            Ok(self.frame)
+            Ok(frame)
         }
     }
 
-    /// Replace the block's contents with an already-materialised frame.
+    /// Replace the block's contents with an already-materialised in-memory frame.
     pub fn replace(&mut self, frame: DataFrame) {
-        self.frame = frame;
+        self.handle = PartitionHandle::Resident(frame);
         self.transposed = false;
     }
 
@@ -143,11 +300,24 @@ pub struct PartitionGrid {
 }
 
 impl PartitionGrid {
-    /// Partition a dataframe under the given scheme and sizing configuration.
+    /// Partition a dataframe under the given scheme and sizing configuration, keeping
+    /// every block resident.
     pub fn from_dataframe(
         df: &DataFrame,
         scheme: PartitionScheme,
         config: PartitionConfig,
+    ) -> DfResult<PartitionGrid> {
+        PartitionGrid::from_dataframe_in(df, scheme, config, None)
+    }
+
+    /// Like [`PartitionGrid::from_dataframe`], but blocks are checked into `store`
+    /// when one is provided — so even the initial partitioning step respects the
+    /// session's memory budget (blocks beyond it spill as they are created).
+    pub fn from_dataframe_in(
+        df: &DataFrame,
+        scheme: PartitionScheme,
+        config: PartitionConfig,
+        store: Option<&Arc<SpillStore>>,
     ) -> DfResult<PartitionGrid> {
         let (m, n) = df.shape();
         let row_chunk = match scheme {
@@ -180,7 +350,7 @@ impl PartitionGrid {
                 let col_labels =
                     Labels::new(df.col_labels().as_slice()[col_start..col_end].to_vec());
                 let block = DataFrame::from_parts(columns, row_labels.clone(), col_labels)?;
-                band.push(Partition::new(block, row_start, col_start));
+                band.push(Partition::new_in(block, row_start, col_start, store)?);
             }
             blocks.push(band);
         }
@@ -193,6 +363,14 @@ impl PartitionGrid {
             blocks: vec![vec![Partition::new(df, 0, 0)]],
             scheme: PartitionScheme::Block,
         }
+    }
+
+    /// Wrap a single frame as a 1×1 grid, checked into `store` when one is provided.
+    pub fn single_in(df: DataFrame, store: Option<&Arc<SpillStore>>) -> DfResult<PartitionGrid> {
+        Ok(PartitionGrid {
+            blocks: vec![vec![Partition::new_in(df, 0, 0, store)?]],
+            scheme: PartitionScheme::Block,
+        })
     }
 
     /// The partitioning scheme this grid was built with.
@@ -215,6 +393,15 @@ impl PartitionGrid {
         self.n_row_bands() * self.n_col_bands()
     }
 
+    /// Number of partitions currently held by a spill store (metadata only).
+    pub fn stored_partitions(&self) -> usize {
+        self.blocks
+            .iter()
+            .flatten()
+            .filter(|p| p.handle().is_stored())
+            .count()
+    }
+
     /// Logical shape of the whole frame.
     pub fn shape(&self) -> (usize, usize) {
         let rows: usize = self.blocks.iter().map(|band| band[0].n_rows()).sum();
@@ -224,6 +411,11 @@ impl PartitionGrid {
             .map(|band| band.iter().map(Partition::n_cols).sum())
             .unwrap_or(0);
         (rows, cols)
+    }
+
+    /// Per-band logical row counts, from metadata only (no block is loaded).
+    pub fn band_row_counts(&self) -> Vec<usize> {
+        self.blocks.iter().map(|band| band[0].n_rows()).collect()
     }
 
     /// Borrow all partitions row-band by row-band.
@@ -241,13 +433,38 @@ impl PartitionGrid {
         self.blocks
     }
 
-    /// Build a grid from row bands that each hold a full-width frame.
+    /// Build a grid from row bands that each hold a full-width in-memory frame.
     pub fn from_row_bands(bands: Vec<DataFrame>) -> PartitionGrid {
-        let mut offset = 0usize;
-        let blocks = bands
+        PartitionGrid::from_band_partitions(
+            bands
+                .into_iter()
+                .map(|frame| Partition::new(frame, 0, 0))
+                .collect(),
+        )
+    }
+
+    /// Like [`PartitionGrid::from_row_bands`], but each band is checked into `store`
+    /// when one is provided.
+    pub fn from_row_bands_in(
+        bands: Vec<DataFrame>,
+        store: Option<&Arc<SpillStore>>,
+    ) -> DfResult<PartitionGrid> {
+        let parts: Vec<Partition> = bands
             .into_iter()
-            .map(|frame| {
-                let part = Partition::new(frame, offset, 0);
+            .map(|frame| Partition::new_in(frame, 0, 0, store))
+            .collect::<DfResult<_>>()?;
+        Ok(PartitionGrid::from_band_partitions(parts))
+    }
+
+    /// Build a row-partitioned grid from full-width band partitions, re-deriving each
+    /// band's global row offset from the metadata shapes.
+    pub fn from_band_partitions(parts: Vec<Partition>) -> PartitionGrid {
+        let mut offset = 0usize;
+        let blocks = parts
+            .into_iter()
+            .map(|mut part| {
+                part.row_offset = offset;
+                part.col_offset = 0;
                 offset += part.n_rows();
                 vec![part]
             })
@@ -256,6 +473,67 @@ impl PartitionGrid {
             blocks,
             scheme: PartitionScheme::Row,
         }
+    }
+
+    /// Consume the grid into one full-width [`Partition`] per row band. Bands already
+    /// held as a single block are moved without loading anything; multi-block bands
+    /// are assembled one at a time and checked into `store` — so the conversion never
+    /// holds more than one assembled band in memory beyond the store's budget.
+    pub fn into_band_partitions(self, store: Option<&Arc<SpillStore>>) -> DfResult<Vec<Partition>> {
+        let mut parts = Vec::with_capacity(self.blocks.len());
+        for band in self.blocks {
+            if band.len() == 1 {
+                let mut part = band.into_iter().next().expect("non-empty band");
+                part.col_offset = 0;
+                parts.push(part);
+                continue;
+            }
+            let row_offset = band[0].row_offset;
+            let materialized: Vec<DataFrame> = band
+                .into_iter()
+                .map(Partition::into_materialized)
+                .collect::<DfResult<_>>()?;
+            parts.push(Partition::new_in(
+                hstack_all(materialized)?,
+                row_offset,
+                0,
+                store,
+            )?);
+        }
+        Ok(parts)
+    }
+
+    /// Fan one closure out over the grid's full-width row bands, loading each band
+    /// *inside* its worker task: at most `executor.threads()` bands are materialised
+    /// at any moment, and consumed store entries are freed as the workers drain them.
+    pub fn par_bands<T: Send>(
+        self,
+        executor: &ParallelExecutor,
+        f: impl Fn(usize, DataFrame) -> DfResult<T> + Send + Sync,
+    ) -> DfResult<Vec<T>> {
+        executor.par_map(self.blocks, |index, band| {
+            let materialized: Vec<DataFrame> = band
+                .into_iter()
+                .map(Partition::into_materialized)
+                .collect::<DfResult<_>>()?;
+            f(index, hstack_all(materialized)?)
+        })
+    }
+
+    /// The out-of-core band map: for every row band, *load* it, apply `f`, and *store*
+    /// the result (into `store` when provided, else resident) — the
+    /// load → compute → store-and-maybe-spill lifecycle of paper §3.3.
+    pub fn map_bands(
+        self,
+        executor: &ParallelExecutor,
+        store: Option<&Arc<SpillStore>>,
+        f: impl Fn(usize, DataFrame) -> DfResult<DataFrame> + Send + Sync,
+    ) -> DfResult<PartitionGrid> {
+        let store = store.cloned();
+        let parts = self.par_bands(executor, move |index, band| {
+            Partition::new_in(f(index, band)?, 0, 0, store.as_ref())
+        })?;
+        Ok(PartitionGrid::from_band_partitions(parts))
     }
 
     /// Materialise every row band as a full-width frame (resolving deferred
@@ -274,8 +552,8 @@ impl PartitionGrid {
     }
 
     /// Like [`PartitionGrid::row_bands`], but consuming the grid: blocks that need no
-    /// deferred transpose are moved instead of cloned, so assembling an owned grid
-    /// copies no cells on the common row-partitioned path.
+    /// deferred transpose are moved instead of cloned (and their store entries freed),
+    /// so assembling an owned grid copies no cells on the common row-partitioned path.
     pub fn into_row_bands(self) -> DfResult<Vec<DataFrame>> {
         let mut bands = Vec::with_capacity(self.blocks.len());
         for band in self.blocks {
@@ -300,8 +578,9 @@ impl PartitionGrid {
     }
 
     /// The metadata-only TRANSPOSE (paper §3.1): swap the grid axes and flip every
-    /// block's orientation flag. No cell is copied; blocks materialise their transposed
-    /// data only if a later operator needs it.
+    /// block's orientation flag. No cell is copied — stored blocks merely gain another
+    /// reference-counted handle; blocks materialise their transposed data only if a
+    /// later operator needs it.
     pub fn transpose(&self) -> PartitionGrid {
         let row_bands = self.n_row_bands();
         let col_bands = self.n_col_bands();
@@ -482,6 +761,7 @@ mod tests {
         let blocks = PartitionGrid::from_dataframe(&df, PartitionScheme::Block, config).unwrap();
         assert_eq!(blocks.n_partitions(), 12);
         assert_eq!(blocks.shape(), (100, 8));
+        assert_eq!(blocks.stored_partitions(), 0);
     }
 
     #[test]
@@ -509,6 +789,42 @@ mod tests {
     }
 
     #[test]
+    fn stored_grids_round_trip_through_a_tight_store() {
+        // A store whose budget is a quarter of the frame forces spilling during
+        // partitioning; the assembled result must still be identical and the spill
+        // directory must drain as consumed handles free their entries.
+        let df = frame(80, 4)
+            .with_row_labels((0..80).map(|i| format!("r{i}")).collect::<Vec<_>>())
+            .unwrap();
+        let store = Arc::new(SpillStore::new(df.approx_size_bytes() / 4).unwrap());
+        for scheme in [
+            PartitionScheme::Row,
+            PartitionScheme::Column,
+            PartitionScheme::Block,
+        ] {
+            let grid = PartitionGrid::from_dataframe_in(
+                &df,
+                scheme,
+                PartitionConfig {
+                    target_rows: 10,
+                    target_cols: 2,
+                },
+                Some(&store),
+            )
+            .unwrap();
+            assert_eq!(grid.stored_partitions(), grid.n_partitions());
+            assert_eq!(grid.shape(), (80, 4));
+            // Non-consuming assembly keeps the entries alive…
+            assert!(grid.assemble().unwrap().same_data(&df), "scheme {scheme:?}");
+            // …while consuming assembly frees them.
+            assert!(grid.into_dataframe().unwrap().same_data(&df));
+        }
+        let stats = store.stats();
+        assert!(stats.spill_outs > 0, "tight budget must have spilled");
+        assert_eq!(stats.in_memory + stats.spilled, 0, "all entries freed");
+    }
+
+    #[test]
     fn metadata_transpose_defers_block_work() {
         let df = frame(40, 6);
         let grid = PartitionGrid::from_dataframe(
@@ -530,6 +846,60 @@ mod tests {
         let back = transposed.transpose();
         assert_eq!(back.deferred_transposes(), 0);
         assert!(back.assemble().unwrap().same_data(&df));
+    }
+
+    #[test]
+    fn transpose_of_a_stored_grid_is_metadata_only() {
+        let df = frame(30, 4);
+        let store = Arc::new(SpillStore::new(1).unwrap()); // spill everything
+        let grid = PartitionGrid::from_dataframe_in(
+            &df,
+            PartitionScheme::Block,
+            PartitionConfig {
+                target_rows: 10,
+                target_cols: 2,
+            },
+            Some(&store),
+        )
+        .unwrap();
+        let loads_before = store.stats().load_backs;
+        let transposed = grid.transpose();
+        // No block was loaded back to transpose the grid.
+        assert_eq!(store.stats().load_backs, loads_before);
+        let expected = df_core::ops::reshape::transpose(&df).unwrap();
+        assert!(transposed.assemble().unwrap().same_data(&expected));
+    }
+
+    #[test]
+    fn par_bands_and_map_bands_follow_the_band_lifecycle() {
+        let df = frame(60, 3);
+        let store = Arc::new(SpillStore::new(1).unwrap());
+        let executor = ParallelExecutor::new(2);
+        let grid = PartitionGrid::from_dataframe_in(
+            &df,
+            PartitionScheme::Row,
+            PartitionConfig {
+                target_rows: 20,
+                target_cols: 8,
+            },
+            Some(&store),
+        )
+        .unwrap();
+        let counts = grid.band_row_counts();
+        assert_eq!(counts, vec![20, 20, 20]);
+        let mapped = grid
+            .clone()
+            .map_bands(&executor, Some(&store), |_, band| Ok(band.head(5)))
+            .unwrap();
+        assert_eq!(mapped.shape(), (15, 3));
+        assert_eq!(mapped.stored_partitions(), 3);
+        let heads = mapped.into_row_bands().unwrap();
+        assert!(heads.iter().all(|b| b.n_rows() == 5));
+        // par_bands over the original grid still sees every band.
+        let sizes = grid
+            .par_bands(&executor, |i, band| Ok((i, band.n_rows())))
+            .unwrap();
+        assert_eq!(sizes, vec![(0, 20), (1, 20), (2, 20)]);
     }
 
     #[test]
@@ -616,6 +986,12 @@ mod tests {
         let bands = PartitionGrid::from_row_bands(vec![df.head(6), df.tail(6)]);
         assert_eq!(bands.n_row_bands(), 2);
         assert_eq!(bands.shape(), (12, 2));
+        assert_eq!(bands.blocks()[1][0].row_offset, 6);
+        let store = Arc::new(SpillStore::unbounded().unwrap());
+        let stored =
+            PartitionGrid::from_row_bands_in(vec![df.head(6), df.tail(6)], Some(&store)).unwrap();
+        assert_eq!(stored.stored_partitions(), 2);
+        assert!(stored.into_dataframe().unwrap().same_data(&df));
     }
 
     #[test]

@@ -354,6 +354,37 @@ mod tests {
     }
 
     #[test]
+    fn opportunistic_sessions_work_over_an_out_of_core_engine() {
+        // The spill store is session-scoped and shared (via Arc) with background
+        // workers: an opportunistic session over a budgeted engine must produce the
+        // same results as an in-memory one, with the store actually engaging.
+        let df = frame(300);
+        let budget = df.approx_size_bytes() / 4;
+        let modin = Arc::new(ModinEngine::with_config(
+            ModinConfig::default()
+                .with_memory_budget(budget)
+                .with_partition_size(16, 4),
+        ));
+        let session = QuerySession::new(
+            Arc::clone(&modin) as Arc<dyn Engine>,
+            EvalMode::Opportunistic,
+        );
+        let expr = AlgebraExpr::literal(df).map(MapFunc::IsNullMask);
+        session.submit(&expr).unwrap();
+        let out = session.collect(&expr).unwrap();
+        assert_eq!(out.shape(), (300, 2));
+        let reference = QuerySession::new(engine(), EvalMode::Eager)
+            .collect(&expr)
+            .unwrap();
+        assert!(out.same_data(&reference));
+        assert!(
+            modin.spill_stats().spill_outs > 0,
+            "budgeted engine never spilled: {:?}",
+            modin.spill_stats()
+        );
+    }
+
+    #[test]
     fn cache_can_be_disabled_and_cleared() {
         let session = QuerySession::new(engine(), EvalMode::Eager).without_cache();
         let expr = AlgebraExpr::literal(frame(10)).select(Predicate::True);

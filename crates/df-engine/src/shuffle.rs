@@ -16,10 +16,17 @@
 //!
 //! The dataframe algebra is *ordered* (Table 1: result order comes from the parent or
 //! the left argument), so the hash operators restore order afterwards: inputs are
-//! tagged with their global row position before the shuffle, and the combined result
-//! is sorted back by that tag and the tag projected away. Bucket hashing uses
+//! tagged with their global row position before the shuffle, and the result is sorted
+//! back by that tag — rangewise over the tag span, so the combined result is never
+//! materialised in one piece — and the tag projected away. Bucket hashing uses
 //! [`Cell::hash_key`] through the deterministic [`StableHasher`], which makes results
 //! identical across thread counts and runs.
+//!
+//! Every stage moves data as [`Partition`] handles and loads a band only *inside* its
+//! worker task (load → compute → store-and-maybe-spill): when the executor carries a
+//! [`SpillStore`](df_storage::spill::SpillStore), intermediate bands, bucket slices
+//! and per-bucket results all live under the store's memory budget, so the shuffle
+//! operators run out-of-core on inputs larger than memory.
 
 use std::cmp::Ordering;
 use std::collections::HashMap;
@@ -34,7 +41,7 @@ use df_core::dataframe::{Column, DataFrame};
 use df_core::ops::{group, setops};
 
 use crate::executor::ParallelExecutor;
-use crate::partition::PartitionGrid;
+use crate::partition::{Partition, PartitionGrid};
 
 /// Column label used to tag the left/only input's global row positions.
 const POS_LABEL: &str = "__shuffle:pos";
@@ -73,8 +80,9 @@ impl PartitionGrid {
         key: &ShuffleKey,
         buckets: usize,
     ) -> DfResult<PartitionGrid> {
-        let bands = shuffle_bands(executor, self.row_bands()?, key, buckets)?;
-        Ok(PartitionGrid::from_row_bands(bands))
+        let bands = self.clone().into_band_partitions(executor.store())?;
+        let shuffled = shuffle_bands(executor, bands, key, buckets)?;
+        Ok(PartitionGrid::from_band_partitions(shuffled))
     }
 }
 
@@ -137,35 +145,55 @@ fn validate_key(frame: &DataFrame, key: &ShuffleKey) -> DfResult<()> {
     Ok(())
 }
 
-/// Shuffle full-width row bands into `buckets` key-hashed bands.
+/// Assemble band partitions into one frame, consuming (and store-freeing) each band.
+fn assemble_parts(parts: Vec<Partition>) -> DfResult<DataFrame> {
+    let frames: Vec<DataFrame> = parts
+        .into_iter()
+        .map(Partition::into_materialized)
+        .collect::<DfResult<_>>()?;
+    setops::union_all(frames)
+}
+
+/// Shuffle full-width band partitions into `buckets` key-hashed bands. Each worker
+/// loads one band, splits it, and checks the slices back in; the bucket-concatenation
+/// pass then drains those slices one bucket at a time.
 fn shuffle_bands(
     executor: &ParallelExecutor,
-    bands: Vec<DataFrame>,
+    bands: Vec<Partition>,
     key: &ShuffleKey,
     buckets: usize,
-) -> DfResult<Vec<DataFrame>> {
+) -> DfResult<Vec<Partition>> {
+    let store = executor.store().cloned();
     let p = buckets.max(1);
     executor.record_shuffle();
-    let split = executor.par_map(bands, |_, band| split_band(&band, key, p))?;
-    let mut per_bucket: Vec<Vec<DataFrame>> =
+    let split = executor.par_map(bands, |_, part| {
+        let band = part.into_materialized()?;
+        split_band(band, key, p)?
+            .into_iter()
+            .map(|frame| Partition::new_in(frame, 0, 0, store.as_ref()))
+            .collect::<DfResult<Vec<_>>>()
+    })?;
+    let mut per_bucket: Vec<Vec<Partition>> =
         (0..p).map(|_| Vec::with_capacity(split.len())).collect();
     for band_buckets in split {
-        for (b, frame) in band_buckets.into_iter().enumerate() {
-            per_bucket[b].push(frame);
+        for (b, part) in band_buckets.into_iter().enumerate() {
+            per_bucket[b].push(part);
         }
     }
-    executor.par_map(per_bucket, |_, frames| setops::union_all(frames))
+    executor.par_map(per_bucket, |_, parts| {
+        Partition::new_in(assemble_parts(parts)?, 0, 0, store.as_ref())
+    })
 }
 
 /// Split one band into `p` key-hashed bucket slices, preserving row order per bucket.
-fn split_band(band: &DataFrame, key: &ShuffleKey, p: usize) -> DfResult<Vec<DataFrame>> {
-    validate_key(band, key)?;
+fn split_band(band: DataFrame, key: &ShuffleKey, p: usize) -> DfResult<Vec<DataFrame>> {
+    validate_key(&band, key)?;
     if p == 1 {
-        return Ok(vec![band.clone()]);
+        return Ok(vec![band]);
     }
     let mut bucket_rows: Vec<Vec<usize>> = vec![Vec::new(); p];
     for i in 0..band.n_rows() {
-        let bucket = (row_hash(band, i, key) % p as u64) as usize;
+        let bucket = (row_hash(&band, i, key) % p as u64) as usize;
         bucket_rows[bucket].push(i);
     }
     bucket_rows
@@ -196,83 +224,149 @@ impl RowIndex {
 }
 
 /// Tag every band with a trailing column of global row positions so order can be
-/// restored after a hash shuffle scatters the rows.
+/// restored after a hash shuffle scatters the rows. Band offsets come from grid
+/// metadata, so no band is loaded before its own worker task runs.
 fn tag_bands(
     executor: &ParallelExecutor,
-    bands: Vec<DataFrame>,
+    bands: Vec<Partition>,
     label: &Cell,
-) -> DfResult<Vec<DataFrame>> {
+) -> DfResult<Vec<Partition>> {
+    let store = executor.store().cloned();
     let mut offset = 0usize;
-    let items: Vec<(DataFrame, usize)> = bands
+    let items: Vec<(Partition, usize)> = bands
         .into_iter()
-        .map(|band| {
+        .map(|part| {
             let start = offset;
-            offset += band.n_rows();
-            (band, start)
+            offset += part.n_rows();
+            (part, start)
         })
         .collect();
-    executor.par_map(items, |_, (mut band, start)| {
+    executor.par_map(items, |_, (part, start)| {
+        let mut band = part.into_materialized()?;
         let cells: Vec<Cell> = (0..band.n_rows())
             .map(|i| Cell::Int((start + i) as i64))
             .collect();
         band.push_column(label.clone(), Column::new(cells))?;
-        Ok(band)
+        Partition::new_in(band, start, 0, store.as_ref())
     })
 }
 
-/// Sort a combined frame back into input order by its integer position-tag columns
-/// (identified by *position*, never by label — user columns are free to share the
-/// sentinel labels), project the tags away, and emit the result as row bands of at
-/// most `band_rows` rows so downstream operators keep their partition parallelism.
-/// Null tags (the OUTER join's unmatched-right block) sort last, minor tags breaking
-/// the tie.
+/// Sort per-bucket result partitions back into input order by their integer
+/// position-tag columns (identified by *position*, never by label — user columns are
+/// free to share the sentinel labels), project the tags away, and emit the result as
+/// band partitions of at most `band_rows` rows so downstream operators keep their
+/// partition parallelism. Null primary tags (the OUTER join's unmatched-right block)
+/// sort last, minor tags breaking the tie.
+///
+/// The restoration itself is banded, so the combined result is never materialised in
+/// one piece: primary tags lie in `0..tag_span`, so that span is carved into
+/// contiguous value ranges (sized from the total row count so a range holds
+/// ~`band_rows` rows); each bucket is loaded once and split into per-range slices,
+/// then each range assembles only its own slices, sorts them by the full tag tuple
+/// and projects the tags away. Concatenating the ranges in order is a global sort
+/// because the range of a row is monotone in its primary tag.
 fn restore_order(
     executor: &ParallelExecutor,
-    frame: DataFrame,
+    parts: Vec<Partition>,
     tag_positions: &[usize],
+    tag_span: usize,
     band_rows: usize,
-) -> DfResult<Vec<DataFrame>> {
-    let tag = |j: usize, i: usize| frame.columns()[j].cells()[i].as_i64();
-    let mut order: Vec<usize> = (0..frame.n_rows()).collect();
-    // Tag tuples are unique by construction, so an unstable sort is deterministic.
-    order.sort_unstable_by(|&a, &b| {
-        for &j in tag_positions {
-            let ord = match (tag(j, a), tag(j, b)) {
-                (Some(x), Some(y)) => x.cmp(&y),
-                (Some(_), None) => Ordering::Less,
-                (None, Some(_)) => Ordering::Greater,
-                (None, None) => Ordering::Equal,
+) -> DfResult<Vec<Partition>> {
+    let store = executor.store().cloned();
+    let total_rows: usize = parts.iter().map(Partition::n_rows).sum();
+    let n_ranges = total_rows.div_ceil(band_rows.max(1)).max(1);
+    let primary = tag_positions[0];
+    let span = tag_span.max(1);
+    // Phase 1: split every bucket into per-range slices (plus a trailing range for
+    // null primary tags), loading one bucket per worker at a time.
+    let split = executor.par_map(parts, |_, part| {
+        let frame = part.into_materialized()?;
+        let mut bins: Vec<Vec<usize>> = vec![Vec::new(); n_ranges + 1];
+        for i in 0..frame.n_rows() {
+            let bin = match frame.columns()[primary].cells()[i].as_i64() {
+                Some(t) => ((t.max(0) as usize).min(span - 1) * n_ranges / span).min(n_ranges - 1),
+                None => n_ranges,
             };
-            if ord != Ordering::Equal {
-                return ord;
-            }
+            bins[bin].push(i);
         }
-        Ordering::Equal
-    });
-    let keep: Vec<usize> = (0..frame.n_cols())
-        .filter(|j| !tag_positions.contains(j))
+        bins.into_iter()
+            .map(|rows| Partition::new_in(frame.take_rows(&rows)?, 0, 0, store.as_ref()))
+            .collect::<DfResult<Vec<_>>>()
+    })?;
+    let mut per_range: Vec<Vec<Partition>> = (0..n_ranges + 1)
+        .map(|_| Vec::with_capacity(split.len()))
         .collect();
-    let col_labels = Labels::new(
-        keep.iter()
-            .map(|&j| frame.col_labels().get(j).cloned().unwrap_or(Cell::Null))
-            .collect(),
-    );
-    let mut chunks: Vec<Vec<usize>> = order
-        .chunks(band_rows.max(1))
-        .map(<[usize]>::to_vec)
-        .collect();
-    if chunks.is_empty() {
-        // Keep an explicit empty band so the grid preserves the column structure.
-        chunks.push(Vec::new());
+    for bucket_ranges in split {
+        for (r, slice) in bucket_ranges.into_iter().enumerate() {
+            per_range[r].push(slice);
+        }
     }
-    executor.par_map(chunks, |_, positions| {
-        let columns: Vec<Column> = keep
-            .iter()
-            .map(|&j| gather(&frame.columns()[j], &positions))
+    // Phase 2: per range, assemble only that range's slices, sort by the tag tuple,
+    // project the tags away, and re-band.
+    let tag_positions = tag_positions.to_vec();
+    let banded = executor.par_map(per_range, |_, slices| {
+        let frame = assemble_parts(slices)?;
+        let tag = |j: usize, i: usize| frame.columns()[j].cells()[i].as_i64();
+        let mut order: Vec<usize> = (0..frame.n_rows()).collect();
+        // Tag tuples are unique by construction, so an unstable sort is deterministic.
+        order.sort_unstable_by(|&a, &b| {
+            for &j in &tag_positions {
+                let ord = match (tag(j, a), tag(j, b)) {
+                    (Some(x), Some(y)) => x.cmp(&y),
+                    (Some(_), None) => Ordering::Less,
+                    (None, Some(_)) => Ordering::Greater,
+                    (None, None) => Ordering::Equal,
+                };
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            Ordering::Equal
+        });
+        let keep: Vec<usize> = (0..frame.n_cols())
+            .filter(|j| !tag_positions.contains(j))
             .collect();
-        let row_labels = frame.row_labels().select(&positions)?;
-        DataFrame::from_parts(columns, row_labels, col_labels.clone())
-    })
+        let col_labels = Labels::new(
+            keep.iter()
+                .map(|&j| frame.col_labels().get(j).cloned().unwrap_or(Cell::Null))
+                .collect(),
+        );
+        let mut bands = Vec::with_capacity(order.len().div_ceil(band_rows.max(1)).max(1));
+        let mut chunks: Vec<&[usize]> = order.chunks(band_rows.max(1)).collect();
+        if chunks.is_empty() {
+            // Keep an explicit empty band so the grid preserves the column structure.
+            chunks.push(&[]);
+        }
+        for positions in chunks {
+            let columns: Vec<Column> = keep
+                .iter()
+                .map(|&j| gather(&frame.columns()[j], positions))
+                .collect();
+            let row_labels = frame.row_labels().select(positions)?;
+            bands.push(Partition::new_in(
+                DataFrame::from_parts(columns, row_labels, col_labels.clone())?,
+                0,
+                0,
+                store.as_ref(),
+            )?);
+        }
+        Ok(bands)
+    })?;
+    // Flatten in range order, dropping the empty bands empty ranges produce (but
+    // keeping one so an all-empty result still carries its column structure).
+    let mut bands: Vec<Partition> = Vec::new();
+    let mut structural_empty: Option<Partition> = None;
+    for part in banded.into_iter().flatten() {
+        if part.n_rows() > 0 {
+            bands.push(part);
+        } else if structural_empty.is_none() {
+            structural_empty = Some(part);
+        }
+    }
+    if bands.is_empty() {
+        bands.extend(structural_empty);
+    }
+    Ok(bands)
 }
 
 /// Clone the cells of `column` at `positions` into a new column, keeping a known
@@ -318,23 +412,25 @@ struct JoinLayout {
     right_value_positions: Vec<usize>,
 }
 
-fn join_layout(left: &DataFrame, right: &DataFrame, on: &JoinOn) -> DfResult<JoinLayout> {
+/// Resolve the layout from the two inputs' column labels alone, so callers can use
+/// band *metadata* (handle-cached labels) instead of materialising a sample band.
+fn join_layout(left_labels: &Labels, right_labels: &Labels, on: &JoinOn) -> DfResult<JoinLayout> {
     match on {
         JoinOn::RowLabels => Ok(JoinLayout {
             left_key: ShuffleKey::RowLabels,
             right_key: ShuffleKey::RowLabels,
-            right_value_positions: (0..right.n_cols()).collect(),
+            right_value_positions: (0..right_labels.len()).collect(),
         }),
         JoinOn::Columns(keys) => {
             let left_positions: Vec<usize> = keys
                 .iter()
-                .map(|k| left.col_position(k))
+                .map(|k| left_labels.position_of(k, "column"))
                 .collect::<DfResult<_>>()?;
             let right_positions: Vec<usize> = keys
                 .iter()
-                .map(|k| right.col_position(k))
+                .map(|k| right_labels.position_of(k, "column"))
                 .collect::<DfResult<_>>()?;
-            let right_value_positions: Vec<usize> = (0..right.n_cols())
+            let right_value_positions: Vec<usize> = (0..right_labels.len())
                 .filter(|j| !right_positions.contains(j))
                 .collect();
             Ok(JoinLayout {
@@ -463,31 +559,36 @@ fn broadcast_join(
     on: &JoinOn,
     how: JoinType,
 ) -> DfResult<PartitionGrid> {
+    let store = executor.store().cloned();
     let right_frame = right.into_dataframe()?;
-    let bands = left.into_row_bands()?;
-    let left_labels = bands[0].col_labels().clone();
-    let layout = join_layout(&bands[0], &right_frame, on)?;
+    let bands = left.into_band_partitions(store.as_ref())?;
+    // The layout is resolved from band metadata (handle-cached column labels), so no
+    // band is loaded outside its own worker task.
+    let left_labels = bands[0].col_labels()?;
+    let layout = join_layout(&left_labels, right_frame.col_labels(), on)?;
     let index = RowIndex::build(&right_frame, &layout.right_key)?;
-    let results = executor.par_map(bands, |_, band| {
-        join_band(&band, &right_frame, &index, &layout, how)
+    let results = executor.par_map(bands, |_, part| {
+        let band = part.into_materialized()?;
+        let (frame, band_matched) = join_band(&band, &right_frame, &index, &layout, how)?;
+        drop(band);
+        Ok((
+            Partition::new_in(frame, 0, 0, store.as_ref())?,
+            band_matched,
+        ))
     })?;
     let mut matched = vec![false; right_frame.n_rows()];
-    let mut frames = Vec::with_capacity(results.len() + 1);
-    for (frame, band_matched) in results {
+    let mut parts = Vec::with_capacity(results.len() + 1);
+    for (part, band_matched) in results {
         for (slot, hit) in matched.iter_mut().zip(band_matched) {
             *slot |= hit;
         }
-        frames.push(frame);
+        parts.push(part);
     }
     if matches!(how, JoinType::Outer) {
-        frames.push(unmatched_right_frame(
-            &left_labels,
-            &right_frame,
-            &layout,
-            &matched,
-        )?);
+        let tail = unmatched_right_frame(&left_labels, &right_frame, &layout, &matched)?;
+        parts.push(Partition::new_in(tail, 0, 0, store.as_ref())?);
     }
-    Ok(PartitionGrid::from_row_bands(frames))
+    Ok(PartitionGrid::from_band_partitions(parts))
 }
 
 fn shuffle_join(
@@ -498,36 +599,52 @@ fn shuffle_join(
     how: JoinType,
     options: ShuffleOptions,
 ) -> DfResult<PartitionGrid> {
+    let store = executor.store().cloned();
+    let (left_rows, _) = left.shape();
     let lpos = Cell::Str(POS_LABEL.to_string());
     let rpos = Cell::Str(RIGHT_POS_LABEL.to_string());
-    let left_bands = tag_bands(executor, left.into_row_bands()?, &lpos)?;
-    let right_bands = tag_bands(executor, right.into_row_bands()?, &rpos)?;
+    let left_bands = tag_bands(executor, left.into_band_partitions(store.as_ref())?, &lpos)?;
+    let right_bands = tag_bands(executor, right.into_band_partitions(store.as_ref())?, &rpos)?;
     let left_tagged_cols = left_bands[0].n_cols();
-    let layout = join_layout(&left_bands[0], &right_bands[0], on)?;
+    let layout = join_layout(
+        &left_bands[0].col_labels()?,
+        &right_bands[0].col_labels()?,
+        on,
+    )?;
     let left_shuffled = shuffle_bands(executor, left_bands, &layout.left_key, options.buckets)?;
     let right_shuffled = shuffle_bands(executor, right_bands, &layout.right_key, options.buckets)?;
-    let pairs: Vec<(DataFrame, DataFrame)> =
+    let pairs: Vec<(Partition, Partition)> =
         left_shuffled.into_iter().zip(right_shuffled).collect();
-    let joined = executor.par_map(pairs, |_, (left_bucket, right_bucket)| {
+    let joined = executor.par_map(pairs, |_, (left_part, right_part)| {
+        let left_bucket = left_part.into_materialized()?;
+        let right_bucket = right_part.into_materialized()?;
         let index = RowIndex::build(&right_bucket, &layout.right_key)?;
         let (frame, matched) = join_band(&left_bucket, &right_bucket, &index, &layout, how)?;
-        if matches!(how, JoinType::Outer) {
+        let result = if matches!(how, JoinType::Outer) {
             // Keys are co-partitioned, so a right row unmatched in its bucket is
             // unmatched globally.
             let tail =
                 unmatched_right_frame(left_bucket.col_labels(), &right_bucket, &layout, &matched)?;
-            return setops::union_all(vec![frame, tail]);
-        }
-        Ok(frame)
+            setops::union_all(vec![frame, tail])?
+        } else {
+            frame
+        };
+        Partition::new_in(result, 0, 0, store.as_ref())
     })?;
-    let combined = setops::union_all(joined)?;
     // The tags sit at structurally known positions: the left tag is the last left
     // column, the right tag is the last column overall (it is the right input's
-    // trailing column, and value columns keep their relative order).
+    // trailing column, and value columns keep their relative order). Left tags span
+    // the left input's row count.
     let lpos_at = left_tagged_cols - 1;
-    let rpos_at = combined.n_cols() - 1;
-    let bands = restore_order(executor, combined, &[lpos_at, rpos_at], options.band_rows)?;
-    Ok(PartitionGrid::from_row_bands(bands))
+    let rpos_at = joined[0].n_cols() - 1;
+    let bands = restore_order(
+        executor,
+        joined,
+        &[lpos_at, rpos_at],
+        left_rows,
+        options.band_rows,
+    )?;
+    Ok(PartitionGrid::from_band_partitions(bands))
 }
 
 // ---------------------------------------------------------------------------
@@ -543,12 +660,14 @@ pub fn parallel_drop_duplicates(
     grid: PartitionGrid,
     options: ShuffleOptions,
 ) -> DfResult<PartitionGrid> {
-    let (_, n_cols) = grid.shape();
+    let store = executor.store().cloned();
+    let (n_rows, n_cols) = grid.shape();
     let pos = Cell::Str(POS_LABEL.to_string());
-    let tagged = tag_bands(executor, grid.into_row_bands()?, &pos)?;
+    let tagged = tag_bands(executor, grid.into_band_partitions(store.as_ref())?, &pos)?;
     let key = ShuffleKey::Positions((0..n_cols).collect());
     let shuffled = shuffle_bands(executor, tagged, &key, options.buckets)?;
-    let kept = executor.par_map(shuffled, |_, bucket| {
+    let kept = executor.par_map(shuffled, |_, part| {
+        let bucket = part.into_materialized()?;
         let mut seen: HashMap<u64, Vec<usize>> = HashMap::new();
         let mut keep: Vec<usize> = Vec::new();
         for i in 0..bucket.n_rows() {
@@ -561,13 +680,13 @@ pub fn parallel_drop_duplicates(
                 keep.push(i);
             }
         }
-        bucket.take_rows(&keep)
+        Partition::new_in(bucket.take_rows(&keep)?, 0, 0, store.as_ref())
     })?;
-    let combined = setops::union_all(kept)?;
-    // The position tag is the trailing column appended by tag_bands.
-    let pos_at = combined.n_cols() - 1;
-    let bands = restore_order(executor, combined, &[pos_at], options.band_rows)?;
-    Ok(PartitionGrid::from_row_bands(bands))
+    // The position tag is the trailing column appended by tag_bands; tags span the
+    // input's row count.
+    let pos_at = kept[0].n_cols() - 1;
+    let bands = restore_order(executor, kept, &[pos_at], n_rows, options.band_rows)?;
+    Ok(PartitionGrid::from_band_partitions(bands))
 }
 
 /// Partition-parallel ordered DIFFERENCE (anti-join on whole rows). Small right sides
@@ -580,31 +699,42 @@ pub fn parallel_difference(
     right: PartitionGrid,
     options: ShuffleOptions,
 ) -> DfResult<PartitionGrid> {
+    let store = executor.store().cloned();
+    let (left_rows, _) = left.shape();
     let (right_rows, n_cols) = right.shape();
     let key = ShuffleKey::Positions((0..n_cols).collect());
     if right_rows <= options.broadcast_rows {
         let right_frame = right.into_dataframe()?;
         let index = RowIndex::build(&right_frame, &key)?;
-        let filtered = executor.par_map(left.into_row_bands()?, |_, band| {
-            let keep: Vec<usize> = (0..band.n_rows())
-                .filter(|&i| {
-                    !index
-                        .candidates(row_hash(&band, i, &key))
-                        .iter()
-                        .any(|&rp| keys_match(&band, i, &key, &right_frame, rp, &key))
-                })
-                .collect();
-            band.take_rows(&keep)
-        })?;
-        return Ok(PartitionGrid::from_row_bands(filtered));
+        let filtered =
+            executor.par_map(left.into_band_partitions(store.as_ref())?, |_, part| {
+                let band = part.into_materialized()?;
+                let keep: Vec<usize> = (0..band.n_rows())
+                    .filter(|&i| {
+                        !index
+                            .candidates(row_hash(&band, i, &key))
+                            .iter()
+                            .any(|&rp| keys_match(&band, i, &key, &right_frame, rp, &key))
+                    })
+                    .collect();
+                Partition::new_in(band.take_rows(&keep)?, 0, 0, store.as_ref())
+            })?;
+        return Ok(PartitionGrid::from_band_partitions(filtered));
     }
     let pos = Cell::Str(POS_LABEL.to_string());
-    let tagged = tag_bands(executor, left.into_row_bands()?, &pos)?;
+    let tagged = tag_bands(executor, left.into_band_partitions(store.as_ref())?, &pos)?;
     let left_shuffled = shuffle_bands(executor, tagged, &key, options.buckets)?;
-    let right_shuffled = shuffle_bands(executor, right.into_row_bands()?, &key, options.buckets)?;
-    let pairs: Vec<(DataFrame, DataFrame)> =
+    let right_shuffled = shuffle_bands(
+        executor,
+        right.into_band_partitions(store.as_ref())?,
+        &key,
+        options.buckets,
+    )?;
+    let pairs: Vec<(Partition, Partition)> =
         left_shuffled.into_iter().zip(right_shuffled).collect();
-    let filtered = executor.par_map(pairs, |_, (left_bucket, right_bucket)| {
+    let filtered = executor.par_map(pairs, |_, (left_part, right_part)| {
+        let left_bucket = left_part.into_materialized()?;
+        let right_bucket = right_part.into_materialized()?;
         let index = RowIndex::build(&right_bucket, &key)?;
         let keep: Vec<usize> = (0..left_bucket.n_rows())
             .filter(|&i| {
@@ -614,43 +744,80 @@ pub fn parallel_difference(
                     .any(|&rp| keys_match(&left_bucket, i, &key, &right_bucket, rp, &key))
             })
             .collect();
-        left_bucket.take_rows(&keep)
+        Partition::new_in(left_bucket.take_rows(&keep)?, 0, 0, store.as_ref())
     })?;
-    let combined = setops::union_all(filtered)?;
-    let pos_at = combined.n_cols() - 1;
-    let bands = restore_order(executor, combined, &[pos_at], options.band_rows)?;
-    Ok(PartitionGrid::from_row_bands(bands))
+    let pos_at = filtered[0].n_cols() - 1;
+    let bands = restore_order(executor, filtered, &[pos_at], left_rows, options.band_rows)?;
+    Ok(PartitionGrid::from_band_partitions(bands))
 }
 
 // ---------------------------------------------------------------------------
 // SORT
 // ---------------------------------------------------------------------------
 
-/// Partition-parallel stable SORT: sort every band in parallel, pick range splitters
-/// from a sorted sample of band keys, carve each sorted band into contiguous
-/// per-range runs, and k-way-merge each range's runs in parallel. The output grid's
-/// bands are the sorted ranges in order, so assembly is a plain concatenation.
+/// How many sample keys each band contributes per target range when choosing range
+/// splitters for the parallel sort.
+const SORT_OVERSAMPLE: usize = 8;
+
+/// Partition-parallel stable SORT: sort every band in parallel (collecting splitter
+/// samples in the same pass, so no band is loaded twice for sampling), pick range
+/// splitters from the sorted sample, carve each sorted band into contiguous per-range
+/// runs, and k-way-merge each range's runs in parallel. The output grid's bands are
+/// the sorted ranges in order, so assembly is a plain concatenation.
 pub fn parallel_sort(
     executor: &ParallelExecutor,
     grid: PartitionGrid,
     spec: &SortSpec,
     buckets: usize,
 ) -> DfResult<PartitionGrid> {
-    let bands = grid.into_row_bands()?;
+    let store = executor.store().cloned();
+    let bands = grid.into_band_partitions(store.as_ref())?;
+    // Key columns are resolved from band metadata — no sample band is loaded.
+    let band_labels = bands[0].col_labels()?;
     let key_positions: Vec<usize> = spec
         .by
         .iter()
-        .map(|k| bands[0].col_position(k))
+        .map(|k| band_labels.position_of(k, "column"))
         .collect::<DfResult<_>>()?;
-    let sorted_bands = executor.par_map(bands, |_, band| group::sort(&band, spec))?;
     let p = buckets.max(1);
-    let splitters = choose_splitters(&sorted_bands, &key_positions, spec, p);
+    let per_band = p * SORT_OVERSAMPLE;
+    let sorted_with_samples = executor.par_map(bands, |_, part| {
+        let band = part.into_materialized()?;
+        let sorted = group::sort(&band, spec)?;
+        drop(band);
+        let mut samples: Vec<Vec<Cell>> = Vec::new();
+        let n = sorted.n_rows();
+        if p > 1 && n > 0 {
+            let take = per_band.min(n);
+            for s in 0..take {
+                let i = s * n / take;
+                samples.push(
+                    key_positions
+                        .iter()
+                        .map(|&j| sorted.columns()[j].cells()[i].clone())
+                        .collect(),
+                );
+            }
+        }
+        Ok((Partition::new_in(sorted, 0, 0, store.as_ref())?, samples))
+    })?;
+    let mut sorted_bands = Vec::with_capacity(sorted_with_samples.len());
+    let mut samples: Vec<Vec<Cell>> = Vec::new();
+    for (part, band_samples) in sorted_with_samples {
+        sorted_bands.push(part);
+        samples.extend(band_samples);
+    }
+    let splitters = splitters_from_samples(samples, spec, p);
     executor.record_shuffle();
-    let ranged = executor.par_map(sorted_bands, |_, band| {
-        Ok(split_sorted_band(&band, &key_positions, spec, &splitters))
+    let ranged = executor.par_map(sorted_bands, |_, part| {
+        let band = part.into_materialized()?;
+        split_sorted_band(&band, &key_positions, spec, &splitters)
+            .into_iter()
+            .map(|run| Partition::new_in(run, 0, 0, store.as_ref()))
+            .collect::<DfResult<Vec<_>>>()
     })?;
     let n_ranges = splitters.len() + 1;
-    let mut per_range: Vec<Vec<DataFrame>> = (0..n_ranges)
+    let mut per_range: Vec<Vec<Partition>> = (0..n_ranges)
         .map(|_| Vec::with_capacity(ranged.len()))
         .collect();
     for band_ranges in ranged {
@@ -658,10 +825,19 @@ pub fn parallel_sort(
             per_range[r].push(run);
         }
     }
-    let merged = executor.par_map(per_range, |_, runs| {
-        merge_sorted_runs(runs, &key_positions, spec)
+    let merged = executor.par_map(per_range, |_, parts| {
+        let runs: Vec<DataFrame> = parts
+            .into_iter()
+            .map(Partition::into_materialized)
+            .collect::<DfResult<_>>()?;
+        Partition::new_in(
+            merge_sorted_runs(runs, &key_positions, spec)?,
+            0,
+            0,
+            store.as_ref(),
+        )
     })?;
-    Ok(PartitionGrid::from_row_bands(merged))
+    Ok(PartitionGrid::from_band_partitions(merged))
 }
 
 /// Compare two key tuples under the sort spec's per-key direction.
@@ -719,38 +895,15 @@ fn compare_rows(
     Ordering::Equal
 }
 
-/// Sample each sorted band at regular intervals and pick `p - 1` splitter keys at even
-/// quantiles of the sorted sample. Splitters define a pure function of the key, so all
-/// rows of one key family land in the same range regardless of band or thread count.
-fn choose_splitters(
-    bands: &[DataFrame],
-    key_positions: &[usize],
+/// Pick `p - 1` splitter keys at even quantiles of the sorted sample (the samples were
+/// taken at regular intervals of each sorted band, in band order, so the choice is a
+/// pure function of the data — identical across thread counts and runs).
+fn splitters_from_samples(
+    mut samples: Vec<Vec<Cell>>,
     spec: &SortSpec,
     p: usize,
 ) -> Vec<Vec<Cell>> {
-    if p <= 1 {
-        return Vec::new();
-    }
-    const OVERSAMPLE: usize = 8;
-    let per_band = p * OVERSAMPLE;
-    let mut samples: Vec<Vec<Cell>> = Vec::new();
-    for band in bands {
-        let n = band.n_rows();
-        if n == 0 {
-            continue;
-        }
-        let take = per_band.min(n);
-        for s in 0..take {
-            let i = s * n / take;
-            samples.push(
-                key_positions
-                    .iter()
-                    .map(|&j| band.columns()[j].cells()[i].clone())
-                    .collect(),
-            );
-        }
-    }
-    if samples.is_empty() {
+    if p <= 1 || samples.is_empty() {
         return Vec::new();
     }
     samples.sort_by(|a, b| compare_keys(a, b, spec));
@@ -866,7 +1019,9 @@ fn merge_sorted_runs(
 mod tests {
     use super::*;
     use crate::partition::{PartitionConfig, PartitionScheme};
+    use df_storage::spill::SpillStore;
     use df_types::cell::cell;
+    use std::sync::Arc;
 
     fn opts(buckets: usize, band_rows: usize, broadcast_rows: usize) -> ShuffleOptions {
         ShuffleOptions {
@@ -1143,8 +1298,103 @@ mod tests {
                         .unwrap()
                         .assemble()
                         .unwrap();
-                assert!(deduped.same_data(&group::drop_duplicates(&df).unwrap()));
+                assert!(deduped.same_data(&df));
             }
         }
+    }
+
+    #[test]
+    fn shuffle_operators_match_under_a_tight_spill_store() {
+        // Every operator runs once without a store and once with a store whose budget
+        // is a small fraction of the working set; the results must be identical and
+        // the tight run must actually spill.
+        let left = mixed_frame(96);
+        let right = mixed_frame(40);
+        let budget = left.approx_size_bytes() / 8;
+        let spec = SortSpec::ascending(vec![cell("v")]);
+        let on = JoinOn::Columns(vec![cell("k")]);
+
+        let plain = ParallelExecutor::new(2);
+        let store = Arc::new(SpillStore::new(budget).unwrap());
+        let spilled = ParallelExecutor::new(2).with_store(Some(Arc::clone(&store)));
+
+        let pairs: Vec<(DataFrame, DataFrame)> = vec![
+            (
+                parallel_sort(&plain, grid_of(&left, 12), &spec, 4)
+                    .unwrap()
+                    .assemble()
+                    .unwrap(),
+                parallel_sort(&spilled, grid_of(&left, 12), &spec, 4)
+                    .unwrap()
+                    .assemble()
+                    .unwrap(),
+            ),
+            (
+                parallel_drop_duplicates(&plain, grid_of(&left, 12), opts(4, 10, 0))
+                    .unwrap()
+                    .assemble()
+                    .unwrap(),
+                parallel_drop_duplicates(&spilled, grid_of(&left, 12), opts(4, 10, 0))
+                    .unwrap()
+                    .assemble()
+                    .unwrap(),
+            ),
+            (
+                parallel_join(
+                    &plain,
+                    grid_of(&left, 12),
+                    grid_of(&right, 9),
+                    &on,
+                    JoinType::Outer,
+                    opts(4, 10, 0),
+                )
+                .unwrap()
+                .assemble()
+                .unwrap(),
+                parallel_join(
+                    &spilled,
+                    grid_of(&left, 12),
+                    grid_of(&right, 9),
+                    &on,
+                    JoinType::Outer,
+                    opts(4, 10, 0),
+                )
+                .unwrap()
+                .assemble()
+                .unwrap(),
+            ),
+            (
+                parallel_difference(
+                    &plain,
+                    grid_of(&left, 12),
+                    grid_of(&right, 9),
+                    opts(4, 10, 0),
+                )
+                .unwrap()
+                .assemble()
+                .unwrap(),
+                parallel_difference(
+                    &spilled,
+                    grid_of(&left, 12),
+                    grid_of(&right, 9),
+                    opts(4, 10, 0),
+                )
+                .unwrap()
+                .assemble()
+                .unwrap(),
+            ),
+        ];
+        for (expected, got) in pairs {
+            assert!(got.same_data(&expected), "out-of-core run diverged");
+        }
+        let stats = store.stats();
+        assert!(
+            stats.spill_outs > 0,
+            "tight budget never spilled: {stats:?}"
+        );
+        assert!(
+            stats.memory_bytes <= budget,
+            "resident bytes exceed the budget at rest: {stats:?}"
+        );
     }
 }

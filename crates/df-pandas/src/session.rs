@@ -13,23 +13,45 @@ use df_core::engine::{Engine, EngineKind, ReferenceEngine};
 use df_baseline::{BaselineConfig, BaselineEngine};
 use df_engine::engine::{ModinConfig, ModinEngine};
 use df_engine::session::{EvalMode, QuerySession, SessionStats};
+use df_storage::spill::SpillStats;
 
 /// A configured analysis session.
 pub struct Session {
     query: QuerySession,
     kind: EngineKind,
+    /// The typed engine handle, retained when the session is MODIN-backed so callers
+    /// can reach engine-specific surfaces (spill statistics, dispatch counters).
+    modin: Option<Arc<ModinEngine>>,
 }
 
 impl Session {
     /// A session backed by the scalable (MODIN-like) engine with eager evaluation —
     /// the drop-in-replacement configuration the paper targets.
     pub fn modin() -> Arc<Session> {
-        Session::with_engine(Arc::new(ModinEngine::new()), EvalMode::Eager)
+        Session::modin_with(ModinConfig::default(), EvalMode::Eager)
     }
 
     /// A MODIN-backed session with an explicit engine configuration and mode.
     pub fn modin_with(config: ModinConfig, mode: EvalMode) -> Arc<Session> {
-        Session::with_engine(Arc::new(ModinEngine::with_config(config)), mode)
+        let engine = Arc::new(ModinEngine::with_config(config));
+        let modin = Some(Arc::clone(&engine));
+        let kind = engine.kind();
+        Arc::new(Session {
+            query: QuerySession::new(engine, mode),
+            kind,
+            modin,
+        })
+    }
+
+    /// An out-of-core MODIN session (paper §3.3): partitions live in a session-scoped
+    /// spill store with `memory_budget_bytes` of in-memory budget; least-recently-used
+    /// bands spill to disk instead of exhausting memory, and the spill directory is
+    /// freed when the session drops. Inspect behaviour via [`Session::spill_stats`].
+    pub fn modin_out_of_core(memory_budget_bytes: usize) -> Arc<Session> {
+        Session::modin_with(
+            ModinConfig::default().with_memory_budget(memory_budget_bytes),
+            EvalMode::Eager,
+        )
     }
 
     /// A session backed by the pandas-like baseline engine (always eager).
@@ -56,6 +78,7 @@ impl Session {
         Arc::new(Session {
             query: QuerySession::new(engine, mode),
             kind,
+            modin: None,
         })
     }
 
@@ -77,6 +100,21 @@ impl Session {
     /// Scheduling / caching counters for this session.
     pub fn stats(&self) -> SessionStats {
         self.query.stats()
+    }
+
+    /// The typed MODIN engine behind this session. Populated by the `modin*`
+    /// constructors; [`Session::with_engine`] erases the engine type and therefore
+    /// returns `None` here even for a hand-built `ModinEngine`.
+    pub fn modin_engine(&self) -> Option<&Arc<ModinEngine>> {
+        self.modin.as_ref()
+    }
+
+    /// Out-of-core statistics of the session's spill store. `Some` only for sessions
+    /// built through the `modin*` constructors (all-zero when the engine runs without
+    /// a memory budget); `None` for baseline/reference sessions and for engines
+    /// passed through the type-erasing [`Session::with_engine`].
+    pub fn spill_stats(&self) -> Option<SpillStats> {
+        self.modin.as_ref().map(|engine| engine.spill_stats())
     }
 }
 
@@ -101,5 +139,48 @@ mod tests {
         let session = Session::modin();
         assert_eq!(session.stats().statements, 0);
         assert_eq!(session.stats().executions, 0);
+    }
+
+    #[test]
+    fn out_of_core_sessions_spill_and_match_in_memory_results() {
+        use df_core::algebra::{Aggregation, AlgebraExpr};
+        use df_core::dataframe::DataFrame;
+        use df_types::cell::{cell, Cell};
+
+        let rows = 400usize;
+        let k: Vec<Cell> = (0..rows).map(|i| cell((i % 7) as i64)).collect();
+        let v: Vec<Cell> = (0..rows).map(|i| cell(format!("value-{i}"))).collect();
+        let frame = DataFrame::from_columns(vec!["k", "v"], vec![k, v]).unwrap();
+        let budget = frame.approx_size_bytes() / 4;
+        let expr = AlgebraExpr::literal(frame).group_by(
+            vec![cell("k")],
+            vec![Aggregation::count_rows()],
+            false,
+        );
+
+        let out_of_core = Session::modin_with(
+            ModinConfig::default()
+                .with_memory_budget(budget)
+                .with_partition_size(32, 8),
+            EvalMode::Eager,
+        );
+        let in_memory = Session::modin_with(
+            ModinConfig::sequential().with_partition_size(32, 8),
+            EvalMode::Eager,
+        );
+        let bounded = out_of_core.query().collect(&expr).unwrap();
+        let unbounded = in_memory.query().collect(&expr).unwrap();
+        assert!(bounded.same_data(&unbounded));
+
+        let stats = out_of_core.spill_stats().expect("modin session has stats");
+        assert!(
+            stats.spill_outs > 0,
+            "tight budget never spilled: {stats:?}"
+        );
+        assert!(out_of_core.modin_engine().is_some());
+        // Non-MODIN sessions expose no spill surface; budget-less MODIN ones report
+        // all-zero stats.
+        assert!(Session::baseline().spill_stats().is_none());
+        assert_eq!(in_memory.spill_stats().unwrap().spill_outs, 0);
     }
 }

@@ -10,26 +10,33 @@
 //! exceeded the least-recently-used partitions are written to spill files in a
 //! session-scoped temporary directory and transparently re-loaded on access. Dropping
 //! the store removes its directory, matching the "freed once a session ends" semantics.
+//!
+//! Spill files use a private *lossless* encoding (a type tag per cell, per-column
+//! domain slots, tagged labels): a spilled partition reads back cell-for-cell and
+//! schema-slot-for-schema-slot identical, so engines may spill untyped (raw string)
+//! columns without schema induction being forced on reload. The engine's spill
+//! equivalence suite relies on this.
 
 use std::collections::HashMap;
 use std::io::{BufWriter, Read, Write};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use df_types::cell::Cell;
+use df_types::domain::Domain;
 use df_types::error::{DfError, DfResult};
 use df_types::labels::Labels;
 
 use df_core::dataframe::{Column, DataFrame};
 
-use crate::csv::{read_csv_str, write_csv_string, CsvOptions};
-
 /// Identifier of a partition held by a [`SpillStore`].
 pub type PartitionId = u64;
 
-/// Statistics describing the store's behaviour, used by tests and the storage ablation.
+/// Statistics describing the store's behaviour, used by tests, the engine's stats
+/// surface and the storage ablation.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SpillStats {
     /// Partitions currently resident in memory.
@@ -42,13 +49,36 @@ pub struct SpillStats {
     pub load_backs: u64,
     /// Approximate bytes currently held in memory.
     pub memory_bytes: usize,
+    /// High-water mark of resident bytes, sampled after every insertion *before* the
+    /// budget is enforced. By construction it can exceed the budget by at most the
+    /// partition being inserted, per concurrently inserting thread: with a single
+    /// writer the bound is `budget + max_insert_bytes`; with `T` writers each can
+    /// have one insertion in flight ahead of its enforcement sweep, so the bound is
+    /// `budget + T * max_insert_bytes`.
+    pub peak_memory_bytes: usize,
+    /// The largest single partition ever inserted. Together with
+    /// [`SpillStats::peak_memory_bytes`] this makes the out-of-core acceptance bound
+    /// checkable: `peak_memory_bytes <= budget + writers * max_insert_bytes`.
+    pub max_insert_bytes: usize,
 }
 
 struct Slot {
-    frame: Option<DataFrame>,
+    /// The resident copy. Held through an `Arc` so a spill can serialise the frame
+    /// without taking it out of the slot (concurrent `get`s keep working) and without
+    /// holding the map lock across file IO.
+    frame: Option<Arc<DataFrame>>,
     spill_path: Option<PathBuf>,
     approx_bytes: usize,
     last_touch: u64,
+}
+
+/// The lock-guarded state: the slot map plus a running total of resident bytes, so
+/// budget checks and peak sampling are O(1) per operation instead of re-summing the
+/// whole map under the lock on every insert.
+#[derive(Default)]
+struct Inner {
+    slots: HashMap<PartitionId, Slot>,
+    resident_bytes: usize,
 }
 
 /// An in-memory partition store with spill-to-disk overflow.
@@ -57,18 +87,26 @@ pub struct SpillStore {
     directory: PathBuf,
     clock: AtomicU64,
     next_id: AtomicU64,
-    inner: Mutex<HashMap<PartitionId, Slot>>,
+    inner: Mutex<Inner>,
+    spill_seq: AtomicU64,
     spill_outs: AtomicU64,
     load_backs: AtomicU64,
+    peak_bytes: AtomicUsize,
+    max_insert_bytes: AtomicUsize,
 }
 
 impl SpillStore {
     /// Create a store with the given in-memory byte budget. Spill files live under a
     /// fresh subdirectory of the system temp dir.
     pub fn new(memory_budget_bytes: usize) -> DfResult<Self> {
+        // A process-global counter keeps concurrently created stores from colliding
+        // on a directory name (the clock alone is not unique enough — one store's
+        // Drop would delete the other's spill files).
+        static STORE_SEQ: AtomicU64 = AtomicU64::new(0);
         let directory = std::env::temp_dir().join(format!(
-            "rustframe-spill-{}-{}",
+            "rustframe-spill-{}-{}-{}",
             std::process::id(),
+            STORE_SEQ.fetch_add(1, Ordering::Relaxed),
             std::time::SystemTime::now()
                 .duration_since(std::time::UNIX_EPOCH)
                 .map(|d| d.as_nanos())
@@ -80,9 +118,12 @@ impl SpillStore {
             directory,
             clock: AtomicU64::new(0),
             next_id: AtomicU64::new(0),
-            inner: Mutex::new(HashMap::new()),
+            inner: Mutex::new(Inner::default()),
+            spill_seq: AtomicU64::new(0),
             spill_outs: AtomicU64::new(0),
             load_backs: AtomicU64::new(0),
+            peak_bytes: AtomicUsize::new(0),
+            max_insert_bytes: AtomicUsize::new(0),
         })
     }
 
@@ -92,22 +133,31 @@ impl SpillStore {
         SpillStore::new(usize::MAX / 2)
     }
 
+    /// The in-memory byte budget this store enforces.
+    pub fn memory_budget_bytes(&self) -> usize {
+        self.memory_budget_bytes
+    }
+
     /// Insert a partition, spilling older partitions if the memory budget is exceeded.
     pub fn put(&self, frame: DataFrame) -> DfResult<PartitionId> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let approx_bytes = frame.approx_size_bytes();
+        self.max_insert_bytes
+            .fetch_max(approx_bytes, Ordering::Relaxed);
         let touch = self.clock.fetch_add(1, Ordering::Relaxed);
         {
             let mut inner = self.inner.lock();
-            inner.insert(
+            inner.slots.insert(
                 id,
                 Slot {
-                    frame: Some(frame),
+                    frame: Some(Arc::new(frame)),
                     spill_path: None,
                     approx_bytes,
                     last_touch: touch,
                 },
             );
+            inner.resident_bytes += approx_bytes;
+            self.note_peak(&inner);
         }
         self.enforce_budget()?;
         Ok(id)
@@ -118,33 +168,73 @@ impl SpillStore {
         let touch = self.clock.fetch_add(1, Ordering::Relaxed);
         let mut inner = self.inner.lock();
         let slot = inner
+            .slots
             .get_mut(&id)
             .ok_or_else(|| DfError::internal(format!("unknown partition id {id}")))?;
         slot.last_touch = touch;
         if let Some(frame) = &slot.frame {
-            return Ok(frame.clone());
+            return Ok(frame.as_ref().clone());
         }
         let path = slot
             .spill_path
             .clone()
             .ok_or_else(|| DfError::internal("partition has neither memory nor spill copy"))?;
         drop(inner);
-        let frame = read_spill_file(&path)?;
+        let frame = Arc::new(read_spill_file(&path)?);
         self.load_backs.fetch_add(1, Ordering::Relaxed);
         let mut inner = self.inner.lock();
-        if let Some(slot) = inner.get_mut(&id) {
-            slot.frame = Some(frame.clone());
-            slot.approx_bytes = frame.approx_size_bytes();
+        if let Some(slot) = inner.slots.get_mut(&id) {
+            let approx_bytes = frame.approx_size_bytes();
+            let newly_resident = slot.frame.is_none();
+            slot.frame = Some(Arc::clone(&frame));
+            slot.approx_bytes = approx_bytes;
+            if newly_resident {
+                inner.resident_bytes += approx_bytes;
+            }
+            self.note_peak(&inner);
         }
         drop(inner);
         self.enforce_budget()?;
+        Ok(Arc::try_unwrap(frame).unwrap_or_else(|shared| shared.as_ref().clone()))
+    }
+
+    /// Fetch a partition *and* remove it from the store: the consuming counterpart of
+    /// [`SpillStore::get`] for callers that will not come back. A resident frame is
+    /// moved out without a copy; a spilled one is read back and its file deleted.
+    pub fn take(&self, id: PartitionId) -> DfResult<DataFrame> {
+        let slot = {
+            let mut inner = self.inner.lock();
+            let slot = inner
+                .slots
+                .remove(&id)
+                .ok_or_else(|| DfError::internal(format!("unknown partition id {id}")))?;
+            if slot.frame.is_some() {
+                inner.resident_bytes = inner.resident_bytes.saturating_sub(slot.approx_bytes);
+            }
+            slot
+        };
+        if let Some(frame) = slot.frame {
+            if let Some(path) = slot.spill_path {
+                std::fs::remove_file(path).ok();
+            }
+            return Ok(Arc::try_unwrap(frame).unwrap_or_else(|shared| shared.as_ref().clone()));
+        }
+        let path = slot
+            .spill_path
+            .ok_or_else(|| DfError::internal("partition has neither memory nor spill copy"))?;
+        let frame = read_spill_file(&path)?;
+        self.load_backs.fetch_add(1, Ordering::Relaxed);
+        std::fs::remove_file(path).ok();
         Ok(frame)
     }
 
     /// Remove a partition entirely (memory and disk).
     pub fn remove(&self, id: PartitionId) -> DfResult<()> {
         let mut inner = self.inner.lock();
-        if let Some(slot) = inner.remove(&id) {
+        if let Some(slot) = inner.slots.remove(&id) {
+            if slot.frame.is_some() {
+                inner.resident_bytes = inner.resident_bytes.saturating_sub(slot.approx_bytes);
+            }
             if let Some(path) = slot.spill_path {
                 std::fs::remove_file(path).ok();
             }
@@ -158,17 +248,27 @@ impl SpillStore {
         let mut stats = SpillStats {
             spill_outs: self.spill_outs.load(Ordering::Relaxed),
             load_backs: self.load_backs.load(Ordering::Relaxed),
+            peak_memory_bytes: self.peak_bytes.load(Ordering::Relaxed),
+            max_insert_bytes: self.max_insert_bytes.load(Ordering::Relaxed),
             ..SpillStats::default()
         };
-        for slot in inner.values() {
+        for slot in inner.slots.values() {
             if slot.frame.is_some() {
                 stats.in_memory += 1;
-                stats.memory_bytes += slot.approx_bytes;
             } else {
                 stats.spilled += 1;
             }
         }
+        stats.memory_bytes = inner.resident_bytes;
         stats
+    }
+
+    /// Record the resident high-water mark. Called with the map lock held, right after
+    /// an insertion and before the budget sweep, so the reported peak is the honest
+    /// maximum the store ever held at once.
+    fn note_peak(&self, inner: &Inner) {
+        self.peak_bytes
+            .fetch_max(inner.resident_bytes, Ordering::Relaxed);
     }
 
     /// Spill least-recently-used partitions until the memory budget is respected.
@@ -176,16 +276,12 @@ impl SpillStore {
         loop {
             let victim = {
                 let inner = self.inner.lock();
-                let total: usize = inner
-                    .values()
-                    .filter(|s| s.frame.is_some())
-                    .map(|s| s.approx_bytes)
-                    .sum();
-                if total <= self.memory_budget_bytes {
+                if inner.resident_bytes <= self.memory_budget_bytes {
                     return Ok(());
                 }
                 // Pick the least recently used resident partition.
                 inner
+                    .slots
                     .iter()
                     .filter(|(_, s)| s.frame.is_some())
                     .min_by_key(|(_, s)| s.last_touch)
@@ -198,21 +294,67 @@ impl SpillStore {
         }
     }
 
+    /// Spill one partition. The frame stays visible in its slot (via the shared
+    /// `Arc`) while the spill file is written without the lock, so concurrent `get`s
+    /// never observe a partition that is neither in memory nor on disk; the resident
+    /// copy is released only once the file safely exists — and only if the slot still
+    /// holds the very frame that was serialised (a concurrent reload swaps the `Arc`,
+    /// which the pointer comparison detects). A slot's spill file is written at most
+    /// once: stored frames are immutable, so re-spilling a reloaded partition just
+    /// releases the resident copy, and an existing spill file is never replaced or
+    /// deleted while readers may hold its path — files die only with their slot (or
+    /// the store).
     fn spill_one(&self, id: PartitionId) -> DfResult<()> {
-        let frame = {
-            let mut inner = self.inner.lock();
-            let Some(slot) = inner.get_mut(&id) else {
-                return Ok(());
-            };
-            slot.frame.take()
+        let (frame, already_on_disk) = {
+            let inner = self.inner.lock();
+            match inner.slots.get(&id) {
+                Some(slot) => (slot.frame.clone(), slot.spill_path.is_some()),
+                None => return Ok(()),
+            }
         };
         let Some(frame) = frame else { return Ok(()) };
-        let path = self.directory.join(format!("part-{id}.spill"));
+        if already_on_disk {
+            // A reloaded partition: its spill file is still valid, so spilling is
+            // just dropping the resident copy (guarded by the same Arc identity
+            // check — a fresh reload means the slot is hot and keeps its frame).
+            let mut inner = self.inner.lock();
+            if let Some(slot) = inner.slots.get_mut(&id) {
+                if slot.frame.as_ref().is_some_and(|f| Arc::ptr_eq(f, &frame)) {
+                    let released = slot.approx_bytes;
+                    slot.frame = None;
+                    inner.resident_bytes = inner.resident_bytes.saturating_sub(released);
+                    self.spill_outs.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            return Ok(());
+        }
+        let seq = self.spill_seq.fetch_add(1, Ordering::Relaxed);
+        let path = self.directory.join(format!("part-{id}-{seq}.spill"));
         write_spill_file(&frame, &path)?;
-        self.spill_outs.fetch_add(1, Ordering::Relaxed);
         let mut inner = self.inner.lock();
-        if let Some(slot) = inner.get_mut(&id) {
-            slot.spill_path = Some(path);
+        let installed = match inner.slots.get_mut(&id) {
+            // Install only if the slot still holds the serialised frame AND no other
+            // racer installed a file first — never displace a path a reader may be
+            // holding.
+            Some(slot)
+                if slot.spill_path.is_none()
+                    && slot.frame.as_ref().is_some_and(|f| Arc::ptr_eq(f, &frame)) =>
+            {
+                let released = slot.approx_bytes;
+                slot.frame = None;
+                slot.spill_path = Some(path.clone());
+                inner.resident_bytes = inner.resident_bytes.saturating_sub(released);
+                true
+            }
+            _ => false,
+        };
+        drop(inner);
+        if installed {
+            self.spill_outs.fetch_add(1, Ordering::Relaxed);
+        } else {
+            // The slot vanished, was reloaded, or another racer installed its file
+            // while we were writing: this attempt's file is dead weight.
+            std::fs::remove_file(path).ok();
         }
         Ok(())
     }
@@ -225,54 +367,219 @@ impl Drop for SpillStore {
     }
 }
 
-/// Spill file format: a small header with the row/column labels followed by the CSV
-/// serialisation of the data. Plain text keeps the workspace dependency-free; the
-/// format is internal and never exposed to users.
+// ---------------------------------------------------------------------------
+// Spill file format (internal, lossless)
+// ---------------------------------------------------------------------------
+//
+//   rustframe-spill-v2
+//   <n_rows> <n_cols>
+//   <tagged row labels, unit-separator-joined>
+//   <tagged col labels, unit-separator-joined>
+//   <per-column domain names ("?" for an un-induced slot), unit-separator-joined>
+//   <one line per column: tagged cells, unit-separator-joined>
+//
+// Each cell is a one-letter type tag plus a payload (see `encode_cell`); embedded
+// separators, backslashes and newlines are escaped, so arbitrary strings — including
+// ones that look numeric — survive the round trip without re-running schema induction.
+
+const MAGIC: &str = "rustframe-spill-v2";
+/// Joins cells within a line.
+const UNIT_SEP: char = '\u{1f}';
+/// Joins the elements of a composite (list) cell payload.
+const LIST_SEP: char = '\u{1e}';
+
+fn escape(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            UNIT_SEP => out.push_str("\\u"),
+            LIST_SEP => out.push_str("\\l"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(raw: &str) -> DfResult<String> {
+    let mut out = String::with_capacity(raw.len());
+    let mut chars = raw.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('u') => out.push(UNIT_SEP),
+            Some('l') => out.push(LIST_SEP),
+            other => {
+                return Err(DfError::internal(format!(
+                    "corrupt spill escape \\{other:?}"
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Encode one cell as a tag plus payload. The result may contain separator
+/// characters; callers escape it before embedding it in a joined line.
+fn encode_cell(cell: &Cell) -> String {
+    match cell {
+        Cell::Null => "n".to_string(),
+        Cell::Str(s) => format!("s{s}"),
+        Cell::Int(v) => format!("i{v}"),
+        // `{}` on f64 prints the shortest string that parses back to the same bits
+        // (and "NaN"/"inf"/"-inf" all round-trip through `str::parse`).
+        Cell::Float(v) => format!("f{v}"),
+        Cell::Bool(b) => format!("b{}", u8::from(*b)),
+        Cell::List(items) => {
+            let parts: Vec<String> = items
+                .iter()
+                .map(|item| escape(&encode_cell(item)))
+                .collect();
+            format!("l{}", parts.join(&LIST_SEP.to_string()))
+        }
+    }
+}
+
+fn decode_cell(raw: &str) -> DfResult<Cell> {
+    let mut chars = raw.chars();
+    let tag = chars
+        .next()
+        .ok_or_else(|| DfError::internal("empty spill cell"))?;
+    let payload = chars.as_str();
+    let bad = |what: &str| DfError::internal(format!("corrupt spill {what}: {payload:?}"));
+    match tag {
+        'n' => Ok(Cell::Null),
+        's' => Ok(Cell::Str(payload.to_string())),
+        'i' => payload
+            .parse::<i64>()
+            .map(Cell::Int)
+            .map_err(|_| bad("int")),
+        'f' => payload
+            .parse::<f64>()
+            .map(Cell::Float)
+            .map_err(|_| bad("float")),
+        'b' => match payload {
+            "1" => Ok(Cell::Bool(true)),
+            "0" => Ok(Cell::Bool(false)),
+            _ => Err(bad("bool")),
+        },
+        'l' => {
+            if payload.is_empty() {
+                return Ok(Cell::List(Vec::new()));
+            }
+            let items: Vec<Cell> = payload
+                .split(LIST_SEP)
+                .map(|item| decode_cell(&unescape(item)?))
+                .collect::<DfResult<_>>()?;
+            Ok(Cell::List(items))
+        }
+        _ => Err(DfError::internal(format!("unknown spill cell tag {tag:?}"))),
+    }
+}
+
+fn encode_line(cells: &[Cell]) -> String {
+    let parts: Vec<String> = cells.iter().map(|c| escape(&encode_cell(c))).collect();
+    parts.join(&UNIT_SEP.to_string())
+}
+
+fn decode_line(line: &str, expected: usize) -> DfResult<Vec<Cell>> {
+    if expected == 0 {
+        return Ok(Vec::new());
+    }
+    let cells: Vec<Cell> = line
+        .split(UNIT_SEP)
+        .map(|part| decode_cell(&unescape(part)?))
+        .collect::<DfResult<_>>()?;
+    if cells.len() != expected {
+        return Err(DfError::internal(format!(
+            "corrupt spill line: {} cells, expected {expected}",
+            cells.len()
+        )));
+    }
+    Ok(cells)
+}
+
 fn write_spill_file(frame: &DataFrame, path: &PathBuf) -> DfResult<()> {
     let file = std::fs::File::create(path)?;
     let mut writer = BufWriter::new(file);
-    let row_labels: Vec<String> = frame
-        .row_labels()
-        .as_slice()
+    writeln!(writer, "{MAGIC}")?;
+    writeln!(writer, "{} {}", frame.n_rows(), frame.n_cols())?;
+    writeln!(writer, "{}", encode_line(frame.row_labels().as_slice()))?;
+    writeln!(writer, "{}", encode_line(frame.col_labels().as_slice()))?;
+    let domains: Vec<&str> = frame
+        .columns()
         .iter()
-        .map(Cell::to_raw_string)
+        .map(|c| c.known_domain().map(|d| d.name()).unwrap_or("?"))
         .collect();
-    writeln!(writer, "{}", row_labels.join("\u{1f}"))?;
-    let body = write_csv_string(frame, &CsvOptions::default());
-    writer.write_all(body.as_bytes())?;
+    writeln!(writer, "{}", domains.join(&UNIT_SEP.to_string()))?;
+    for column in frame.columns() {
+        writeln!(writer, "{}", encode_line(column.cells()))?;
+    }
+    writer.flush()?;
     Ok(())
 }
 
 fn read_spill_file(path: &PathBuf) -> DfResult<DataFrame> {
     let mut content = String::new();
     std::fs::File::open(path)?.read_to_string(&mut content)?;
-    let (labels_line, body) = content
-        .split_once('\n')
-        .ok_or_else(|| DfError::internal("corrupt spill file"))?;
-    let mut df = read_csv_str(body, &CsvOptions::default())?;
-    // Re-type the data: spill files are written from typed frames, so parsing restores
-    // the domains that were already known.
-    df.parse_all();
-    let labels: Vec<Cell> = if labels_line.is_empty() {
+    let mut lines = content.split('\n');
+    let mut next = |what: &str| {
+        lines
+            .next()
+            .ok_or_else(|| DfError::internal(format!("truncated spill file: missing {what}")))
+    };
+    if next("magic")? != MAGIC {
+        return Err(DfError::internal("corrupt spill file: bad magic"));
+    }
+    let shape_line = next("shape")?;
+    let (rows_raw, cols_raw) = shape_line
+        .split_once(' ')
+        .ok_or_else(|| DfError::internal("corrupt spill file: bad shape line"))?;
+    let n_rows: usize = rows_raw
+        .parse()
+        .map_err(|_| DfError::internal("corrupt spill file: bad row count"))?;
+    let n_cols: usize = cols_raw
+        .parse()
+        .map_err(|_| DfError::internal("corrupt spill file: bad column count"))?;
+    let row_labels = Labels::new(decode_line(next("row labels")?, n_rows)?);
+    let col_labels = Labels::new(decode_line(next("col labels")?, n_cols)?);
+    let domains_line = next("domains")?;
+    let domains: Vec<Option<Domain>> = if n_cols == 0 {
         Vec::new()
     } else {
-        labels_line
-            .split('\u{1f}')
-            .map(|s| {
-                if s.is_empty() {
-                    Cell::Null
-                } else if let Ok(v) = s.parse::<i64>() {
-                    Cell::Int(v)
+        domains_line
+            .split(UNIT_SEP)
+            .map(|name| {
+                if name == "?" {
+                    Ok(None)
                 } else {
-                    Cell::Str(s.to_string())
+                    Domain::from_name(name)
+                        .map(Some)
+                        .ok_or_else(|| DfError::internal(format!("unknown spill domain {name:?}")))
                 }
             })
-            .collect()
+            .collect::<DfResult<_>>()?
     };
-    if labels.len() == df.n_rows() {
-        df = df.with_row_labels(Labels::new(labels))?;
+    if domains.len() != n_cols {
+        return Err(DfError::internal("corrupt spill file: domain count"));
     }
-    Ok(df)
+    let mut columns = Vec::with_capacity(n_cols);
+    for domain in domains {
+        let cells = decode_line(next("column")?, n_rows)?;
+        columns.push(match domain {
+            Some(domain) => Column::with_domain(cells, domain),
+            None => Column::new(cells),
+        });
+    }
+    DataFrame::from_parts(columns, row_labels, col_labels)
 }
 
 /// Convenience: build a dataframe column-by-column from typed cells (used by tests).
@@ -311,6 +618,7 @@ mod tests {
         assert_eq!(back.shape(), df.shape());
         assert_eq!(store.stats().in_memory, 1);
         assert_eq!(store.stats().spilled, 0);
+        assert!(store.stats().peak_memory_bytes >= df.approx_size_bytes());
     }
 
     #[test]
@@ -319,6 +627,7 @@ mod tests {
         let one = frame(0, 50);
         let budget = one.approx_size_bytes() + one.approx_size_bytes() / 2;
         let store = SpillStore::new(budget).unwrap();
+        assert_eq!(store.memory_budget_bytes(), budget);
         let a = store.put(frame(0, 50)).unwrap();
         let b = store.put(frame(100, 50)).unwrap();
         let c = store.put(frame(200, 50)).unwrap();
@@ -334,7 +643,10 @@ mod tests {
             assert_eq!(back.shape(), (50, 2));
             assert_eq!(back.cell(0, 0).unwrap(), &cell(tag));
         }
-        assert!(store.stats().load_backs >= 1);
+        let stats = store.stats();
+        assert!(stats.load_backs >= 1);
+        // The peak never exceeds the budget by more than the one frame being inserted.
+        assert!(stats.peak_memory_bytes <= budget + one.approx_size_bytes());
     }
 
     #[test]
@@ -347,6 +659,82 @@ mod tests {
         let back = store.get(id).unwrap();
         assert_eq!(back.row_labels().as_slice()[1], cell("b"));
         assert_eq!(back.cell(2, 0).unwrap(), &cell(2));
+    }
+
+    #[test]
+    fn spill_round_trip_is_lossless() {
+        // The cases CSV-style serialisation would corrupt: numeric-looking strings in
+        // untyped columns, floats (incl. NaN/inf/-0.0), bools, composite cells, typed
+        // schema slots, and float/null labels.
+        let tricky = DataFrame::from_parts(
+            vec![
+                // Untyped column of numeric-looking strings: must come back as Str.
+                Column::new(vec![cell("10"), cell("020"), Cell::Null]),
+                Column::with_domain(
+                    vec![
+                        Cell::Float(f64::NAN),
+                        Cell::Float(f64::NEG_INFINITY),
+                        Cell::Float(-0.0),
+                    ],
+                    Domain::Float,
+                ),
+                Column::new(vec![
+                    Cell::Bool(true),
+                    Cell::List(vec![cell(1), Cell::List(vec![cell("a\nb"), Cell::Null])]),
+                    Cell::Str(format!("sep{}and{}done\\", '\u{1f}', '\u{1e}')),
+                ]),
+            ],
+            Labels::new(vec![Cell::Float(1.5), Cell::Null, Cell::Str("r".into())]),
+            Labels::new(vec![cell("raw"), cell("f"), cell("mixed")]),
+        )
+        .unwrap();
+        let store = SpillStore::new(1).unwrap(); // spill immediately
+        let id = store.put(tricky.clone()).unwrap();
+        let back = store.get(id).unwrap();
+        assert_eq!(store.stats().load_backs, 1);
+        assert_eq!(back.row_labels(), tricky.row_labels());
+        assert_eq!(back.col_labels(), tricky.col_labels());
+        assert_eq!(back.schema(), tricky.schema());
+        assert_eq!(back.cell(0, 0).unwrap(), &cell("10"));
+        assert!(matches!(back.cell(0, 1).unwrap(), Cell::Float(v) if v.is_nan()));
+        assert_eq!(back.cell(1, 1).unwrap(), &Cell::Float(f64::NEG_INFINITY));
+        assert!(
+            matches!(back.cell(2, 1).unwrap(), Cell::Float(v) if v.to_bits() == (-0.0f64).to_bits())
+        );
+        assert_eq!(back.cell(1, 2).unwrap(), tricky.cell(1, 2).unwrap());
+        assert_eq!(back.cell(2, 2).unwrap(), tricky.cell(2, 2).unwrap());
+    }
+
+    #[test]
+    fn zero_row_and_zero_col_frames_round_trip() {
+        let store = SpillStore::new(1).unwrap();
+        let empty_rows = DataFrame::from_rows(vec!["a", "b"], vec![]).unwrap();
+        let id = store.put(empty_rows.clone()).unwrap();
+        assert!(store.get(id).unwrap().same_data(&empty_rows));
+        let empty_cols =
+            DataFrame::from_parts(vec![], Labels::positional(4), Labels::default()).unwrap();
+        let id = store.put(empty_cols.clone()).unwrap();
+        let back = store.get(id).unwrap();
+        assert_eq!(back.shape(), empty_cols.shape());
+        assert_eq!(back.row_labels(), empty_cols.row_labels());
+    }
+
+    #[test]
+    fn take_consumes_resident_and_spilled_partitions() {
+        let store = SpillStore::unbounded().unwrap();
+        let df = frame(7, 6);
+        let id = store.put(df.clone()).unwrap();
+        let back = store.take(id).unwrap();
+        assert!(back.same_data(&df));
+        assert!(store.get(id).is_err());
+        assert_eq!(store.stats().in_memory, 0);
+
+        let tight = SpillStore::new(1).unwrap();
+        let id = tight.put(df.clone()).unwrap();
+        assert_eq!(tight.stats().spilled, 1);
+        let back = tight.take(id).unwrap();
+        assert!(back.same_data(&df));
+        assert!(tight.take(id).is_err());
     }
 
     #[test]

@@ -59,6 +59,14 @@ impl Labels {
         &self.values
     }
 
+    /// Approximate heap + inline size of the label vector in bytes. Feeds the same
+    /// memory accounting as [`Cell::approx_size_bytes`], so the storage layer's spill
+    /// budget sees label weight too (labels share the data's domain set and can be
+    /// arbitrarily large strings).
+    pub fn approx_size_bytes(&self) -> usize {
+        self.values.iter().map(Cell::approx_size_bytes).sum()
+    }
+
     /// Owning iterator over the labels.
     pub fn into_vec(self) -> Vec<Cell> {
         self.values
