@@ -27,6 +27,7 @@ use df_types::error::{DfError, DfResult};
 use df_core::algebra::AlgebraExpr;
 use df_core::dataframe::DataFrame;
 use df_core::engine::{Capabilities, Engine, EngineKind};
+use df_core::handle::FrameHandle;
 use df_core::ops;
 
 use row_table::RowTable;
@@ -137,6 +138,10 @@ impl BaselineEngine {
                 }
                 frame
             }
+            // A handle from an earlier statement: the baseline has no partitioned
+            // representation, so it materialises the handle (and then pays its usual
+            // per-operator overheads via `finalize`, like any other input).
+            AlgebraExpr::Handle(handle) => handle.to_dataframe()?,
             AlgebraExpr::Transpose { input } => {
                 let input = self.eval(input)?;
                 if let Some(cap) = self.config.max_transpose_cells {
@@ -165,7 +170,7 @@ impl BaselineEngine {
     fn materialize_children(&self, expr: &AlgebraExpr) -> DfResult<AlgebraExpr> {
         let mut rewritten = expr.clone();
         match &mut rewritten {
-            AlgebraExpr::Literal(_) => {}
+            AlgebraExpr::Literal(_) | AlgebraExpr::Handle(_) => {}
             AlgebraExpr::Selection { input, .. }
             | AlgebraExpr::Projection { input, .. }
             | AlgebraExpr::DropDuplicates { input }
@@ -200,8 +205,9 @@ impl Engine for BaselineEngine {
         EngineKind::Baseline
     }
 
-    fn execute(&self, expr: &AlgebraExpr) -> DfResult<DataFrame> {
-        self.eval(expr)
+    fn execute(&self, expr: &AlgebraExpr) -> DfResult<FrameHandle> {
+        // Eager and fully resident, like pandas: the handle is always materialised.
+        Ok(FrameHandle::from_dataframe(self.eval(expr)?))
     }
 
     fn capabilities(&self) -> Capabilities {
@@ -245,8 +251,8 @@ mod tests {
                 vec![Aggregation::count_rows()],
                 false,
             );
-        let baseline = BaselineEngine::new().execute(&expr).unwrap();
-        let reference = ReferenceEngine.execute(&expr).unwrap();
+        let baseline = BaselineEngine::new().execute_collect(&expr).unwrap();
+        let reference = ReferenceEngine.execute_collect(&expr).unwrap();
         assert!(baseline.same_data(&reference));
     }
 
@@ -255,7 +261,7 @@ mod tests {
         let raw =
             DataFrame::from_columns(vec!["price"], vec![vec![cell("10"), cell("20")]]).unwrap();
         let out = BaselineEngine::new()
-            .execute(&AlgebraExpr::literal(raw))
+            .execute_collect(&AlgebraExpr::literal(raw))
             .unwrap();
         // The baseline parses raw strings eagerly, so the result is already typed.
         assert_eq!(out.schema(), vec![Some(Domain::Int)]);
@@ -272,12 +278,12 @@ mod tests {
             ..BaselineConfig::default()
         });
         let err = engine
-            .execute(&AlgebraExpr::literal(big.clone()).transpose())
+            .execute_collect(&AlgebraExpr::literal(big.clone()).transpose())
             .unwrap_err();
         assert!(err.is_resource_exhausted());
         // Below the cap it succeeds.
         let ok = engine
-            .execute(&AlgebraExpr::literal(big.head(10)).transpose())
+            .execute_collect(&AlgebraExpr::literal(big.head(10)).transpose())
             .unwrap();
         assert_eq!(ok.shape(), (1, 10));
     }
@@ -292,7 +298,7 @@ mod tests {
             DataFrame::from_columns(vec!["v"], vec![(0..10).map(|i| cell(i as i64)).collect()])
                 .unwrap();
         let expr = AlgebraExpr::literal(left.clone()).cross(AlgebraExpr::literal(left));
-        let err = engine.execute(&expr).unwrap_err();
+        let err = engine.execute_collect(&expr).unwrap_err();
         assert!(err.is_resource_exhausted());
     }
 
@@ -301,7 +307,7 @@ mod tests {
         let engine = BaselineEngine::with_config(BaselineConfig::unconstrained());
         assert_eq!(engine.config().max_transpose_cells, None);
         let out = engine
-            .execute(&AlgebraExpr::literal(trips()).map(MapFunc::IsNullMask))
+            .execute_collect(&AlgebraExpr::literal(trips()).map(MapFunc::IsNullMask))
             .unwrap();
         assert_eq!(out.cell(3, 0).unwrap(), &cell(true));
     }
@@ -321,11 +327,11 @@ mod tests {
         let left = trips();
         let right = trips();
         let expr = AlgebraExpr::literal(left).union(AlgebraExpr::literal(right));
-        let out = BaselineEngine::new().execute(&expr).unwrap();
+        let out = BaselineEngine::new().execute_collect(&expr).unwrap();
         assert_eq!(out.shape(), (8, 2));
         let agg = Aggregation::of("fare", AggFunc::Sum);
         let total = BaselineEngine::new()
-            .execute(&AlgebraExpr::literal(out).group_by(vec![], vec![agg], false))
+            .execute_collect(&AlgebraExpr::literal(out).group_by(vec![], vec![agg], false))
             .unwrap();
         assert_eq!(total.cell(0, 0).unwrap(), &cell(130.0));
     }

@@ -64,7 +64,7 @@ fn main() {
         );
         for (name, expr) in &queries {
             let shuffles_before = engine.shuffles_dispatched();
-            let (result, elapsed) = time_once(|| engine.execute(expr));
+            let (result, elapsed) = time_once(|| engine.execute_collect(expr));
             let shape = result.expect("query executes").shape();
             let shuffles = engine.shuffles_dispatched() - shuffles_before;
             records.push(BenchRecord {

@@ -76,7 +76,7 @@ fn main() {
     let mut records = Vec::new();
     for (name, engine) in &arms {
         reset_induction_scan_count();
-        let (result, elapsed) = time_once(|| engine.execute(&expr));
+        let (result, elapsed) = time_once(|| engine.execute_collect(&expr));
         let scans = induction_scan_count();
         let shape = result.expect("pipeline executes").shape();
         records.push(BenchRecord {

@@ -91,7 +91,7 @@ fn main() {
         for (name, expr) in queries(&taxi, &lookup) {
             // A fresh engine per query keeps the spill statistics attributable.
             let engine = ModinEngine::with_config(config.clone());
-            let (outcome, elapsed) = time_once(|| engine.execute(&expr));
+            let (outcome, elapsed) = time_once(|| engine.execute_collect(&expr));
             let result = outcome.expect("query executes");
             let stats = engine.spill_stats();
             match budget {

@@ -138,7 +138,7 @@ fn timing_pass() -> Vec<BenchRecord> {
                 .with_threads(threads)
                 .with_partition_size((rows / 8).max(512), 8),
         );
-        let (result, elapsed) = time_once(|| engine.execute(&expr));
+        let (result, elapsed) = time_once(|| engine.execute_collect(&expr));
         let shape = result.expect("operator executes").shape();
         records.push(BenchRecord {
             experiment: format!("table1/{name}"),
@@ -166,7 +166,7 @@ fn bench_operators(c: &mut Criterion) {
         group.bench_function(name, |b| {
             b.iter(|| {
                 engine
-                    .execute(std::hint::black_box(&expr))
+                    .execute_collect(std::hint::black_box(&expr))
                     .expect("operator executes")
             })
         });

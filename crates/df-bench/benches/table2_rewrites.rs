@@ -40,7 +40,7 @@ fn algebra_side(base: &AlgebraExpr, op: &str, engine: &dyn Engine) -> DataFrame 
         other => panic!("unknown table-2 operator {other}"),
     };
     engine
-        .execute(&expr)
+        .execute_collect(&expr)
         .expect("algebra-side rewrite executes")
 }
 
@@ -71,7 +71,7 @@ fn main() {
             ("pandas-baseline", &baseline as &dyn Engine),
         ] {
             let via_api = engine
-                .execute(&api_expr)
+                .execute_collect(&api_expr)
                 .expect("API-built expression executes");
             let (result, elapsed) = time_once(|| algebra_side(&base, rewrite.pandas_op, engine));
             let equivalent = result.same_data(&via_api);

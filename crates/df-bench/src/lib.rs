@@ -439,7 +439,7 @@ pub fn run_fig2(config: &Fig2Config) -> Vec<BenchRecord> {
                 ("pandas-baseline", &baseline as &dyn Engine),
                 ("modin-engine", &modin as &dyn Engine),
             ] {
-                let (outcome, elapsed) = time_once(|| engine.execute(&expr));
+                let (outcome, elapsed) = time_once(|| engine.execute_collect(&expr));
                 let record = match outcome {
                     Ok(result) => BenchRecord {
                         experiment: format!("fig2-{}", query.label()),

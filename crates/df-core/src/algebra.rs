@@ -20,6 +20,7 @@ use df_types::domain::Domain;
 use df_types::error::{DfError, DfResult};
 
 use crate::dataframe::DataFrame;
+use crate::handle::FrameHandle;
 
 /// A lightweight view of one logical row handed to user-defined functions.
 #[derive(Debug, Clone, Copy)]
@@ -515,6 +516,11 @@ pub enum AlgebraExpr {
     /// A literal (already materialised) dataframe. Stored behind `Arc` so expression
     /// trees do not copy large frames.
     Literal(Arc<DataFrame>),
+    /// An engine-owned result handle from an earlier statement (§6.1): the leaf that
+    /// lets one statement's output feed the next statement's plan without assembling
+    /// or re-partitioning it. Engines that recognise the handle resume from their own
+    /// partitioned representation; others fall back to materialising it.
+    Handle(FrameHandle),
     /// SELECTION: keep the rows satisfying the predicate, preserving their order.
     Selection {
         /// Input expression.
@@ -652,10 +658,34 @@ impl AlgebraExpr {
         AlgebraExpr::Literal(df)
     }
 
+    /// Wrap an engine-owned result handle as a plan leaf.
+    pub fn handle(handle: FrameHandle) -> Self {
+        AlgebraExpr::Handle(handle)
+    }
+
+    /// The leaf values of the plan — every literal and handle, as cheap
+    /// reference-counted [`FrameHandle`]s. These are exactly the allocations the
+    /// plan's [`AlgebraExpr::fingerprint`] identifies by address, so holding the
+    /// returned vec pins the fingerprint's identity pointers without retaining the
+    /// operator tree itself.
+    pub fn leaf_pins(&self) -> Vec<FrameHandle> {
+        fn walk(expr: &AlgebraExpr, out: &mut Vec<FrameHandle>) {
+            match expr {
+                AlgebraExpr::Literal(df) => out.push(FrameHandle::from_shared(Arc::clone(df))),
+                AlgebraExpr::Handle(handle) => out.push(handle.clone()),
+                other => other.children().iter().for_each(|c| walk(c, out)),
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &mut out);
+        out
+    }
+
     /// The operator name (used in plan displays and fingerprints).
     pub fn name(&self) -> &'static str {
         match self {
             AlgebraExpr::Literal(_) => "LITERAL",
+            AlgebraExpr::Handle(_) => "HANDLE",
             AlgebraExpr::Selection { .. } => "SELECTION",
             AlgebraExpr::Projection { .. } => "PROJECTION",
             AlgebraExpr::Union { .. } => "UNION",
@@ -678,7 +708,7 @@ impl AlgebraExpr {
     /// Child expressions (0 for literals, 1 for unary, 2 for binary operators).
     pub fn children(&self) -> Vec<&AlgebraExpr> {
         match self {
-            AlgebraExpr::Literal(_) => vec![],
+            AlgebraExpr::Literal(_) | AlgebraExpr::Handle(_) => vec![],
             AlgebraExpr::Selection { input, .. }
             | AlgebraExpr::Projection { input, .. }
             | AlgebraExpr::DropDuplicates { input }
@@ -698,9 +728,13 @@ impl AlgebraExpr {
         }
     }
 
-    /// Total number of operator nodes in the expression tree (excluding literals).
+    /// Total number of operator nodes in the expression tree (excluding the literal
+    /// and handle leaves).
     pub fn operator_count(&self) -> usize {
-        let own = usize::from(!matches!(self, AlgebraExpr::Literal(_)));
+        let own = usize::from(!matches!(
+            self,
+            AlgebraExpr::Literal(_) | AlgebraExpr::Handle(_)
+        ));
         own + self
             .children()
             .iter()
@@ -739,6 +773,12 @@ impl AlgebraExpr {
         match self {
             AlgebraExpr::Literal(df) => {
                 out.push_str(&format!("lit@{:p}", Arc::as_ptr(df)));
+            }
+            AlgebraExpr::Handle(handle) => {
+                // Like literals, handles are identified by the shared result they
+                // wrap: re-submitting a statement over the same handle hits the
+                // cache; a statement over a fresh result does not.
+                out.push_str(&format!("hnd@{:p}", handle.identity()));
             }
             AlgebraExpr::Selection { input, predicate } => {
                 out.push_str(&format!("sel[{predicate:?}]("));
@@ -1118,6 +1158,27 @@ mod tests {
             .join(base.clone(), JoinOn::RowLabels, JoinType::Inner);
         assert_eq!(join.children().len(), 2);
         assert_eq!(join.name(), "JOIN");
+    }
+
+    #[test]
+    fn handle_leaves_behave_like_literals_in_plans() {
+        let handle = FrameHandle::from_dataframe(frame());
+        let expr = AlgebraExpr::handle(handle.clone()).select(Predicate::True);
+        assert_eq!(expr.name(), "SELECTION");
+        assert_eq!(expr.operator_count(), 1);
+        assert_eq!(expr.children()[0].name(), "HANDLE");
+        // Same handle → same fingerprint; a fresh result → a different one.
+        let again = AlgebraExpr::handle(handle.clone()).select(Predicate::True);
+        assert_eq!(expr.fingerprint(), again.fingerprint());
+        let fresh =
+            AlgebraExpr::handle(FrameHandle::from_dataframe(frame())).select(Predicate::True);
+        assert_ne!(expr.fingerprint(), fresh.fingerprint());
+        // leaf_pins returns exactly the fingerprinted leaf allocations.
+        let pins = expr.leaf_pins();
+        assert_eq!(pins.len(), 1);
+        assert_eq!(pins[0].identity(), handle.identity());
+        let joined = AlgebraExpr::literal(frame()).union(AlgebraExpr::handle(handle));
+        assert_eq!(joined.leaf_pins().len(), 2);
     }
 
     #[test]

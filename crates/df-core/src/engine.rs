@@ -6,14 +6,26 @@
 //! trees and hands them to an [`Engine`]; the baseline (`df-baseline`), the scalable
 //! engine (`df-engine`) and the reference executor here all implement the trait.
 //!
+//! The waist is *handle-based* (§6.1): [`Engine::execute`] returns an opaque
+//! [`FrameHandle`] — engine-owned, possibly partitioned, possibly spilled — rather
+//! than a fully assembled [`DataFrame`]. A statement's output feeds the next
+//! statement's plan through the [`AlgebraExpr::Handle`] leaf without assembly or
+//! re-partitioning; a real dataframe only exists at the explicit materialisation
+//! points: [`Engine::collect`], [`Engine::head_of`] / [`Engine::tail_of`] (tabular
+//! inspection), [`Engine::execute_prefix`] / [`Engine::execute_suffix`] (plan-level
+//! prefix prioritisation, §6.1.2), or a write.
+//!
 //! [`Capabilities`] mirrors the feature matrix of Table 3 so that the bench harness can
 //! print the paper's system-comparison table from live probes rather than hard-coded
 //! claims.
+//!
+//! [`AlgebraExpr::Handle`]: crate::algebra::AlgebraExpr::Handle
 
 use df_types::error::DfResult;
 
 use crate::algebra::AlgebraExpr;
 use crate::dataframe::DataFrame;
+use crate::handle::FrameHandle;
 use crate::ops;
 
 /// Which backend an engine is (used in benchmark output and the Table 3 matrix).
@@ -138,12 +150,43 @@ impl Capabilities {
 }
 
 /// An execution backend for the dataframe algebra.
+///
+/// `execute` is the only required evaluation method; everything else is a
+/// materialisation point with a handle-generic default. Engines with a partitioned
+/// representation override [`Engine::execute`] to return
+/// [`FrameHandle::Partitioned`] handles and reuse them from
+/// [`AlgebraExpr::Handle`](crate::algebra::AlgebraExpr) plan leaves.
 pub trait Engine: Send + Sync {
     /// Which backend this is.
     fn kind(&self) -> EngineKind;
 
-    /// Execute an algebra expression to a materialised dataframe.
-    fn execute(&self, expr: &AlgebraExpr) -> DfResult<DataFrame>;
+    /// Execute an algebra expression to an engine-owned result handle. No assembly
+    /// happens here: the handle stays partitioned (and possibly spilled) until one of
+    /// the materialisation points below is called.
+    fn execute(&self, expr: &AlgebraExpr) -> DfResult<FrameHandle>;
+
+    /// Materialisation point: assemble a handle into a full dataframe.
+    fn collect(&self, handle: &FrameHandle) -> DfResult<DataFrame> {
+        handle.to_dataframe()
+    }
+
+    /// Materialisation point: the first `k` rows of an already-executed handle
+    /// (partition-aware engines touch only the leading partitions).
+    fn head_of(&self, handle: &FrameHandle, k: usize) -> DfResult<DataFrame> {
+        handle.head(k)
+    }
+
+    /// Materialisation point: the last `k` rows of an already-executed handle.
+    fn tail_of(&self, handle: &FrameHandle, k: usize) -> DfResult<DataFrame> {
+        handle.tail(k)
+    }
+
+    /// Execute and immediately materialise — the one-shot convenience for callers
+    /// (tests, benches, differential harnesses) that want the pre-handle behaviour of
+    /// the old `execute`.
+    fn execute_collect(&self, expr: &AlgebraExpr) -> DfResult<DataFrame> {
+        self.execute(expr)?.into_dataframe()
+    }
 
     /// The engine's feature matrix (Table 3 row).
     fn capabilities(&self) -> Capabilities {
@@ -154,12 +197,12 @@ pub trait Engine: Send + Sync {
     /// prefix-prioritised execution). The default simply executes fully and slices;
     /// the scalable engine overrides this with partition-aware short-circuiting.
     fn execute_prefix(&self, expr: &AlgebraExpr, k: usize) -> DfResult<DataFrame> {
-        Ok(self.execute(expr)?.head(k))
+        self.execute(expr)?.head(k)
     }
 
     /// Execute only enough of the expression to return the last `k` rows.
     fn execute_suffix(&self, expr: &AlgebraExpr, k: usize) -> DfResult<DataFrame> {
-        Ok(self.execute(expr)?.tail(k))
+        self.execute(expr)?.tail(k)
     }
 }
 
@@ -173,8 +216,8 @@ impl Engine for ReferenceEngine {
         EngineKind::Reference
     }
 
-    fn execute(&self, expr: &AlgebraExpr) -> DfResult<DataFrame> {
-        ops::execute_reference(expr)
+    fn execute(&self, expr: &AlgebraExpr) -> DfResult<FrameHandle> {
+        Ok(FrameHandle::from_dataframe(ops::execute_reference(expr)?))
     }
 }
 
@@ -198,10 +241,32 @@ mod tests {
         let engine = ReferenceEngine;
         assert_eq!(engine.kind(), EngineKind::Reference);
         assert_eq!(engine.kind().label(), "reference");
-        let out = engine
+        let handle = engine
             .execute(&AlgebraExpr::literal(frame()).map(MapFunc::IsNullMask))
             .unwrap();
+        assert!(!handle.is_partitioned());
+        assert_eq!(handle.shape(), (2, 2));
+        let out = engine.collect(&handle).unwrap();
         assert_eq!(out.cell(0, 1).unwrap(), &cell(true));
+        // Handle-level materialisation points slice without re-executing.
+        assert_eq!(engine.head_of(&handle, 1).unwrap().n_rows(), 1);
+        assert_eq!(engine.tail_of(&handle, 1).unwrap().n_rows(), 1);
+        let one_shot = engine
+            .execute_collect(&AlgebraExpr::literal(frame()).map(MapFunc::IsNullMask))
+            .unwrap();
+        assert!(one_shot.same_data(&out));
+    }
+
+    #[test]
+    fn handle_leaves_resume_across_statement_boundaries() {
+        let engine = ReferenceEngine;
+        let first = engine
+            .execute(&AlgebraExpr::literal(frame()).select(Predicate::True))
+            .unwrap();
+        let second = engine
+            .execute(&AlgebraExpr::handle(first).map(MapFunc::IsNullMask))
+            .unwrap();
+        assert_eq!(engine.collect(&second).unwrap().shape(), (2, 2));
     }
 
     #[test]

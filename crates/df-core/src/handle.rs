@@ -1,0 +1,224 @@
+//! Opaque result handles: the values that cross the narrow waist.
+//!
+//! Paper §3.3 / §6.1: the query-processing API between the user-facing layers and the
+//! execution backends should not force every statement's output through a fully
+//! assembled, fully resident dataframe — a statement the user never inspects only
+//! needs an engine-owned *handle* to its (possibly partitioned, possibly spilled)
+//! result, and the next statement's plan can consume that handle directly.
+//!
+//! [`FrameHandle`] is that value. It is either
+//!
+//! * **materialised** — a plain shared [`DataFrame`] (what the baseline and reference
+//!   engines produce), or
+//! * **partitioned** — an engine-owned [`PartitionedResult`]: an opaque, cheaply
+//!   clonable representation (the scalable engine's partition grid, resident *or*
+//!   spilled) that only turns into a [`DataFrame`] at an explicit materialisation
+//!   point ([`Engine::collect`](crate::engine::Engine::collect), `head`, `tail`,
+//!   or a write).
+//!
+//! Handles flow back into plans through the [`AlgebraExpr::Handle`] leaf
+//! (`crate::algebra`): an engine that recognises its own handle type (via
+//! [`PartitionedResult::as_any`]) resumes from the partitioned representation without
+//! re-assembly or re-partitioning; any other engine falls back to
+//! [`PartitionedResult::assemble`].
+//!
+//! [`AlgebraExpr::Handle`]: crate::algebra::AlgebraExpr::Handle
+
+use std::any::Any;
+use std::fmt;
+use std::sync::Arc;
+
+use df_types::error::DfResult;
+
+use crate::dataframe::DataFrame;
+
+/// An engine-owned partitioned (or otherwise deferred) query result.
+///
+/// Implementations live in the engine crates; df-core only needs enough surface to
+/// report metadata, materialise on demand, and let the owning engine recover its
+/// concrete representation through [`PartitionedResult::as_any`].
+pub trait PartitionedResult: fmt::Debug + Send + Sync {
+    /// Logical `(rows, columns)` of the result, from metadata only — implementations
+    /// must not load spilled data to answer this.
+    fn shape(&self) -> (usize, usize);
+
+    /// Assemble the full logical dataframe (the generic materialisation path used by
+    /// engines that do not recognise this handle type).
+    fn assemble(&self) -> DfResult<DataFrame>;
+
+    /// First `k` logical rows. The default assembles and slices; partition-aware
+    /// implementations override this to touch only the leading partitions (§6.1.2).
+    fn prefix(&self, k: usize) -> DfResult<DataFrame> {
+        Ok(self.assemble()?.head(k))
+    }
+
+    /// Last `k` logical rows (the suffix mirror of [`PartitionedResult::prefix`]).
+    fn suffix(&self, k: usize) -> DfResult<DataFrame> {
+        Ok(self.assemble()?.tail(k))
+    }
+
+    /// Downcasting hook: the owning engine recovers its concrete grid type from an
+    /// [`AlgebraExpr::Handle`](crate::algebra::AlgebraExpr::Handle) leaf through this.
+    fn as_any(&self) -> &dyn Any;
+}
+
+/// An opaque handle to one statement's result, produced by
+/// [`Engine::execute`](crate::engine::Engine::execute) and consumed either by a later
+/// plan (as an [`AlgebraExpr::Handle`](crate::algebra::AlgebraExpr::Handle) leaf) or
+/// by an explicit materialisation point.
+///
+/// Handles are cheap to clone: both arms are reference-counted, so caching a handle
+/// or feeding it to several downstream statements shares one underlying result.
+#[derive(Debug, Clone)]
+pub enum FrameHandle {
+    /// A fully materialised in-memory result.
+    Materialized(Arc<DataFrame>),
+    /// An engine-owned partitioned result (resident or spilled).
+    Partitioned(Arc<dyn PartitionedResult>),
+}
+
+impl FrameHandle {
+    /// Wrap a materialised dataframe.
+    pub fn from_dataframe(df: DataFrame) -> FrameHandle {
+        FrameHandle::Materialized(Arc::new(df))
+    }
+
+    /// Wrap an already-shared materialised dataframe.
+    pub fn from_shared(df: Arc<DataFrame>) -> FrameHandle {
+        FrameHandle::Materialized(df)
+    }
+
+    /// Wrap an engine-owned partitioned result.
+    pub fn from_partitioned(result: Arc<dyn PartitionedResult>) -> FrameHandle {
+        FrameHandle::Partitioned(result)
+    }
+
+    /// True when the handle holds an engine-owned partitioned result rather than a
+    /// plain dataframe.
+    pub fn is_partitioned(&self) -> bool {
+        matches!(self, FrameHandle::Partitioned(_))
+    }
+
+    /// Logical `(rows, columns)`, from metadata only.
+    pub fn shape(&self) -> (usize, usize) {
+        match self {
+            FrameHandle::Materialized(df) => df.shape(),
+            FrameHandle::Partitioned(p) => p.shape(),
+        }
+    }
+
+    /// Materialise a copy of the full result, leaving the handle usable.
+    pub fn to_dataframe(&self) -> DfResult<DataFrame> {
+        match self {
+            FrameHandle::Materialized(df) => Ok(df.as_ref().clone()),
+            FrameHandle::Partitioned(p) => p.assemble(),
+        }
+    }
+
+    /// Materialise the full result, consuming the handle: a uniquely held
+    /// materialised frame moves out copy-free.
+    pub fn into_dataframe(self) -> DfResult<DataFrame> {
+        match self {
+            FrameHandle::Materialized(df) => {
+                Ok(Arc::try_unwrap(df).unwrap_or_else(|shared| shared.as_ref().clone()))
+            }
+            FrameHandle::Partitioned(p) => p.assemble(),
+        }
+    }
+
+    /// First `k` rows, using the partition-aware prefix path when available.
+    pub fn head(&self, k: usize) -> DfResult<DataFrame> {
+        match self {
+            FrameHandle::Materialized(df) => Ok(df.head(k)),
+            FrameHandle::Partitioned(p) => p.prefix(k),
+        }
+    }
+
+    /// Last `k` rows, using the partition-aware suffix path when available.
+    pub fn tail(&self, k: usize) -> DfResult<DataFrame> {
+        match self {
+            FrameHandle::Materialized(df) => Ok(df.tail(k)),
+            FrameHandle::Partitioned(p) => p.suffix(k),
+        }
+    }
+
+    /// A stable identity pointer for plan fingerprints: two handles share an identity
+    /// exactly when they share the underlying result, so re-running a statement on the
+    /// same handle hits the materialisation cache while a fresh result does not.
+    pub fn identity(&self) -> *const () {
+        match self {
+            FrameHandle::Materialized(df) => Arc::as_ptr(df) as *const (),
+            FrameHandle::Partitioned(p) => Arc::as_ptr(p) as *const (),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use df_types::cell::cell;
+
+    fn frame() -> DataFrame {
+        DataFrame::from_rows(
+            vec!["a", "b"],
+            vec![
+                vec![cell(1), cell("x")],
+                vec![cell(2), cell("y")],
+                vec![cell(3), cell("z")],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[derive(Debug)]
+    struct TestResult(DataFrame);
+
+    impl PartitionedResult for TestResult {
+        fn shape(&self) -> (usize, usize) {
+            self.0.shape()
+        }
+        fn assemble(&self) -> DfResult<DataFrame> {
+            Ok(self.0.clone())
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn materialized_handles_report_and_materialise() {
+        let handle = FrameHandle::from_dataframe(frame());
+        assert!(!handle.is_partitioned());
+        assert_eq!(handle.shape(), (3, 2));
+        assert_eq!(handle.head(2).unwrap().n_rows(), 2);
+        assert_eq!(handle.tail(1).unwrap().cell(0, 0).unwrap(), &cell(3));
+        let copy = handle.to_dataframe().unwrap();
+        assert!(copy.same_data(&frame()));
+        // A uniquely held handle moves its frame out without copying.
+        assert!(handle.into_dataframe().unwrap().same_data(&frame()));
+    }
+
+    #[test]
+    fn partitioned_handles_use_the_trait_surface() {
+        let handle = FrameHandle::from_partitioned(Arc::new(TestResult(frame())));
+        assert!(handle.is_partitioned());
+        assert_eq!(handle.shape(), (3, 2));
+        assert!(handle.to_dataframe().unwrap().same_data(&frame()));
+        assert_eq!(handle.head(1).unwrap().n_rows(), 1);
+        assert_eq!(handle.tail(2).unwrap().n_rows(), 2);
+        // Downcast recovers the concrete type.
+        let FrameHandle::Partitioned(p) = &handle else {
+            unreachable!()
+        };
+        assert!(p.as_any().downcast_ref::<TestResult>().is_some());
+    }
+
+    #[test]
+    fn identity_tracks_the_shared_result() {
+        let handle = FrameHandle::from_dataframe(frame());
+        let clone = handle.clone();
+        assert_eq!(handle.identity(), clone.identity());
+        let other = FrameHandle::from_dataframe(frame());
+        assert_ne!(handle.identity(), other.identity());
+    }
+}

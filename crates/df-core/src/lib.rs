@@ -12,6 +12,9 @@
 //!   engines must agree with.
 //! * [`engine`] — the "narrow waist" [`engine::Engine`] trait and the Table 3
 //!   capability matrix.
+//! * [`handle`] — the opaque [`handle::FrameHandle`] results that cross the waist:
+//!   engine-owned, possibly partitioned/spilled, materialised only at explicit
+//!   collection points (§3.3, §6.1).
 //! * [`linalg`] — covariance / correlation / matmul over *matrix dataframes* (§4.2).
 //!
 //! The crate is deliberately free of any parallelism or storage concerns: those live in
@@ -21,9 +24,11 @@
 pub mod algebra;
 pub mod dataframe;
 pub mod engine;
+pub mod handle;
 pub mod linalg;
 pub mod ops;
 
 pub use algebra::AlgebraExpr;
 pub use dataframe::{Column, DataFrame};
 pub use engine::{Capabilities, Engine, EngineKind, ReferenceEngine};
+pub use handle::{FrameHandle, PartitionedResult};

@@ -20,6 +20,9 @@ use crate::dataframe::DataFrame;
 pub fn execute_reference(expr: &AlgebraExpr) -> DfResult<DataFrame> {
     match expr {
         AlgebraExpr::Literal(df) => Ok(df.as_ref().clone()),
+        // Handle leaves from earlier statements: the reference executor has no
+        // partitioned representation, so it materialises through the generic path.
+        AlgebraExpr::Handle(handle) => handle.to_dataframe(),
         AlgebraExpr::Selection { input, predicate } => {
             let input = execute_reference(input)?;
             rowwise::selection(&input, predicate)

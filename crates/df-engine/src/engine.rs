@@ -4,7 +4,10 @@
 //! executed over a partitioned representation with task-parallel per-partition work,
 //! a metadata-only TRANSPOSE, deferred schema induction and a logical-rewrite pass in
 //! front of execution. The engine keeps intermediate results partitioned between
-//! operators and only assembles a full [`DataFrame`] when the caller asks for one.
+//! operators *and between statements*: `execute` returns a [`GridResult`] behind a
+//! [`FrameHandle`], later plans resume from it through [`AlgebraExpr::Handle`]
+//! leaves, and a full [`DataFrame`] only exists at the explicit materialisation
+//! points (`collect` / `execute_collect` / `head_of` / `tail_of`).
 //!
 //! Operator strategies (paper §3.1 "different internal mechanisms for exploiting
 //! parallelism depending on the data dimensions and operations"):
@@ -38,6 +41,7 @@ use df_types::error::DfResult;
 use df_core::algebra::{AggFunc, Aggregation, AlgebraExpr, MapFunc, Predicate};
 use df_core::dataframe::DataFrame;
 use df_core::engine::{Capabilities, Engine, EngineKind};
+use df_core::handle::{FrameHandle, PartitionedResult};
 use df_core::ops;
 
 use crate::executor::{default_threads, ParallelExecutor};
@@ -131,6 +135,51 @@ impl ModinConfig {
     }
 }
 
+/// The engine's partitioned query result behind a [`FrameHandle`]: an owned
+/// [`PartitionGrid`] (resident or spilled) that assembles lazily. The scalable engine
+/// recognises its own `GridResult`s inside [`AlgebraExpr::Handle`] plan leaves and
+/// resumes from the grid without re-assembly or re-partitioning; other engines fall
+/// back to [`PartitionedResult::assemble`].
+#[derive(Debug)]
+pub struct GridResult {
+    grid: PartitionGrid,
+}
+
+impl GridResult {
+    /// Wrap a partitioned result.
+    pub fn new(grid: PartitionGrid) -> Self {
+        GridResult { grid }
+    }
+
+    /// The partitioned representation this result owns.
+    pub fn grid(&self) -> &PartitionGrid {
+        &self.grid
+    }
+}
+
+impl PartitionedResult for GridResult {
+    fn shape(&self) -> (usize, usize) {
+        self.grid.shape()
+    }
+
+    fn assemble(&self) -> DfResult<DataFrame> {
+        self.grid.assemble()
+    }
+
+    fn prefix(&self, k: usize) -> DfResult<DataFrame> {
+        // Partition-aware §6.1.2 inspection: only the leading bands are touched.
+        self.grid.prefix(k)
+    }
+
+    fn suffix(&self, k: usize) -> DfResult<DataFrame> {
+        self.grid.suffix(k)
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
 /// The scalable, partitioned, parallel dataframe engine.
 pub struct ModinEngine {
     config: ModinConfig,
@@ -144,6 +193,13 @@ pub struct ModinEngine {
     /// semantics (the "fallback" strategy). Partition-parallel operators never touch
     /// this; tests assert on it to keep the dispatch table honest.
     fallbacks: AtomicU64,
+    /// How many full-frame assemblies the engine performed at materialisation points
+    /// (`collect` / `execute_collect`). Statements whose results only ever cross the
+    /// waist as handles never touch this — the acceptance tests assert on it.
+    assemblies: AtomicU64,
+    /// How many [`AlgebraExpr::Handle`] leaves were resumed from their partitioned
+    /// grid (no assembly, no re-partitioning).
+    handle_reuses: AtomicU64,
 }
 
 impl ModinEngine {
@@ -176,6 +232,8 @@ impl ModinEngine {
             executor,
             store,
             fallbacks: AtomicU64::new(0),
+            assemblies: AtomicU64::new(0),
+            handle_reuses: AtomicU64::new(0),
         })
     }
 
@@ -212,8 +270,26 @@ impl ModinEngine {
         self.fallbacks.load(Ordering::Relaxed)
     }
 
+    /// Number of full-frame assemblies performed at materialisation points
+    /// ([`Engine::collect`] / [`Engine::execute_collect`]). Results that cross
+    /// statement boundaries as handles do not assemble and do not count here.
+    pub fn assemblies_dispatched(&self) -> u64 {
+        self.assemblies.load(Ordering::Relaxed)
+    }
+
+    /// Number of [`AlgebraExpr::Handle`] plan leaves resumed directly from their
+    /// partitioned grid — i.e. statement boundaries crossed without assembly or
+    /// re-partitioning.
+    pub fn handles_reused(&self) -> u64 {
+        self.handle_reuses.load(Ordering::Relaxed)
+    }
+
     fn note_fallback(&self) {
         self.fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_assembly(&self) {
+        self.assemblies.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Buckets for a shuffle: at least the worker count, and enough to keep several
@@ -271,9 +347,25 @@ impl ModinEngine {
         self.repartition(&frame)
     }
 
+    /// Resume a handle leaf: the engine's own grids are cloned by reference count —
+    /// both stored and resident blocks are `Arc`-backed, so crossing a statement
+    /// boundary is O(bands), with data copied only if a later consuming operator
+    /// finds a block still shared (copy-on-write). Foreign handles are materialised
+    /// and partitioned once.
+    fn resume_handle(&self, handle: &FrameHandle) -> DfResult<PartitionGrid> {
+        if let FrameHandle::Partitioned(result) = handle {
+            if let Some(grid_result) = result.as_any().downcast_ref::<GridResult>() {
+                self.handle_reuses.fetch_add(1, Ordering::Relaxed);
+                return Ok(grid_result.grid().clone());
+            }
+        }
+        self.repartition(&handle.to_dataframe()?)
+    }
+
     fn eval(&self, expr: &AlgebraExpr) -> DfResult<PartitionGrid> {
         match expr {
             AlgebraExpr::Literal(df) => self.partition_literal(df),
+            AlgebraExpr::Handle(handle) => self.resume_handle(handle),
             AlgebraExpr::Transpose { input } => Ok(self.eval(input)?.transpose()),
             AlgebraExpr::Map { input, func } => self.eval_map(input, func),
             AlgebraExpr::Selection { input, predicate } => self.eval_selection(input, predicate),
@@ -394,7 +486,7 @@ impl ModinEngine {
     fn assemble_children(&self, expr: &AlgebraExpr) -> DfResult<AlgebraExpr> {
         let mut rewritten = expr.clone();
         match &mut rewritten {
-            AlgebraExpr::Literal(_) => {}
+            AlgebraExpr::Literal(_) | AlgebraExpr::Handle(_) => {}
             AlgebraExpr::Selection { input, .. }
             | AlgebraExpr::Projection { input, .. }
             | AlgebraExpr::DropDuplicates { input }
@@ -543,7 +635,23 @@ impl Engine for ModinEngine {
         EngineKind::Modin
     }
 
-    fn execute(&self, expr: &AlgebraExpr) -> DfResult<DataFrame> {
+    fn execute(&self, expr: &AlgebraExpr) -> DfResult<FrameHandle> {
+        // The result stays partitioned (resident or spilled, under the session's
+        // memory budget); nothing is assembled until a materialisation point.
+        Ok(FrameHandle::from_partitioned(Arc::new(GridResult::new(
+            self.execute_partitioned(expr)?,
+        ))))
+    }
+
+    fn collect(&self, handle: &FrameHandle) -> DfResult<DataFrame> {
+        self.note_assembly();
+        handle.to_dataframe()
+    }
+
+    fn execute_collect(&self, expr: &AlgebraExpr) -> DfResult<DataFrame> {
+        // One-shot execution owns its grid, so assembly can consume the partitions
+        // (moving blocks and draining their store entries) instead of copying them.
+        self.note_assembly();
         self.execute_partitioned(expr)?.into_dataframe()
     }
 
@@ -819,8 +927,8 @@ mod tests {
     }
 
     fn assert_matches_reference(expr: &AlgebraExpr) {
-        let reference = ReferenceEngine.execute(expr).unwrap();
-        let modin = small_engine().execute(expr).unwrap();
+        let reference = ReferenceEngine.execute_collect(expr).unwrap();
+        let modin = small_engine().execute_collect(expr).unwrap();
         assert!(
             modin.same_data(&reference),
             "engine disagrees with reference\nreference:\n{reference}\nmodin:\n{modin}"
@@ -890,7 +998,7 @@ mod tests {
         let expr = AlgebraExpr::literal(trips(64)).transpose();
         let grid = engine.execute_partitioned(&expr).unwrap();
         assert!(grid.deferred_transposes() > 0);
-        let reference = ReferenceEngine.execute(&expr).unwrap();
+        let reference = ReferenceEngine.execute_collect(&expr).unwrap();
         assert!(grid.assemble().unwrap().same_data(&reference));
     }
 
@@ -952,8 +1060,8 @@ mod tests {
                     .with_partition_size(16, 2)
                     .with_broadcast_threshold(0),
             );
-            let result = engine.execute(&expr).unwrap();
-            let reference = ReferenceEngine.execute(&expr).unwrap();
+            let result = engine.execute_collect(&expr).unwrap();
+            let reference = ReferenceEngine.execute_collect(&expr).unwrap();
             assert!(result.same_data(&reference), "{name} diverged");
             assert_eq!(engine.fallbacks_dispatched(), 0, "{name} fell back");
             assert!(engine.shuffles_dispatched() > 0, "{name} did not shuffle");
@@ -962,7 +1070,7 @@ mod tests {
         // And the remaining fallback operators do count their assembly.
         let engine = ModinEngine::with_config(ModinConfig::sequential().with_partition_size(16, 2));
         engine
-            .execute(&base().window(
+            .execute_collect(&base().window(
                 ColumnSelector::ByLabels(vec![cell("fare")]),
                 WindowFunc::CumSum,
             ))
@@ -972,15 +1080,44 @@ mod tests {
     }
 
     #[test]
+    fn handles_resume_from_the_grid_without_assembly_or_repartitioning() {
+        let engine = small_engine();
+        let expr = AlgebraExpr::literal(trips(100)).map(MapFunc::IsNullMask);
+        let handle = engine.execute(&expr).unwrap();
+        assert!(handle.is_partitioned());
+        assert_eq!(handle.shape(), (100, 3));
+        // Nothing assembled yet; executing over the handle resumes from the grid.
+        assert_eq!(engine.assemblies_dispatched(), 0);
+        let chained = AlgebraExpr::handle(handle.clone()).select(Predicate::ColCmp {
+            column: cell("fare"),
+            op: CmpOp::Eq,
+            value: cell(false),
+        });
+        let grid = engine.execute_partitioned(&chained).unwrap();
+        assert_eq!(engine.handles_reused(), 1);
+        assert!(grid.n_row_bands() > 1, "handle reuse lost the partitioning");
+        // Materialisation points count assemblies; prefix inspection does not.
+        assert_eq!(engine.head_of(&handle, 5).unwrap().n_rows(), 5);
+        assert_eq!(engine.assemblies_dispatched(), 0);
+        let collected = engine.collect(&handle).unwrap();
+        assert_eq!(collected.shape(), (100, 3));
+        assert_eq!(engine.assemblies_dispatched(), 1);
+        // A foreign (materialised) handle is repartitioned, not reused.
+        let foreign = AlgebraExpr::handle(FrameHandle::from_dataframe(trips(30)));
+        assert_eq!(engine.execute_collect(&foreign).unwrap().shape(), (30, 3));
+        assert_eq!(engine.handles_reused(), 1);
+    }
+
+    #[test]
     fn limits_and_prefix_execution() {
         let engine = small_engine();
         let expr = AlgebraExpr::literal(trips(100)).map(MapFunc::IsNullMask);
         let head = engine.execute_prefix(&expr, 7).unwrap();
         assert_eq!(head.shape(), (7, 3));
-        let reference = ReferenceEngine.execute(&expr).unwrap().head(7);
+        let reference = ReferenceEngine.execute_collect(&expr).unwrap().head(7);
         assert!(head.same_data(&reference));
         let tail = engine.execute_suffix(&expr, 4).unwrap();
-        assert!(tail.same_data(&ReferenceEngine.execute(&expr).unwrap().tail(4)));
+        assert!(tail.same_data(&ReferenceEngine.execute_collect(&expr).unwrap().tail(4)));
         assert_matches_reference(&expr.limit(5, false));
     }
 
@@ -993,14 +1130,14 @@ mod tests {
         );
         let sequential =
             ModinEngine::with_config(ModinConfig::sequential().with_partition_size(32, 8))
-                .execute(&expr)
+                .execute_collect(&expr)
                 .unwrap();
         let parallel = ModinEngine::with_config(
             ModinConfig::default()
                 .with_threads(4)
                 .with_partition_size(32, 8),
         )
-        .execute(&expr)
+        .execute_collect(&expr)
         .unwrap();
         assert!(sequential.same_data(&parallel));
     }
@@ -1011,7 +1148,7 @@ mod tests {
         assert_eq!(engine.kind(), EngineKind::Modin);
         assert!(engine.capabilities().lazy_execution);
         let expr = AlgebraExpr::literal(trips(64)).map(MapFunc::IsNullMask);
-        engine.execute(&expr).unwrap();
+        engine.execute_collect(&expr).unwrap();
         assert!(engine.tasks_dispatched() > 0);
         assert_eq!(engine.config().threads, 1);
         let (optimized, stats) = engine.optimize_only(&expr.clone().transpose().transpose());
@@ -1027,7 +1164,7 @@ mod tests {
         )
         .unwrap();
         let deferred = small_engine()
-            .execute(&AlgebraExpr::literal(raw.clone()))
+            .execute_collect(&AlgebraExpr::literal(raw.clone()))
             .unwrap();
         assert_eq!(deferred.schema(), vec![None]);
         let eager_config = ModinConfig {
@@ -1035,7 +1172,7 @@ mod tests {
             ..ModinConfig::sequential()
         };
         let eager = ModinEngine::with_config(eager_config)
-            .execute(&AlgebraExpr::literal(raw))
+            .execute_collect(&AlgebraExpr::literal(raw))
             .unwrap();
         assert_eq!(eager.cell(0, 0).unwrap(), &cell(10));
     }

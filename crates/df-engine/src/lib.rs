@@ -25,7 +25,7 @@ pub mod session;
 pub mod shuffle;
 
 pub use df_storage::spill::{SpillStats, SpillStore};
-pub use engine::{ModinConfig, ModinEngine};
+pub use engine::{GridResult, ModinConfig, ModinEngine};
 pub use executor::{default_threads, ParallelExecutor};
 pub use optimizer::{choose_pivot_plan, optimize, OptimizerConfig, PivotPlan, RewriteStats};
 pub use partition::{Partition, PartitionConfig, PartitionGrid, PartitionHandle, PartitionScheme};

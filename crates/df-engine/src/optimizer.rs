@@ -117,7 +117,7 @@ fn map_children(
 ) -> AlgebraExpr {
     let mut out = expr.clone();
     match &mut out {
-        AlgebraExpr::Literal(_) => {}
+        AlgebraExpr::Literal(_) | AlgebraExpr::Handle(_) => {}
         AlgebraExpr::Selection { input, .. }
         | AlgebraExpr::Projection { input, .. }
         | AlgebraExpr::DropDuplicates { input }

@@ -95,10 +95,15 @@ impl fmt::Debug for StoredBlock {
 
 /// Where a partition's block physically lives (paper §3.3's modular storage layer):
 /// directly in memory, or in the session's [`SpillStore`] under its memory budget.
+///
+/// Both arms are reference-counted, so cloning a handle (e.g. when a statement
+/// resumes from a cached result handle at the waist) shares the block instead of
+/// copying it; a consuming access ([`PartitionHandle::into_frame`]) moves the data
+/// out only when the handle is the last owner and copies-on-write otherwise.
 #[derive(Debug, Clone)]
 pub enum PartitionHandle {
-    /// The handle owns the block in memory.
-    Resident(DataFrame),
+    /// The handle owns the block in memory (shared with any clones of the handle).
+    Resident(Arc<DataFrame>),
     /// The block is managed by a spill store; loading it may read a spill file.
     Stored(Arc<StoredBlock>),
 }
@@ -119,7 +124,7 @@ impl PartitionHandle {
                     col_labels,
                 })))
             }
-            None => Ok(PartitionHandle::Resident(frame)),
+            None => Ok(PartitionHandle::Resident(Arc::new(frame))),
         }
     }
 
@@ -148,17 +153,20 @@ impl PartitionHandle {
     /// from disk — a stored one).
     pub fn load(&self) -> DfResult<DataFrame> {
         match self {
-            PartitionHandle::Resident(frame) => Ok(frame.clone()),
+            PartitionHandle::Resident(frame) => Ok(frame.as_ref().clone()),
             PartitionHandle::Stored(block) => block.store.get(block.id),
         }
     }
 
-    /// Consume the handle and take the block: a resident frame moves out copy-free; a
-    /// uniquely-held stored block is taken out of the store (freeing its budget);
-    /// a stored block with other live handles is fetched non-destructively.
+    /// Consume the handle and take the block: a uniquely-held resident frame moves
+    /// out copy-free (a shared one copies-on-write); a uniquely-held stored block is
+    /// taken out of the store (freeing its budget); a stored block with other live
+    /// handles is fetched non-destructively.
     pub fn into_frame(self) -> DfResult<DataFrame> {
         match self {
-            PartitionHandle::Resident(frame) => Ok(frame),
+            PartitionHandle::Resident(frame) => {
+                Ok(Arc::try_unwrap(frame).unwrap_or_else(|shared| shared.as_ref().clone()))
+            }
             PartitionHandle::Stored(block) => match Arc::try_unwrap(block) {
                 // `take` removes the entry; the unwrapped block's Drop then finds
                 // nothing to remove, which is fine.
@@ -187,7 +195,7 @@ impl Partition {
     /// Wrap a materialised block held in memory.
     pub fn new(frame: DataFrame, row_offset: usize, col_offset: usize) -> Self {
         Partition {
-            handle: PartitionHandle::Resident(frame),
+            handle: PartitionHandle::Resident(Arc::new(frame)),
             row_offset,
             col_offset,
             transposed: false,
@@ -280,7 +288,7 @@ impl Partition {
 
     /// Replace the block's contents with an already-materialised in-memory frame.
     pub fn replace(&mut self, frame: DataFrame) {
-        self.handle = PartitionHandle::Resident(frame);
+        self.handle = PartitionHandle::Resident(Arc::new(frame));
         self.transposed = false;
     }
 

@@ -12,8 +12,15 @@
 //!   asks to see.
 //!
 //! [`QuerySession`] implements all three over any [`Engine`], together with the
-//! §6.2.2 materialisation cache: results are remembered by expression fingerprint so
-//! that statements revisited during trial-and-error exploration do not recompute.
+//! §6.2.2 materialisation cache. Both the cache and the background futures hold
+//! [`FrameHandle`]s, not resident dataframes: for the scalable engine a cached result
+//! is a partition grid whose blocks live under the session's memory budget (spilling
+//! to disk like any other partition), so remembering results across statements does
+//! not defeat the out-of-core store. Statements revisited during trial-and-error
+//! exploration are served from the cache by expression fingerprint; callers that
+//! chain statements pass precomputed fingerprints through the `*_keyed` entry points
+//! so one statement's (potentially deep) plan is serialised once, not once per
+//! submit/collect/inspect call.
 
 use std::collections::HashMap;
 use std::sync::mpsc::{channel, Receiver};
@@ -27,6 +34,7 @@ use df_types::error::{DfError, DfResult};
 use df_core::algebra::AlgebraExpr;
 use df_core::dataframe::DataFrame;
 use df_core::engine::Engine;
+use df_core::handle::FrameHandle;
 
 /// How statements are scheduled (paper §6.1.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -52,12 +60,36 @@ pub struct SessionStats {
     pub background_started: u64,
     /// Background results that were ready by the time they were requested.
     pub background_ready_on_request: u64,
+    /// Submit-time errors recorded (rather than silently discarded) by API layers
+    /// that cannot propagate them from an infallible builder method. The error itself
+    /// is retrievable once via [`QuerySession::take_last_submit_error`] and will
+    /// surface again at the next materialisation point of the same statement.
+    pub submit_errors: u64,
+}
+
+/// A cache entry: the computed handle *plus the leaf values that pin its key*.
+/// Fingerprints identify literal and handle leaves by pointer identity (`lit@…` /
+/// `hnd@…`); keeping those leaf allocations alive means an address can never be
+/// reused by a new leaf while an entry keyed on it exists — a stale-hit collision
+/// that would otherwise be possible the moment the original expression is dropped.
+/// Leaves from two plans can be needed: the executed plan's, and — when an API layer
+/// keys a *rebased* execution plan by its statement's logical fingerprint — the
+/// logical plan's (so the guarantee stays local to the entry rather than relying on
+/// ancestor entries transitively pinning the shared leaves).
+struct CachedResult {
+    #[allow(dead_code)] // held for its ownership (identity pinning), never read
+    pins: Vec<FrameHandle>,
+    handle: FrameHandle,
 }
 
 /// A handle to a result that may still be computing in the background.
 pub struct QueryFuture {
     fingerprint: String,
-    receiver: Option<Receiver<DfResult<DataFrame>>>,
+    /// Pins the pointer identities the fingerprint key is built from (see
+    /// [`CachedResult`]) for as long as the future is pending.
+    #[allow(dead_code)]
+    pins: Vec<FrameHandle>,
+    receiver: Option<Receiver<DfResult<FrameHandle>>>,
     handle: Option<JoinHandle<()>>,
 }
 
@@ -75,7 +107,7 @@ impl QueryFuture {
         &self.fingerprint
     }
 
-    fn wait(mut self) -> DfResult<DataFrame> {
+    fn wait(mut self) -> DfResult<FrameHandle> {
         let receiver = self
             .receiver
             .take()
@@ -94,9 +126,10 @@ impl QueryFuture {
 pub struct QuerySession {
     engine: Arc<dyn Engine>,
     mode: EvalMode,
-    cache: Arc<Mutex<HashMap<String, DataFrame>>>,
+    cache: Mutex<HashMap<String, CachedResult>>,
     pending: Mutex<HashMap<String, QueryFuture>>,
     stats: Mutex<SessionStats>,
+    last_submit_error: Mutex<Option<DfError>>,
     cache_enabled: bool,
 }
 
@@ -106,9 +139,10 @@ impl QuerySession {
         QuerySession {
             engine,
             mode,
-            cache: Arc::new(Mutex::new(HashMap::new())),
+            cache: Mutex::new(HashMap::new()),
             pending: Mutex::new(HashMap::new()),
             stats: Mutex::new(SessionStats::default()),
+            last_submit_error: Mutex::new(None),
             cache_enabled: true,
         }
     }
@@ -134,87 +168,204 @@ impl QuerySession {
         *self.stats.lock()
     }
 
-    /// Submit a statement. Under eager evaluation this blocks and computes; under lazy
-    /// evaluation it records nothing (the expression itself is the pending work); under
+    /// Submit a statement. Under eager evaluation this blocks and computes a handle
+    /// (or serves a cache hit for a re-submitted fingerprint); under lazy evaluation
+    /// it records nothing (the expression itself is the pending work); under
     /// opportunistic evaluation it kicks off a background computation keyed by the
     /// expression fingerprint.
     pub fn submit(&self, expr: &AlgebraExpr) -> DfResult<()> {
+        self.submit_keyed(expr, &expr.fingerprint(), None)
+    }
+
+    /// Record a statement without a plan — what a lazy submit amounts to. API layers
+    /// use this to skip building (and fingerprinting) an execution plan the lazy
+    /// scheduler would discard anyway.
+    pub fn note_statement(&self) {
+        self.stats.lock().statements += 1;
+    }
+
+    /// [`QuerySession::submit`] with a precomputed fingerprint key (so callers that
+    /// already memoised the fingerprint do not re-serialise the plan). When `key` is
+    /// the fingerprint of a *different* expression than `expr` (an API layer keying a
+    /// handle-rebased execution plan by its statement's logical fingerprint), pass
+    /// that expression as `key_source` so the cache entry pins the allocations the
+    /// key's identity pointers refer to.
+    pub fn submit_keyed(
+        &self,
+        expr: &AlgebraExpr,
+        key: &str,
+        key_source: Option<&AlgebraExpr>,
+    ) -> DfResult<()> {
         self.stats.lock().statements += 1;
         match self.mode {
             EvalMode::Eager => {
-                self.materialize(expr)?;
-                Ok(())
+                // Serves a re-submitted fingerprint from the cache, else executes
+                // and remembers the handle.
+                self.handle_keyed(expr, key, key_source).map(|_| ())
             }
             EvalMode::Lazy => Ok(()),
             EvalMode::Opportunistic => {
-                self.spawn_background(expr);
+                self.spawn_background(expr, key, key_source);
                 Ok(())
             }
         }
     }
 
-    /// Fetch the full result of an expression, using (in order) the materialisation
-    /// cache, a finished background future, or a fresh execution.
-    pub fn collect(&self, expr: &AlgebraExpr) -> DfResult<DataFrame> {
-        let fingerprint = expr.fingerprint();
-        if self.cache_enabled {
-            if let Some(hit) = self.cache.lock().get(&fingerprint).cloned() {
-                self.stats.lock().cache_hits += 1;
-                return Ok(hit);
-            }
+    /// Record a submit-time error an infallible API layer could not propagate: it is
+    /// counted in [`SessionStats::submit_errors`], kept for
+    /// [`QuerySession::take_last_submit_error`], and will surface again when the
+    /// statement reaches a materialisation point.
+    pub fn record_submit_error(&self, err: DfError) {
+        self.stats.lock().submit_errors += 1;
+        *self.last_submit_error.lock() = Some(err);
+    }
+
+    /// The most recent recorded submit error, if any (clears the slot).
+    pub fn take_last_submit_error(&self) -> Option<DfError> {
+        self.last_submit_error.lock().take()
+    }
+
+    /// Execute (or look up) an expression to an engine-owned [`FrameHandle`], using
+    /// (in order) the materialisation cache, a background future, or a fresh
+    /// execution. This is the statement-boundary entry point: the caller can feed the
+    /// returned handle into the next statement's plan via `AlgebraExpr::handle`.
+    pub fn handle(&self, expr: &AlgebraExpr) -> DfResult<FrameHandle> {
+        self.handle_keyed(expr, &expr.fingerprint(), None)
+    }
+
+    /// Clone a cached handle out under the lock, releasing it before the caller does
+    /// any engine work.
+    fn cached_handle(&self, key: &str) -> Option<FrameHandle> {
+        if !self.cache_enabled {
+            return None;
         }
-        let pending = self.pending.lock().remove(&fingerprint);
+        self.cache.lock().get(key).map(|hit| hit.handle.clone())
+    }
+
+    /// [`QuerySession::handle`] with a precomputed fingerprint key (`key_source` as
+    /// in [`QuerySession::submit_keyed`]).
+    pub fn handle_keyed(
+        &self,
+        expr: &AlgebraExpr,
+        key: &str,
+        key_source: Option<&AlgebraExpr>,
+    ) -> DfResult<FrameHandle> {
+        if let Some(handle) = self.cached_handle(key) {
+            self.stats.lock().cache_hits += 1;
+            return Ok(handle);
+        }
+        let pending = self.pending.lock().remove(key);
         if let Some(future) = pending {
             if future.is_ready() {
                 self.stats.lock().background_ready_on_request += 1;
             }
-            let result = future.wait()?;
-            self.remember(&fingerprint, &result);
-            return Ok(result);
+            let handle = future.wait()?;
+            self.remember(key, expr, key_source, &handle);
+            return Ok(handle);
         }
-        self.materialize(expr)
+        self.materialize_handle(expr, key, key_source)
     }
 
-    /// Fetch only the first `k` rows of an expression — the tabular-view inspection of
-    /// §6.1.2. Prefers the cache, then a ready background result, then the engine's
-    /// prefix-prioritised path (it does *not* wait for an unfinished background run,
-    /// because the prefix path is usually faster than finishing the full result).
+    /// A non-executing peek: the cached handle for a fingerprint, if one exists. Used
+    /// by API layers to rebase a derived statement's plan onto its input's
+    /// already-computed handle (no statistics are counted — this is plan
+    /// construction, not a user-visible fetch).
+    pub fn handle_for(&self, key: &str) -> Option<FrameHandle> {
+        self.cached_handle(key)
+    }
+
+    /// Materialisation point: fetch the full result of an expression as a dataframe.
+    pub fn collect(&self, expr: &AlgebraExpr) -> DfResult<DataFrame> {
+        self.collect_keyed(expr, &expr.fingerprint(), None)
+    }
+
+    /// [`QuerySession::collect`] with a precomputed fingerprint key (`key_source` as
+    /// in [`QuerySession::submit_keyed`]).
+    pub fn collect_keyed(
+        &self,
+        expr: &AlgebraExpr,
+        key: &str,
+        key_source: Option<&AlgebraExpr>,
+    ) -> DfResult<DataFrame> {
+        let handle = self.handle_keyed(expr, key, key_source)?;
+        self.engine.collect(&handle)
+    }
+
+    /// Materialisation point: only the first `k` rows of an expression — the
+    /// tabular-view inspection of §6.1.2. Prefers the cache, then a ready background
+    /// result, then the engine's prefix-prioritised path (it does *not* wait for an
+    /// unfinished background run, because the prefix path is usually faster than
+    /// finishing the full result).
     pub fn head(&self, expr: &AlgebraExpr, k: usize) -> DfResult<DataFrame> {
-        let fingerprint = expr.fingerprint();
-        if self.cache_enabled {
-            if let Some(hit) = self.cache.lock().get(&fingerprint).cloned() {
-                self.stats.lock().cache_hits += 1;
-                return Ok(hit.head(k));
-            }
+        self.head_keyed(expr, &expr.fingerprint(), None, k)
+    }
+
+    /// [`QuerySession::head`] with a precomputed fingerprint key (`key_source` as in
+    /// [`QuerySession::submit_keyed`]).
+    pub fn head_keyed(
+        &self,
+        expr: &AlgebraExpr,
+        key: &str,
+        key_source: Option<&AlgebraExpr>,
+        k: usize,
+    ) -> DfResult<DataFrame> {
+        // Clone the handle out and release the cache lock before touching the
+        // engine: materialising a spilled handle can hit the disk, and holding the
+        // lock across it would serialise every other session call behind the I/O.
+        if let Some(handle) = self.cached_handle(key) {
+            self.stats.lock().cache_hits += 1;
+            return self.engine.head_of(&handle, k);
         }
-        let ready = {
-            let pending = self.pending.lock();
-            pending
-                .get(&fingerprint)
-                .map(|f| f.is_ready())
-                .unwrap_or(false)
-        };
-        if ready {
-            let future = self.pending.lock().remove(&fingerprint);
-            if let Some(future) = future {
-                self.stats.lock().background_ready_on_request += 1;
-                let result = future.wait()?;
-                self.remember(&fingerprint, &result);
-                return Ok(result.head(k));
-            }
+        if let Some(handle) = self.take_ready_future(key)? {
+            self.remember(key, expr, key_source, &handle);
+            return self.engine.head_of(&handle, k);
         }
         self.stats.lock().executions += 1;
         self.engine.execute_prefix(expr, k)
     }
 
-    /// Fetch only the last `k` rows of an expression.
+    /// Consume the pending background future for `key` if (and only if) it has
+    /// already finished — inspection paths never block on an unfinished one, because
+    /// the engine's prefix/suffix path is usually faster than finishing the full
+    /// result.
+    fn take_ready_future(&self, key: &str) -> DfResult<Option<FrameHandle>> {
+        let ready = {
+            let pending = self.pending.lock();
+            pending.get(key).map(|f| f.is_ready()).unwrap_or(false)
+        };
+        if !ready {
+            return Ok(None);
+        }
+        let Some(future) = self.pending.lock().remove(key) else {
+            return Ok(None);
+        };
+        self.stats.lock().background_ready_on_request += 1;
+        future.wait().map(Some)
+    }
+
+    /// Materialisation point: only the last `k` rows of an expression.
     pub fn tail(&self, expr: &AlgebraExpr, k: usize) -> DfResult<DataFrame> {
-        let fingerprint = expr.fingerprint();
-        if self.cache_enabled {
-            if let Some(hit) = self.cache.lock().get(&fingerprint).cloned() {
-                self.stats.lock().cache_hits += 1;
-                return Ok(hit.tail(k));
-            }
+        self.tail_keyed(expr, &expr.fingerprint(), None, k)
+    }
+
+    /// [`QuerySession::tail`] with a precomputed fingerprint key (`key_source` as in
+    /// [`QuerySession::submit_keyed`]). Like [`QuerySession::head_keyed`], a
+    /// *finished* background future is consumed and cached rather than re-executing
+    /// the suffix; an unfinished one is not waited for.
+    pub fn tail_keyed(
+        &self,
+        expr: &AlgebraExpr,
+        key: &str,
+        key_source: Option<&AlgebraExpr>,
+        k: usize,
+    ) -> DfResult<DataFrame> {
+        if let Some(handle) = self.cached_handle(key) {
+            self.stats.lock().cache_hits += 1;
+            return self.engine.tail_of(&handle, k);
+        }
+        if let Some(handle) = self.take_ready_future(key)? {
+            self.remember(key, expr, key_source, &handle);
+            return self.engine.tail_of(&handle, k);
         }
         self.stats.lock().executions += 1;
         self.engine.execute_suffix(expr, k)
@@ -225,37 +376,64 @@ impl QuerySession {
         self.cache.lock().len()
     }
 
-    /// Drop every cached result (models the §6.2.2 eviction discussion in its simplest
-    /// form).
+    /// Drop every cached handle (models the §6.2.2 eviction discussion in its
+    /// simplest form; for the scalable engine this also releases the underlying
+    /// partitions' spill-store entries).
     pub fn clear_cache(&self) {
         self.cache.lock().clear();
     }
 
-    fn materialize(&self, expr: &AlgebraExpr) -> DfResult<DataFrame> {
+    fn materialize_handle(
+        &self,
+        expr: &AlgebraExpr,
+        key: &str,
+        key_source: Option<&AlgebraExpr>,
+    ) -> DfResult<FrameHandle> {
         self.stats.lock().executions += 1;
-        let result = self.engine.execute(expr)?;
-        self.remember(&expr.fingerprint(), &result);
-        Ok(result)
+        let handle = self.engine.execute(expr)?;
+        self.remember(key, expr, key_source, &handle);
+        Ok(handle)
     }
 
-    fn remember(&self, fingerprint: &str, result: &DataFrame) {
+    /// The leaf allocations whose addresses appear in the entry's fingerprint key:
+    /// the executed plan's, plus the key-source plan's when the key was fingerprinted
+    /// from a different expression.
+    fn pins_for(plan: &AlgebraExpr, key_source: Option<&AlgebraExpr>) -> Vec<FrameHandle> {
+        let mut pins = plan.leaf_pins();
+        if let Some(source) = key_source {
+            pins.extend(source.leaf_pins());
+        }
+        pins
+    }
+
+    fn remember(
+        &self,
+        key: &str,
+        plan: &AlgebraExpr,
+        key_source: Option<&AlgebraExpr>,
+        handle: &FrameHandle,
+    ) {
         if self.cache_enabled {
-            self.cache
-                .lock()
-                .insert(fingerprint.to_string(), result.clone());
+            self.cache.lock().insert(
+                key.to_string(),
+                CachedResult {
+                    pins: QuerySession::pins_for(plan, key_source),
+                    handle: handle.clone(),
+                },
+            );
         }
     }
 
-    fn spawn_background(&self, expr: &AlgebraExpr) {
-        let fingerprint = expr.fingerprint();
-        if self.cache_enabled && self.cache.lock().contains_key(&fingerprint) {
+    fn spawn_background(&self, expr: &AlgebraExpr, key: &str, key_source: Option<&AlgebraExpr>) {
+        if self.cache_enabled && self.cache.lock().contains_key(key) {
             return;
         }
-        if self.pending.lock().contains_key(&fingerprint) {
+        if self.pending.lock().contains_key(key) {
             return;
         }
         let engine = Arc::clone(&self.engine);
-        let expr = expr.clone();
+        let pins = QuerySession::pins_for(expr, key_source);
+        let worker_plan = expr.clone();
         let (sender, receiver) = channel();
         {
             let mut stats = self.stats.lock();
@@ -263,13 +441,14 @@ impl QuerySession {
             stats.executions += 1;
         }
         let handle = std::thread::spawn(move || {
-            let result = engine.execute(&expr);
+            let result = engine.execute(&worker_plan);
             sender.send(result).ok();
         });
         self.pending.lock().insert(
-            fingerprint.clone(),
+            key.to_string(),
             QueryFuture {
-                fingerprint,
+                fingerprint: key.to_string(),
+                pins,
                 receiver: Some(receiver),
                 handle: Some(handle),
             },
@@ -302,17 +481,22 @@ mod tests {
     }
 
     #[test]
-    fn eager_mode_computes_on_submit_and_caches() {
+    fn eager_mode_computes_on_submit_and_caches_handles() {
         let session = QuerySession::new(engine(), EvalMode::Eager);
         let expr = AlgebraExpr::literal(frame(30)).map(MapFunc::IsNullMask);
         session.submit(&expr).unwrap();
         assert_eq!(session.stats().executions, 1);
+        // What the cache holds is a handle, not a resident dataframe.
+        let cached = session.handle_for(&expr.fingerprint()).unwrap();
+        assert!(cached.is_partitioned());
         let out = session.collect(&expr).unwrap();
         assert_eq!(out.shape(), (30, 2));
-        // Second fetch is a cache hit, not a re-execution.
+        // Fetches and re-submissions are cache hits, not re-executions.
         session.collect(&expr).unwrap();
+        session.submit(&expr).unwrap();
         assert_eq!(session.stats().executions, 1);
-        assert_eq!(session.stats().cache_hits, 2);
+        assert_eq!(session.stats().cache_hits, 3);
+        assert_eq!(session.stats().statements, 2);
         assert_eq!(session.cached_results(), 1);
     }
 
@@ -340,6 +524,45 @@ mod tests {
         // Once collected the result is cached.
         session.collect(&expr).unwrap();
         assert!(session.stats().cache_hits >= 1);
+    }
+
+    #[test]
+    fn ready_background_futures_serve_tail_without_reexecution() {
+        let session = QuerySession::new(engine(), EvalMode::Opportunistic);
+        let expr = AlgebraExpr::literal(frame(60)).map(MapFunc::IsNullMask);
+        session.submit(&expr).unwrap();
+        // The background run over 60 rows finishes in microseconds; give it ample
+        // real time so the readiness check below observes a finished future.
+        std::thread::sleep(std::time::Duration::from_millis(500));
+        let tail = session.tail(&expr, 3).unwrap();
+        assert_eq!(tail.shape(), (3, 2));
+        let stats = session.stats();
+        assert_eq!(
+            stats.background_ready_on_request, 1,
+            "ready future was not consumed: {stats:?}"
+        );
+        assert_eq!(
+            stats.executions, 1,
+            "tail re-executed despite a finished background result: {stats:?}"
+        );
+        // The promoted handle is cached: the next fetch is a hit.
+        session.collect(&expr).unwrap();
+        assert_eq!(session.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn handles_cross_statement_boundaries_without_reexecution() {
+        let session = QuerySession::new(engine(), EvalMode::Eager);
+        let first = AlgebraExpr::literal(frame(40)).select(Predicate::True);
+        session.submit(&first).unwrap();
+        let handle = session.handle(&first).unwrap();
+        // Next statement consumes the previous statement's handle as a plan leaf.
+        let second = AlgebraExpr::handle(handle).map(MapFunc::IsNullMask);
+        session.submit(&second).unwrap();
+        let out = session.collect(&second).unwrap();
+        assert_eq!(out.shape(), (40, 2));
+        assert_eq!(out.cell(0, 0).unwrap(), &cell(false));
+        assert_eq!(session.stats().executions, 2);
     }
 
     #[test]
@@ -385,6 +608,78 @@ mod tests {
     }
 
     #[test]
+    fn cached_handles_stay_budget_accounted_until_evicted() {
+        // A cached result over a budgeted engine is held as spilled/stored
+        // partitions, not a resident dataframe — and clearing the cache releases its
+        // store entries.
+        let df = frame(300);
+        let budget = df.approx_size_bytes() / 4;
+        let modin = Arc::new(ModinEngine::with_config(
+            ModinConfig::default()
+                .with_memory_budget(budget)
+                .with_partition_size(16, 4),
+        ));
+        let session = QuerySession::new(Arc::clone(&modin) as Arc<dyn Engine>, EvalMode::Eager);
+        let expr = AlgebraExpr::literal(df).map(MapFunc::IsNullMask);
+        session.submit(&expr).unwrap();
+        let stats = modin.spill_stats();
+        assert!(
+            stats.in_memory + stats.spilled > 0,
+            "cached handle holds no partitions: {stats:?}"
+        );
+        assert!(
+            stats.memory_bytes <= budget + stats.max_insert_bytes,
+            "cached handle blew the budget: {stats:?}"
+        );
+        session.clear_cache();
+        let drained = modin.spill_stats();
+        assert_eq!(
+            drained.in_memory + drained.spilled,
+            0,
+            "evicted cache leaked store entries: {drained:?}"
+        );
+    }
+
+    #[test]
+    fn cache_entries_pin_literal_identities_against_address_reuse() {
+        // Fingerprints identify literals by Arc address. If the cache did not keep
+        // the keyed plan alive, this loop would routinely allocate a new literal at
+        // a just-freed address and hit the previous statement's stale entry. With
+        // pinning, every distinct frame executes and returns its own data.
+        let session = QuerySession::new(engine(), EvalMode::Eager);
+        for i in 0..32u64 {
+            let df = DataFrame::from_columns(
+                vec!["v"],
+                vec![(0..8).map(|j| cell((i * 100 + j) as i64)).collect()],
+            )
+            .unwrap();
+            let expr = AlgebraExpr::literal(df).select(Predicate::True);
+            session.submit(&expr).unwrap();
+            let out = session.collect(&expr).unwrap();
+            assert_eq!(
+                out.cell(0, 0).unwrap(),
+                &cell((i * 100) as i64),
+                "statement {i} was served a stale cached result"
+            );
+            // The statement (and its literal) drop here; its cache entry must keep
+            // the fingerprinted allocation alive.
+        }
+        assert_eq!(session.stats().executions, 32);
+    }
+
+    #[test]
+    fn submit_errors_are_recorded_and_retrievable() {
+        let session = QuerySession::new(engine(), EvalMode::Eager);
+        assert!(session.take_last_submit_error().is_none());
+        session.record_submit_error(DfError::column_not_found("missing"));
+        assert_eq!(session.stats().submit_errors, 1);
+        let err = session.take_last_submit_error().unwrap();
+        assert!(matches!(err, DfError::ColumnNotFound(_)));
+        // The slot is consumed.
+        assert!(session.take_last_submit_error().is_none());
+    }
+
+    #[test]
     fn cache_can_be_disabled_and_cleared() {
         let session = QuerySession::new(engine(), EvalMode::Eager).without_cache();
         let expr = AlgebraExpr::literal(frame(10)).select(Predicate::True);
@@ -392,6 +687,7 @@ mod tests {
         session.collect(&expr).unwrap();
         assert_eq!(session.stats().cache_hits, 0);
         assert_eq!(session.cached_results(), 0);
+        assert!(session.handle_for(&expr.fingerprint()).is_none());
         let cached = QuerySession::new(engine(), EvalMode::Eager);
         cached.submit(&expr).unwrap();
         assert_eq!(cached.cached_results(), 1);

@@ -6,12 +6,24 @@
 //! optimised. [`PandasFrame`] does exactly that: each method builds an
 //! [`AlgebraExpr`]; the session's engine (scalable, baseline or reference) executes it.
 //!
+//! The frame is *genuinely lazy* (§6.1): methods only build the expression DAG and
+//! (depending on the session's evaluation mode) schedule it. Real dataframes exist
+//! only at the materialisation points — [`PandasFrame::collect`],
+//! [`PandasFrame::head`] / [`PandasFrame::tail`], and the CSV writes — where the
+//! optimizer pass runs once over the whole pipeline. When the session has already
+//! executed a frame's statement, derived statements *rebase* their execution plan
+//! onto the cached [`FrameHandle`] (an `AlgebraExpr::Handle` leaf), so a chain of
+//! statements crosses each boundary as an engine-owned partitioned handle — no
+//! assembly, no re-partitioning, no re-execution of the prefix. Each frame memoises
+//! its expression fingerprint, so a statement's plan is serialised once, not once
+//! per submit/collect/inspect call.
+//!
 //! Methods deliberately mirror familiar pandas names (`fillna`, `isna`, `get_dummies`,
 //! `merge`, `groupby`, `pivot`, `set_index`, `reset_index`, `sort_values`, `cov`, …)
 //! and the Table 2 / §4.4 rewrites are encoded in their bodies; `crate::rewrite`
 //! documents the mapping in data form for the Table 2 experiment.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use df_types::cell::{Cell, CellKey};
 use df_types::domain::Domain;
@@ -22,31 +34,70 @@ use df_core::algebra::{
     RowView, SortSpec, WindowFunc,
 };
 use df_core::dataframe::DataFrame;
+use df_core::handle::FrameHandle;
 use df_core::linalg;
-use df_storage::csv::{read_csv_path, read_csv_str, write_csv_string, CsvOptions};
+use df_storage::csv::{read_csv_path, read_csv_str, write_csv_path, write_csv_string, CsvOptions};
 
 use df_engine::optimizer::PivotPlan;
+use df_engine::session::EvalMode;
 
 use crate::session::Session;
+
+/// How a derived frame was built: the parent statements and the operator to
+/// re-apply to fresh base plans. Kept so *materialisation points* can rebase onto
+/// whatever handles the session has cached by then — not only the ones that existed
+/// when the statement was typed (a lazy chain whose intermediate was later collected
+/// must resume from that intermediate's handle instead of re-executing its subtree).
+struct Lineage {
+    parents: Vec<PandasFrame>,
+    rebuild: Box<dyn Fn(Vec<AlgebraExpr>) -> AlgebraExpr + Send + Sync>,
+}
 
 /// A lazily described dataframe bound to a [`Session`].
 #[derive(Clone)]
 pub struct PandasFrame {
     session: Arc<Session>,
     expr: AlgebraExpr,
+    /// Memoised fingerprint of `expr` — the statement's cache key. Shared across
+    /// clones so the (potentially deep) plan is serialised at most once per
+    /// statement, no matter how many times it is submitted, collected or inspected.
+    fingerprint: Arc<OnceLock<String>>,
+    /// Derivation record (absent for ingest literals).
+    lineage: Option<Arc<Lineage>>,
 }
 
 impl PandasFrame {
     // ------------------------------------------------------------------ construction
 
-    /// Wrap an existing dataframe value.
-    pub fn from_dataframe(session: &Arc<Session>, df: DataFrame) -> PandasFrame {
-        let expr = AlgebraExpr::literal(df);
-        session.query().submit(&expr).ok();
+    fn from_expr(session: Arc<Session>, expr: AlgebraExpr) -> PandasFrame {
         PandasFrame {
-            session: Arc::clone(session),
+            session,
             expr,
+            fingerprint: Arc::new(OnceLock::new()),
+            lineage: None,
         }
+    }
+
+    /// Wrap an existing dataframe value. A submit-time failure (e.g. spill-store
+    /// I/O under an eager out-of-core session) is *recorded* on the session
+    /// ([`SessionStats::submit_errors`](df_engine::session::SessionStats), \
+    /// [`df_engine::session::QuerySession::take_last_submit_error`]) and surfaces
+    /// again at the frame's next materialisation point; use
+    /// [`PandasFrame::try_from_dataframe`] to propagate it immediately.
+    pub fn from_dataframe(session: &Arc<Session>, df: DataFrame) -> PandasFrame {
+        let frame = PandasFrame::from_expr(Arc::clone(session), AlgebraExpr::literal(df));
+        frame.submit_plan(&frame.expr);
+        frame
+    }
+
+    /// Wrap an existing dataframe value, propagating any submit-time error.
+    pub fn try_from_dataframe(session: &Arc<Session>, df: DataFrame) -> DfResult<PandasFrame> {
+        let frame = PandasFrame::from_expr(Arc::clone(session), AlgebraExpr::literal(df));
+        frame
+            .session
+            .query()
+            .submit_keyed(&frame.expr, frame.fingerprint(), None)?;
+        Ok(frame)
     }
 
     /// Build a frame from column labels and row-major data (like `pd.DataFrame(...)`).
@@ -55,10 +106,7 @@ impl PandasFrame {
         columns: Vec<&str>,
         rows: Vec<Vec<Cell>>,
     ) -> DfResult<PandasFrame> {
-        Ok(PandasFrame::from_dataframe(
-            session,
-            DataFrame::from_rows(columns, rows)?,
-        ))
+        PandasFrame::try_from_dataframe(session, DataFrame::from_rows(columns, rows)?)
     }
 
     /// Build a frame from column labels and per-column cell vectors.
@@ -67,10 +115,7 @@ impl PandasFrame {
         columns: Vec<&str>,
         data: Vec<Vec<Cell>>,
     ) -> DfResult<PandasFrame> {
-        Ok(PandasFrame::from_dataframe(
-            session,
-            DataFrame::from_columns(columns, data)?,
-        ))
+        PandasFrame::try_from_dataframe(session, DataFrame::from_columns(columns, data)?)
     }
 
     /// `pd.read_csv` over an in-memory document. The result is untyped (raw `Σ*`)
@@ -80,10 +125,7 @@ impl PandasFrame {
         content: &str,
         options: &CsvOptions,
     ) -> DfResult<PandasFrame> {
-        Ok(PandasFrame::from_dataframe(
-            session,
-            read_csv_str(content, options)?,
-        ))
+        PandasFrame::try_from_dataframe(session, read_csv_str(content, options)?)
     }
 
     /// `pd.read_csv` over a file on disk.
@@ -92,25 +134,98 @@ impl PandasFrame {
         path: impl AsRef<std::path::Path>,
         options: &CsvOptions,
     ) -> DfResult<PandasFrame> {
-        Ok(PandasFrame::from_dataframe(
-            session,
-            read_csv_path(path, options)?,
-        ))
+        PandasFrame::try_from_dataframe(session, read_csv_path(path, options)?)
     }
 
-    fn derive(&self, expr: AlgebraExpr) -> PandasFrame {
-        self.session.query().submit(&expr).ok();
-        PandasFrame {
-            session: Arc::clone(&self.session),
-            expr,
+    /// The best execution plan for this statement *right now*: its own cached
+    /// [`FrameHandle`] when the statement already executed, otherwise the operator
+    /// re-applied to each parent's best plan (recursively — so any ancestor that has
+    /// been materialised since this frame was typed contributes its handle instead
+    /// of its subtree). With no handles anywhere this reconstructs the full logical
+    /// pipeline, so lazy chains stay one single plan.
+    fn exec_plan(&self) -> AlgebraExpr {
+        if let Some(handle) = self.session.query().handle_for(self.fingerprint()) {
+            return AlgebraExpr::handle(handle);
+        }
+        match &self.lineage {
+            Some(lineage) => {
+                let bases = lineage.parents.iter().map(PandasFrame::exec_plan).collect();
+                (lineage.rebuild)(bases)
+            }
+            None => self.expr.clone(),
+        }
+    }
+
+    /// Derive a new statement by applying `build` to this frame. The *logical*
+    /// expression always extends this frame's full DAG (so `expr()` shows the whole
+    /// pipeline and re-derivations fingerprint identically); execution rebases onto
+    /// cached handles via [`PandasFrame::exec_plan`]. Submit-time errors are
+    /// recorded on the session and resurface at the next materialisation point.
+    fn derive(&self, build: impl Fn(AlgebraExpr) -> AlgebraExpr + Send + Sync + 'static) -> Self {
+        let mut frame = PandasFrame::from_expr(Arc::clone(&self.session), build(self.expr.clone()));
+        frame.lineage = Some(Arc::new(Lineage {
+            parents: vec![self.clone()],
+            rebuild: Box::new(move |mut bases| build(bases.pop().expect("unary lineage"))),
+        }));
+        frame.submit_current_plan();
+        frame
+    }
+
+    /// Binary-operator variant of [`PandasFrame::derive`]: each side rebases onto its
+    /// own best plan independently.
+    fn derive2(
+        &self,
+        other: &PandasFrame,
+        build: impl Fn(AlgebraExpr, AlgebraExpr) -> AlgebraExpr + Send + Sync + 'static,
+    ) -> PandasFrame {
+        let mut frame = PandasFrame::from_expr(
+            Arc::clone(&self.session),
+            build(self.expr.clone(), other.expr.clone()),
+        );
+        frame.lineage = Some(Arc::new(Lineage {
+            parents: vec![self.clone(), other.clone()],
+            rebuild: Box::new(move |mut bases| {
+                let right = bases.pop().expect("binary lineage");
+                let left = bases.pop().expect("binary lineage");
+                build(left, right)
+            }),
+        }));
+        frame.submit_current_plan();
+        frame
+    }
+
+    fn submit_current_plan(&self) {
+        if self.session.mode() == EvalMode::Lazy {
+            // A lazy submit records nothing but the statement itself — skip building
+            // (and fingerprinting) an execution plan the scheduler would discard.
+            self.session.query().note_statement();
+            return;
+        }
+        let plan = self.exec_plan();
+        self.submit_plan(&plan);
+    }
+
+    fn submit_plan(&self, plan: &AlgebraExpr) {
+        if let Err(err) =
+            self.session
+                .query()
+                .submit_keyed(plan, self.fingerprint(), Some(&self.expr))
+        {
+            self.session.query().record_submit_error(err);
         }
     }
 
     // ------------------------------------------------------------------ inspection
 
     /// The algebra expression this frame denotes (exposed for tests and plan display).
+    /// Always the full logical pipeline, even when execution rebased onto handles.
     pub fn expr(&self) -> &AlgebraExpr {
         &self.expr
+    }
+
+    /// The memoised fingerprint of this frame's expression (its cache key).
+    pub fn fingerprint(&self) -> &str {
+        self.fingerprint.get_or_init(|| self.expr.fingerprint())
     }
 
     /// The session this frame is bound to.
@@ -118,24 +233,40 @@ impl PandasFrame {
         &self.session
     }
 
-    /// Materialise the full result.
-    pub fn collect(&self) -> DfResult<DataFrame> {
-        self.session.query().collect(&self.expr)
+    /// The engine-owned result handle for this frame — executing it now if the
+    /// session has not already. The handle stays partitioned (and spill-backed under
+    /// a memory budget) until a materialisation point consumes it.
+    pub fn handle(&self) -> DfResult<FrameHandle> {
+        self.session
+            .query()
+            .handle_keyed(&self.exec_plan(), self.fingerprint(), Some(&self.expr))
     }
 
-    /// `(rows, columns)` of the materialised result.
+    /// Materialisation point: the full result as a dataframe.
+    pub fn collect(&self) -> DfResult<DataFrame> {
+        self.session
+            .query()
+            .collect_keyed(&self.exec_plan(), self.fingerprint(), Some(&self.expr))
+    }
+
+    /// `(rows, columns)` of the result — from handle metadata when the statement
+    /// already executed (no assembly), otherwise via the engine.
     pub fn shape(&self) -> DfResult<(usize, usize)> {
-        Ok(self.collect()?.shape())
+        Ok(self.handle()?.shape())
     }
 
     /// The first `k` rows, using the engine's prefix-prioritised path (§6.1.2).
     pub fn head(&self, k: usize) -> DfResult<DataFrame> {
-        self.session.query().head(&self.expr, k)
+        self.session
+            .query()
+            .head_keyed(&self.exec_plan(), self.fingerprint(), Some(&self.expr), k)
     }
 
     /// The last `k` rows.
     pub fn tail(&self, k: usize) -> DfResult<DataFrame> {
-        self.session.query().tail(&self.expr, k)
+        self.session
+            .query()
+            .tail_keyed(&self.exec_plan(), self.fingerprint(), Some(&self.expr), k)
     }
 
     /// The tabular view (prefix and suffix) the paper's Figure 1 shows after each step.
@@ -172,19 +303,24 @@ impl PandasFrame {
     ) -> DfResult<PandasFrame> {
         let mut df = self.collect()?;
         df.set_cell(row, col, value.into())?;
-        Ok(PandasFrame::from_dataframe(&self.session, df))
+        PandasFrame::try_from_dataframe(&self.session, df)
     }
 
-    /// Serialise the materialised frame as CSV.
+    /// Materialisation point: serialise the frame as CSV.
     pub fn to_csv_string(&self) -> DfResult<String> {
         Ok(write_csv_string(&self.collect()?, &CsvOptions::default()))
+    }
+
+    /// Materialisation point: write the frame to a CSV file on disk.
+    pub fn write_csv_path(&self, path: impl AsRef<std::path::Path>) -> DfResult<()> {
+        write_csv_path(&self.collect()?, path, &CsvOptions::default())
     }
 
     // ------------------------------------------------------------------ selection
 
     /// SELECTION with an arbitrary predicate.
     pub fn filter(&self, predicate: Predicate) -> PandasFrame {
-        self.derive(self.expr.clone().select(predicate))
+        self.derive(move |base| base.select(predicate.clone()))
     }
 
     /// Keep rows where `column > value`.
@@ -228,8 +364,8 @@ impl PandasFrame {
 
     /// PROJECTION onto the named columns (`df[["a", "b"]]`).
     pub fn select(&self, columns: &[&str]) -> PandasFrame {
-        let labels = columns.iter().map(|c| Cell::Str((*c).into())).collect();
-        self.derive(self.expr.clone().project(ColumnSelector::ByLabels(labels)))
+        let labels: Vec<Cell> = columns.iter().map(|c| Cell::Str((*c).into())).collect();
+        self.derive(move |base| base.project(ColumnSelector::ByLabels(labels.clone())))
     }
 
     /// A single column as a one-column frame (`df["a"]`).
@@ -239,25 +375,26 @@ impl PandasFrame {
 
     /// Drop the named columns (pandas `drop(columns=...)`).
     pub fn drop_columns(&self, columns: &[&str]) -> PandasFrame {
-        let labels = columns.iter().map(|c| Cell::Str((*c).into())).collect();
-        self.derive(self.expr.clone().project(ColumnSelector::Excluding(labels)))
+        let labels: Vec<Cell> = columns.iter().map(|c| Cell::Str((*c).into())).collect();
+        self.derive(move |base| base.project(ColumnSelector::Excluding(labels.clone())))
     }
 
     /// Keep only numeric columns (what `cov`, `corr` and `describe` operate on).
     pub fn select_numeric(&self) -> PandasFrame {
-        self.derive(self.expr.clone().project(ColumnSelector::Numeric))
+        self.derive(|base| base.project(ColumnSelector::Numeric))
     }
 
     // ------------------------------------------------------------------ transformation
 
     /// Replace nulls (pandas `fillna`) — Table 2: a MAP.
     pub fn fillna(&self, value: impl Into<Cell>) -> PandasFrame {
-        self.derive(self.expr.clone().map(MapFunc::FillNull(value.into())))
+        let value = value.into();
+        self.derive(move |base| base.map(MapFunc::FillNull(value.clone())))
     }
 
     /// Null-indicator mask (pandas `isna`) — Table 2: a MAP.
     pub fn isna(&self) -> PandasFrame {
-        self.derive(self.expr.clone().map(MapFunc::IsNullMask))
+        self.derive(|base| base.map(MapFunc::IsNullMask))
     }
 
     /// Alias of [`PandasFrame::isna`] (pandas `isnull`).
@@ -267,21 +404,18 @@ impl PandasFrame {
 
     /// Upper-case every string cell (pandas `str.upper` applied frame-wide).
     pub fn str_upper(&self) -> PandasFrame {
-        self.derive(self.expr.clone().map(MapFunc::StrUpper))
+        self.derive(|base| base.map(MapFunc::StrUpper))
     }
 
     /// Cast a column to a domain (pandas `astype`).
     pub fn astype(&self, column: &str, domain: Domain) -> PandasFrame {
-        self.derive(
-            self.expr
-                .clone()
-                .map(MapFunc::Cast(vec![(Cell::Str(column.into()), domain)])),
-        )
+        let cast = MapFunc::Cast(vec![(Cell::Str(column.into()), domain)]);
+        self.derive(move |base| base.map(cast.clone()))
     }
 
     /// Parse raw string columns into their induced domains (explicit schema induction).
     pub fn infer_types(&self) -> PandasFrame {
-        self.derive(self.expr.clone().map(MapFunc::ParseRaw))
+        self.derive(|base| base.map(MapFunc::ParseRaw))
     }
 
     /// Apply a per-cell function to one column, leaving the others untouched — the
@@ -317,7 +451,7 @@ impl PandasFrame {
                     .collect()
             }),
         };
-        Ok(self.derive(self.expr.clone().map(func)))
+        Ok(self.derive(move |base| base.map(func.clone())))
     }
 
     /// Apply an arbitrary row function producing named output columns (pandas `apply`).
@@ -331,12 +465,13 @@ impl PandasFrame {
             .into_iter()
             .map(|c| Cell::Str(c.into()))
             .collect();
-        self.derive(self.expr.clone().map(MapFunc::Custom {
+        let func = MapFunc::Custom {
             name: name.to_string(),
             output_labels,
             output_domains: None,
             func: Arc::new(f),
-        }))
+        };
+        self.derive(move |base| base.map(func.clone()))
     }
 
     /// Apply a per-cell function to every cell (pandas `applymap` / `transform`).
@@ -345,19 +480,20 @@ impl PandasFrame {
         name: &str,
         f: impl Fn(&Cell) -> Cell + Send + Sync + 'static,
     ) -> PandasFrame {
-        self.derive(self.expr.clone().map(MapFunc::PerCell {
+        let func = MapFunc::PerCell {
             name: name.to_string(),
             func: Arc::new(f),
-        }))
+        };
+        self.derive(move |base| base.map(func.clone()))
     }
 
     /// Rename columns (pandas `rename(columns=...)`).
     pub fn rename(&self, mapping: &[(&str, &str)]) -> PandasFrame {
-        let mapping = mapping
+        let mapping: Vec<(Cell, Cell)> = mapping
             .iter()
             .map(|(old, new)| (Cell::Str((*old).into()), Cell::Str((*new).into())))
             .collect();
-        self.derive(self.expr.clone().rename(mapping))
+        self.derive(move |base| base.rename(mapping.clone()))
     }
 
     /// One-hot encode the given columns (pandas `get_dummies`); with an empty list,
@@ -377,22 +513,26 @@ impl PandasFrame {
         } else {
             columns.iter().map(|c| Cell::Str((*c).into())).collect()
         };
-        let mut expr = self.expr.clone();
+        let mut encodings: Vec<MapFunc> = Vec::with_capacity(targets.len());
         for target in targets {
             let categories = self.distinct_values_of(&target)?;
-            expr = expr.map(MapFunc::OneHot {
+            encodings.push(MapFunc::OneHot {
                 column: target,
                 categories,
             });
         }
-        Ok(self.derive(expr))
+        Ok(self.derive(move |base| {
+            encodings
+                .iter()
+                .fold(base, |expr, encoding| expr.map(encoding.clone()))
+        }))
     }
 
     // ------------------------------------------------------------------ reshaping
 
     /// TRANSPOSE (pandas `.T`) — workflow step C2.
     pub fn transpose(&self) -> PandasFrame {
-        self.derive(self.expr.clone().transpose())
+        self.derive(|base| base.transpose())
     }
 
     /// Alias of [`PandasFrame::transpose`] matching pandas' `.T` property.
@@ -402,13 +542,15 @@ impl PandasFrame {
 
     /// Promote a column to the row labels (pandas `set_index`) — Table 2: TOLABELS.
     pub fn set_index(&self, column: &str) -> PandasFrame {
-        self.derive(self.expr.clone().to_labels(column))
+        let column = Cell::Str(column.into());
+        self.derive(move |base| base.to_labels(column.clone()))
     }
 
     /// Demote the row labels to a data column (pandas `reset_index`) — Table 2:
     /// FROMLABELS.
     pub fn reset_index(&self, name: &str) -> PandasFrame {
-        self.derive(self.expr.clone().from_labels(name))
+        let name = Cell::Str(name.into());
+        self.derive(move |base| base.from_labels(name.clone()))
     }
 
     /// Stable sort by columns (pandas `sort_values`).
@@ -418,12 +560,12 @@ impl PandasFrame {
             ascending: vec![ascending],
             stable: true,
         };
-        self.derive(self.expr.clone().sort(spec))
+        self.derive(move |base| base.sort(spec.clone()))
     }
 
     /// Remove duplicate rows (pandas `drop_duplicates`).
     pub fn drop_duplicates(&self) -> PandasFrame {
-        self.derive(self.expr.clone().drop_duplicates())
+        self.derive(|base| base.drop_duplicates())
     }
 
     /// The pivot of §4.4 / Figure 6: rows labelled by `index` values, one column per
@@ -447,11 +589,9 @@ impl PandasFrame {
         match plan {
             PivotPlan::Direct => {
                 let output_labels = self.distinct_values_of(&columns_cell)?;
-                let expr = self
-                    .expr
-                    .clone()
-                    .group_by(
-                        vec![index_cell],
+                Ok(self.derive(move |base| {
+                    base.group_by(
+                        vec![index_cell.clone()],
                         vec![
                             Aggregation::of(columns_cell.clone(), AggFunc::Collect),
                             Aggregation::of(values_cell.clone(), AggFunc::Collect),
@@ -459,11 +599,11 @@ impl PandasFrame {
                         true,
                     )
                     .map(MapFunc::PivotFlatten {
-                        label_source: columns_cell,
-                        value_source: values_cell,
-                        output_labels,
-                    });
-                Ok(self.derive(expr))
+                        label_source: columns_cell.clone(),
+                        value_source: values_cell.clone(),
+                        output_labels: output_labels.clone(),
+                    })
+                }))
             }
             PivotPlan::PivotOtherAxisThenTranspose => {
                 let output_labels = self.distinct_values_of(&index_cell)?;
@@ -472,11 +612,9 @@ impl PandasFrame {
                 // first-occurrence order the direct plan produces so both plans are
                 // interchangeable.
                 let column_order = self.distinct_values_of(&columns_cell)?;
-                let expr = self
-                    .expr
-                    .clone()
-                    .group_by(
-                        vec![columns_cell],
+                Ok(self.derive(move |base| {
+                    base.group_by(
+                        vec![columns_cell.clone()],
                         vec![
                             Aggregation::of(index_cell.clone(), AggFunc::Collect),
                             Aggregation::of(values_cell.clone(), AggFunc::Collect),
@@ -484,13 +622,13 @@ impl PandasFrame {
                         true,
                     )
                     .map(MapFunc::PivotFlatten {
-                        label_source: index_cell,
-                        value_source: values_cell,
-                        output_labels,
+                        label_source: index_cell.clone(),
+                        value_source: values_cell.clone(),
+                        output_labels: output_labels.clone(),
                     })
                     .transpose()
-                    .project(ColumnSelector::ByLabels(column_order));
-                Ok(self.derive(expr))
+                    .project(ColumnSelector::ByLabels(column_order.clone()))
+                }))
             }
         }
     }
@@ -499,27 +637,23 @@ impl PandasFrame {
 
     /// Ordered concatenation (pandas `append` / `pd.concat`).
     pub fn append(&self, other: &PandasFrame) -> PandasFrame {
-        self.derive(self.expr.clone().union(other.expr.clone()))
+        self.derive2(other, |left, right| left.union(right))
     }
 
     /// Equi-join on shared columns (pandas `merge(on=...)`).
     pub fn merge_on(&self, other: &PandasFrame, on: &[&str], how: JoinType) -> PandasFrame {
-        let keys = on.iter().map(|c| Cell::Str((*c).into())).collect();
-        self.derive(
-            self.expr
-                .clone()
-                .join(other.expr.clone(), JoinOn::Columns(keys), how),
-        )
+        let keys: Vec<Cell> = on.iter().map(|c| Cell::Str((*c).into())).collect();
+        self.derive2(other, move |left, right| {
+            left.join(right, JoinOn::Columns(keys.clone()), how)
+        })
     }
 
     /// Join on row labels (pandas `merge(left_index=True, right_index=True)`) —
     /// workflow step A2.
     pub fn merge_index(&self, other: &PandasFrame, how: JoinType) -> PandasFrame {
-        self.derive(
-            self.expr
-                .clone()
-                .join(other.expr.clone(), JoinOn::RowLabels, how),
-        )
+        self.derive2(other, move |left, right| {
+            left.join(right, JoinOn::RowLabels, how)
+        })
     }
 
     // ------------------------------------------------------------------ group & aggregate
@@ -531,8 +665,8 @@ impl PandasFrame {
         aggs: Vec<Aggregation>,
         keys_as_labels: bool,
     ) -> PandasFrame {
-        let keys = keys.iter().map(|c| Cell::Str((*c).into())).collect();
-        self.derive(self.expr.clone().group_by(keys, aggs, keys_as_labels))
+        let keys: Vec<Cell> = keys.iter().map(|c| Cell::Str((*c).into())).collect();
+        self.derive(move |base| base.group_by(keys.clone(), aggs.clone(), keys_as_labels))
     }
 
     /// Count rows per group — the Figure 2 "groupby (n)" query.
@@ -688,7 +822,7 @@ impl PandasFrame {
         } else {
             ColumnSelector::ByLabels(columns.iter().map(|c| Cell::Str((*c).into())).collect())
         };
-        self.derive(self.expr.clone().window(selector, func))
+        self.derive(move |base| base.window(selector.clone(), func.clone()))
     }
 
     // ------------------------------------------------------------------ linear algebra
@@ -706,11 +840,11 @@ impl PandasFrame {
     // ------------------------------------------------------------------ helpers
 
     /// Distinct values of a column, in first-occurrence order (a PROJECTION +
-    /// DROP DUPLICATES sub-query executed through the session's engine).
+    /// DROP DUPLICATES sub-query executed through the session's engine, resuming from
+    /// cached handles when any exist).
     pub fn distinct_values_of(&self, column: &Cell) -> DfResult<Vec<Cell>> {
         let expr = self
-            .expr
-            .clone()
+            .exec_plan()
             .project(ColumnSelector::ByLabels(vec![column.clone()]))
             .drop_duplicates();
         let frame = self.session.query().collect(&expr)?;
@@ -1021,6 +1155,67 @@ mod tests {
             assert_eq!(out.shape(), (1, 2));
             assert_eq!(out.cell(0, 1).unwrap(), &cell(2));
         }
+    }
+
+    #[test]
+    fn eager_statements_cross_boundaries_as_handles() {
+        let s = session();
+        let df = products(&s);
+        // Each derived statement rebases its execution plan onto the previous
+        // statement's cached handle: the engine resumes from the partitioned grid
+        // instead of re-executing (or re-partitioning) the prefix.
+        let cleaned = df.fillna(0);
+        let filtered = cleaned.filter_gt("price", 500).unwrap();
+        let counted = filtered.groupby_count(&["wireless"]);
+        let engine = s.modin_engine().expect("modin session");
+        assert!(engine.handles_reused() >= 3);
+        // Nothing was assembled while the chain was built…
+        assert_eq!(engine.assemblies_dispatched(), 0);
+        // …and the logical expression still shows the whole pipeline.
+        assert_eq!(counted.expr().operator_count(), 3);
+        let out = counted.collect().unwrap();
+        assert_eq!(out.cell(0, 1).unwrap(), &cell(2));
+        assert_eq!(engine.assemblies_dispatched(), 1);
+        // shape() answers from handle metadata without another assembly.
+        assert_eq!(counted.shape().unwrap(), (1, 2));
+        assert_eq!(engine.assemblies_dispatched(), 1);
+    }
+
+    #[test]
+    fn lazy_sessions_execute_one_plan_per_materialisation_point() {
+        let s = Session::modin_with(
+            df_engine::engine::ModinConfig::sequential().with_partition_size(8, 4),
+            df_engine::session::EvalMode::Lazy,
+        );
+        let chained = products(&s)
+            .fillna(0)
+            .filter_gt("price", 500)
+            .unwrap()
+            .groupby_count(&["wireless"]);
+        assert_eq!(s.stats().executions, 0, "lazy statements must not execute");
+        let out = chained.collect().unwrap();
+        assert_eq!(out.cell(0, 1).unwrap(), &cell(2));
+        assert_eq!(
+            s.stats().executions,
+            1,
+            "one plan per materialisation point"
+        );
+        // The whole pipeline was one plan: no handles crossed the waist.
+        assert_eq!(s.modin_engine().unwrap().handles_reused(), 0);
+    }
+
+    #[test]
+    fn submit_errors_are_recorded_not_swallowed() {
+        let s = session();
+        assert!(s.take_last_submit_error().is_none());
+        // Projecting onto an unknown column makes the eager submit fail; the error
+        // is recorded on the session and the statement's materialisation point
+        // re-raises it.
+        let bad = products(&s).select(&["no_such_column"]);
+        assert_eq!(s.stats().submit_errors, 1);
+        let recorded = s.take_last_submit_error().expect("error recorded");
+        assert!(matches!(recorded, DfError::ColumnNotFound(_)));
+        assert!(bad.collect().is_err());
     }
 
     #[test]

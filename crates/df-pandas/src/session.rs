@@ -9,6 +9,7 @@
 use std::sync::Arc;
 
 use df_core::engine::{Engine, EngineKind, ReferenceEngine};
+use df_types::error::DfError;
 
 use df_baseline::{BaselineConfig, BaselineEngine};
 use df_engine::engine::{ModinConfig, ModinEngine};
@@ -100,6 +101,14 @@ impl Session {
     /// Scheduling / caching counters for this session.
     pub fn stats(&self) -> SessionStats {
         self.query.stats()
+    }
+
+    /// The most recent submit-time error recorded by an infallible builder method
+    /// (e.g. [`crate::frame::PandasFrame::from_dataframe`] under an eager session),
+    /// clearing the slot. The same error also resurfaces at the statement's next
+    /// materialisation point; this accessor exists so callers can check earlier.
+    pub fn take_last_submit_error(&self) -> Option<DfError> {
+        self.query.take_last_submit_error()
     }
 
     /// The typed MODIN engine behind this session. Populated by the `modin*`

@@ -52,6 +52,7 @@ pub mod prelude {
     pub use df_core::algebra::AlgebraExpr;
     pub use df_core::dataframe::DataFrame;
     pub use df_core::engine::{Engine, EngineKind};
+    pub use df_core::handle::FrameHandle;
     pub use df_pandas::frame::PandasFrame;
     pub use df_pandas::session::Session;
     pub use df_types::cell::{cell, Cell};

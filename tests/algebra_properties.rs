@@ -150,8 +150,8 @@ proptest! {
     fn limit_is_a_prefix_of_the_full_result(rows in 0usize..80, seed in 0u64..5_000, k in 0usize..30) {
         let df = frame(rows, seed, 0.1);
         let expr = AlgebraExpr::literal(df.clone()).map(MapFunc::IsNullMask);
-        let full = ReferenceEngine.execute(&expr).unwrap();
-        let limited = ReferenceEngine.execute(&expr.limit(k, false)).unwrap();
+        let full = ReferenceEngine.execute_collect(&expr).unwrap();
+        let limited = ReferenceEngine.execute_collect(&expr.limit(k, false)).unwrap();
         prop_assert!(limited.same_data(&full.head(k)));
     }
 
@@ -174,7 +174,7 @@ fn double_transpose_optimisation_preserves_observable_results() {
     let engine = df_engine::engine::ModinEngine::with_config(
         df_engine::engine::ModinConfig::sequential().with_partition_size(8, 2),
     );
-    let mut out = engine.execute(&expr).unwrap();
+    let mut out = engine.execute_collect(&expr).unwrap();
     assert!(out.same_data(&df));
     let expected = &df;
     assert_eq!(out.resolve_schema(), expected.clone().resolve_schema());

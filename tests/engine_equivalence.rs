@@ -85,11 +85,11 @@ proptest! {
         })
         .unwrap();
         let expr = pipeline(choice, AlgebraExpr::literal(frame));
-        let reference = ReferenceEngine.execute(&expr).unwrap();
+        let reference = ReferenceEngine.execute_collect(&expr).unwrap();
         let (baseline, modin_seq, modin_par) = engines();
-        let baseline_result = baseline.execute(&expr).unwrap();
-        let modin_seq_result = modin_seq.execute(&expr).unwrap();
-        let modin_par_result = modin_par.execute(&expr).unwrap();
+        let baseline_result = baseline.execute_collect(&expr).unwrap();
+        let modin_seq_result = modin_seq.execute_collect(&expr).unwrap();
+        let modin_par_result = modin_par.execute_collect(&expr).unwrap();
         // Float aggregates may be re-associated across partitions, so the comparison
         // allows a tiny relative tolerance on numeric cells.
         prop_assert!(baseline_result.approx_same_data(&reference, 1e-9),
@@ -114,7 +114,7 @@ proptest! {
         .unwrap();
         let expr = AlgebraExpr::literal(frame).map(MapFunc::IsNullMask);
         let engine = ModinEngine::with_config(ModinConfig::sequential().with_partition_size(16, 3));
-        let full = engine.execute(&expr).unwrap();
+        let full = engine.execute_collect(&expr).unwrap();
         let prefix = engine.execute_prefix(&expr, k).unwrap();
         let suffix = engine.execute_suffix(&expr, k).unwrap();
         prop_assert!(prefix.same_data(&full.head(k)));
@@ -147,9 +147,18 @@ fn engines_agree_on_joins_and_unions() {
         ),
         AlgebraExpr::literal(left.head(6)).cross(AlgebraExpr::literal(right.head(4))),
     ] {
-        let reference = ReferenceEngine.execute(&expr).unwrap();
-        assert!(baseline.execute(&expr).unwrap().same_data(&reference));
-        assert!(modin_seq.execute(&expr).unwrap().same_data(&reference));
-        assert!(modin_par.execute(&expr).unwrap().same_data(&reference));
+        let reference = ReferenceEngine.execute_collect(&expr).unwrap();
+        assert!(baseline
+            .execute_collect(&expr)
+            .unwrap()
+            .same_data(&reference));
+        assert!(modin_seq
+            .execute_collect(&expr)
+            .unwrap()
+            .same_data(&reference));
+        assert!(modin_par
+            .execute_collect(&expr)
+            .unwrap()
+            .same_data(&reference));
     }
 }

@@ -1,0 +1,250 @@
+//! The handle-based narrow waist across statement boundaries (§3.3, §6.1).
+//!
+//! Two suites:
+//!
+//! * **Evaluation-mode matrix** — Eager / Lazy / Opportunistic × {modin, baseline} on
+//!   a four-statement chained pipeline (filter → join → groupby → sort typed as
+//!   separate `PandasFrame` statements), asserting the `SessionStats` counters each
+//!   mode promises (lazy executes once at the materialisation point; re-submitted
+//!   fingerprints hit the cache) and cell-for-cell equality with the reference
+//!   engine.
+//! * **Out-of-core handle boundaries** — the PR's acceptance criterion: the same
+//!   chained pipeline at `memory_budget_bytes = ws/4` runs with every intermediate
+//!   crossing the statement boundary as a partitioned handle (spill stats engage, the
+//!   dispatch counters show handle reuse and no full-frame assembly between
+//!   statements) and produces results identical to the unlimited-budget eager run.
+
+use std::sync::Arc;
+
+use df_baseline::BaselineEngine;
+use df_core::algebra::{AggFunc, Aggregation, JoinType};
+use df_core::dataframe::DataFrame;
+use df_engine::engine::ModinConfig;
+use df_engine::session::EvalMode;
+use df_pandas::{PandasFrame, Session};
+use df_types::cell::{cell, Cell};
+
+/// The fact side of the workload: duplicate join keys, integer-valued floats (so
+/// aggregation order cannot introduce rounding differences across engines).
+fn facts(rows: usize) -> DataFrame {
+    let k: Vec<Cell> = (0..rows).map(|i| cell((i % 9) as i64)).collect();
+    let v: Vec<Cell> = (0..rows).map(|i| cell((i % 40) as f64)).collect();
+    let s: Vec<Cell> = (0..rows)
+        .map(|i| cell(format!("payload-{}-{i}", i % 5)))
+        .collect();
+    DataFrame::from_columns(vec!["k", "v", "s"], vec![k, v, s]).unwrap()
+}
+
+/// The dimension side of the join.
+fn dims() -> DataFrame {
+    let k: Vec<Cell> = (0..9).map(|i| cell(i as i64)).collect();
+    let name: Vec<Cell> = (0..9).map(|i| cell(format!("dim-{i}"))).collect();
+    DataFrame::from_columns(vec!["k", "name"], vec![k, name]).unwrap()
+}
+
+/// The four-statement pipeline, each step a separate `PandasFrame` statement the way
+/// a notebook user would type them. Returns every intermediate so tests can re-submit
+/// or inspect specific statements.
+fn pipeline(session: &Arc<Session>, rows: usize) -> [PandasFrame; 6] {
+    let base = PandasFrame::from_dataframe(session, facts(rows));
+    let side = PandasFrame::from_dataframe(session, dims());
+    let filtered = base.filter_gt("v", 10.0).unwrap();
+    let joined = filtered.merge_on(&side, &["k"], JoinType::Inner);
+    let grouped = joined.groupby_agg(
+        &["name"],
+        vec![
+            Aggregation::count_rows(),
+            Aggregation::of("v", AggFunc::Sum).with_alias("v_sum"),
+        ],
+        false,
+    );
+    let sorted = grouped.sort_values(&["name"], true);
+    [base, side, filtered, joined, grouped, sorted]
+}
+
+fn modin_session(mode: EvalMode) -> Arc<Session> {
+    Session::modin_with(ModinConfig::sequential().with_partition_size(32, 8), mode)
+}
+
+fn baseline_session(mode: EvalMode) -> Arc<Session> {
+    Session::with_engine(Arc::new(BaselineEngine::new()), mode)
+}
+
+#[test]
+fn eval_mode_matrix_agrees_with_the_reference_engine() {
+    const ROWS: usize = 240;
+    let reference_frames = pipeline(&Session::reference(), ROWS);
+    let expected = reference_frames[5].collect().unwrap();
+    assert_eq!(expected.n_cols(), 3);
+    assert!(expected.n_rows() > 0);
+
+    for mode in [EvalMode::Eager, EvalMode::Lazy, EvalMode::Opportunistic] {
+        for session in [modin_session(mode), baseline_session(mode)] {
+            let kind = session.engine_kind();
+            let frames = pipeline(&session, ROWS);
+            let out = frames[5].collect().unwrap();
+            assert!(
+                out.same_data(&expected),
+                "{kind:?}/{mode:?} diverged from the reference:\n{out}\nexpected\n{expected}"
+            );
+            let stats = session.stats();
+            assert_eq!(stats.statements, 6, "{kind:?}/{mode:?} statement count");
+            assert_eq!(stats.submit_errors, 0, "{kind:?}/{mode:?} submit errors");
+        }
+    }
+}
+
+#[test]
+fn lazy_mode_executes_once_at_the_materialisation_point() {
+    for session in [
+        modin_session(EvalMode::Lazy),
+        baseline_session(EvalMode::Lazy),
+    ] {
+        let kind = session.engine_kind();
+        let frames = pipeline(&session, 160);
+        let sorted = &frames[5];
+        assert_eq!(
+            session.stats().executions,
+            0,
+            "{kind:?}: lazy statements must not execute on submit"
+        );
+        sorted.collect().unwrap();
+        assert_eq!(
+            session.stats().executions,
+            1,
+            "{kind:?}: the whole lazy pipeline is one plan, executed once at collect"
+        );
+        // A second collect is a cache hit, not a re-execution.
+        sorted.collect().unwrap();
+        assert_eq!(session.stats().executions, 1, "{kind:?}");
+        assert!(session.stats().cache_hits >= 1, "{kind:?}");
+    }
+}
+
+#[test]
+fn eager_mode_hits_the_cache_on_resubmitted_fingerprints() {
+    for session in [
+        modin_session(EvalMode::Eager),
+        baseline_session(EvalMode::Eager),
+    ] {
+        let kind = session.engine_kind();
+        let [_, side, filtered, ..] = pipeline(&session, 160);
+        let executions_after_chain = session.stats().executions;
+        assert_eq!(executions_after_chain, 6, "{kind:?}");
+        let hits_before = session.stats().cache_hits;
+        // Re-deriving the same statement from the same parents produces the same
+        // logical fingerprint: the session serves it from the cache.
+        let rejoined = filtered.merge_on(&side, &["k"], JoinType::Inner);
+        assert_eq!(
+            session.stats().executions,
+            executions_after_chain,
+            "{kind:?}: re-submitted statement re-executed"
+        );
+        assert_eq!(session.stats().cache_hits, hits_before + 1, "{kind:?}");
+        // And collecting it is another hit on the same handle.
+        assert!(rejoined.collect().unwrap().n_rows() > 0);
+        assert_eq!(
+            session.stats().executions,
+            executions_after_chain,
+            "{kind:?}"
+        );
+    }
+}
+
+#[test]
+fn lazy_chains_resume_from_intermediates_collected_later() {
+    // The derivation happens BEFORE the intermediate is collected; the later
+    // materialisation must still rebase onto the intermediate's cached handle
+    // instead of re-executing its subtree.
+    let session = modin_session(EvalMode::Lazy);
+    let frames = pipeline(&session, 160);
+    let (joined, sorted) = (&frames[3], &frames[5]);
+    joined.collect().unwrap();
+    assert_eq!(session.stats().executions, 1);
+    let engine = session.modin_engine().unwrap();
+    let reuses_before = engine.handles_reused();
+    sorted.collect().unwrap();
+    // One more plan executed (groupby+sort), resumed from the joined handle.
+    assert_eq!(session.stats().executions, 2);
+    assert!(
+        engine.handles_reused() > reuses_before,
+        "derived statement re-executed the collected intermediate's subtree"
+    );
+}
+
+#[test]
+fn opportunistic_mode_overlaps_background_execution() {
+    let session = modin_session(EvalMode::Opportunistic);
+    let frames = pipeline(&session, 200);
+    let sorted = &frames[5];
+    let stats = session.stats();
+    assert!(
+        stats.background_started >= 1,
+        "no background work started: {stats:?}"
+    );
+    let out = sorted.collect().unwrap();
+    assert!(out.n_rows() > 0);
+    // Collected results land in the cache like any other handle.
+    sorted.collect().unwrap();
+    assert!(session.stats().cache_hits >= 1);
+}
+
+#[test]
+fn out_of_core_pipeline_crosses_statement_boundaries_as_handles() {
+    const ROWS: usize = 420;
+    let working_set = facts(ROWS).approx_size_bytes();
+    let budget = working_set / 4;
+
+    // Unlimited-budget eager run: the ground truth.
+    let unlimited = modin_session(EvalMode::Eager);
+    let unlimited_frames = pipeline(&unlimited, ROWS);
+    let expected = unlimited_frames[5].collect().unwrap();
+
+    // Budgeted run of the same four chained statements.
+    let bounded = Session::modin_with(
+        ModinConfig::sequential()
+            .with_partition_size(32, 8)
+            .with_memory_budget(budget),
+        EvalMode::Eager,
+    );
+    let engine = Arc::clone(bounded.modin_engine().expect("modin-backed session"));
+    let bounded_frames = pipeline(&bounded, ROWS);
+    let sorted = &bounded_frames[5];
+
+    // Every derived statement resumed from its input's partitioned handle…
+    assert!(
+        engine.handles_reused() >= 5,
+        "statements did not cross the waist as handles: {} reuses",
+        engine.handles_reused()
+    );
+    // …and nothing was assembled while the chain was built: the only full-frame
+    // assembly is the final collect below.
+    assert_eq!(
+        engine.assemblies_dispatched(),
+        0,
+        "a statement boundary assembled a full frame"
+    );
+    let out = sorted.collect().unwrap();
+    assert_eq!(engine.assemblies_dispatched(), 1);
+    assert_eq!(engine.fallbacks_dispatched(), 0, "pipeline fell back");
+
+    // The tight budget forced intermediates (held as cached handles) to spill.
+    let stats = bounded.spill_stats().expect("budgeted session has stats");
+    assert!(
+        stats.spill_outs > 0 && stats.load_backs > 0,
+        "budget ws/4 never engaged the spill store: {stats:?}"
+    );
+    assert!(
+        stats.peak_memory_bytes <= budget + stats.max_insert_bytes,
+        "peak residency {} exceeded budget {} + one in-flight band {}",
+        stats.peak_memory_bytes,
+        budget,
+        stats.max_insert_bytes
+    );
+
+    // Identical results to the unlimited-budget eager run.
+    assert!(
+        out.same_data(&expected),
+        "bounded run diverged:\n{out}\nexpected\n{expected}"
+    );
+}

@@ -136,7 +136,7 @@ fn spill_store_round_trips_engine_results() {
     .unwrap();
     let engine = ModinEngine::with_config(ModinConfig::sequential().with_partition_size(16, 4));
     let grouped = engine
-        .execute(&df_core::algebra::AlgebraExpr::literal(sales).group_by(
+        .execute_collect(&df_core::algebra::AlgebraExpr::literal(sales).group_by(
             vec![cell("Year")],
             vec![df_core::algebra::Aggregation::of(
                     "Sales",
@@ -152,7 +152,7 @@ fn spill_store_round_trips_engine_results() {
     assert_eq!(restored.shape(), grouped.shape());
     // Continue the analysis on the restored partition.
     let top = engine
-        .execute(
+        .execute_collect(
             &df_core::algebra::AlgebraExpr::literal(restored)
                 .sort(df_core::algebra::SortSpec {
                     by: vec![cell("total")],

@@ -71,7 +71,7 @@ proptest! {
             AlgebraExpr::literal(frame),
             AlgebraExpr::literal(other),
         );
-        let expected = BaselineEngine::new().execute(&expr).unwrap();
+        let expected = BaselineEngine::new().execute_collect(&expr).unwrap();
         for threads in [1usize, 4] {
             for scheme in [
                 PartitionScheme::Row,
@@ -88,7 +88,7 @@ proptest! {
                             .with_partition_size(16, 3)
                             .with_broadcast_threshold(broadcast),
                     );
-                    let result = engine.execute(&expr).unwrap();
+                    let result = engine.execute_collect(&expr).unwrap();
                     // GROUPBY partial sums may re-associate floats across bands;
                     // everything else moves cells verbatim and must be bit-exact.
                     let agrees = if choice % 8 == 7 {

@@ -92,10 +92,10 @@ fn capped_budget_matches_unlimited_and_spills() {
     for threads in [1, 4] {
         for (name, expr) in suite(&base, &other) {
             let unlimited = ModinEngine::with_config(config(threads));
-            let expected = unlimited.execute(&expr).unwrap();
+            let expected = unlimited.execute_collect(&expr).unwrap();
 
             let bounded = ModinEngine::with_config(config(threads).with_memory_budget(budget));
-            let got = bounded.execute(&expr).unwrap();
+            let got = bounded.execute_collect(&expr).unwrap();
             assert!(
                 got.same_data(&expected),
                 "{name} (threads={threads}) diverged under the capped budget"
@@ -131,7 +131,7 @@ fn engine_frees_spilled_partitions_when_results_are_consumed() {
     let budget = base.approx_size_bytes() / 4;
     let engine = ModinEngine::with_config(config(2).with_memory_budget(budget));
     let expr = AlgebraExpr::literal(base).sort(SortSpec::ascending(vec![cell("v")]));
-    let result = engine.execute(&expr).unwrap();
+    let result = engine.execute_collect(&expr).unwrap();
     assert_eq!(result.n_rows(), 200);
     // `execute` consumes the result grid, so every store entry created along the way
     // has been dropped again: the session store holds nothing between statements.

@@ -48,13 +48,13 @@ fn table2_rewrites_build_the_claimed_algebra_operators() {
             algebra_op
         );
         // And it executes identically on every engine.
-        let reference = ReferenceEngine.execute(derived.expr()).unwrap();
+        let reference = ReferenceEngine.execute_collect(derived.expr()).unwrap();
         assert!(BaselineEngine::new()
-            .execute(derived.expr())
+            .execute_collect(derived.expr())
             .unwrap()
             .same_data(&reference));
         assert!(ModinEngine::new()
-            .execute(derived.expr())
+            .execute_collect(derived.expr())
             .unwrap()
             .same_data(&reference));
     }
@@ -168,6 +168,23 @@ fn table3_capability_matrix_matches_the_paper() {
     assert!(!relational.supports(&probe.clone().from_labels("idx")));
     assert!(relational.supports(&probe.clone().map(MapFunc::IsNullMask)));
     assert!(modin.supports(&probe.transpose()));
+
+    // The `lazy_execution` probe is backed by live behaviour, not a hard-coded
+    // claim: a lazy MODIN session defers the whole statement chain to its
+    // materialisation point and executes it as one plan.
+    let lazy = Session::modin_with(
+        df_engine::engine::ModinConfig::sequential(),
+        df_engine::session::EvalMode::Lazy,
+    );
+    let deferred = sample_frame(&lazy).isnull().fillna(false);
+    assert_eq!(
+        lazy.stats().executions,
+        0,
+        "a lazy session must not execute on submit"
+    );
+    deferred.collect().unwrap();
+    assert_eq!(lazy.stats().executions, 1);
+    assert!(lazy.query().engine().capabilities().lazy_execution);
 }
 
 #[test]
@@ -230,13 +247,13 @@ fn every_table1_operator_executes_on_every_engine() {
         "14 operators + LIMIT helper via cross"
     );
     for expr in expressions {
-        let reference = ReferenceEngine.execute(&expr).unwrap();
+        let reference = ReferenceEngine.execute_collect(&expr).unwrap();
         assert!(BaselineEngine::new()
-            .execute(&expr)
+            .execute_collect(&expr)
             .unwrap()
             .same_data(&reference));
         assert!(ModinEngine::new()
-            .execute(&expr)
+            .execute_collect(&expr)
             .unwrap()
             .same_data(&reference));
         // Every Cell in the result renders (guards against panics in Display paths).
