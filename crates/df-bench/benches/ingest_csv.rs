@@ -1,0 +1,100 @@
+//! Ingest bench: serial vs partition-parallel CSV reading, in and out of core.
+//!
+//! The paper's flagship end-user win is parallelised dataframe I/O: `read_csv` is the
+//! first statement of nearly every workflow. This target writes a taxi-workload CSV
+//! file, reads it back through the serial reader and through the engine's chunked
+//! parallel ingest at thread counts {1, 4} × memory budgets {∞, ws/4}, asserts every
+//! arm is cell-for-cell identical to the serial read, and reports wall-clock plus the
+//! ingest/spill statistics.
+
+use df_bench::{render_table, time_once, BenchRecord};
+use df_engine::engine::{ModinConfig, ModinEngine};
+use df_storage::csv::{read_csv_path, write_csv_string, CsvOptions};
+use df_workloads::taxi::{generate_raw, TaxiConfig};
+
+fn main() {
+    let rows = df_bench::env_usize(
+        "DF_BENCH_INGEST_ROWS",
+        df_bench::smoke_scaled(120_000, 2_000),
+    );
+    let taxi = generate_raw(&TaxiConfig {
+        base_rows: rows,
+        ..TaxiConfig::default()
+    })
+    .expect("workload generation");
+    let options = CsvOptions::default();
+    let dir = std::env::temp_dir().join(format!("df-bench-ingest-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("taxi.csv");
+    std::fs::write(&path, write_csv_string(&taxi, &options)).expect("write workload file");
+    let file_bytes = std::fs::metadata(&path).expect("metadata").len();
+
+    let mut records = Vec::new();
+
+    // Serial arm: the pre-PR ingest path (whole file → one resident frame).
+    let (serial, serial_elapsed) = time_once(|| read_csv_path(&path, &options));
+    let serial = serial.expect("serial read");
+    let working_set = serial.approx_size_bytes();
+    records.push(BenchRecord {
+        experiment: "ingest-csv".to_string(),
+        system: "serial-reader".to_string(),
+        parameter: "serial".to_string(),
+        seconds: Some(serial_elapsed.as_secs_f64()),
+        note: format!(
+            "rows={rows}, file={file_bytes}B, ws={working_set}B, shape={:?}",
+            serial.shape()
+        ),
+    });
+
+    // Parallel arms: threads × budgets, each equivalence-asserted against serial.
+    let budgets: Vec<(&str, Option<usize>)> = vec![("inf", None), ("ws/4", Some(working_set / 4))];
+    for (label, budget) in &budgets {
+        for threads in [1usize, 4] {
+            let mut config = ModinConfig::default()
+                .with_threads(threads)
+                .with_partition_size((rows / 16).max(256), 32);
+            if let Some(bytes) = budget {
+                config = config.with_memory_budget(*bytes);
+            }
+            // A fresh engine per arm keeps the ingest/spill statistics attributable.
+            let engine = ModinEngine::with_config(config);
+            let (outcome, elapsed) = time_once(|| engine.read_csv_handle(&path, &options));
+            let handle = outcome.expect("parallel ingest");
+            let ingest = engine.ingest_stats();
+            let spill = engine.spill_stats();
+            // The whole point: the parallel read is cell-for-cell the serial read.
+            let assembled = handle.to_dataframe().expect("assemble ingest handle");
+            assert!(
+                assembled.same_data(&serial),
+                "parallel ingest (t={threads}, budget={label}) diverged from serial"
+            );
+            if budget.is_some() {
+                assert!(spill.spill_outs > 0, "ws/4 ingest never spilled: {spill:?}");
+            }
+            records.push(BenchRecord {
+                experiment: "ingest-csv".to_string(),
+                system: "modin-engine".to_string(),
+                parameter: format!("budget={label},t={threads}"),
+                seconds: Some(elapsed.as_secs_f64()),
+                note: format!(
+                    "rows={rows}, bands={}, bytes={}, spill_outs={}, load_backs={}, peak={}B",
+                    ingest.bands_parsed,
+                    ingest.ingest_bytes,
+                    spill.spill_outs,
+                    spill.load_backs,
+                    spill.peak_memory_bytes,
+                ),
+            });
+        }
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+    println!(
+        "{}",
+        render_table(
+            "Ingest: serial vs partition-parallel CSV reading (paper §3.3 / §5.1)",
+            &records
+        )
+    );
+    df_bench::emit_json_env(&records);
+}

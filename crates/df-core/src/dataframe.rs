@@ -153,6 +153,13 @@ impl Column {
         self.schema.declare(domain);
     }
 
+    /// Cache an externally computed induction result (see
+    /// [`SchemaSlot::note_induced`]): unlike [`Column::declare_domain`], the cached
+    /// domain is forgotten again if the cells are later mutated.
+    pub fn note_induced_domain(&mut self, domain: Domain) {
+        self.schema.note_induced(domain);
+    }
+
     /// Parse every raw string cell with the column's (resolved) domain's parsing
     /// function `p_i`, converting the column from the `Σ*` state to typed cells.
     /// Unparseable entries become null rather than failing, matching pandas' lenient

@@ -69,6 +69,20 @@ pub trait PartitionedResult: fmt::Debug + Send + Sync {
 ///
 /// Handles are cheap to clone: both arms are reference-counted, so caching a handle
 /// or feeding it to several downstream statements shares one underlying result.
+///
+/// ```
+/// use df_core::dataframe::DataFrame;
+/// use df_core::handle::FrameHandle;
+/// use df_types::cell::cell;
+///
+/// let df = DataFrame::from_columns(vec!["v"], vec![vec![cell(1), cell(2), cell(3)]])?;
+/// let handle = FrameHandle::from_dataframe(df);
+/// assert_eq!(handle.shape(), (3, 1)); // metadata only — nothing is assembled
+/// assert_eq!(handle.head(2)?.n_rows(), 2); // partition-aware prefix inspection
+/// let materialised = handle.into_dataframe()?; // the explicit materialisation point
+/// assert_eq!(materialised.cell(2, 0)?, &cell(3));
+/// # Ok::<(), df_types::error::DfError>(())
+/// ```
 #[derive(Debug, Clone)]
 pub enum FrameHandle {
     /// A fully materialised in-memory result.

@@ -34,6 +34,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use df_storage::csv::CsvOptions;
 use df_storage::spill::{SpillStats, SpillStore};
 use df_types::cell::Cell;
 use df_types::error::DfResult;
@@ -45,6 +46,7 @@ use df_core::handle::{FrameHandle, PartitionedResult};
 use df_core::ops;
 
 use crate::executor::{default_threads, ParallelExecutor};
+use crate::ingest::{self, IngestStats};
 use crate::optimizer::{optimize, OptimizerConfig, RewriteStats};
 use crate::partition::{hstack_all, Partition, PartitionConfig, PartitionGrid, PartitionScheme};
 use crate::shuffle;
@@ -200,6 +202,12 @@ pub struct ModinEngine {
     /// How many [`AlgebraExpr::Handle`] leaves were resumed from their partitioned
     /// grid (no assembly, no re-partitioning).
     handle_reuses: AtomicU64,
+    /// Files ingested through the parallel CSV path.
+    ingest_files: AtomicU64,
+    /// Bands parsed by ingest worker tasks.
+    ingest_bands: AtomicU64,
+    /// Bytes scanned by ingest plans.
+    ingest_bytes: AtomicU64,
 }
 
 impl ModinEngine {
@@ -234,6 +242,9 @@ impl ModinEngine {
             fallbacks: AtomicU64::new(0),
             assemblies: AtomicU64::new(0),
             handle_reuses: AtomicU64::new(0),
+            ingest_files: AtomicU64::new(0),
+            ingest_bands: AtomicU64::new(0),
+            ingest_bytes: AtomicU64::new(0),
         })
     }
 
@@ -328,6 +339,52 @@ impl ModinEngine {
     /// Run the optimizer alone (used by benches to report rewrite statistics).
     pub fn optimize_only(&self, expr: &AlgebraExpr) -> (AlgebraExpr, RewriteStats) {
         optimize(expr, self.config.optimizer)
+    }
+
+    /// Parallel, budget-aware CSV ingest straight into a result handle: chunks are
+    /// parsed on the worker pool and each finished band is stored through the
+    /// session's spill store, so ingesting a file larger than the memory budget
+    /// keeps peak residency within *budget + one band per worker* — the full frame
+    /// never exists in memory. The handle is cell-for-cell identical to serially
+    /// reading the file (see [`crate::ingest`]).
+    pub fn read_csv_handle(
+        &self,
+        path: impl AsRef<std::path::Path>,
+        options: &CsvOptions,
+    ) -> DfResult<FrameHandle> {
+        Ok(FrameHandle::from_partitioned(Arc::new(GridResult::new(
+            self.ingest_csv(path, options)?,
+        ))))
+    }
+
+    /// The grid-level form of [`ModinEngine::read_csv_handle`], for callers that want
+    /// to keep working with the partitioned representation directly.
+    pub fn ingest_csv(
+        &self,
+        path: impl AsRef<std::path::Path>,
+        options: &CsvOptions,
+    ) -> DfResult<PartitionGrid> {
+        let (grid, report) = ingest::ingest_csv_grid(
+            &self.executor,
+            self.store.as_ref(),
+            self.config.partitioning,
+            path.as_ref(),
+            options,
+        )?;
+        self.ingest_files.fetch_add(1, Ordering::Relaxed);
+        self.ingest_bands.fetch_add(report.bands, Ordering::Relaxed);
+        self.ingest_bytes.fetch_add(report.bytes, Ordering::Relaxed);
+        Ok(grid)
+    }
+
+    /// Cumulative parallel-ingest counters (`bands_parsed`, `ingest_bytes`), reported
+    /// next to [`ModinEngine::spill_stats`] by the benches and the ingest suite.
+    pub fn ingest_stats(&self) -> IngestStats {
+        IngestStats {
+            files_ingested: self.ingest_files.load(Ordering::Relaxed),
+            bands_parsed: self.ingest_bands.load(Ordering::Relaxed),
+            ingest_bytes: self.ingest_bytes.load(Ordering::Relaxed),
+        }
     }
 
     /// Execute an expression and keep the result partitioned.

@@ -9,6 +9,9 @@
 //!   operators).
 //! * [`executor`] — the task-parallel execution layer (the paper's Ray/Dask slot),
 //!   here an in-process scoped thread pool.
+//! * [`ingest`] — partition-parallel, budget-aware CSV ingest: files are parsed
+//!   chunk-by-chunk on the worker pool straight into a spill-backed partition grid,
+//!   with cross-band schema reconciliation (the paper's parallel-I/O headline).
 //! * [`optimizer`] — logical rewrite rules: transpose cancellation, selection fusion,
 //!   limit push-down, schema-induction deferral accounting and the Figure 8 pivot-axis
 //!   choice (paper §5–6).
@@ -19,6 +22,7 @@
 
 pub mod engine;
 pub mod executor;
+pub mod ingest;
 pub mod optimizer;
 pub mod partition;
 pub mod session;
@@ -27,6 +31,7 @@ pub mod shuffle;
 pub use df_storage::spill::{SpillStats, SpillStore};
 pub use engine::{GridResult, ModinConfig, ModinEngine};
 pub use executor::{default_threads, ParallelExecutor};
+pub use ingest::IngestStats;
 pub use optimizer::{choose_pivot_plan, optimize, OptimizerConfig, PivotPlan, RewriteStats};
 pub use partition::{Partition, PartitionConfig, PartitionGrid, PartitionHandle, PartitionScheme};
 pub use session::{EvalMode, QueryFuture, QuerySession, SessionStats};

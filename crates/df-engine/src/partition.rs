@@ -544,6 +544,23 @@ impl PartitionGrid {
         Ok(PartitionGrid::from_band_partitions(parts))
     }
 
+    /// Materialise one full-width row band by index (resolving deferred transposes),
+    /// leaving the grid intact. Streaming consumers — the banded CSV writer above
+    /// all — call this once per band, so only one band is resident at a time even
+    /// when the grid is larger than memory.
+    pub fn band(&self, index: usize) -> DfResult<DataFrame> {
+        let band = self.blocks.get(index).ok_or(DfError::IndexOutOfBounds {
+            axis: "row band",
+            index,
+            len: self.blocks.len(),
+        })?;
+        let blocks: Vec<DataFrame> = band
+            .iter()
+            .map(Partition::materialize)
+            .collect::<DfResult<_>>()?;
+        hstack_all(blocks)
+    }
+
     /// Materialise every row band as a full-width frame (resolving deferred
     /// transposes), returned in order. This is the repartitioning step operators that
     /// need whole rows use.

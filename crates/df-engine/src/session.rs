@@ -266,6 +266,53 @@ impl QuerySession {
         self.materialize_handle(expr, key, key_source)
     }
 
+    /// Serve-or-compute a statement whose cache key is *not* a plan fingerprint —
+    /// above all a CSV ingest keyed by `path + options + file identity`. A cached
+    /// handle is returned as a cache hit (re-reading an unchanged file never re-scans
+    /// it); otherwise `ingest` runs (counted as an execution), and its handle is
+    /// remembered under `key` so derived statements rebase onto the partitioned scan
+    /// result like onto any other cached handle.
+    ///
+    /// Identity-stamped keys (mtime/length in the key) go stale wholesale whenever
+    /// the underlying file changes: pass the key's identity-free prefix as
+    /// `supersedes` and a fresh ingest evicts every other entry sharing it, so a
+    /// session that re-reads a regenerated file does not accumulate one pinned
+    /// partition grid per superseded version.
+    pub fn ingest_keyed(
+        &self,
+        key: &str,
+        supersedes: Option<&str>,
+        ingest: impl FnOnce() -> DfResult<FrameHandle>,
+    ) -> DfResult<FrameHandle> {
+        self.stats.lock().statements += 1;
+        if let Some(handle) = self.cached_handle(key) {
+            self.stats.lock().cache_hits += 1;
+            return Ok(handle);
+        }
+        self.stats.lock().executions += 1;
+        let handle = ingest()?;
+        if self.cache_enabled {
+            let mut cache = self.cache.lock();
+            if let Some(prefix) = supersedes {
+                // Older versions of the same statement (same path and options,
+                // different file identity) are unreachable now — release the
+                // partitioned results they pin.
+                cache.retain(|k, _| k == key || !k.starts_with(prefix));
+            }
+            // Path-based keys carry no pointer identities, but the entry still
+            // records the plan whose leaves it pins — the handle leaf itself.
+            let plan = AlgebraExpr::handle(handle.clone());
+            cache.insert(
+                key.to_string(),
+                CachedResult {
+                    pins: QuerySession::pins_for(&plan, None),
+                    handle: handle.clone(),
+                },
+            );
+        }
+        Ok(handle)
+    }
+
     /// A non-executing peek: the cached handle for a fingerprint, if one exists. Used
     /// by API layers to rebase a derived statement's plan onto its input's
     /// already-computed handle (no statistics are counted — this is plan
@@ -665,6 +712,44 @@ mod tests {
             // the fingerprinted allocation alive.
         }
         assert_eq!(session.stats().executions, 32);
+    }
+
+    #[test]
+    fn ingest_keyed_caches_and_evicts_superseded_versions() {
+        let session = QuerySession::new(engine(), EvalMode::Eager);
+        let prefix = "csv@/tmp/x?opts&";
+        let v1 = format!("{prefix}mtime=1");
+        let first = session
+            .ingest_keyed(&v1, Some(prefix), || {
+                Ok(FrameHandle::from_dataframe(frame(5)))
+            })
+            .unwrap();
+        // Re-reading the unchanged "file" is a cache hit on the same handle.
+        let again = session
+            .ingest_keyed(&v1, Some(prefix), || panic!("must serve from cache"))
+            .unwrap();
+        assert_eq!(first.identity(), again.identity());
+        assert_eq!(session.stats().executions, 1);
+        assert_eq!(session.stats().cache_hits, 1);
+        assert_eq!(session.cached_results(), 1);
+        // A new version of the same statement evicts the superseded entry…
+        let v2 = format!("{prefix}mtime=2");
+        session
+            .ingest_keyed(&v2, Some(prefix), || {
+                Ok(FrameHandle::from_dataframe(frame(6)))
+            })
+            .unwrap();
+        assert_eq!(session.cached_results(), 1, "superseded version leaked");
+        assert!(session.handle_for(&v1).is_none());
+        assert!(session.handle_for(&v2).is_some());
+        // …while entries under other prefixes survive.
+        session
+            .ingest_keyed("csv@/tmp/y?opts&mtime=1", Some("csv@/tmp/y?opts&"), || {
+                Ok(FrameHandle::from_dataframe(frame(3)))
+            })
+            .unwrap();
+        assert_eq!(session.cached_results(), 2);
+        assert!(session.handle_for(&v2).is_some());
     }
 
     #[test]

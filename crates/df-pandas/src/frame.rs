@@ -129,12 +129,69 @@ impl PandasFrame {
     }
 
     /// `pd.read_csv` over a file on disk.
+    ///
+    /// On a MODIN-backed session this is the paper's parallel-I/O headline: the file
+    /// is parsed chunk-by-chunk on the engine's worker pool straight into a
+    /// partitioned [`FrameHandle`] — under a memory budget each finished band goes
+    /// through the session's spill store, so a file larger than the budget ingests
+    /// with peak residency within *budget + one band per worker*. The returned frame
+    /// is lazy: its statement is the handle itself, and the session caches it keyed
+    /// by `path + options + file identity (mtime, length, inode/ctime on Unix)`, so
+    /// re-reading an unchanged file is a cache hit, derived statements rebase onto
+    /// the scan result without re-reading, and a regenerated file both invalidates
+    /// the key and evicts the superseded version's entry. Non-MODIN sessions fall
+    /// back to the serial reader (the results are cell-for-cell identical either
+    /// way).
+    ///
+    /// ```
+    /// use df_pandas::{PandasFrame, Session};
+    /// use df_storage::csv::CsvOptions;
+    ///
+    /// let dir = std::env::temp_dir().join(format!("df_pandas_doc_{}", std::process::id()));
+    /// std::fs::create_dir_all(&dir)?;
+    /// let path = dir.join("sales.csv");
+    /// std::fs::write(&path, "region,amount\nnorth,12\nsouth,30\nnorth,5\n")?;
+    ///
+    /// let session = Session::modin();
+    /// let sales = PandasFrame::read_csv_path(&session, &path, &CsvOptions::default())?;
+    /// assert_eq!(sales.shape()?, (3, 2));
+    /// // Re-reading the unchanged file is served from the session cache.
+    /// let again = PandasFrame::read_csv_path(&session, &path, &CsvOptions::default())?;
+    /// assert_eq!(again.collect()?.n_rows(), 3);
+    /// assert!(session.stats().cache_hits >= 1);
+    /// std::fs::remove_file(&path)?;
+    /// # Ok::<(), df_types::error::DfError>(())
+    /// ```
     pub fn read_csv_path(
         session: &Arc<Session>,
         path: impl AsRef<std::path::Path>,
         options: &CsvOptions,
     ) -> DfResult<PandasFrame> {
+        let path = path.as_ref();
+        if let Some(engine) = session.modin_engine() {
+            let (prefix, key) = csv_statement_key(path, options)?;
+            let engine = Arc::clone(engine);
+            let handle = session.query().ingest_keyed(&key, Some(&prefix), || {
+                engine.read_csv_handle(path, options)
+            })?;
+            return Ok(PandasFrame::from_ingest(session, handle, key));
+        }
         PandasFrame::try_from_dataframe(session, read_csv_path(path, options)?)
+    }
+
+    /// A frame whose statement *is* an engine-owned ingest handle, keyed in the
+    /// session cache by file identity rather than by a plan fingerprint.
+    fn from_ingest(session: &Arc<Session>, handle: FrameHandle, key: String) -> PandasFrame {
+        let fingerprint = OnceLock::new();
+        fingerprint
+            .set(key)
+            .expect("fresh OnceLock cannot be initialised");
+        PandasFrame {
+            session: Arc::clone(session),
+            expr: AlgebraExpr::handle(handle),
+            fingerprint: Arc::new(fingerprint),
+            lineage: None,
+        }
     }
 
     /// The best execution plan for this statement *right now*: its own cached
@@ -312,8 +369,20 @@ impl PandasFrame {
     }
 
     /// Materialisation point: write the frame to a CSV file on disk.
+    ///
+    /// A partitioned result (a MODIN session's handle) is streamed *band by band* —
+    /// each band is materialised, written, and dropped before the next is touched —
+    /// so a larger-than-memory result is written without ever being assembled.
+    /// Materialised handles fall back to a plain whole-frame write.
     pub fn write_csv_path(&self, path: impl AsRef<std::path::Path>) -> DfResult<()> {
-        write_csv_path(&self.collect()?, path, &CsvOptions::default())
+        let options = CsvOptions::default();
+        let handle = self.handle()?;
+        if let FrameHandle::Partitioned(result) = &handle {
+            if let Some(grid_result) = result.as_any().downcast_ref::<df_engine::GridResult>() {
+                return write_grid_csv(grid_result.grid(), path.as_ref(), &options);
+            }
+        }
+        write_csv_path(&handle.into_dataframe()?, path, &options)
     }
 
     // ------------------------------------------------------------------ selection
@@ -859,6 +928,66 @@ impl PandasFrame {
         }
         Ok(out)
     }
+}
+
+/// The session cache key of an on-disk CSV statement, as `(prefix, key)`: the prefix
+/// is the canonical path plus the parse options (the statement's *identity-free*
+/// part, used to evict superseded versions of the same statement); the key appends
+/// the file identity — mtime nanos, byte length, and on Unix the inode and ctime,
+/// which catch replace-by-rename and same-length rewrites — so editing or replacing
+/// the file invalidates the cached scan while re-reading an unchanged file hits it.
+fn csv_statement_key(path: &std::path::Path, options: &CsvOptions) -> DfResult<(String, String)> {
+    let metadata = std::fs::metadata(path)?;
+    let mtime = metadata
+        .modified()
+        .ok()
+        .and_then(|t| t.duration_since(std::time::UNIX_EPOCH).ok())
+        .map(|d| d.as_nanos())
+        .unwrap_or(0);
+    #[cfg(unix)]
+    let (inode, ctime) = {
+        use std::os::unix::fs::MetadataExt;
+        (
+            metadata.ino(),
+            metadata.ctime_nsec() as i128 + metadata.ctime() as i128 * 1_000_000_000,
+        )
+    };
+    #[cfg(not(unix))]
+    let (inode, ctime) = (0u64, 0i128);
+    let canonical = std::fs::canonicalize(path).unwrap_or_else(|_| path.to_path_buf());
+    let prefix = format!(
+        "csv@{}?delim={}&header={}&infer={}&",
+        canonical.display(),
+        options.delimiter,
+        options.has_header,
+        options.infer_schema,
+    );
+    let key = format!(
+        "{prefix}mtime={mtime}&len={}&ino={inode}&ctime={ctime}",
+        metadata.len()
+    );
+    Ok((prefix, key))
+}
+
+/// Stream a partition grid to a CSV file band by band: the header once, then each
+/// band's records, with at most one band materialised at any moment.
+fn write_grid_csv(
+    grid: &df_engine::partition::PartitionGrid,
+    path: &std::path::Path,
+    options: &CsvOptions,
+) -> DfResult<()> {
+    use std::io::Write as _;
+    let file = std::fs::File::create(path)?;
+    let mut writer = std::io::BufWriter::new(file);
+    for index in 0..grid.n_row_bands() {
+        let band = grid.band(index)?;
+        if index == 0 {
+            df_storage::csv::write_csv_header(&mut writer, band.col_labels(), options)?;
+        }
+        df_storage::csv::append_csv_records(&mut writer, &band, options)?;
+    }
+    writer.flush()?;
+    Ok(())
 }
 
 #[cfg(test)]

@@ -17,6 +17,24 @@ use df_engine::session::{EvalMode, QuerySession, SessionStats};
 use df_storage::spill::SpillStats;
 
 /// A configured analysis session.
+///
+/// ```
+/// use df_pandas::{PandasFrame, Session};
+/// use df_types::cell::cell;
+///
+/// // The drop-in configuration the paper targets: scalable engine, eager mode.
+/// let session = Session::modin();
+/// let df = PandasFrame::from_columns(
+///     &session,
+///     vec!["v", "w"],
+///     vec![vec![cell(1), cell(2)], vec![cell(10), cell(20)]],
+/// )?;
+/// let filtered = df.filter_gt("v", 1)?;
+/// assert_eq!(filtered.collect()?.n_rows(), 1);
+/// // Statement scheduling and caching are observable through the session stats.
+/// assert!(session.stats().statements >= 2);
+/// # Ok::<(), df_types::error::DfError>(())
+/// ```
 pub struct Session {
     query: QuerySession,
     kind: EngineKind,
@@ -124,6 +142,12 @@ impl Session {
     /// passed through the type-erasing [`Session::with_engine`].
     pub fn spill_stats(&self) -> Option<SpillStats> {
         self.modin.as_ref().map(|engine| engine.spill_stats())
+    }
+
+    /// Parallel-ingest counters (`bands_parsed`, `ingest_bytes`) of the session's
+    /// engine. Availability follows the same rule as [`Session::spill_stats`].
+    pub fn ingest_stats(&self) -> Option<df_engine::IngestStats> {
+        self.modin.as_ref().map(|engine| engine.ingest_stats())
     }
 }
 

@@ -1,12 +1,20 @@
 //! # df-storage
 //!
-//! The storage layer of the MODIN architecture (paper §3.3, Figure 3): untyped CSV
-//! ingest/egress ([`csv`]) and the main-memory + spill-to-disk partition store
-//! ([`spill`]) that lets intermediate dataframes exceed main memory without the
-//! out-of-memory failures pandas exhibits.
+//! The storage layer of the MODIN architecture (paper §3.3, Figure 3):
+//!
+//! * [`csv`] — untyped (`Σ*`) CSV ingest/egress, both the serial reader and the
+//!   chunk-parallel machinery (quote-aware chunk planning, per-chunk parsing,
+//!   cross-band schema reconciliation, band-wise egress) the engine drives for
+//!   parallel out-of-core `read_csv`.
+//! * [`spill`] — the main-memory + spill-to-disk partition store that lets
+//!   intermediate dataframes exceed main memory without the out-of-memory failures
+//!   pandas exhibits.
 
 pub mod csv;
 pub mod spill;
 
-pub use csv::{read_csv_path, read_csv_str, write_csv_path, write_csv_string, CsvOptions};
+pub use csv::{
+    plan_csv_chunks, read_csv_chunk, read_csv_path, read_csv_str, write_csv_path, write_csv_string,
+    CsvChunk, CsvIngestPlan, CsvOptions,
+};
 pub use spill::{PartitionId, SpillStats, SpillStore};

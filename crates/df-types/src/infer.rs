@@ -11,11 +11,18 @@
 //! * [`induce_from_strings`] — the literal `S` over raw strings, used at CSV ingest.
 //! * [`induce_domain`] — induction over already-typed cells (widening via
 //!   [`Domain::unify`]), used when a derived column's domain must be recovered.
+//! * [`InductionSummary`] — a *composable* form of the string scan: partitioned
+//!   readers summarise each band independently, [`InductionSummary::merge`] the
+//!   summaries in band order, and [`InductionSummary::finish`] to obtain exactly the
+//!   domain a serial [`induce_from_strings`] over the concatenated column would have
+//!   produced. This is what makes parallel CSV ingest's per-band schema induction
+//!   reconcilable without a second scan over the data.
 //! * [`SchemaSlot`] — a per-column slot that distinguishes *declared*, *induced* and
 //!   *unknown* domains and counts how many induction scans were performed. Engines use
 //!   the counter in the §5.1 ablation benchmark to show how many scans rewrite rules
 //!   avoided.
 
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::cell::Cell;
@@ -49,7 +56,7 @@ where
 {
     INDUCTION_SCANS.fetch_add(1, Ordering::Relaxed);
     let mut candidate: Option<Domain> = None;
-    let mut distinct: std::collections::HashSet<&str> = std::collections::HashSet::new();
+    let mut distinct: HashSet<&str> = HashSet::new();
     let mut non_null = 0usize;
     for raw in values {
         let trimmed = raw.trim();
@@ -129,6 +136,143 @@ fn narrowest_domain_of_str(trimmed: &str) -> Domain {
     Domain::Str
 }
 
+/// Number of fold states an [`InductionSummary`] tracks: "no candidate yet" plus one
+/// per domain in [`Domain::ALL`].
+const STATE_COUNT: usize = 1 + Domain::ALL.len();
+
+fn encode_state(domain: Option<Domain>) -> u8 {
+    match domain {
+        None => 0,
+        Some(domain) => {
+            1 + Domain::ALL
+                .iter()
+                .position(|d| *d == domain)
+                .expect("Domain::ALL is exhaustive") as u8
+        }
+    }
+}
+
+fn decode_state(state: u8) -> Option<Domain> {
+    match state {
+        0 => None,
+        index => Some(Domain::ALL[index as usize - 1]),
+    }
+}
+
+/// A composable summary of the schema induction scan over one *band* of a column.
+///
+/// [`induce_from_strings`] is a left fold with [`Domain::unify`] plus a category
+/// heuristic over whole-column statistics (distinct count, non-null count). Neither
+/// piece can be reconstructed from per-band *domains*: `unify` is not associative
+/// (`(bool ⊔ datetime) ⊔ int ≠ bool ⊔ (datetime ⊔ int)`), and a band can fail the
+/// category thresholds that the whole column passes. A partitioned reader therefore
+/// summarises each band as
+///
+/// * the fold's **transition map** — for every possible incoming widening state, the
+///   state after folding this band's values (left folds compose exactly:
+///   `fold(s, A ++ B) = fold(fold(s, A), B)`);
+/// * the **distinct-value set**, capped at the category threshold (the cap preserves
+///   the only fact the heuristic reads — whether the count stays below it);
+/// * the **non-null count** (additive).
+///
+/// Merging summaries in band order and finishing reproduces the serial scan's answer
+/// bit-for-bit, which is what lets parallel CSV ingest keep its promise of being
+/// cell-for-cell identical to the serial reader.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InductionSummary {
+    /// `transition[s]` is the fold state after scanning the summarised values starting
+    /// from incoming state `s` (see [`encode_state`]).
+    transition: [u8; STATE_COUNT],
+    /// Distinct trimmed non-null values, capped at the category distinct threshold.
+    distinct: HashSet<String>,
+    /// Non-null values seen.
+    non_null: usize,
+}
+
+impl Default for InductionSummary {
+    fn default() -> Self {
+        InductionSummary::empty()
+    }
+}
+
+impl InductionSummary {
+    /// The identity summary (a band with no values).
+    pub fn empty() -> Self {
+        let mut transition = [0u8; STATE_COUNT];
+        for (index, state) in transition.iter_mut().enumerate() {
+            *state = index as u8;
+        }
+        InductionSummary {
+            transition,
+            distinct: HashSet::new(),
+            non_null: 0,
+        }
+    }
+
+    /// Summarise one band of raw strings (the per-band half of `S`). Counts as one
+    /// induction scan, like the serial [`induce_from_strings`] it stands in for.
+    pub fn of_strings<'a, I>(values: I) -> Self
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        INDUCTION_SCANS.fetch_add(1, Ordering::Relaxed);
+        let mut summary = InductionSummary::empty();
+        for raw in values {
+            let trimmed = raw.trim();
+            if is_null_token(trimmed) {
+                continue;
+            }
+            summary.non_null += 1;
+            if summary.distinct.len() < CATEGORY_DISTINCT_CAP {
+                summary.distinct.insert(trimmed.to_string());
+            }
+            let this = narrowest_domain_of_str(trimmed);
+            for state in summary.transition.iter_mut() {
+                *state = encode_state(Some(match decode_state(*state) {
+                    None => this,
+                    Some(prev) => prev.unify(this),
+                }));
+            }
+        }
+        summary
+    }
+
+    /// Append a later band's summary: `self` then `later`, in column order.
+    pub fn merge(&mut self, later: &InductionSummary) {
+        for state in self.transition.iter_mut() {
+            *state = later.transition[*state as usize];
+        }
+        // The capped union detects "distinct >= cap" exactly: a band that hit the cap
+        // contributes cap elements on its own, and uncapped bands carry their exact
+        // sets, so the union's size crosses the cap iff the true count does.
+        for value in &later.distinct {
+            if self.distinct.len() >= CATEGORY_DISTINCT_CAP {
+                break;
+            }
+            self.distinct.insert(value.clone());
+        }
+        self.non_null += later.non_null;
+    }
+
+    /// The domain the serial scan would have induced for the concatenated column.
+    pub fn finish(&self) -> Domain {
+        match decode_state(self.transition[0]) {
+            None => Domain::Str,
+            Some(Domain::Str) => {
+                if self.non_null >= CATEGORY_MIN_ROWS
+                    && self.distinct.len() < CATEGORY_DISTINCT_CAP
+                    && self.distinct.len() * CATEGORY_RATIO < self.non_null
+                {
+                    Domain::Category
+                } else {
+                    Domain::Str
+                }
+            }
+            Some(domain) => domain,
+        }
+    }
+}
+
 /// Per-column schema slot implementing the paper's "lazily induced schema".
 ///
 /// A slot is in one of three states: *declared* (the user or an upstream operator fixed
@@ -191,6 +335,19 @@ impl SchemaSlot {
     pub fn declare(&mut self, domain: Domain) {
         self.declared = Some(domain);
         self.induced = None;
+    }
+
+    /// Cache an induction result computed externally — e.g. a partitioned reader's
+    /// cross-band reconciliation, where the scan ran over summaries rather than
+    /// through [`SchemaSlot::resolve_with`]. The slot ends up exactly as if it had
+    /// run `S` itself: the domain is *induced*, not declared, so a later content
+    /// mutation invalidates it like any other cached induction. A declared slot is
+    /// left untouched.
+    pub fn note_induced(&mut self, domain: Domain) {
+        if self.declared.is_none() {
+            self.induced = Some(domain);
+            self.inductions += 1;
+        }
     }
 
     /// Number of induction scans this slot has performed.
@@ -287,5 +444,104 @@ mod tests {
         induce_from_strings(["1", "2"]);
         induce_domain(&[cell(1)]);
         assert_eq!(induction_scan_count(), before + 2);
+    }
+
+    /// Split `values` at every position (and at a few multi-way splits) and check the
+    /// merged summaries agree with the serial scan.
+    fn assert_summaries_match_serial(values: &[&str]) {
+        let serial = induce_from_strings(values.iter().copied());
+        for split in 0..=values.len() {
+            let mut merged = InductionSummary::of_strings(values[..split].iter().copied());
+            merged.merge(&InductionSummary::of_strings(
+                values[split..].iter().copied(),
+            ));
+            assert_eq!(
+                merged.finish(),
+                serial,
+                "two-way split at {split} diverged for {values:?}"
+            );
+        }
+        for chunk in [1usize, 2, 3, 7] {
+            let mut merged = InductionSummary::empty();
+            for band in values.chunks(chunk.max(1)) {
+                merged.merge(&InductionSummary::of_strings(band.iter().copied()));
+            }
+            assert_eq!(
+                merged.finish(),
+                serial,
+                "{chunk}-chunk split diverged for {values:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn summaries_reproduce_the_serial_scan_on_order_sensitive_inputs() {
+        // unify is not associative: bool ⊔ datetime = Σ* but (bool ⊔ int) ⊔ datetime
+        // = int. A naive per-band-domain join gets these wrong at some split.
+        assert_summaries_match_serial(&["true", "2020-01-01", "7"]);
+        assert_summaries_match_serial(&["2020-01-01", "true", "7"]);
+        assert_summaries_match_serial(&["7", "true", "2020-01-01"]);
+        assert_summaries_match_serial(&["true", "7", "2020-01-01", "false"]);
+        assert_summaries_match_serial(&["1", "2.5", "x", "3"]);
+        assert_summaries_match_serial(&["", "NA", "3", "null", "4"]);
+        assert_summaries_match_serial(&[]);
+        assert_summaries_match_serial(&["", "NA"]);
+    }
+
+    #[test]
+    fn summaries_reproduce_the_category_heuristic_across_bands() {
+        // 40 rows of a 2-value vocabulary: the whole column is Category, but every
+        // band of < CATEGORY_MIN_ROWS rows on its own would induce Σ*.
+        let values: Vec<String> = (0..40)
+            .map(|i| if i % 2 == 0 { "SUV" } else { "sedan" }.to_string())
+            .collect();
+        let refs: Vec<&str> = values.iter().map(String::as_str).collect();
+        assert_summaries_match_serial(&refs);
+        // A large vocabulary must stay Σ* no matter how the cap interacts with bands.
+        let many: Vec<String> = (0..100).map(|i| format!("value-{i}")).collect();
+        let refs: Vec<&str> = many.iter().map(String::as_str).collect();
+        assert_summaries_match_serial(&refs);
+        // Exactly the cap, and one below it.
+        for distinct in [CATEGORY_DISTINCT_CAP - 1, CATEGORY_DISTINCT_CAP] {
+            let values: Vec<String> = (0..distinct * 5)
+                .map(|i| format!("v{}", i % distinct))
+                .collect();
+            let refs: Vec<&str> = values.iter().map(String::as_str).collect();
+            assert_summaries_match_serial(&refs);
+        }
+    }
+
+    #[test]
+    fn summary_randomised_splits_match_serial() {
+        // A deterministic pseudo-random sweep over mixed vocabularies: every domain
+        // class appears, nulls included, across many band layouts.
+        let vocab = [
+            "1",
+            "-3",
+            "2.5",
+            "true",
+            "false",
+            "2020-01-01",
+            "x",
+            "NA",
+            "",
+            "0042",
+            "1e3",
+            "inf",
+            "sedan",
+            "SUV",
+        ];
+        let mut state = 0x2545f4914f6cdd1du64;
+        for len in [0usize, 1, 2, 5, 16, 33, 64, 200] {
+            let values: Vec<&str> = (0..len)
+                .map(|_| {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    vocab[(state >> 33) as usize % vocab.len()]
+                })
+                .collect();
+            assert_summaries_match_serial(&values);
+        }
     }
 }

@@ -15,7 +15,8 @@
 //!   parallel, metadata-only transpose, lazy/opportunistic evaluation (paper §3, §5–6).
 //! * [`pandas`] — a pandas-style user API whose methods are rewritten into algebra
 //!   expressions and executed on either engine (paper §3.3, Table 2).
-//! * [`storage`] — CSV ingest/egress and the spill-to-disk partition store.
+//! * [`storage`] — CSV ingest/egress (serial and chunk-parallel) and the
+//!   spill-to-disk partition store.
 //! * [`workloads`] — synthetic substitutes for the paper's datasets (NYC taxi trips,
 //!   the Jupyter notebook corpus, the sales pivot table).
 //!
