@@ -3,10 +3,12 @@
 //! The paper's storage layer lets "intermediate dataframes exceed main-memory
 //! limitations while not throwing memory errors, unlike pandas". This target runs the
 //! shuffle-dispatched operator suite (JOIN, SORT, DROP_DUPLICATES, DIFFERENCE) plus
-//! GROUPBY twice — once with an unbounded engine (every partition resident) and once
-//! with `memory_budget_bytes` capped at 1/4 of the working set — verifies the results
-//! are cell-for-cell identical, and reports the cost of spilling next to the spill
-//! store's own statistics (spill-outs, load-backs, resident peak).
+//! GROUPBY over the cross of two budgets — unbounded vs `memory_budget_bytes` capped
+//! at 1/4 of the working set — and two block layouts — `row-block` (layout switch
+//! off: tagged cells, spill format v2) vs `column-block` (typed kernels, spill format
+//! v3). Every arm is verified cell-for-cell identical to the unbounded row-block
+//! ground truth before its record is emitted, and each record reports the spill
+//! store's own statistics (spill-outs, load-backs, resident peak) next to the time.
 
 use df_bench::{render_table, time_once, BenchRecord};
 use df_core::algebra::{AggFunc, Aggregation, AlgebraExpr, JoinOn, JoinType, SortSpec};
@@ -14,6 +16,7 @@ use df_core::dataframe::DataFrame;
 use df_core::engine::Engine;
 use df_engine::engine::{ModinConfig, ModinEngine};
 use df_types::cell::cell;
+use df_types::column::set_columnar_enabled;
 use df_workloads::taxi::{generate_typed, TaxiConfig};
 
 fn queries(taxi: &DataFrame, lookup: &DataFrame) -> Vec<(&'static str, AlgebraExpr)> {
@@ -79,53 +82,53 @@ fn main() {
     let budgets: Vec<(&str, Option<usize>)> = vec![("inf", None), ("ws/4", Some(working_set / 4))];
 
     let mut records = Vec::new();
-    let mut unbounded_results: std::collections::HashMap<&'static str, DataFrame> =
+    // Ground truth per query: the unbounded row-block run (the first arm).
+    let mut ground_truth: std::collections::HashMap<&'static str, DataFrame> =
         std::collections::HashMap::new();
-    for (label, budget) in &budgets {
-        let mut config = ModinConfig::default()
-            .with_threads(threads)
-            .with_partition_size((rows / 16).max(256), 8);
-        if let Some(bytes) = budget {
-            config = config.with_memory_budget(*bytes);
-        }
-        for (name, expr) in queries(&taxi, &lookup) {
-            // A fresh engine per query keeps the spill statistics attributable.
-            let engine = ModinEngine::with_config(config.clone());
-            let (outcome, elapsed) = time_once(|| engine.execute_collect(&expr));
-            let result = outcome.expect("query executes");
-            let stats = engine.spill_stats();
-            match budget {
-                // The inf arm doubles as the ground truth for the bounded arm.
-                None => {
-                    unbounded_results.insert(name, result.clone());
-                }
-                // The whole point of the ablation: the bounded run must agree with
-                // the unbounded one cell-for-cell.
-                Some(_) => {
-                    let unbounded = unbounded_results
-                        .get(name)
-                        .expect("inf arm ran first for every query");
-                    assert!(
-                        result.same_data(unbounded),
-                        "out-of-core {name} diverged from the in-memory run"
-                    );
-                }
+    for (system, columnar) in [("row-block", false), ("column-block", true)] {
+        set_columnar_enabled(columnar);
+        for (label, budget) in &budgets {
+            let mut config = ModinConfig::default()
+                .with_threads(threads)
+                .with_partition_size((rows / 16).max(256), 8);
+            if let Some(bytes) = budget {
+                config = config.with_memory_budget(*bytes);
             }
-            records.push(BenchRecord {
-                experiment: format!("abl-spill/{name}"),
-                system: "modin-engine".to_string(),
-                parameter: format!("budget={label}"),
-                seconds: Some(elapsed.as_secs_f64()),
-                note: format!(
-                    "rows={rows}, out={:?}, ws={working_set}B, spill_outs={}, load_backs={}, peak={}B",
-                    result.shape(),
-                    stats.spill_outs,
-                    stats.load_backs,
-                    stats.peak_memory_bytes,
-                ),
-            });
+            for (name, expr) in queries(&taxi, &lookup) {
+                // A fresh engine per query keeps the spill statistics attributable.
+                let engine = ModinEngine::with_config(config.clone());
+                let (outcome, elapsed) = time_once(|| engine.execute_collect(&expr));
+                let result = outcome.expect("query executes");
+                let stats = engine.spill_stats();
+                // Every other arm — bounded, columnar, or both — must agree with
+                // the unbounded row-block run cell-for-cell.
+                match ground_truth.get(name) {
+                    None => {
+                        ground_truth.insert(name, result.clone());
+                    }
+                    Some(expected) => assert!(
+                        result.same_data(expected),
+                        "{name} ({system}, budget={label}) diverged from the \
+                         unbounded row-block run"
+                    ),
+                }
+                records.push(BenchRecord {
+                    experiment: format!("abl-spill/{name}"),
+                    system: system.to_string(),
+                    parameter: format!("budget={label}"),
+                    seconds: Some(elapsed.as_secs_f64()),
+                    note: format!(
+                        "rows={rows}, out={:?}, ws={working_set}B, spill_outs={}, load_backs={}, peak={}B, equivalence=asserted",
+                        result.shape(),
+                        stats.spill_outs,
+                        stats.load_backs,
+                        stats.peak_memory_bytes,
+                    ),
+                });
+            }
         }
     }
+    set_columnar_enabled(true);
     println!(
         "{}",
         render_table(

@@ -115,7 +115,14 @@ impl CmpOp {
         if left.is_null() || right.is_null() {
             return false;
         }
-        let ord = left.total_cmp(right);
+        self.eval_ord(left.total_cmp(right))
+    }
+
+    /// Decide the comparison from an already-computed ordering. The vectorized
+    /// predicate kernel computes orderings straight off typed values and funnels
+    /// them through here so both paths share one decision table.
+    #[inline]
+    pub fn eval_ord(&self, ord: std::cmp::Ordering) -> bool {
         match self {
             CmpOp::Eq => ord == std::cmp::Ordering::Equal,
             CmpOp::Ne => ord != std::cmp::Ordering::Equal,

@@ -28,9 +28,15 @@ use std::any::Any;
 use std::fmt;
 use std::sync::Arc;
 
+use df_types::cell::Cell;
+use df_types::domain::Domain;
 use df_types::error::DfResult;
 
 use crate::dataframe::DataFrame;
+
+/// A per-column schema: each column label paired with its domain where known
+/// (`None` = still raw `Σ*` data whose domain has not been resolved).
+pub type FrameSchema = Vec<(Cell, Option<Domain>)>;
 
 /// An engine-owned partitioned (or otherwise deferred) query result.
 ///
@@ -41,6 +47,15 @@ pub trait PartitionedResult: fmt::Debug + Send + Sync {
     /// Logical `(rows, columns)` of the result, from metadata only — implementations
     /// must not load spilled data to answer this.
     fn shape(&self) -> (usize, usize);
+
+    /// Column labels paired with their known domains, from metadata only — the dtype
+    /// counterpart of [`PartitionedResult::shape`], with the same contract: no
+    /// spilled data may be loaded. Return `None` when the metadata cannot answer
+    /// (e.g. a deferred transpose hides the logical columns); callers then fall back
+    /// to assembling. The default is `None` so existing implementations stay valid.
+    fn schema(&self) -> Option<FrameSchema> {
+        None
+    }
 
     /// Assemble the full logical dataframe (the generic materialisation path used by
     /// engines that do not recognise this handle type).
@@ -118,6 +133,41 @@ impl FrameHandle {
         match self {
             FrameHandle::Materialized(df) => df.shape(),
             FrameHandle::Partitioned(p) => p.shape(),
+        }
+    }
+
+    /// Column labels paired with their known domains (`None` per slot for a column
+    /// whose schema induction is still deferred), answered from metadata only — a
+    /// partitioned, even fully spilled result reports its schema without loading or
+    /// assembling anything, exactly like [`FrameHandle::shape`]. Returns `None` when
+    /// the result's metadata cannot answer (a deferred transpose, or a foreign
+    /// [`PartitionedResult`] without schema support); callers that need the schema
+    /// unconditionally should then assemble.
+    ///
+    /// ```
+    /// use df_core::dataframe::DataFrame;
+    /// use df_core::handle::FrameHandle;
+    /// use df_types::cell::cell;
+    /// use df_types::domain::Domain;
+    ///
+    /// let mut df = DataFrame::from_columns(vec!["v"], vec![vec![cell(1), cell(2)]])?;
+    /// df.columns_mut()[0].declare_domain(Domain::Int);
+    /// let handle = FrameHandle::from_dataframe(df);
+    /// let schema = handle.schema().expect("materialised handles always answer");
+    /// assert_eq!(schema, vec![(cell("v"), Some(Domain::Int))]);
+    /// # Ok::<(), df_types::error::DfError>(())
+    /// ```
+    pub fn schema(&self) -> Option<FrameSchema> {
+        match self {
+            FrameHandle::Materialized(df) => Some(
+                df.col_labels()
+                    .as_slice()
+                    .iter()
+                    .cloned()
+                    .zip(df.schema())
+                    .collect(),
+            ),
+            FrameHandle::Partitioned(p) => p.schema(),
         }
     }
 

@@ -8,8 +8,11 @@
 //! * [`algebra`] — the 14-operator kernel algebra of Table 1 as an expression tree,
 //!   plus the function vocabulary (predicates, map functions, aggregates, window
 //!   functions) the operators are parameterised by (§4.3).
+//! * [`columnar`] — typed column blocks ([`columnar::ColumnBlock`]): the columnar
+//!   physical form of a partition, hidden behind the `PartitionHandle` narrow waist.
 //! * [`ops`] — reference implementations of every operator, defining the semantics all
-//!   engines must agree with.
+//!   engines must agree with (plus vectorized columnar fast paths that must match
+//!   them cell-for-cell).
 //! * [`engine`] — the "narrow waist" [`engine::Engine`] trait and the Table 3
 //!   capability matrix.
 //! * [`handle`] — the opaque [`handle::FrameHandle`] results that cross the waist:
@@ -22,6 +25,7 @@
 //! the workspace builds on.
 
 pub mod algebra;
+pub mod columnar;
 pub mod dataframe;
 pub mod engine;
 pub mod handle;
@@ -29,6 +33,7 @@ pub mod linalg;
 pub mod ops;
 
 pub use algebra::AlgebraExpr;
+pub use columnar::ColumnBlock;
 pub use dataframe::{Column, DataFrame};
 pub use engine::{Capabilities, Engine, EngineKind, ReferenceEngine};
-pub use handle::{FrameHandle, PartitionedResult};
+pub use handle::{FrameHandle, FrameSchema, PartitionedResult};

@@ -4,9 +4,11 @@ use std::collections::HashMap;
 use std::hash::Hasher;
 
 use df_types::cell::{Cell, CellKey, StableHasher};
+use df_types::column::{columnar_enabled, ColumnData};
 use df_types::error::{DfError, DfResult};
 use df_types::labels::Labels;
 
+use super::columnar::{typed_for_keying, RawTable};
 use crate::algebra::{AggFunc, Aggregation, SortSpec};
 use crate::dataframe::{Column, DataFrame};
 
@@ -122,6 +124,46 @@ impl AggState {
         }
     }
 
+    /// Fold row `i` of a typed column into the state without materialising a
+    /// [`Cell`]: the numeric accumulators read the flat buffer directly (matching
+    /// [`Cell::as_f64`] widening exactly); order- and value-carrying states
+    /// materialise the one cell they keep, same as the reference path.
+    fn update_typed(&mut self, column: &ColumnData, i: usize) {
+        match self {
+            AggState::Count(n) => *n += 1,
+            AggState::CountNonNull(n) => {
+                if !column.is_null_at(i) {
+                    *n += 1;
+                }
+            }
+            AggState::Sum { total, any_numeric } => {
+                if let Some(v) = column.f64_at(i) {
+                    *total += v;
+                    *any_numeric = true;
+                }
+            }
+            AggState::Mean { total, count } => {
+                if let Some(v) = column.f64_at(i) {
+                    *total += v;
+                    *count += 1;
+                }
+            }
+            AggState::Std(values) => {
+                if let Some(v) = column.f64_at(i) {
+                    values.push(v);
+                }
+            }
+            AggState::Min(_)
+            | AggState::Max(_)
+            | AggState::First(_)
+            | AggState::Last(_)
+            | AggState::Collect(_) => {
+                let cell = column.get(i);
+                self.update(Some(&cell));
+            }
+        }
+    }
+
     fn finalize(self) -> Cell {
         match self {
             AggState::Count(n) | AggState::CountNonNull(n) => Cell::Int(n),
@@ -195,41 +237,102 @@ pub fn group_by(
         }
     }
 
-    // Hash-indexed group table: bucket hash -> group ids with that hash, verified by
-    // group-key equality against the group's stored key cells.
-    let mut table: HashMap<u64, Vec<usize>> = HashMap::new();
+    let columns = df.columns();
     let mut group_keys: Vec<Vec<Cell>> = Vec::new();
     let mut states: Vec<Vec<AggState>> = Vec::new();
-    let columns = df.columns();
-    for i in 0..df.n_rows() {
-        let mut hasher = StableHasher::default();
-        for &j in &key_positions {
-            columns[j].cells()[i].hash_key(&mut hasher);
-        }
-        let candidates = table.entry(hasher.finish()).or_default();
-        let gi = candidates
+    if columnar_enabled() {
+        // Vectorized kernel: key and aggregate columns that admit a typed layout are
+        // encoded once, the group table is keyed by the raw stable hash (no second
+        // SipHash pass), and candidate groups are verified against a representative
+        // row instead of cloned key cells.
+        let typed_keys: Vec<Option<ColumnData>> = key_positions
             .iter()
-            .copied()
-            .find(|&g| {
-                key_positions
-                    .iter()
-                    .zip(group_keys[g].iter())
-                    .all(|(&j, key_cell)| key_cell.key_eq(&columns[j].cells()[i]))
-            })
-            .unwrap_or_else(|| {
-                let g = group_keys.len();
-                group_keys.push(
+            .map(|&j| typed_for_keying(&columns[j]))
+            .collect();
+        let typed_aggs: Vec<Option<ColumnData>> = agg_positions
+            .iter()
+            .map(|p| p.and_then(|j| typed_for_keying(&columns[j])))
+            .collect();
+        let mut table = RawTable::default();
+        let mut reps: Vec<usize> = Vec::new();
+        for i in 0..df.n_rows() {
+            let mut hasher = StableHasher::default();
+            for (typed, &j) in typed_keys.iter().zip(&key_positions) {
+                match typed {
+                    Some(data) => data.hash_value_into(i, &mut hasher),
+                    None => columns[j].cells()[i].hash_key(&mut hasher),
+                }
+            }
+            let candidates = table.entry(hasher.finish()).or_default();
+            let gi = candidates
+                .iter()
+                .copied()
+                .find(|&g| {
+                    typed_keys
+                        .iter()
+                        .zip(&key_positions)
+                        .all(|(typed, &j)| match typed {
+                            Some(data) => data.key_eq_rows(reps[g], i),
+                            None => columns[j].cells()[reps[g]].key_eq(&columns[j].cells()[i]),
+                        })
+                })
+                .unwrap_or_else(|| {
+                    let g = group_keys.len();
+                    group_keys.push(
+                        key_positions
+                            .iter()
+                            .map(|&j| columns[j].cells()[i].clone())
+                            .collect(),
+                    );
+                    reps.push(i);
+                    states.push(aggs.iter().map(|a| AggState::new(&a.func)).collect());
+                    candidates.push(g);
+                    g
+                });
+            for ((state, position), typed) in
+                states[gi].iter_mut().zip(&agg_positions).zip(&typed_aggs)
+            {
+                match (typed, position) {
+                    (Some(data), Some(_)) => state.update_typed(data, i),
+                    (None, Some(j)) => state.update(Some(&columns[*j].cells()[i])),
+                    (_, None) => state.update(None),
+                }
+            }
+        }
+    } else {
+        // Reference kernel: hash-indexed group table (bucket hash -> group ids with
+        // that hash), verified by group-key equality against the stored key cells.
+        let mut table: HashMap<u64, Vec<usize>> = HashMap::new();
+        for i in 0..df.n_rows() {
+            let mut hasher = StableHasher::default();
+            for &j in &key_positions {
+                columns[j].cells()[i].hash_key(&mut hasher);
+            }
+            let candidates = table.entry(hasher.finish()).or_default();
+            let gi = candidates
+                .iter()
+                .copied()
+                .find(|&g| {
                     key_positions
                         .iter()
-                        .map(|&j| columns[j].cells()[i].clone())
-                        .collect(),
-                );
-                states.push(aggs.iter().map(|a| AggState::new(&a.func)).collect());
-                candidates.push(g);
-                g
-            });
-        for (state, position) in states[gi].iter_mut().zip(agg_positions.iter()) {
-            state.update(position.map(|j| &columns[j].cells()[i]));
+                        .zip(group_keys[g].iter())
+                        .all(|(&j, key_cell)| key_cell.key_eq(&columns[j].cells()[i]))
+                })
+                .unwrap_or_else(|| {
+                    let g = group_keys.len();
+                    group_keys.push(
+                        key_positions
+                            .iter()
+                            .map(|&j| columns[j].cells()[i].clone())
+                            .collect(),
+                    );
+                    states.push(aggs.iter().map(|a| AggState::new(&a.func)).collect());
+                    candidates.push(g);
+                    g
+                });
+            for (state, position) in states[gi].iter_mut().zip(agg_positions.iter()) {
+                state.update(position.map(|j| &columns[j].cells()[i]));
+            }
         }
     }
     if df.n_rows() == 0 && keys.is_empty() {
@@ -302,6 +405,38 @@ pub fn group_by(
 /// DROP DUPLICATES: remove rows whose full-row value already appeared earlier,
 /// preserving order and keeping the first occurrence (Table 1: order from parent).
 pub fn drop_duplicates(df: &DataFrame) -> DfResult<DataFrame> {
+    if columnar_enabled() {
+        // Vectorized kernel: stream every row through the stable key hash (typed
+        // buffers where available) and verify candidates with key equality against
+        // already-kept rows — no per-row `Vec<CellKey>` clone of the whole row.
+        let typed: Vec<Option<ColumnData>> = df.columns().iter().map(typed_for_keying).collect();
+        let mut table = RawTable::default();
+        let mut keep: Vec<usize> = Vec::new();
+        for i in 0..df.n_rows() {
+            let mut hasher = StableHasher::default();
+            for (typed, column) in typed.iter().zip(df.columns()) {
+                match typed {
+                    Some(data) => data.hash_value_into(i, &mut hasher),
+                    None => column.cells()[i].hash_key(&mut hasher),
+                }
+            }
+            let candidates = table.entry(hasher.finish()).or_default();
+            let duplicate = candidates.iter().any(|&kept| {
+                typed
+                    .iter()
+                    .zip(df.columns())
+                    .all(|(typed, column)| match typed {
+                        Some(data) => data.key_eq_rows(kept, i),
+                        None => column.cells()[kept].key_eq(&column.cells()[i]),
+                    })
+            });
+            if !duplicate {
+                candidates.push(i);
+                keep.push(i);
+            }
+        }
+        return df.take_rows(&keep);
+    }
     let mut seen: std::collections::HashSet<Vec<CellKey>> = std::collections::HashSet::new();
     let mut keep = Vec::new();
     for i in 0..df.n_rows() {
@@ -325,12 +460,24 @@ pub fn sort(df: &DataFrame, spec: &SortSpec) -> DfResult<DataFrame> {
         .iter()
         .map(|k| df.col_position(k))
         .collect::<DfResult<_>>()?;
+    // Vectorized kernel: key columns with a typed layout are encoded once and
+    // compared straight off the flat buffer ([`ColumnData::cmp_rows`] reproduces
+    // `Cell::total_cmp` exactly); other key columns compare cell-to-cell as before.
+    let typed_keys: Vec<Option<ColumnData>> = if columnar_enabled() {
+        key_positions
+            .iter()
+            .map(|&j| typed_for_keying(&df.columns()[j]))
+            .collect()
+    } else {
+        vec![None; key_positions.len()]
+    };
     let mut order: Vec<usize> = (0..df.n_rows()).collect();
     let compare = |&a: &usize, &b: &usize| {
         for (idx, &j) in key_positions.iter().enumerate() {
-            let x = &df.columns()[j].cells()[a];
-            let y = &df.columns()[j].cells()[b];
-            let mut ord = x.total_cmp(y);
+            let mut ord = match &typed_keys[idx] {
+                Some(data) => data.cmp_rows(a, b),
+                None => df.columns()[j].cells()[a].total_cmp(&df.columns()[j].cells()[b]),
+            };
             if !spec.is_ascending(idx) {
                 ord = ord.reverse();
             }

@@ -5,6 +5,7 @@
 //! the scalable engine against this executor on randomly generated frames). They favour
 //! clarity over speed; the engines are where the paper's performance ideas live.
 
+pub mod columnar;
 pub mod group;
 pub mod reshape;
 pub mod rowwise;

@@ -164,6 +164,12 @@ impl PartitionedResult for GridResult {
         self.grid.shape()
     }
 
+    fn schema(&self) -> Option<df_core::handle::FrameSchema> {
+        // Metadata only, like shape(): a fully spilled grid answers from the domains
+        // its handles cached at check-in, with zero load-backs.
+        self.grid.schema()
+    }
+
     fn assemble(&self) -> DfResult<DataFrame> {
         self.grid.assemble()
     }

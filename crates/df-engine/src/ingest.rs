@@ -25,6 +25,7 @@
 use std::path::Path;
 use std::sync::Arc;
 
+use df_core::columnar::ColumnBlock;
 use df_storage::csv::{self, CsvOptions};
 use df_storage::spill::SpillStore;
 use df_types::error::DfResult;
@@ -91,7 +92,15 @@ pub fn ingest_csv_grid(
         let summaries = options
             .infer_schema
             .then(|| csv::band_induction_summaries(&band));
-        let part = Partition::new_in(band, chunk.start_row, 0, store_owned.as_ref())?;
+        // Typed columns straight out of the parser: each band is encoded once,
+        // here, and checked in columnar — the store then accounts (and spills)
+        // the compact typed buffers instead of tagged cells.
+        let part = if df_types::column::columnar_enabled() {
+            let block = ColumnBlock::from_frame(&band);
+            Partition::new_columnar_in(block, chunk.start_row, 0, store_owned.as_ref())?
+        } else {
+            Partition::new_in(band, chunk.start_row, 0, store_owned.as_ref())?
+        };
         Ok((part, summaries))
     })?;
     let (parts, summaries): (Vec<Partition>, Vec<Option<Vec<InductionSummary>>>) =

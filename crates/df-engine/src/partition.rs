@@ -26,9 +26,11 @@ use std::fmt;
 use std::sync::Arc;
 
 use df_storage::spill::{PartitionId, SpillStore};
+use df_types::domain::Domain;
 use df_types::error::{DfError, DfResult};
 use df_types::labels::Labels;
 
+use df_core::columnar::ColumnBlock;
 use df_core::dataframe::{Column, DataFrame};
 use df_core::ops::reshape;
 use df_core::ops::setops;
@@ -64,17 +66,19 @@ impl Default for PartitionConfig {
     }
 }
 
-/// A block checked into a session-scoped [`SpillStore`]. The stored-orientation shape
-/// and column labels are cached so grid metadata (shapes, offsets, band row counts,
-/// key-column resolution) never has to load the block; the store entry is removed
-/// when the last handle to this block drops. Row labels are *not* cached — they scale
-/// with the data and caching them would defeat the spill.
+/// A block checked into a session-scoped [`SpillStore`]. The stored-orientation
+/// shape, column labels and per-column domains are cached so grid metadata (shapes,
+/// offsets, band row counts, key-column resolution, `schema()` answers) never has to
+/// load the block; the store entry is removed when the last handle to this block
+/// drops. Row labels are *not* cached — they scale with the data and caching them
+/// would defeat the spill.
 pub struct StoredBlock {
     store: Arc<SpillStore>,
     id: PartitionId,
     rows: usize,
     cols: usize,
     col_labels: Labels,
+    domains: Vec<Option<Domain>>,
 }
 
 impl Drop for StoredBlock {
@@ -104,6 +108,11 @@ impl fmt::Debug for StoredBlock {
 pub enum PartitionHandle {
     /// The handle owns the block in memory (shared with any clones of the handle).
     Resident(Arc<DataFrame>),
+    /// The handle owns the block in memory in its typed columnar form; loading it
+    /// decodes to a frame. Only explicit check-ins create this arm (ingest's per-band
+    /// parse above all) — intermediate operator results stay row-oriented rather than
+    /// paying an encode/decode round trip per operator.
+    Columnar(Arc<ColumnBlock>),
     /// The block is managed by a spill store; loading it may read a spill file.
     Stored(Arc<StoredBlock>),
 }
@@ -115,6 +124,7 @@ impl PartitionHandle {
             Some(store) => {
                 let (rows, cols) = frame.shape();
                 let col_labels = frame.col_labels().clone();
+                let domains = frame.schema();
                 let id = store.put(frame)?;
                 Ok(PartitionHandle::Stored(Arc::new(StoredBlock {
                     store: Arc::clone(store),
@@ -122,9 +132,36 @@ impl PartitionHandle {
                     rows,
                     cols,
                     col_labels,
+                    domains,
                 })))
             }
             None => Ok(PartitionHandle::Resident(Arc::new(frame))),
+        }
+    }
+
+    /// Wrap an already-encoded typed column block: checked into `store` when one is
+    /// provided (the store keeps it columnar and spills it as typed v3 buffers),
+    /// held columnar in memory otherwise.
+    pub fn columnar_in(
+        block: ColumnBlock,
+        store: Option<&Arc<SpillStore>>,
+    ) -> DfResult<PartitionHandle> {
+        match store {
+            Some(store) => {
+                let (rows, cols) = block.shape();
+                let col_labels = block.col_labels().clone();
+                let domains = block.domains().to_vec();
+                let id = store.put_block(block)?;
+                Ok(PartitionHandle::Stored(Arc::new(StoredBlock {
+                    store: Arc::clone(store),
+                    id,
+                    rows,
+                    cols,
+                    col_labels,
+                    domains,
+                })))
+            }
+            None => Ok(PartitionHandle::Columnar(Arc::new(block))),
         }
     }
 
@@ -132,6 +169,7 @@ impl PartitionHandle {
     pub fn shape(&self) -> (usize, usize) {
         match self {
             PartitionHandle::Resident(frame) => frame.shape(),
+            PartitionHandle::Columnar(block) => block.shape(),
             PartitionHandle::Stored(block) => (block.rows, block.cols),
         }
     }
@@ -145,28 +183,43 @@ impl PartitionHandle {
     pub fn col_labels(&self) -> Labels {
         match self {
             PartitionHandle::Resident(frame) => frame.col_labels().clone(),
+            PartitionHandle::Columnar(block) => block.col_labels().clone(),
             PartitionHandle::Stored(block) => block.col_labels.clone(),
         }
     }
 
-    /// Load the block (cloning a resident frame, fetching — and possibly reading back
-    /// from disk — a stored one).
+    /// Stored-orientation per-column domains, from metadata only: resident frames
+    /// report their columns' known domains, columnar blocks carry theirs, and stored
+    /// blocks cached theirs at check-in time — so a spilled grid answers dtype
+    /// questions with zero load-backs.
+    pub fn col_domains(&self) -> Vec<Option<Domain>> {
+        match self {
+            PartitionHandle::Resident(frame) => frame.schema(),
+            PartitionHandle::Columnar(block) => block.domains().to_vec(),
+            PartitionHandle::Stored(block) => block.domains.clone(),
+        }
+    }
+
+    /// Load the block (cloning a resident frame, decoding a columnar one, fetching —
+    /// and possibly reading back from disk — a stored one).
     pub fn load(&self) -> DfResult<DataFrame> {
         match self {
             PartitionHandle::Resident(frame) => Ok(frame.as_ref().clone()),
+            PartitionHandle::Columnar(block) => Ok(block.to_frame()),
             PartitionHandle::Stored(block) => block.store.get(block.id),
         }
     }
 
     /// Consume the handle and take the block: a uniquely-held resident frame moves
-    /// out copy-free (a shared one copies-on-write); a uniquely-held stored block is
-    /// taken out of the store (freeing its budget); a stored block with other live
-    /// handles is fetched non-destructively.
+    /// out copy-free (a shared one copies-on-write); a columnar block decodes; a
+    /// uniquely-held stored block is taken out of the store (freeing its budget); a
+    /// stored block with other live handles is fetched non-destructively.
     pub fn into_frame(self) -> DfResult<DataFrame> {
         match self {
             PartitionHandle::Resident(frame) => {
                 Ok(Arc::try_unwrap(frame).unwrap_or_else(|shared| shared.as_ref().clone()))
             }
+            PartitionHandle::Columnar(block) => Ok(block.to_frame()),
             PartitionHandle::Stored(block) => match Arc::try_unwrap(block) {
                 // `take` removes the entry; the unwrapped block's Drop then finds
                 // nothing to remove, which is fine.
@@ -218,6 +271,23 @@ impl Partition {
         })
     }
 
+    /// Wrap a typed column block, checking it into `store` when one is provided.
+    /// This is how ingest's per-band parse checks typed columns straight into the
+    /// session store.
+    pub fn new_columnar_in(
+        block: ColumnBlock,
+        row_offset: usize,
+        col_offset: usize,
+        store: Option<&Arc<SpillStore>>,
+    ) -> DfResult<Self> {
+        Ok(Partition {
+            handle: PartitionHandle::columnar_in(block, store)?,
+            row_offset,
+            col_offset,
+            transposed: false,
+        })
+    }
+
     /// Logical number of rows of the block.
     pub fn n_rows(&self) -> usize {
         let (rows, cols) = self.handle.shape();
@@ -251,6 +321,16 @@ impl Partition {
             return Ok(self.materialize()?.col_labels().clone());
         }
         Ok(self.handle.col_labels())
+    }
+
+    /// Logical per-column domains of the block, from metadata only. `None` for a
+    /// deferred transpose (its logical columns are the stored rows, whose domains
+    /// handles deliberately do not cache) — callers fall back to materialising.
+    pub fn col_domains(&self) -> Option<Vec<Option<Domain>>> {
+        if self.transposed {
+            return None;
+        }
+        Some(self.handle.col_domains())
     }
 
     /// The handle this partition owns its block through.
@@ -424,6 +504,26 @@ impl PartitionGrid {
     /// Per-band logical row counts, from metadata only (no block is loaded).
     pub fn band_row_counts(&self) -> Vec<usize> {
         self.blocks.iter().map(|band| band[0].n_rows()).collect()
+    }
+
+    /// Logical column labels paired with their known domains, from metadata only: no
+    /// block is loaded (and in particular no spilled block is read back), mirroring
+    /// what [`PartitionGrid::shape`] does for dimensions. `None` when a deferred
+    /// transpose hides the logical columns — those callers materialise instead.
+    pub fn schema(&self) -> Option<df_core::handle::FrameSchema> {
+        let Some(first) = self.blocks.first() else {
+            return Some(Vec::new());
+        };
+        let mut out = Vec::new();
+        for part in first {
+            if part.is_deferred_transpose() {
+                return None;
+            }
+            let labels = part.handle().col_labels();
+            let domains = part.handle().col_domains();
+            out.extend(labels.into_vec().into_iter().zip(domains));
+        }
+        Some(out)
     }
 
     /// Borrow all partitions row-band by row-band.
@@ -1017,6 +1117,65 @@ mod tests {
             PartitionGrid::from_row_bands_in(vec![df.head(6), df.tail(6)], Some(&store)).unwrap();
         assert_eq!(stored.stored_partitions(), 2);
         assert!(stored.into_dataframe().unwrap().same_data(&df));
+    }
+
+    #[test]
+    fn columnar_partitions_round_trip_with_and_without_a_store() {
+        let mut df = frame(24, 3);
+        df.columns_mut()[1].declare_domain(Domain::Int);
+        let block = ColumnBlock::from_frame(&df);
+
+        // Resident columnar handle: shape, labels and domains answer in place…
+        let resident = Partition::new_columnar_in(block.clone(), 0, 0, None).unwrap();
+        assert_eq!((resident.n_rows(), resident.n_cols()), (24, 3));
+        assert_eq!(
+            resident.col_domains().unwrap()[1],
+            Some(Domain::Int),
+            "declared domain survives the columnar check-in"
+        );
+        assert!(resident.materialize().unwrap().same_data(&df));
+
+        // …and a tight store spills the typed buffers, not a decoded frame.
+        let store = Arc::new(SpillStore::new(1).unwrap());
+        let stored = Partition::new_columnar_in(block, 0, 0, Some(&store)).unwrap();
+        assert_eq!(store.stats().spilled, 1);
+        let loads_before = store.stats().load_backs;
+        assert_eq!((stored.n_rows(), stored.n_cols()), (24, 3));
+        assert_eq!(stored.col_domains().unwrap()[1], Some(Domain::Int));
+        assert_eq!(
+            store.stats().load_backs,
+            loads_before,
+            "metadata queries must not load spilled columns"
+        );
+        assert!(stored.into_materialized().unwrap().same_data(&df));
+    }
+
+    #[test]
+    fn spilled_grid_schema_answers_with_zero_load_backs() {
+        let mut df = frame(40, 2);
+        df.columns_mut()[0].declare_domain(Domain::Int);
+        let store = Arc::new(SpillStore::new(1).unwrap()); // spill everything
+        let head = ColumnBlock::from_frame(&df.head(20));
+        let tail = ColumnBlock::from_frame(&df.tail(20));
+        let parts = vec![
+            Partition::new_columnar_in(head, 0, 0, Some(&store)).unwrap(),
+            Partition::new_columnar_in(tail, 20, 0, Some(&store)).unwrap(),
+        ];
+        let grid = PartitionGrid::from_band_partitions(parts);
+        assert_eq!(grid.stored_partitions(), 2);
+        let loads_before = store.stats().load_backs;
+        let schema = grid.schema().expect("row-banded grids always answer");
+        assert_eq!(
+            store.stats().load_backs,
+            loads_before,
+            "schema() is metadata-only even on a fully spilled grid"
+        );
+        assert_eq!(schema.len(), 2);
+        assert_eq!(schema[0].0, cell("c0"));
+        assert_eq!(schema[0].1, Some(Domain::Int));
+        assert_eq!(schema[1].0, cell("c1"));
+        // A deferred transpose hides the logical columns: schema declines.
+        assert!(grid.transpose().schema().is_none());
     }
 
     #[test]

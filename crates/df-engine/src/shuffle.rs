@@ -33,11 +33,13 @@ use std::collections::HashMap;
 use std::hash::Hasher;
 
 use df_types::cell::{Cell, StableHasher};
+use df_types::column::{columnar_enabled, ColumnData};
 use df_types::error::{DfError, DfResult};
 use df_types::labels::Labels;
 
 use df_core::algebra::{JoinOn, JoinType, SortSpec};
 use df_core::dataframe::{Column, DataFrame};
+use df_core::ops::columnar::typed_for_keying;
 use df_core::ops::{group, setops};
 
 use crate::executor::ParallelExecutor;
@@ -86,7 +88,9 @@ impl PartitionGrid {
     }
 }
 
-/// Hash one row's key cells into a stable bucket hash.
+/// Hash one row's key cells into a stable bucket hash (the reference form of
+/// [`KeyEncoder::hash`]; the shuffle tests cross-check bucket residency with it).
+#[cfg(test)]
 fn row_hash(frame: &DataFrame, i: usize, key: &ShuffleKey) -> u64 {
     let mut hasher = StableHasher::default();
     match key {
@@ -102,6 +106,53 @@ fn row_hash(frame: &DataFrame, i: usize, key: &ShuffleKey) -> u64 {
         }
     }
     hasher.finish()
+}
+
+/// Vectorized bucket hashing: one frame's key columns, pre-encoded as typed buffers
+/// where possible, so streaming every row of a band through [`StableHasher`] skips
+/// the per-cell enum dispatch. Hashes are byte-identical to streaming every key
+/// cell through [`Cell::hash_key`] — bucket assignment must never depend on the
+/// layout — and the encoder degrades to exactly that for columns (or whole keys)
+/// without a typed form.
+struct KeyEncoder<'a> {
+    frame: &'a DataFrame,
+    key: &'a ShuffleKey,
+    /// Typed encodings aligned with `ShuffleKey::Positions`; empty for label keys.
+    typed: Vec<Option<ColumnData>>,
+}
+
+impl<'a> KeyEncoder<'a> {
+    fn new(frame: &'a DataFrame, key: &'a ShuffleKey) -> KeyEncoder<'a> {
+        let typed = match key {
+            ShuffleKey::Positions(positions) if columnar_enabled() => positions
+                .iter()
+                .map(|&j| typed_for_keying(&frame.columns()[j]))
+                .collect(),
+            ShuffleKey::Positions(positions) => vec![None; positions.len()],
+            ShuffleKey::RowLabels => Vec::new(),
+        };
+        KeyEncoder { frame, key, typed }
+    }
+
+    fn hash(&self, i: usize) -> u64 {
+        let mut hasher = StableHasher::default();
+        match self.key {
+            ShuffleKey::Positions(positions) => {
+                for (typed, &j) in self.typed.iter().zip(positions) {
+                    match typed {
+                        Some(data) => data.hash_value_into(i, &mut hasher),
+                        None => self.frame.columns()[j].cells()[i].hash_key(&mut hasher),
+                    }
+                }
+            }
+            ShuffleKey::RowLabels => {
+                if let Some(label) = self.frame.row_labels().get(i) {
+                    label.hash_key(&mut hasher);
+                }
+            }
+        }
+        hasher.finish()
+    }
 }
 
 /// Group-key equality of two rows' key cells (the verification step behind the hash).
@@ -192,8 +243,9 @@ fn split_band(band: DataFrame, key: &ShuffleKey, p: usize) -> DfResult<Vec<DataF
         return Ok(vec![band]);
     }
     let mut bucket_rows: Vec<Vec<usize>> = vec![Vec::new(); p];
+    let encoder = KeyEncoder::new(&band, key);
     for i in 0..band.n_rows() {
-        let bucket = (row_hash(&band, i, key) % p as u64) as usize;
+        let bucket = (encoder.hash(i) % p as u64) as usize;
         bucket_rows[bucket].push(i);
     }
     bucket_rows
@@ -211,9 +263,10 @@ struct RowIndex {
 impl RowIndex {
     fn build(frame: &DataFrame, key: &ShuffleKey) -> DfResult<RowIndex> {
         validate_key(frame, key)?;
+        let encoder = KeyEncoder::new(frame, key);
         let mut map: HashMap<u64, Vec<usize>> = HashMap::with_capacity(frame.n_rows());
         for i in 0..frame.n_rows() {
-            map.entry(row_hash(frame, i, key)).or_default().push(i);
+            map.entry(encoder.hash(i)).or_default().push(i);
         }
         Ok(RowIndex { map })
     }
@@ -454,9 +507,10 @@ fn join_band(
     let mut left_take: Vec<usize> = Vec::new();
     let mut right_take: Vec<Option<usize>> = Vec::new();
     let mut matched = vec![false; right.n_rows()];
+    let encoder = KeyEncoder::new(band, &layout.left_key);
     for i in 0..band.n_rows() {
         let mut any = false;
-        for &rp in index.candidates(row_hash(band, i, &layout.left_key)) {
+        for &rp in index.candidates(encoder.hash(i)) {
             if keys_match(band, i, &layout.left_key, right, rp, &layout.right_key) {
                 any = true;
                 matched[rp] = true;
@@ -670,8 +724,9 @@ pub fn parallel_drop_duplicates(
         let bucket = part.into_materialized()?;
         let mut seen: HashMap<u64, Vec<usize>> = HashMap::new();
         let mut keep: Vec<usize> = Vec::new();
+        let encoder = KeyEncoder::new(&bucket, &key);
         for i in 0..bucket.n_rows() {
-            let candidates = seen.entry(row_hash(&bucket, i, &key)).or_default();
+            let candidates = seen.entry(encoder.hash(i)).or_default();
             let duplicate = candidates
                 .iter()
                 .any(|&j| keys_match(&bucket, i, &key, &bucket, j, &key));
@@ -709,14 +764,16 @@ pub fn parallel_difference(
         let filtered =
             executor.par_map(left.into_band_partitions(store.as_ref())?, |_, part| {
                 let band = part.into_materialized()?;
+                let encoder = KeyEncoder::new(&band, &key);
                 let keep: Vec<usize> = (0..band.n_rows())
                     .filter(|&i| {
                         !index
-                            .candidates(row_hash(&band, i, &key))
+                            .candidates(encoder.hash(i))
                             .iter()
                             .any(|&rp| keys_match(&band, i, &key, &right_frame, rp, &key))
                     })
                     .collect();
+                drop(encoder);
                 Partition::new_in(band.take_rows(&keep)?, 0, 0, store.as_ref())
             })?;
         return Ok(PartitionGrid::from_band_partitions(filtered));
@@ -736,14 +793,16 @@ pub fn parallel_difference(
         let left_bucket = left_part.into_materialized()?;
         let right_bucket = right_part.into_materialized()?;
         let index = RowIndex::build(&right_bucket, &key)?;
+        let encoder = KeyEncoder::new(&left_bucket, &key);
         let keep: Vec<usize> = (0..left_bucket.n_rows())
             .filter(|&i| {
                 !index
-                    .candidates(row_hash(&left_bucket, i, &key))
+                    .candidates(encoder.hash(i))
                     .iter()
                     .any(|&rp| keys_match(&left_bucket, i, &key, &right_bucket, rp, &key))
             })
             .collect();
+        drop(encoder);
         Partition::new_in(left_bucket.take_rows(&keep)?, 0, 0, store.as_ref())
     })?;
     let pos_at = filtered[0].n_cols() - 1;

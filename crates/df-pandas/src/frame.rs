@@ -331,9 +331,31 @@ impl PandasFrame {
         Ok(self.collect()?.display_with(peek))
     }
 
+    /// Column label → known domain for every column, from handle metadata only —
+    /// like [`PandasFrame::shape`], nothing is loaded or assembled, even when the
+    /// result is a fully spilled partition grid. `None` per slot for a column whose
+    /// schema induction is still deferred, or `None` overall when the handle's
+    /// metadata cannot answer (a deferred transpose); use [`PandasFrame::dtypes`]
+    /// when every domain must be resolved.
+    pub fn schema(&self) -> DfResult<Option<df_core::FrameSchema>> {
+        Ok(self.handle()?.schema())
+    }
+
     /// Column label → domain for every column whose domain is known or inducible
-    /// (pandas `dtypes`).
+    /// (pandas `dtypes`). Answered from handle metadata when every column's domain
+    /// is already known — a spill-backed ingest reports its dtypes without loading
+    /// a single band back — and by inducing on the materialised frame otherwise.
     pub fn dtypes(&self) -> DfResult<Vec<(Cell, Domain)>> {
+        if let Some(schema) = self.handle()?.schema() {
+            if schema.iter().all(|(_, domain)| domain.is_some()) {
+                return Ok(schema
+                    .into_iter()
+                    .map(|(label, domain)| (label, domain.expect("checked above")))
+                    .collect());
+            }
+        }
+        // Some column's domain is still unknown (raw Σ* data, or a handle without
+        // schema metadata): induce on the materialised frame.
         let mut df = self.collect()?;
         let domains = df.resolve_schema();
         Ok(df
@@ -1109,6 +1131,92 @@ mod tests {
             }]
         });
         assert_eq!(applied.shape().unwrap(), (3, 1));
+    }
+
+    #[test]
+    fn schema_and_dtypes_of_a_spilled_ingest_are_metadata_only() {
+        let dir = std::env::temp_dir().join(format!("df_pandas_schema_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("typed.csv");
+        let mut content = String::from("id,fare,tag\n");
+        for i in 0..200 {
+            content.push_str(&format!("{i},{i}.5,t{}\n", i % 3));
+        }
+        std::fs::write(&path, &content).unwrap();
+
+        // A 1-byte budget spills every ingested band immediately.
+        let session = Session::modin_with(
+            df_engine::engine::ModinConfig::default()
+                .with_memory_budget(1)
+                .with_partition_size(32, 8),
+            df_engine::session::EvalMode::Eager,
+        );
+        let options = CsvOptions {
+            infer_schema: true,
+            ..CsvOptions::default()
+        };
+        let df = PandasFrame::read_csv_path(&session, &path, &options).unwrap();
+        let before = session.spill_stats().unwrap();
+        assert!(before.spilled > 0, "budget of 1 byte must spill all bands");
+
+        let schema = df.schema().unwrap().expect("row-banded grids answer");
+        let dtypes = df.dtypes().unwrap();
+
+        let after = session.spill_stats().unwrap();
+        assert_eq!(
+            after.load_backs, before.load_backs,
+            "schema()/dtypes() must answer from metadata, not load spilled bands"
+        );
+        assert_eq!(
+            schema,
+            vec![
+                (cell("id"), Some(Domain::Int)),
+                (cell("fare"), Some(Domain::Float)),
+                (cell("tag"), Some(Domain::Category)),
+            ]
+        );
+        assert_eq!(
+            dtypes,
+            vec![
+                (cell("id"), Domain::Int),
+                (cell("fare"), Domain::Float),
+                (cell("tag"), Domain::Category),
+            ]
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn astype_casts_banded_under_a_spill_budget() {
+        let dir = std::env::temp_dir().join(format!("df_pandas_astype_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("prices.csv");
+        let mut content = String::from("item,price\n");
+        for i in 0..160 {
+            content.push_str(&format!("item-{i},{}\n", i * 3));
+        }
+        std::fs::write(&path, &content).unwrap();
+
+        let session = Session::modin_with(
+            df_engine::engine::ModinConfig::default()
+                .with_memory_budget(1)
+                .with_partition_size(32, 8),
+            df_engine::session::EvalMode::Eager,
+        );
+        let options = CsvOptions {
+            infer_schema: true,
+            ..CsvOptions::default()
+        };
+        let df = PandasFrame::read_csv_path(&session, &path, &options).unwrap();
+        let cast = df.astype("price", Domain::Float);
+        // The cast is a banded MAP: its result is itself spill-backed, and its
+        // domain metadata answers without materialising.
+        assert_eq!(cast.dtypes().unwrap()[1], (cell("price"), Domain::Float));
+        let collected = cast.collect().unwrap();
+        assert_eq!(collected.cell(0, 1).unwrap(), &cell(0.0));
+        assert_eq!(collected.cell(159, 1).unwrap(), &cell(477.0));
+        assert!(session.spill_stats().unwrap().spill_outs > 0);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -66,6 +66,36 @@ impl Session {
     /// spill store with `memory_budget_bytes` of in-memory budget; least-recently-used
     /// bands spill to disk instead of exhausting memory, and the spill directory is
     /// freed when the session drops. Inspect behaviour via [`Session::spill_stats`].
+    ///
+    /// Metadata questions stay cheap even when everything is spilled: `shape`,
+    /// `schema` and `dtypes` answer from the domains each band cached at check-in,
+    /// never loading a spilled band back.
+    ///
+    /// ```
+    /// use df_pandas::{PandasFrame, Session};
+    /// use df_storage::csv::CsvOptions;
+    /// use df_types::domain::Domain;
+    ///
+    /// let dir = std::env::temp_dir().join(format!("df_session_doc_{}", std::process::id()));
+    /// std::fs::create_dir_all(&dir)?;
+    /// let path = dir.join("trips.csv");
+    /// std::fs::write(&path, "trip_id,fare\n1,5.5\n2,7.25\n3,12.0\n")?;
+    ///
+    /// // A 1-byte budget spills every ingested band immediately.
+    /// let session = Session::modin_out_of_core(1);
+    /// let options = CsvOptions { infer_schema: true, ..CsvOptions::default() };
+    /// let trips = PandasFrame::read_csv_path(&session, &path, &options)?;
+    ///
+    /// let loads_before = session.spill_stats().unwrap().load_backs;
+    /// assert_eq!(trips.shape()?, (3, 2));
+    /// let dtypes = trips.dtypes()?; // answered from band metadata…
+    /// assert_eq!(dtypes[0].1, Domain::Int);
+    /// assert_eq!(dtypes[1].1, Domain::Float);
+    /// // …so nothing was loaded back from disk to answer.
+    /// assert_eq!(session.spill_stats().unwrap().load_backs, loads_before);
+    /// std::fs::remove_file(&path)?;
+    /// # Ok::<(), df_types::error::DfError>(())
+    /// ```
     pub fn modin_out_of_core(memory_budget_bytes: usize) -> Arc<Session> {
         Session::modin_with(
             ModinConfig::default().with_memory_budget(memory_budget_bytes),

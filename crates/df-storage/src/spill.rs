@@ -11,25 +11,40 @@
 //! session-scoped temporary directory and transparently re-loaded on access. Dropping
 //! the store removes its directory, matching the "freed once a session ends" semantics.
 //!
-//! Spill files use a private *lossless* encoding (a type tag per cell, per-column
-//! domain slots, tagged labels): a spilled partition reads back cell-for-cell and
-//! schema-slot-for-schema-slot identical, so engines may spill untyped (raw string)
-//! columns without schema induction being forced on reload. The engine's spill
-//! equivalence suite relies on this.
+//! Spill files use a private *lossless* encoding: a spilled partition reads back
+//! cell-for-cell and schema-slot-for-schema-slot identical, so engines may spill
+//! untyped (raw string) columns without schema induction being forced on reload. The
+//! engine's spill equivalence suite relies on this. Two formats coexist:
+//!
+//! * **v2** — one tagged-cell line per column (a type tag per cell, per-column domain
+//!   slots, tagged labels). Written when the columnar switch is off; always readable.
+//! * **v3** — typed column buffers: each column is one line carrying its layout tag,
+//!   validity bitmap (hex words) and a flat value buffer (floats as `to_bits` hex, so
+//!   NaN payloads and `-0.0` survive bit-exactly); columns no typed layout can
+//!   represent fall back to a v2-style tagged-cell line. This is the default format,
+//!   and what a [`ColumnBlock`] checked in via [`SpillStore::put_block`] spills as
+//!   without ever converting back to tagged cells.
+//!
+//! The store's slots hold a [`StoredPart`] — a row-oriented [`DataFrame`] or a typed
+//! [`ColumnBlock`] — and reads return whichever frame form the caller asked for; the
+//! format on disk matches the slot's form, so a block never pays a decode just to be
+//! spilled.
 
 use std::collections::HashMap;
 use std::io::{BufWriter, Read, Write};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use df_types::cell::Cell;
+use df_types::column::{columnar_enabled, ColumnData, Validity};
 use df_types::domain::Domain;
 use df_types::error::{DfError, DfResult};
 use df_types::labels::Labels;
 
+use df_core::columnar::ColumnBlock;
 use df_core::dataframe::{Column, DataFrame};
 
 /// Identifier of a partition held by a [`SpillStore`].
@@ -62,11 +77,49 @@ pub struct SpillStats {
     pub max_insert_bytes: usize,
 }
 
+/// What one store slot physically holds: a row-oriented frame, or a typed column
+/// block (what ingest checks in when the columnar layout is enabled). Either form
+/// decodes to the identical [`DataFrame`] on read; the block form is both smaller in
+/// memory (honest typed accounting) and spills as typed v3 buffers directly.
+#[derive(Debug, Clone)]
+pub enum StoredPart {
+    /// A row-oriented tagged-cell frame.
+    Frame(DataFrame),
+    /// A typed column block.
+    Block(ColumnBlock),
+}
+
+impl StoredPart {
+    /// Honest in-memory footprint of this form.
+    pub fn approx_size_bytes(&self) -> usize {
+        match self {
+            StoredPart::Frame(frame) => frame.approx_size_bytes(),
+            StoredPart::Block(block) => block.approx_size_bytes(),
+        }
+    }
+
+    /// Decode to a row-addressable frame (cloning a frame, decoding a block).
+    pub fn to_frame(&self) -> DataFrame {
+        match self {
+            StoredPart::Frame(frame) => frame.clone(),
+            StoredPart::Block(block) => block.to_frame(),
+        }
+    }
+
+    /// Consuming form of [`StoredPart::to_frame`]: a frame moves out copy-free.
+    pub fn into_frame(self) -> DataFrame {
+        match self {
+            StoredPart::Frame(frame) => frame,
+            StoredPart::Block(block) => block.to_frame(),
+        }
+    }
+}
+
 struct Slot {
-    /// The resident copy. Held through an `Arc` so a spill can serialise the frame
+    /// The resident copy. Held through an `Arc` so a spill can serialise the part
     /// without taking it out of the slot (concurrent `get`s keep working) and without
     /// holding the map lock across file IO.
-    frame: Option<Arc<DataFrame>>,
+    part: Option<Arc<StoredPart>>,
     spill_path: Option<PathBuf>,
     approx_bytes: usize,
     last_touch: u64,
@@ -140,8 +193,19 @@ impl SpillStore {
 
     /// Insert a partition, spilling older partitions if the memory budget is exceeded.
     pub fn put(&self, frame: DataFrame) -> DfResult<PartitionId> {
+        self.put_part(StoredPart::Frame(frame))
+    }
+
+    /// Insert an already-encoded typed column block. The block stays columnar in the
+    /// slot (smaller resident footprint) and spills as typed v3 buffers; reads decode
+    /// it to the identical frame on demand.
+    pub fn put_block(&self, block: ColumnBlock) -> DfResult<PartitionId> {
+        self.put_part(StoredPart::Block(block))
+    }
+
+    fn put_part(&self, part: StoredPart) -> DfResult<PartitionId> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let approx_bytes = frame.approx_size_bytes();
+        let approx_bytes = part.approx_size_bytes();
         self.max_insert_bytes
             .fetch_max(approx_bytes, Ordering::Relaxed);
         let touch = self.clock.fetch_add(1, Ordering::Relaxed);
@@ -150,7 +214,7 @@ impl SpillStore {
             inner.slots.insert(
                 id,
                 Slot {
-                    frame: Some(Arc::new(frame)),
+                    part: Some(Arc::new(part)),
                     spill_path: None,
                     approx_bytes,
                     last_touch: touch,
@@ -172,21 +236,21 @@ impl SpillStore {
             .get_mut(&id)
             .ok_or_else(|| DfError::internal(format!("unknown partition id {id}")))?;
         slot.last_touch = touch;
-        if let Some(frame) = &slot.frame {
-            return Ok(frame.as_ref().clone());
+        if let Some(part) = &slot.part {
+            return Ok(part.to_frame());
         }
         let path = slot
             .spill_path
             .clone()
             .ok_or_else(|| DfError::internal("partition has neither memory nor spill copy"))?;
         drop(inner);
-        let frame = Arc::new(read_spill_file(&path)?);
+        let part = Arc::new(read_spill_part(&path)?);
         self.load_backs.fetch_add(1, Ordering::Relaxed);
         let mut inner = self.inner.lock();
         if let Some(slot) = inner.slots.get_mut(&id) {
-            let approx_bytes = frame.approx_size_bytes();
-            let newly_resident = slot.frame.is_none();
-            slot.frame = Some(Arc::clone(&frame));
+            let approx_bytes = part.approx_size_bytes();
+            let newly_resident = slot.part.is_none();
+            slot.part = Some(Arc::clone(&part));
             slot.approx_bytes = approx_bytes;
             if newly_resident {
                 inner.resident_bytes += approx_bytes;
@@ -195,7 +259,9 @@ impl SpillStore {
         }
         drop(inner);
         self.enforce_budget()?;
-        Ok(Arc::try_unwrap(frame).unwrap_or_else(|shared| shared.as_ref().clone()))
+        Ok(Arc::try_unwrap(part)
+            .map(StoredPart::into_frame)
+            .unwrap_or_else(|shared| shared.to_frame()))
     }
 
     /// Fetch a partition *and* remove it from the store: the consuming counterpart of
@@ -208,31 +274,33 @@ impl SpillStore {
                 .slots
                 .remove(&id)
                 .ok_or_else(|| DfError::internal(format!("unknown partition id {id}")))?;
-            if slot.frame.is_some() {
+            if slot.part.is_some() {
                 inner.resident_bytes = inner.resident_bytes.saturating_sub(slot.approx_bytes);
             }
             slot
         };
-        if let Some(frame) = slot.frame {
+        if let Some(part) = slot.part {
             if let Some(path) = slot.spill_path {
                 std::fs::remove_file(path).ok();
             }
-            return Ok(Arc::try_unwrap(frame).unwrap_or_else(|shared| shared.as_ref().clone()));
+            return Ok(Arc::try_unwrap(part)
+                .map(StoredPart::into_frame)
+                .unwrap_or_else(|shared| shared.to_frame()));
         }
         let path = slot
             .spill_path
             .ok_or_else(|| DfError::internal("partition has neither memory nor spill copy"))?;
-        let frame = read_spill_file(&path)?;
+        let part = read_spill_part(&path)?;
         self.load_backs.fetch_add(1, Ordering::Relaxed);
         std::fs::remove_file(path).ok();
-        Ok(frame)
+        Ok(part.into_frame())
     }
 
     /// Remove a partition entirely (memory and disk).
     pub fn remove(&self, id: PartitionId) -> DfResult<()> {
         let mut inner = self.inner.lock();
         if let Some(slot) = inner.slots.remove(&id) {
-            if slot.frame.is_some() {
+            if slot.part.is_some() {
                 inner.resident_bytes = inner.resident_bytes.saturating_sub(slot.approx_bytes);
             }
             if let Some(path) = slot.spill_path {
@@ -253,7 +321,7 @@ impl SpillStore {
             ..SpillStats::default()
         };
         for slot in inner.slots.values() {
-            if slot.frame.is_some() {
+            if slot.part.is_some() {
                 stats.in_memory += 1;
             } else {
                 stats.spilled += 1;
@@ -283,7 +351,7 @@ impl SpillStore {
                 inner
                     .slots
                     .iter()
-                    .filter(|(_, s)| s.frame.is_some())
+                    .filter(|(_, s)| s.part.is_some())
                     .min_by_key(|(_, s)| s.last_touch)
                     .map(|(&id, _)| id)
             };
@@ -305,23 +373,23 @@ impl SpillStore {
     /// deleted while readers may hold its path — files die only with their slot (or
     /// the store).
     fn spill_one(&self, id: PartitionId) -> DfResult<()> {
-        let (frame, already_on_disk) = {
+        let (part, already_on_disk) = {
             let inner = self.inner.lock();
             match inner.slots.get(&id) {
-                Some(slot) => (slot.frame.clone(), slot.spill_path.is_some()),
+                Some(slot) => (slot.part.clone(), slot.spill_path.is_some()),
                 None => return Ok(()),
             }
         };
-        let Some(frame) = frame else { return Ok(()) };
+        let Some(part) = part else { return Ok(()) };
         if already_on_disk {
             // A reloaded partition: its spill file is still valid, so spilling is
             // just dropping the resident copy (guarded by the same Arc identity
-            // check — a fresh reload means the slot is hot and keeps its frame).
+            // check — a fresh reload means the slot is hot and keeps its part).
             let mut inner = self.inner.lock();
             if let Some(slot) = inner.slots.get_mut(&id) {
-                if slot.frame.as_ref().is_some_and(|f| Arc::ptr_eq(f, &frame)) {
+                if slot.part.as_ref().is_some_and(|p| Arc::ptr_eq(p, &part)) {
                     let released = slot.approx_bytes;
-                    slot.frame = None;
+                    slot.part = None;
                     inner.resident_bytes = inner.resident_bytes.saturating_sub(released);
                     self.spill_outs.fetch_add(1, Ordering::Relaxed);
                 }
@@ -330,18 +398,18 @@ impl SpillStore {
         }
         let seq = self.spill_seq.fetch_add(1, Ordering::Relaxed);
         let path = self.directory.join(format!("part-{id}-{seq}.spill"));
-        write_spill_file(&frame, &path)?;
+        write_spill_part(&part, &path)?;
         let mut inner = self.inner.lock();
         let installed = match inner.slots.get_mut(&id) {
-            // Install only if the slot still holds the serialised frame AND no other
+            // Install only if the slot still holds the serialised part AND no other
             // racer installed a file first — never displace a path a reader may be
             // holding.
             Some(slot)
                 if slot.spill_path.is_none()
-                    && slot.frame.as_ref().is_some_and(|f| Arc::ptr_eq(f, &frame)) =>
+                    && slot.part.as_ref().is_some_and(|p| Arc::ptr_eq(p, &part)) =>
             {
                 let released = slot.approx_bytes;
-                slot.frame = None;
+                slot.part = None;
                 slot.spill_path = Some(path.clone());
                 inner.resident_bytes = inner.resident_bytes.saturating_sub(released);
                 true
@@ -368,21 +436,38 @@ impl Drop for SpillStore {
 }
 
 // ---------------------------------------------------------------------------
-// Spill file format (internal, lossless)
+// Spill file formats (internal, lossless)
 // ---------------------------------------------------------------------------
 //
-//   rustframe-spill-v2
+// Both formats share a header:
+//
+//   rustframe-spill-v2 | rustframe-spill-v3
 //   <n_rows> <n_cols>
 //   <tagged row labels, unit-separator-joined>
 //   <tagged col labels, unit-separator-joined>
 //   <per-column domain names ("?" for an un-induced slot), unit-separator-joined>
-//   <one line per column: tagged cells, unit-separator-joined>
 //
-// Each cell is a one-letter type tag plus a payload (see `encode_cell`); embedded
-// separators, backslashes and newlines are escaped, so arbitrary strings — including
-// ones that look numeric — survive the round trip without re-running schema induction.
+// v2 follows with one line per column of tagged cells (a one-letter type tag plus a
+// payload per cell, see `encode_cell`), unit-separator-joined. Embedded separators,
+// backslashes and newlines are escaped, so arbitrary strings — including ones that
+// look numeric — survive the round trip without re-running schema induction.
+//
+// v3 follows with one line per *typed* column: a layout tag field, a validity bitmap
+// (the `Validity` words as hex, space-joined), and the flat value buffer —
+//
+//   C <US> <tagged cells as in v2>                         (fallback layout)
+//   I <US> <validity> <US> <i64 values, space-joined>
+//   F <US> <validity> <US> <f64::to_bits as hex, space-joined>   (bit-exact)
+//   B <US> <validity> <US> <one '0'/'1' char per row>
+//   S <US> <validity> <US> <one escaped string field per row>
+//   D <US> <validity> <US> <u32 codes, space-joined> <US> <escaped dict entries>
+//
+// where <US> is the unit separator. Null slots hold the layout's default value and
+// are masked by the validity bitmap, exactly mirroring `ColumnData`'s in-memory
+// layout — so a spilled block re-loads without re-probing any column.
 
 const MAGIC: &str = "rustframe-spill-v2";
+const MAGIC_V3: &str = "rustframe-spill-v3";
 /// Joins cells within a line.
 const UNIT_SEP: char = '\u{1f}';
 /// Joins the elements of a composite (list) cell payload.
@@ -507,7 +592,36 @@ fn decode_line(line: &str, expected: usize) -> DfResult<Vec<Cell>> {
     Ok(cells)
 }
 
-fn write_spill_file(frame: &DataFrame, path: &PathBuf) -> DfResult<()> {
+/// Serialise one stored part: blocks always write v3; frames write v3 when the
+/// columnar switch is on (typed-probing each column at spill time), v2 otherwise —
+/// so disabling the switch restores the pre-columnar spill files byte for byte.
+fn write_spill_part(part: &StoredPart, path: &Path) -> DfResult<()> {
+    match part {
+        StoredPart::Block(block) => write_spill_block_v3(block, path),
+        StoredPart::Frame(frame) if columnar_enabled() => {
+            write_spill_block_v3(&ColumnBlock::from_frame(frame), path)
+        }
+        StoredPart::Frame(frame) => write_spill_frame_v2(frame, path),
+    }
+}
+
+/// Read a spill file in whichever format it was written: v2 files decode to a
+/// row-oriented frame, v3 files to a typed column block. Exposed (with the two
+/// writers) so format-compatibility tests can pin that old v2 files stay readable.
+pub fn read_spill_part(path: &Path) -> DfResult<StoredPart> {
+    let mut content = String::new();
+    std::fs::File::open(path)?.read_to_string(&mut content)?;
+    match content.split('\n').next().unwrap_or("") {
+        MAGIC => Ok(StoredPart::Frame(read_spill_v2(&content)?)),
+        MAGIC_V3 => Ok(StoredPart::Block(read_spill_v3(&content)?)),
+        _ => Err(DfError::internal("corrupt spill file: bad magic")),
+    }
+}
+
+/// Write one frame in the legacy v2 tagged-cell format. Production code writes v2
+/// only while the columnar switch is off; kept public so compatibility tests can
+/// produce v2 files and assert they still read back.
+pub fn write_spill_frame_v2(frame: &DataFrame, path: &Path) -> DfResult<()> {
     let file = std::fs::File::create(path)?;
     let mut writer = BufWriter::new(file);
     writeln!(writer, "{MAGIC}")?;
@@ -527,18 +641,39 @@ fn write_spill_file(frame: &DataFrame, path: &PathBuf) -> DfResult<()> {
     Ok(())
 }
 
-fn read_spill_file(path: &PathBuf) -> DfResult<DataFrame> {
-    let mut content = String::new();
-    std::fs::File::open(path)?.read_to_string(&mut content)?;
-    let mut lines = content.split('\n');
-    let mut next = |what: &str| {
-        lines
-            .next()
-            .ok_or_else(|| DfError::internal(format!("truncated spill file: missing {what}")))
-    };
-    if next("magic")? != MAGIC {
-        return Err(DfError::internal("corrupt spill file: bad magic"));
+/// Write one typed column block in the v3 format (typed buffers, bit-exact floats).
+pub fn write_spill_block_v3(block: &ColumnBlock, path: &Path) -> DfResult<()> {
+    let file = std::fs::File::create(path)?;
+    let mut writer = BufWriter::new(file);
+    writeln!(writer, "{MAGIC_V3}")?;
+    writeln!(writer, "{} {}", block.n_rows(), block.n_cols())?;
+    writeln!(writer, "{}", encode_line(block.row_labels().as_slice()))?;
+    writeln!(writer, "{}", encode_line(block.col_labels().as_slice()))?;
+    let domains: Vec<&str> = block
+        .domains()
+        .iter()
+        .map(|d| d.as_ref().map(|d| d.name()).unwrap_or("?"))
+        .collect();
+    writeln!(writer, "{}", domains.join(&UNIT_SEP.to_string()))?;
+    for column in block.columns() {
+        writeln!(writer, "{}", encode_v3_column(column))?;
     }
+    writer.flush()?;
+    Ok(())
+}
+
+/// The header both formats share: shape, labels and per-column domain slots.
+struct SpillHeader {
+    n_rows: usize,
+    n_cols: usize,
+    row_labels: Labels,
+    col_labels: Labels,
+    domains: Vec<Option<Domain>>,
+}
+
+fn parse_spill_header<'a>(
+    next: &mut impl FnMut(&'static str) -> DfResult<&'a str>,
+) -> DfResult<SpillHeader> {
     let shape_line = next("shape")?;
     let (rows_raw, cols_raw) = shape_line
         .split_once(' ')
@@ -571,15 +706,206 @@ fn read_spill_file(path: &PathBuf) -> DfResult<DataFrame> {
     if domains.len() != n_cols {
         return Err(DfError::internal("corrupt spill file: domain count"));
     }
-    let mut columns = Vec::with_capacity(n_cols);
-    for domain in domains {
-        let cells = decode_line(next("column")?, n_rows)?;
+    Ok(SpillHeader {
+        n_rows,
+        n_cols,
+        row_labels,
+        col_labels,
+        domains,
+    })
+}
+
+fn read_spill_v2(content: &str) -> DfResult<DataFrame> {
+    let mut lines = content.split('\n');
+    let mut next = move |what: &'static str| {
+        lines
+            .next()
+            .ok_or_else(|| DfError::internal(format!("truncated spill file: missing {what}")))
+    };
+    if next("magic")? != MAGIC {
+        return Err(DfError::internal("corrupt spill file: bad magic"));
+    }
+    let header = parse_spill_header(&mut next)?;
+    let mut columns = Vec::with_capacity(header.n_cols);
+    for domain in header.domains {
+        let cells = decode_line(next("column")?, header.n_rows)?;
         columns.push(match domain {
             Some(domain) => Column::with_domain(cells, domain),
             None => Column::new(cells),
         });
     }
-    DataFrame::from_parts(columns, row_labels, col_labels)
+    DataFrame::from_parts(columns, header.row_labels, header.col_labels)
+}
+
+fn read_spill_v3(content: &str) -> DfResult<ColumnBlock> {
+    let mut lines = content.split('\n');
+    let mut next = move |what: &'static str| {
+        lines
+            .next()
+            .ok_or_else(|| DfError::internal(format!("truncated spill file: missing {what}")))
+    };
+    if next("magic")? != MAGIC_V3 {
+        return Err(DfError::internal("corrupt spill file: bad magic"));
+    }
+    let header = parse_spill_header(&mut next)?;
+    let mut columns = Vec::with_capacity(header.n_cols);
+    for _ in 0..header.n_cols {
+        columns.push(decode_v3_column(next("column")?, header.n_rows)?);
+    }
+    ColumnBlock::from_parts(
+        columns,
+        header.domains,
+        header.row_labels,
+        header.col_labels,
+    )
+}
+
+fn encode_validity(validity: &Validity) -> String {
+    let words: Vec<String> = validity.words().iter().map(|w| format!("{w:x}")).collect();
+    words.join(" ")
+}
+
+fn decode_validity(raw: &str, len: usize) -> DfResult<Validity> {
+    let words: Vec<u64> = raw
+        .split_whitespace()
+        .map(|w| {
+            u64::from_str_radix(w, 16)
+                .map_err(|_| DfError::internal(format!("corrupt spill validity word {w:?}")))
+        })
+        .collect::<DfResult<_>>()?;
+    if words.len() != len.div_ceil(64) {
+        return Err(DfError::internal("corrupt spill file: validity length"));
+    }
+    Ok(Validity::from_words(words, len))
+}
+
+fn encode_v3_column(data: &ColumnData) -> String {
+    let u = UNIT_SEP.to_string();
+    match data {
+        ColumnData::Cells(cells) => format!("C{u}{}", encode_line(cells)),
+        ColumnData::Int { values, validity } => {
+            let vals: Vec<String> = values.iter().map(i64::to_string).collect();
+            format!("I{u}{}{u}{}", encode_validity(validity), vals.join(" "))
+        }
+        ColumnData::Float { values, validity } => {
+            let vals: Vec<String> = values
+                .iter()
+                .map(|v| format!("{:x}", v.to_bits()))
+                .collect();
+            format!("F{u}{}{u}{}", encode_validity(validity), vals.join(" "))
+        }
+        ColumnData::Bool { values, validity } => {
+            let vals: String = values.iter().map(|b| if *b { '1' } else { '0' }).collect();
+            format!("B{u}{}{u}{vals}", encode_validity(validity))
+        }
+        ColumnData::Str { values, validity } => {
+            let mut fields = vec!["S".to_string(), encode_validity(validity)];
+            fields.extend(values.iter().map(|s| escape(s)));
+            fields.join(&u)
+        }
+        ColumnData::Dict {
+            codes,
+            dict,
+            validity,
+        } => {
+            let code_field: Vec<String> = codes.iter().map(u32::to_string).collect();
+            let mut fields = vec![
+                "D".to_string(),
+                encode_validity(validity),
+                code_field.join(" "),
+            ];
+            fields.extend(dict.iter().map(|s| escape(s)));
+            fields.join(&u)
+        }
+    }
+}
+
+fn decode_v3_column(line: &str, n_rows: usize) -> DfResult<ColumnData> {
+    let bad = |what: &str| DfError::internal(format!("corrupt spill v3 column: {what}"));
+    let fields: Vec<&str> = line.split(UNIT_SEP).collect();
+    match fields.first().copied() {
+        Some("C") => {
+            // Everything after the two-byte "C<US>" prefix is a v2 tagged-cell line.
+            let rest = line.get(2..).ok_or_else(|| bad("cells"))?;
+            Ok(ColumnData::Cells(decode_line(rest, n_rows)?))
+        }
+        Some("I") if fields.len() == 3 => {
+            let validity = decode_validity(fields[1], n_rows)?;
+            let values: Vec<i64> = fields[2]
+                .split_whitespace()
+                .map(|v| v.parse::<i64>().map_err(|_| bad("int value")))
+                .collect::<DfResult<_>>()?;
+            if values.len() != n_rows {
+                return Err(bad("int value count"));
+            }
+            Ok(ColumnData::Int { values, validity })
+        }
+        Some("F") if fields.len() == 3 => {
+            let validity = decode_validity(fields[1], n_rows)?;
+            let values: Vec<f64> = fields[2]
+                .split_whitespace()
+                .map(|v| {
+                    u64::from_str_radix(v, 16)
+                        .map(f64::from_bits)
+                        .map_err(|_| bad("float bits"))
+                })
+                .collect::<DfResult<_>>()?;
+            if values.len() != n_rows {
+                return Err(bad("float value count"));
+            }
+            Ok(ColumnData::Float { values, validity })
+        }
+        Some("B") if fields.len() == 3 => {
+            let validity = decode_validity(fields[1], n_rows)?;
+            let values: Vec<bool> = fields[2]
+                .chars()
+                .map(|c| match c {
+                    '1' => Ok(true),
+                    '0' => Ok(false),
+                    _ => Err(bad("bool char")),
+                })
+                .collect::<DfResult<_>>()?;
+            if values.len() != n_rows {
+                return Err(bad("bool value count"));
+            }
+            Ok(ColumnData::Bool { values, validity })
+        }
+        Some("S") if fields.len() == 2 + n_rows => {
+            let validity = decode_validity(fields[1], n_rows)?;
+            let values: Vec<String> = fields[2..]
+                .iter()
+                .map(|s| unescape(s))
+                .collect::<DfResult<_>>()?;
+            Ok(ColumnData::Str { values, validity })
+        }
+        Some("D") if fields.len() >= 3 => {
+            let validity = decode_validity(fields[1], n_rows)?;
+            let codes: Vec<u32> = fields[2]
+                .split_whitespace()
+                .map(|v| v.parse::<u32>().map_err(|_| bad("dict code")))
+                .collect::<DfResult<_>>()?;
+            if codes.len() != n_rows {
+                return Err(bad("dict code count"));
+            }
+            let dict: Vec<String> = fields[3..]
+                .iter()
+                .map(|s| unescape(s))
+                .collect::<DfResult<_>>()?;
+            if codes
+                .iter()
+                .enumerate()
+                .any(|(i, &c)| validity.get(i) && c as usize >= dict.len())
+            {
+                return Err(bad("dict code out of range"));
+            }
+            Ok(ColumnData::Dict {
+                codes,
+                dict,
+                validity,
+            })
+        }
+        _ => Err(bad("unknown layout tag")),
+    }
 }
 
 /// Convenience: build a dataframe column-by-column from typed cells (used by tests).
@@ -745,6 +1071,95 @@ mod tests {
         assert!(store.get(id).is_err());
         assert!(store.get(9999).is_err());
         store.remove(12345).unwrap();
+    }
+
+    #[test]
+    fn typed_blocks_check_in_and_read_back_identically() {
+        // A block checked in via put_block spills as v3 and decodes to the exact
+        // frame it encoded — domains included — and its resident accounting is the
+        // block's (smaller) typed footprint.
+        let mut df = frame_of(vec![
+            ("id", (0..64).map(|i| cell(i as i64)).collect()),
+            ("fare", (0..64).map(|i| cell(i as f64 + 0.5)).collect()),
+            (
+                "vendor",
+                (0..64)
+                    .map(|i| cell(if i % 2 == 0 { "CMT" } else { "VTS" }))
+                    .collect(),
+            ),
+        ])
+        .unwrap();
+        df.columns_mut()[2].declare_domain(Domain::Category);
+        let block = ColumnBlock::from_frame(&df);
+        let block_bytes = block.approx_size_bytes();
+        assert!(block_bytes < df.approx_size_bytes());
+
+        let store = SpillStore::unbounded().unwrap();
+        let id = store.put_block(block.clone()).unwrap();
+        assert_eq!(store.stats().memory_bytes, block_bytes);
+        assert!(store.get(id).unwrap().same_data(&df));
+
+        let tight = SpillStore::new(1).unwrap(); // spill immediately
+        let id = tight.put_block(block).unwrap();
+        assert_eq!(tight.stats().spilled, 1);
+        let back = tight.get(id).unwrap();
+        assert!(back.same_data(&df));
+        assert_eq!(back.schema(), df.schema());
+        assert_eq!(tight.stats().load_backs, 1);
+    }
+
+    #[test]
+    fn v2_files_still_read_back() {
+        // The v3 writer is the default, but files written in the legacy v2 format
+        // (pre-columnar sessions, or sessions with the switch off) must keep reading.
+        let df = frame_of(vec![
+            ("raw", vec![cell("10"), cell("x\ny"), Cell::Null]),
+            ("v", vec![cell(1), cell(2.5), Cell::Bool(true)]),
+        ])
+        .unwrap();
+        let path = std::env::temp_dir().join(format!(
+            "rustframe-spill-v2-compat-{}.spill",
+            std::process::id()
+        ));
+        write_spill_frame_v2(&df, &path).unwrap();
+        let part = read_spill_part(&path).unwrap();
+        assert!(matches!(part, StoredPart::Frame(_)));
+        assert!(part.into_frame().same_data(&df));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn v3_floats_survive_bit_exactly() {
+        // v3 writes floats as to_bits hex: NaN payloads, -0.0 and infinities all
+        // round-trip to the identical bit pattern (v2's shortest-decimal encoding
+        // canonicalises NaN payloads).
+        let quiet_nan_with_payload = f64::from_bits(0x7ff8_0000_dead_beef);
+        let df = frame_of(vec![(
+            "f",
+            vec![
+                Cell::Float(quiet_nan_with_payload),
+                Cell::Float(-0.0),
+                Cell::Float(f64::INFINITY),
+                Cell::Null,
+            ],
+        )])
+        .unwrap();
+        let path = std::env::temp_dir().join(format!(
+            "rustframe-spill-v3-bits-{}.spill",
+            std::process::id()
+        ));
+        write_spill_block_v3(&ColumnBlock::from_frame(&df), &path).unwrap();
+        let StoredPart::Block(back) = read_spill_part(&path).unwrap() else {
+            panic!("v3 file must decode to a block");
+        };
+        let ColumnData::Float { values, validity } = &back.columns()[0] else {
+            panic!("float column must stay typed");
+        };
+        assert_eq!(values[0].to_bits(), quiet_nan_with_payload.to_bits());
+        assert_eq!(values[1].to_bits(), (-0.0f64).to_bits());
+        assert_eq!(values[2], f64::INFINITY);
+        assert!(!validity.get(3));
+        std::fs::remove_file(path).ok();
     }
 
     #[test]

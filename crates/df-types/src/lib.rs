@@ -14,6 +14,9 @@
 //! * [`domain::Domain`] — the domain set `Dom` and its parsing functions `p_i`.
 //! * [`infer`] — the schema induction function `S` and helpers for deferring / caching
 //!   induction (paper §5.1).
+//! * [`mod@column`] — typed columnar storage (flat `i64`/`f64`/`bool`/string buffers
+//!   with validity bitmaps, dictionary-encoded categoricals) used by the engine's
+//!   column blocks, spill format v3 and the vectorized kernels.
 //! * [`labels`] — ordered label vectors with positional and named lookup.
 //! * [`error`] — the shared error type used across the workspace.
 //!
@@ -22,12 +25,14 @@
 //! these definitions, which is what lets the benchmark harness compare them fairly.
 
 pub mod cell;
+pub mod column;
 pub mod domain;
 pub mod error;
 pub mod infer;
 pub mod labels;
 
 pub use cell::{cell, Cell};
+pub use column::{columnar_enabled, set_columnar_enabled, ColumnData, Validity};
 pub use domain::Domain;
 pub use error::{DfError, DfResult};
 pub use infer::{induce_domain, induce_from_strings, SchemaSlot};

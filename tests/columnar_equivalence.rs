@@ -1,0 +1,275 @@
+//! Columnar differential suite: the typed column-block layout must be invisible.
+//!
+//! The PR that introduced `ColumnData`/`ColumnBlock` rewired predicate evaluation,
+//! groupby accumulation, sort comparison, shuffle hashing, spill encoding and ingest
+//! check-in around typed buffers — all behind the global layout switch
+//! (`df_types::set_columnar_enabled`). This suite pins the narrow-waist contract:
+//! **every Table 1 operator produces cell-for-cell identical results with the
+//! column-block layout on and off**, across thread counts {1, 4} and memory budgets
+//! {unlimited, working-set/4}, on randomly generated mixed-type frames. Separately,
+//! the spill codec must read back both its own typed v3 files and the legacy
+//! row-oriented v2 files bit-exactly.
+//!
+//! The layout switch is process-global, so every arm that flips it holds one mutex
+//! for the whole compare — tests in this binary serialise around it.
+
+use std::sync::Mutex;
+
+use proptest::prelude::*;
+
+use df_core::algebra::{
+    AggFunc, Aggregation, AlgebraExpr, CmpOp, ColumnSelector, JoinOn, JoinType, MapFunc, Predicate,
+    SortSpec, WindowFunc,
+};
+use df_core::columnar::ColumnBlock;
+use df_core::dataframe::DataFrame;
+use df_core::engine::Engine;
+use df_engine::engine::{ModinConfig, ModinEngine};
+use df_storage::spill::{read_spill_part, write_spill_block_v3, write_spill_frame_v2, StoredPart};
+use df_types::cell::cell;
+use df_types::column::set_columnar_enabled;
+use df_workloads::random::{random_frame, RandomFrameConfig};
+
+/// Serialises access to the process-global layout switch.
+static SWITCH: Mutex<()> = Mutex::new(());
+
+/// Run `f` with the layout switch pinned to `columnar`, restoring the default (on)
+/// afterwards. Poisoning is ignored: a failed arm must not wedge the other tests.
+fn with_layout<T>(columnar: bool, f: impl FnOnce() -> T) -> T {
+    let _guard = SWITCH
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    set_columnar_enabled(columnar);
+    let out = f();
+    set_columnar_enabled(true);
+    out
+}
+
+/// Every Table 1 operator, each as one pipeline over the same base literal.
+fn table1_suite(base: &DataFrame, other: &DataFrame) -> Vec<(&'static str, AlgebraExpr)> {
+    let lit = || AlgebraExpr::literal(base.clone());
+    let rhs = || AlgebraExpr::literal(other.clone());
+    vec![
+        (
+            "SELECTION",
+            lit().select(Predicate::ColCmp {
+                column: cell("int_0"),
+                op: CmpOp::Gt,
+                value: cell(0),
+            }),
+        ),
+        (
+            "PROJECTION",
+            lit().project(ColumnSelector::ByLabels(vec![cell("int_0"), cell("cat_0")])),
+        ),
+        ("UNION", lit().union(lit().limit(23, false))),
+        ("DIFFERENCE", lit().difference(lit().limit(31, false))),
+        (
+            "JOIN",
+            lit().join(rhs(), JoinOn::Columns(vec![cell("int_0")]), JoinType::Outer),
+        ),
+        ("DROP_DUPLICATES", lit().union(lit()).drop_duplicates()),
+        (
+            "GROUPBY",
+            lit().group_by(
+                vec![cell("cat_0")],
+                vec![
+                    Aggregation::count_rows(),
+                    Aggregation::of("int_0", AggFunc::Sum).with_alias("i_sum"),
+                    Aggregation::of("float_0", AggFunc::Mean).with_alias("f_mean"),
+                    Aggregation::of("float_0", AggFunc::Min).with_alias("f_min"),
+                    Aggregation::of("int_0", AggFunc::Max).with_alias("i_max"),
+                ],
+                false,
+            ),
+        ),
+        (
+            "SORT",
+            lit().sort(SortSpec::ascending(vec![cell("cat_0"), cell("float_0")])),
+        ),
+        (
+            "RENAME",
+            lit().rename(vec![(cell("int_0"), cell("renamed"))]),
+        ),
+        ("MAP", lit().map(MapFunc::FillNull(cell(-1)))),
+        (
+            "WINDOW",
+            lit().window(
+                ColumnSelector::ByLabels(vec![cell("int_0")]),
+                WindowFunc::CumSum,
+            ),
+        ),
+        ("TRANSPOSE", lit().transpose().map(MapFunc::IsNullMask)),
+        (
+            "TO/FROM_LABELS",
+            lit().to_labels("cat_0").from_labels("cat_back"),
+        ),
+        ("LIMIT", lit().limit(17, true)),
+    ]
+}
+
+fn config(threads: usize, budget: Option<usize>) -> ModinConfig {
+    let config = ModinConfig::default()
+        .with_threads(threads)
+        .with_partition_size(24, 4)
+        // Force the full shuffle machinery for the binary operators.
+        .with_broadcast_threshold(0);
+    match budget {
+        Some(bytes) => config.with_memory_budget(bytes),
+        None => config,
+    }
+}
+
+/// Execute `expr` under both layouts with the same engine configuration and return
+/// the two results.
+fn both_layouts(
+    expr: &AlgebraExpr,
+    threads: usize,
+    budget: Option<usize>,
+) -> (DataFrame, DataFrame) {
+    let row = with_layout(false, || {
+        ModinEngine::with_config(config(threads, budget))
+            .execute_collect(expr)
+            .expect("row-block arm failed")
+    });
+    let col = with_layout(true, || {
+        ModinEngine::with_config(config(threads, budget))
+            .execute_collect(expr)
+            .expect("column-block arm failed")
+    });
+    (row, col)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    // The headline differential: random frames, every Table 1 operator, both
+    // layouts, threads {1, 4} × budgets {unlimited, working-set/4}.
+    #[test]
+    fn table1_operators_are_layout_invariant(
+        rows in 40usize..140,
+        seed in 0u64..10_000,
+        null_fraction in 0.0f64..0.35,
+    ) {
+        let base = random_frame(&RandomFrameConfig {
+            rows,
+            int_cols: 2,
+            float_cols: 2,
+            category_cols: 1,
+            null_fraction,
+            seed,
+        }).unwrap();
+        let other = random_frame(&RandomFrameConfig {
+            rows: rows / 2,
+            int_cols: 2,
+            float_cols: 1,
+            category_cols: 1,
+            null_fraction,
+            seed: seed.wrapping_add(1),
+        }).unwrap();
+        let budget = base.approx_size_bytes() / 4;
+        for threads in [1usize, 4] {
+            for budget in [None, Some(budget)] {
+                for (name, expr) in table1_suite(&base, &other) {
+                    let (row, col) = both_layouts(&expr, threads, budget);
+                    prop_assert!(
+                        row.same_data(&col),
+                        "{name} diverged between layouts (threads={threads}, budget={budget:?}, \
+                         rows={rows}, seed={seed})"
+                    );
+                }
+            }
+        }
+    }
+
+    // Spill format v3 round-trip: a typed block written as v3 reads back into an
+    // identical frame, on arbitrary mixed frames (including all-null columns).
+    #[test]
+    fn spill_v3_round_trips_random_frames(
+        rows in 0usize..80,
+        seed in 0u64..10_000,
+        null_fraction in 0.0f64..1.0,
+    ) {
+        let frame = random_frame(&RandomFrameConfig {
+            rows,
+            int_cols: 2,
+            float_cols: 2,
+            category_cols: 1,
+            null_fraction,
+            seed,
+        }).unwrap();
+        let block = ColumnBlock::from_frame(&frame);
+        let dir = std::env::temp_dir().join(format!(
+            "columnar_equiv_v3_{}_{seed}_{rows}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("block.spill");
+        write_spill_block_v3(&block, &path).unwrap();
+        let back = match read_spill_part(&path).unwrap() {
+            StoredPart::Block(block) => block,
+            StoredPart::Frame(_) => panic!("v3 file decoded as a v2 frame"),
+        };
+        std::fs::remove_dir_all(&dir).ok();
+        prop_assert!(back.to_frame().same_data(&frame), "v3 round trip diverged");
+        prop_assert_eq!(back.domains(), block.domains());
+    }
+
+    // Legacy compatibility: files written by the pre-columnar v2 codec still read
+    // back bit-exactly through the dispatching reader.
+    #[test]
+    fn spill_v2_files_still_read_back(
+        rows in 0usize..80,
+        seed in 0u64..10_000,
+        null_fraction in 0.0f64..0.6,
+    ) {
+        let frame = random_frame(&RandomFrameConfig {
+            rows,
+            int_cols: 1,
+            float_cols: 1,
+            category_cols: 1,
+            null_fraction,
+            seed,
+        }).unwrap();
+        let dir = std::env::temp_dir().join(format!(
+            "columnar_equiv_v2_{}_{seed}_{rows}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("frame.spill");
+        write_spill_frame_v2(&frame, &path).unwrap();
+        let back = match read_spill_part(&path).unwrap() {
+            StoredPart::Frame(frame) => frame,
+            StoredPart::Block(_) => panic!("v2 file decoded as a v3 block"),
+        };
+        std::fs::remove_dir_all(&dir).ok();
+        prop_assert!(back.same_data(&frame), "v2 read-back diverged");
+    }
+}
+
+/// v2 → v3 upgrade path: the same logical frame spilled under either layout decodes
+/// to the same data, so a store can mix file versions freely.
+#[test]
+fn spill_v2_to_v3_upgrade_is_lossless() {
+    let frame = random_frame(&RandomFrameConfig {
+        rows: 64,
+        int_cols: 2,
+        float_cols: 2,
+        category_cols: 1,
+        null_fraction: 0.2,
+        seed: 7,
+    })
+    .unwrap();
+    let dir = std::env::temp_dir().join(format!("columnar_equiv_upgrade_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let v2_path = dir.join("frame.v2");
+    let v3_path = dir.join("frame.v3");
+    write_spill_frame_v2(&frame, &v2_path).unwrap();
+    write_spill_block_v3(&ColumnBlock::from_frame(&frame), &v3_path).unwrap();
+    let from_v2 = read_spill_part(&v2_path).unwrap().to_frame();
+    let from_v3 = read_spill_part(&v3_path).unwrap().to_frame();
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(from_v2.same_data(&frame));
+    assert!(from_v3.same_data(&frame));
+    assert!(from_v2.same_data(&from_v3), "v2 and v3 decodes diverged");
+}
