@@ -129,6 +129,54 @@ fn main() {
         }
     }
     set_columnar_enabled(true);
+    // Checksum-overhead arm: the v4 length+FNV-checksum frame versus a raw v3
+    // write of the same block, measured as spill-file round-trips (write + read
+    // back) of the whole taxi working set. The fault-tolerance layer's
+    // acceptance bar is <5% overhead with failpoints unset.
+    {
+        use df_core::columnar::ColumnBlock;
+        use df_storage::spill::{
+            read_spill_part, write_spill_block_v3, write_spill_part, StoredPart,
+        };
+        let block = ColumnBlock::from_frame(&taxi);
+        let part = StoredPart::Block(block.clone());
+        let roundtrips = df_bench::env_usize(
+            "DF_BENCH_CHECKSUM_ROUNDTRIPS",
+            df_bench::smoke_scaled(40, 4),
+        );
+        let dir =
+            std::env::temp_dir().join(format!("rustframe-abl-checksum-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("bench temp dir");
+        let v4_path = dir.join("part.v4.spill");
+        let v3_path = dir.join("part.v3.spill");
+        let (v4_outcome, v4_elapsed) = time_once(|| {
+            for _ in 0..roundtrips {
+                write_spill_part(&part, &v4_path)?;
+                read_spill_part(&v4_path)?;
+            }
+            Ok::<(), df_types::error::DfError>(())
+        });
+        v4_outcome.expect("v4 roundtrips");
+        let (v3_outcome, v3_elapsed) = time_once(|| {
+            for _ in 0..roundtrips {
+                write_spill_block_v3(&block, &v3_path)?;
+                read_spill_part(&v3_path)?;
+            }
+            Ok::<(), df_types::error::DfError>(())
+        });
+        v3_outcome.expect("v3 roundtrips");
+        std::fs::remove_dir_all(&dir).ok();
+        let overhead = (v4_elapsed.as_secs_f64() / v3_elapsed.as_secs_f64() - 1.0) * 100.0;
+        for (system, elapsed) in [("v4-framed", v4_elapsed), ("v3-raw", v3_elapsed)] {
+            records.push(BenchRecord {
+                experiment: "abl-spill/checksum".to_string(),
+                system: system.to_string(),
+                parameter: format!("roundtrips={roundtrips}"),
+                seconds: Some(elapsed.as_secs_f64()),
+                note: format!("rows={rows}, ws={working_set}B, v4_vs_v3_overhead={overhead:+.1}%"),
+            });
+        }
+    }
     println!(
         "{}",
         render_table(

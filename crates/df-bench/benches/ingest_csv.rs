@@ -26,7 +26,11 @@ fn main() {
     let dir = std::env::temp_dir().join(format!("df-bench-ingest-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("temp dir");
     let path = dir.join("taxi.csv");
-    std::fs::write(&path, write_csv_string(&taxi, &options)).expect("write workload file");
+    std::fs::write(
+        &path,
+        write_csv_string(&taxi, &options).expect("render workload csv"),
+    )
+    .expect("write workload file");
     let file_bytes = std::fs::metadata(&path).expect("metadata").len();
 
     let mut records = Vec::new();

@@ -193,6 +193,14 @@ pub trait Engine: Send + Sync {
         Capabilities::full_dataframe()
     }
 
+    /// The engine's cooperative cancel token, when it supports cancellation. The
+    /// session's timeout/cancel entry points reach in-flight worker batches through
+    /// this; the default (no token) makes cancellation a clean no-op for engines
+    /// that execute synchronously in one shot.
+    fn cancel_token(&self) -> Option<df_types::cancel::CancelToken> {
+        None
+    }
+
     /// Execute only enough of the expression to return the first `k` rows (§6.1.2
     /// prefix-prioritised execution). The default simply executes fully and slices;
     /// the scalable engine overrides this with partition-aware short-circuiting.

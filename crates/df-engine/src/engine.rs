@@ -229,7 +229,10 @@ impl ModinEngine {
     /// cannot be created under the system temp dir — use
     /// [`ModinEngine::try_with_config`] to handle that I/O error instead.
     pub fn with_config(config: ModinConfig) -> Self {
-        ModinEngine::try_with_config(config).expect("cannot create session spill directory")
+        match ModinEngine::try_with_config(config) {
+            Ok(engine) => engine,
+            Err(err) => panic!("cannot create session spill directory: {err}"),
+        }
     }
 
     /// The fallible form of [`ModinEngine::with_config`]: creating an out-of-core
@@ -696,6 +699,10 @@ impl Default for ModinEngine {
 impl Engine for ModinEngine {
     fn kind(&self) -> EngineKind {
         EngineKind::Modin
+    }
+
+    fn cancel_token(&self) -> Option<df_types::cancel::CancelToken> {
+        Some(self.executor.cancel_token().clone())
     }
 
     fn execute(&self, expr: &AlgebraExpr) -> DfResult<FrameHandle> {

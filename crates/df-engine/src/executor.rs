@@ -12,11 +12,25 @@
 //! JOIN/SORT/DROP_DUPLICATES/DIFFERENCE kernels) reaches the store through
 //! [`ParallelExecutor::store`] so partitions follow the out-of-core
 //! load → compute → store-and-maybe-spill lifecycle.
+//!
+//! ## Fault isolation
+//!
+//! Every task runs under `catch_unwind`: a panicking worker surfaces as a typed
+//! [`DfError::WorkerPanic`] instead of unwinding through the pool, sibling tasks are
+//! abandoned via a fail-fast flag, and — because the queue and result slots use
+//! non-poisoning `parking_lot` locks — the executor, its store and the session remain
+//! fully usable afterwards. A cooperative [`CancelToken`] (shared with the session's
+//! timeout/cancel entry points) is polled at every task boundary, so a cancelled
+//! statement stops between tasks, never mid-write.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
 
 use df_storage::spill::SpillStore;
+use df_types::cancel::CancelToken;
 use df_types::error::{DfError, DfResult};
 
 /// The default worker count: the `DF_THREADS` environment variable when set (CI runs
@@ -39,10 +53,34 @@ fn threads_from_env(raw: Option<&str>) -> usize {
         .unwrap_or(1)
 }
 
+/// Render a caught panic payload for [`DfError::WorkerPanic`].
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run one task with panic isolation: a panic in `f` becomes a typed
+/// [`DfError::WorkerPanic`] at this boundary instead of unwinding into the pool.
+/// `AssertUnwindSafe` is sound here because a failed task's result is never
+/// observed — the whole batch errors out, discarding any state `f` touched.
+fn run_isolated<T, U, F>(f: &F, index: usize, item: T) -> DfResult<U>
+where
+    F: Fn(usize, T) -> DfResult<U>,
+{
+    catch_unwind(AssertUnwindSafe(|| f(index, item)))
+        .unwrap_or_else(|payload| Err(DfError::WorkerPanic(panic_message(payload))))
+}
+
 /// A scoped thread-pool executor for per-partition work.
 pub struct ParallelExecutor {
     threads: usize,
     store: Option<Arc<SpillStore>>,
+    cancel: CancelToken,
     tasks_run: AtomicU64,
     batches_run: AtomicU64,
     shuffles_run: AtomicU64,
@@ -54,6 +92,7 @@ impl ParallelExecutor {
         ParallelExecutor {
             threads: threads.max(1),
             store: None,
+            cancel: CancelToken::new(),
             tasks_run: AtomicU64::new(0),
             batches_run: AtomicU64::new(0),
             shuffles_run: AtomicU64::new(0),
@@ -75,6 +114,19 @@ impl ParallelExecutor {
     /// The session's spill store, when the engine runs with a memory budget.
     pub fn store(&self) -> Option<&Arc<SpillStore>> {
         self.store.as_ref()
+    }
+
+    /// Replace the cooperative cancel token (builder style). The session shares one
+    /// token across the engine so its timeout/cancel entry points reach every batch.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// The executor's cooperative cancel token: `cancel()` makes in-flight batches
+    /// stop at the next task boundary with [`DfError::Cancelled`].
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
     }
 
     /// Number of worker threads used for fan-out.
@@ -105,6 +157,11 @@ impl ParallelExecutor {
 
     /// Apply `f` to every item, in parallel across the pool, returning results in input
     /// order. The first error encountered (lowest index) is returned if any task fails.
+    ///
+    /// Every task runs panic-isolated: a panicking worker yields a typed
+    /// [`DfError::WorkerPanic`], siblings still queued are abandoned (fail-fast), and
+    /// the pool's locks stay healthy for the next batch. Cancellation via the
+    /// executor's [`CancelToken`] is observed at every task boundary.
     pub fn par_map<T, U, F>(&self, items: Vec<T>, f: F) -> DfResult<Vec<U>>
     where
         T: Send,
@@ -121,41 +178,61 @@ impl ParallelExecutor {
             return items
                 .into_iter()
                 .enumerate()
-                .map(|(i, item)| f(i, item))
+                .map(|(i, item)| {
+                    self.cancel.check("band task")?;
+                    run_isolated(&f, i, item)
+                })
                 .collect();
         }
         // Work-stealing-free static assignment: a shared queue of indexed items that
         // each worker drains. Results are written into pre-allocated slots so order is
-        // preserved without sorting.
+        // preserved without sorting. A worker panic sets the abort flag so siblings
+        // stop picking up work; ordinary task errors still let the batch drain, which
+        // keeps "lowest-index error wins" deterministic.
         let queue = Mutex::new(items.into_iter().enumerate().collect::<Vec<_>>());
         let results: Vec<Mutex<Option<DfResult<U>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let abort = AtomicBool::new(false);
         let workers = self.threads.min(n);
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
-                    let next = {
-                        let mut queue = queue.lock().expect("executor queue poisoned");
-                        queue.pop()
-                    };
+                    if abort.load(Ordering::SeqCst) || self.cancel.is_cancelled() {
+                        break;
+                    }
+                    let next = queue.lock().pop();
                     match next {
                         Some((index, item)) => {
-                            let outcome = f(index, item);
-                            *results[index]
-                                .lock()
-                                .expect("executor result slot poisoned") = Some(outcome);
+                            let outcome = run_isolated(&f, index, item);
+                            if matches!(outcome, Err(DfError::WorkerPanic(_))) {
+                                abort.store(true, Ordering::SeqCst);
+                            }
+                            *results[index].lock() = Some(outcome);
                         }
                         None => break,
                     }
                 });
             }
         });
+        let slots: Vec<Option<DfResult<U>>> = results.into_iter().map(Mutex::into_inner).collect();
+        // Lowest-index real failure wins. Slots left empty by fail-fast or
+        // cancellation only surface (as Cancelled) when nothing actually failed.
+        if let Some(err) = slots.iter().find_map(|slot| match slot {
+            Some(Err(err)) if !err.is_cancelled() => Some(err.clone()),
+            _ => None,
+        }) {
+            return Err(err);
+        }
         let mut output = Vec::with_capacity(n);
-        for slot in results {
-            let value = slot
-                .into_inner()
-                .map_err(|_| DfError::internal("executor result slot poisoned"))?
-                .ok_or_else(|| DfError::internal("executor task produced no result"))?;
-            output.push(value?);
+        for slot in slots {
+            match slot {
+                Some(Ok(value)) => output.push(value),
+                Some(Err(err)) => return Err(err),
+                None => {
+                    return Err(DfError::Cancelled(
+                        "band task abandoned after cancellation".to_string(),
+                    ))
+                }
+            }
         }
         Ok(output)
     }
@@ -209,6 +286,49 @@ mod tests {
             })
             .unwrap_err();
         assert!(matches!(err, DfError::Internal(msg) if msg.contains("task 3")));
+    }
+
+    #[test]
+    fn worker_panics_become_typed_errors_and_the_pool_survives() {
+        for threads in [1, 4] {
+            let executor = ParallelExecutor::new(threads);
+            let err = executor
+                .par_map((0..16).collect::<Vec<u32>>(), |_, v| {
+                    if v == 5 {
+                        panic!("kaboom at {v}");
+                    }
+                    Ok(v)
+                })
+                .unwrap_err();
+            assert!(
+                matches!(&err, DfError::WorkerPanic(msg) if msg.contains("kaboom")),
+                "threads={threads}: expected WorkerPanic, got {err:?}"
+            );
+            // No poisoned lock, no wedged state: the same executor keeps working.
+            let out = executor
+                .par_map((0..16).collect::<Vec<u32>>(), |_, v| Ok(v * 2))
+                .unwrap();
+            assert_eq!(out.len(), 16);
+            assert_eq!(out[15], 30);
+        }
+    }
+
+    #[test]
+    fn cancellation_stops_batches_at_task_boundaries() {
+        for threads in [1, 4] {
+            let executor = ParallelExecutor::new(threads);
+            executor.cancel_token().cancel();
+            let err = executor
+                .par_map((0..8).collect::<Vec<u32>>(), |_, v| Ok(v))
+                .unwrap_err();
+            assert!(err.is_cancelled(), "threads={threads}: got {err:?}");
+            // Reset re-arms the executor for the next statement.
+            executor.cancel_token().reset();
+            let out = executor
+                .par_map((0..8).collect::<Vec<u32>>(), |_, v| Ok(v))
+                .unwrap();
+            assert_eq!(out.len(), 8);
+        }
     }
 
     #[test]

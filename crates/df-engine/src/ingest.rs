@@ -86,9 +86,15 @@ pub fn ingest_csv_grid(
     }
     // Parse phase: every chunk independently, each worker seeking to its own byte
     // range and checking its band into the store before picking up the next chunk.
+    // The chunk read is failpoint-instrumented (`ingest.read`) and retried under the
+    // default policy, so a transient read fault costs a backoff, not the statement.
     let store_owned = store.cloned();
+    let retry = df_types::retry::RetryPolicy::default();
     let parsed = executor.par_map(plan.chunks.clone(), |_, chunk| {
-        let band = csv::read_csv_chunk(path, options, &plan, &chunk)?;
+        let band = retry.run(|_| {
+            df_types::fail::check("ingest.read")?;
+            csv::read_csv_chunk(path, options, &plan, &chunk)
+        })?;
         let summaries = options
             .infer_schema
             .then(|| csv::band_induction_summaries(&band));

@@ -20,6 +20,11 @@
 //! * [`session`] — eager / lazy / opportunistic evaluation, query futures, prefix
 //!   (head/tail) prioritised inspection and the materialisation/reuse cache (paper §6).
 
+// The engine sits above the fault-tolerant storage layer: every storage or worker
+// fault must stay a typed `DfError` on its way through, so production code may not
+// reintroduce unwrap/expect panic sites. Tests keep their unwraps.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod engine;
 pub mod executor;
 pub mod ingest;

@@ -591,7 +591,9 @@ impl PartitionGrid {
         let mut parts = Vec::with_capacity(self.blocks.len());
         for band in self.blocks {
             if band.len() == 1 {
-                let mut part = band.into_iter().next().expect("non-empty band");
+                let Some(mut part) = band.into_iter().next() else {
+                    return Err(DfError::internal("grid band lost its only partition"));
+                };
                 part.col_offset = 0;
                 parts.push(part);
                 continue;

@@ -65,6 +65,10 @@ pub struct SessionStats {
     /// is retrievable once via [`QuerySession::take_last_submit_error`] and will
     /// surface again at the next materialisation point of the same statement.
     pub submit_errors: u64,
+    /// Corruption recoveries: a cached result's spilled partition failed its
+    /// checksum on load-back, was quarantined (evicted), and the statement was
+    /// recomputed from its logical plan — the lineage record.
+    pub recoveries: u64,
 }
 
 /// A cache entry: the computed handle *plus the leaf values that pin its key*.
@@ -112,9 +116,10 @@ impl QueryFuture {
             .receiver
             .take()
             .ok_or_else(|| DfError::internal("future already consumed"))?;
-        let result = receiver
-            .recv()
-            .map_err(|_| DfError::internal("background worker dropped its result"))?;
+        let result = receiver.recv().map_err(|_| {
+            // The sender only drops without sending if the worker thread died.
+            DfError::WorkerPanic("background worker died before sending its result".to_string())
+        })?;
         if let Some(handle) = self.handle.take() {
             handle.join().ok();
         }
@@ -335,7 +340,32 @@ impl QuerySession {
         key_source: Option<&AlgebraExpr>,
     ) -> DfResult<DataFrame> {
         let handle = self.handle_keyed(expr, key, key_source)?;
-        self.engine.collect(&handle)
+        let first = self.engine.collect(&handle);
+        drop(handle);
+        match first {
+            Err(err) if err.is_spill_corruption() => {
+                self.recover_from_corruption(expr, key, key_source, |s, h| s.engine.collect(h))
+            }
+            other => other,
+        }
+    }
+
+    /// Quarantine-and-recompute: a spilled partition of this statement's (possibly
+    /// cached) result failed its integrity check, so the poisoned entry is evicted
+    /// and the statement re-executed from its logical plan — the lineage the cache
+    /// key was derived from. One attempt only: if the recomputed result fails too,
+    /// the corruption is upstream of this statement and surfaces typed.
+    fn recover_from_corruption<T>(
+        &self,
+        expr: &AlgebraExpr,
+        key: &str,
+        key_source: Option<&AlgebraExpr>,
+        op: impl Fn(&Self, &FrameHandle) -> DfResult<T>,
+    ) -> DfResult<T> {
+        self.stats.lock().recoveries += 1;
+        self.evict(key);
+        let fresh = self.materialize_handle(expr, key, key_source)?;
+        op(self, &fresh)
     }
 
     /// Materialisation point: only the first `k` rows of an expression — the
@@ -361,7 +391,16 @@ impl QuerySession {
         // lock across it would serialise every other session call behind the I/O.
         if let Some(handle) = self.cached_handle(key) {
             self.stats.lock().cache_hits += 1;
-            return self.engine.head_of(&handle, k);
+            let first = self.engine.head_of(&handle, k);
+            drop(handle);
+            return match first {
+                Err(err) if err.is_spill_corruption() => {
+                    self.recover_from_corruption(expr, key, key_source, |s, h| {
+                        s.engine.head_of(h, k)
+                    })
+                }
+                other => other,
+            };
         }
         if let Some(handle) = self.take_ready_future(key)? {
             self.remember(key, expr, key_source, &handle);
@@ -408,7 +447,16 @@ impl QuerySession {
     ) -> DfResult<DataFrame> {
         if let Some(handle) = self.cached_handle(key) {
             self.stats.lock().cache_hits += 1;
-            return self.engine.tail_of(&handle, k);
+            let first = self.engine.tail_of(&handle, k);
+            drop(handle);
+            return match first {
+                Err(err) if err.is_spill_corruption() => {
+                    self.recover_from_corruption(expr, key, key_source, |s, h| {
+                        s.engine.tail_of(h, k)
+                    })
+                }
+                other => other,
+            };
         }
         if let Some(handle) = self.take_ready_future(key)? {
             self.remember(key, expr, key_source, &handle);
@@ -428,6 +476,87 @@ impl QuerySession {
     /// partitions' spill-store entries).
     pub fn clear_cache(&self) {
         self.cache.lock().clear();
+    }
+
+    /// Quarantine one cached result: drop its handle (and pins) so the next
+    /// materialisation of `key` re-executes instead of trusting poisoned spill
+    /// state. Used by the corruption-recovery path and by the pandas layer when
+    /// it walks a frame's lineage after a checksum failure.
+    pub fn evict(&self, key: &str) {
+        self.cache.lock().remove(key);
+    }
+
+    /// Record a corruption recovery that happened *outside* the session's own
+    /// retry path — e.g. the pandas layer rebuilding a frame from lineage.
+    pub fn note_recovery(&self) {
+        self.stats.lock().recoveries += 1;
+    }
+
+    /// Request cooperative cancellation of whatever statement is currently
+    /// executing on the engine's workers. Tasks already running finish their
+    /// current partition; queued tasks are abandoned with
+    /// [`DfError::Cancelled`]. No-op for engines without a cancel token.
+    pub fn cancel(&self) {
+        if let Some(token) = self.engine.cancel_token() {
+            token.cancel();
+        }
+    }
+
+    /// Re-arm the engine after a [`QuerySession::cancel`] (or a timeout) so the
+    /// session can run further statements.
+    pub fn reset_cancel(&self) {
+        if let Some(token) = self.engine.cancel_token() {
+            token.reset();
+        }
+    }
+
+    /// Per-statement timeout entry point: run `statement` (any combination of
+    /// this session's submit/collect/inspect calls) under a wall-clock deadline.
+    /// A watchdog thread fires the engine's cancel token when the deadline
+    /// passes; workers then abandon queued tasks at the next task boundary and
+    /// the statement surfaces as [`DfError::Cancelled`] describing the timeout.
+    /// The token is reset on the way out, so the session stays usable. Engines
+    /// without a cancel token run the statement unbounded.
+    pub fn with_timeout<T>(
+        &self,
+        timeout: std::time::Duration,
+        statement: impl FnOnce() -> DfResult<T>,
+    ) -> DfResult<T> {
+        let Some(token) = self.engine.cancel_token() else {
+            return statement();
+        };
+        token.reset();
+        let (done_tx, done_rx) = channel::<()>();
+        let watchdog_token = token.clone();
+        let watchdog = std::thread::spawn(move || {
+            // Timeout => fire the token; Disconnected => statement finished first.
+            if matches!(
+                done_rx.recv_timeout(timeout),
+                Err(std::sync::mpsc::RecvTimeoutError::Timeout)
+            ) {
+                watchdog_token.cancel();
+            }
+        });
+        let result = statement();
+        drop(done_tx);
+        let _ = watchdog.join();
+        let timed_out = token.is_cancelled();
+        token.reset();
+        match result {
+            Err(err) if err.is_cancelled() && timed_out => Err(DfError::Cancelled(format!(
+                "statement exceeded its {timeout:?} timeout"
+            ))),
+            other => other,
+        }
+    }
+
+    /// Convenience wrapper: [`QuerySession::collect`] under a wall-clock timeout.
+    pub fn collect_timeout(
+        &self,
+        expr: &AlgebraExpr,
+        timeout: std::time::Duration,
+    ) -> DfResult<DataFrame> {
+        self.with_timeout(timeout, || self.collect(expr))
     }
 
     fn materialize_handle(
@@ -780,5 +909,80 @@ mod tests {
         assert_eq!(cached.cached_results(), 0);
         assert_eq!(cached.mode(), EvalMode::Eager);
         assert!(cached.engine().capabilities().lazy_execution);
+    }
+
+    #[test]
+    fn corrupted_spill_state_is_quarantined_and_recomputed() {
+        let df = frame(200);
+        let budget = df.approx_size_bytes() / 4;
+        let modin = Arc::new(ModinEngine::with_config(
+            ModinConfig::sequential()
+                .with_memory_budget(budget)
+                .with_partition_size(16, 4),
+        ));
+        let spill_dir = modin
+            .store()
+            .expect("budgeted engine")
+            .directory()
+            .to_path_buf();
+        let session = QuerySession::new(modin, EvalMode::Eager);
+        let expr = AlgebraExpr::literal(df).map(MapFunc::IsNullMask);
+        session.submit(&expr).unwrap();
+        // Corrupt every spill file behind the cached result: appended bytes break
+        // the v4 length frame, so the next load-back reports SpillCorruption.
+        let mut tampered = 0;
+        for entry in std::fs::read_dir(&spill_dir).unwrap() {
+            let path = entry.unwrap().path();
+            if path.is_file() {
+                let mut content = std::fs::read(&path).unwrap();
+                content.extend_from_slice(b"tampered");
+                std::fs::write(&path, content).unwrap();
+                tampered += 1;
+            }
+        }
+        assert!(
+            tampered > 0,
+            "budgeted engine should have spilled partitions"
+        );
+        // collect() quarantines the poisoned entry and recomputes from the plan.
+        let out = session.collect(&expr).unwrap();
+        assert_eq!(out.shape(), (200, 2));
+        assert_eq!(out.cell(0, 0).unwrap(), &cell(false));
+        assert_eq!(session.stats().recoveries, 1);
+        // The recomputed result is cached again and healthy.
+        session.collect(&expr).unwrap();
+        assert_eq!(session.stats().recoveries, 1);
+    }
+
+    #[test]
+    fn cancel_fails_statements_typed_and_reset_rearms_the_session() {
+        let session = QuerySession::new(engine(), EvalMode::Lazy);
+        let expr = AlgebraExpr::literal(frame(64)).map(MapFunc::IsNullMask);
+        session.cancel();
+        let err = session.collect(&expr).unwrap_err();
+        assert!(err.is_cancelled(), "expected a cancelled error, got {err}");
+        session.reset_cancel();
+        assert_eq!(session.collect(&expr).unwrap().shape(), (64, 2));
+    }
+
+    #[test]
+    fn with_timeout_cancels_overrunning_statements_and_resets_the_token() {
+        let session = QuerySession::new(engine(), EvalMode::Lazy);
+        let expr = AlgebraExpr::literal(frame(64)).map(MapFunc::IsNullMask);
+        let err = session
+            .with_timeout(std::time::Duration::from_millis(5), || {
+                // Outlive the deadline before touching the engine, so the watchdog
+                // has deterministically fired by the time workers check the token.
+                std::thread::sleep(std::time::Duration::from_millis(100));
+                session.collect(&expr)
+            })
+            .unwrap_err();
+        assert!(err.is_cancelled(), "expected a timeout error, got {err}");
+        assert!(err.to_string().contains("timeout"), "{err}");
+        // The token was reset on the way out: the session stays usable.
+        let out = session
+            .collect_timeout(&expr, std::time::Duration::from_secs(30))
+            .unwrap();
+        assert_eq!(out.shape(), (64, 2));
     }
 }

@@ -218,6 +218,9 @@ fn shuffle_bands(
     let p = buckets.max(1);
     executor.record_shuffle();
     let split = executor.par_map(bands, |_, part| {
+        // Band exchange is the one place every row crosses worker boundaries; the
+        // failpoint makes that hop chaos-testable like the storage hops.
+        df_types::fail::check("shuffle.exchange")?;
         let band = part.into_materialized()?;
         split_band(band, key, p)?
             .into_iter()

@@ -290,20 +290,59 @@ impl PandasFrame {
         &self.session
     }
 
+    /// Quarantine this statement's cached handle *and every ancestor's*, so the
+    /// next [`PandasFrame::exec_plan`] reconstructs the full logical pipeline
+    /// instead of rebasing onto a possibly-poisoned handle somewhere up the chain.
+    fn evict_lineage(&self) {
+        self.session.query().evict(self.fingerprint());
+        if let Some(lineage) = &self.lineage {
+            for parent in &lineage.parents {
+                parent.evict_lineage();
+            }
+        }
+    }
+
+    /// One-shot corruption recovery around a materialisation call. The session
+    /// layer already retries corruption local to *this* statement's result; what
+    /// it cannot see is a poisoned handle the execution plan was *rebased onto*
+    /// (an ancestor's cached result) — re-executing the rebased plan rereads the
+    /// same bad spill file. On [`DfError::SpillCorruption`] this evicts the whole
+    /// lineage and retries once from the reconstructed logical plan — the
+    /// dataframe-algebra pipeline is the lineage record, so the result is
+    /// recomputed from clean inputs. Ingest-rooted frames (the handle *is* the
+    /// root; there is no plan to replay) re-fail with the same typed error.
+    fn with_lineage_recovery<T>(&self, op: impl Fn(&AlgebraExpr) -> DfResult<T>) -> DfResult<T> {
+        match op(&self.exec_plan()) {
+            Err(err) if err.is_spill_corruption() => {
+                self.evict_lineage();
+                let retried = op(&self.exec_plan());
+                if retried.is_ok() {
+                    self.session.query().note_recovery();
+                }
+                retried
+            }
+            other => other,
+        }
+    }
+
     /// The engine-owned result handle for this frame — executing it now if the
     /// session has not already. The handle stays partitioned (and spill-backed under
     /// a memory budget) until a materialisation point consumes it.
     pub fn handle(&self) -> DfResult<FrameHandle> {
-        self.session
-            .query()
-            .handle_keyed(&self.exec_plan(), self.fingerprint(), Some(&self.expr))
+        self.with_lineage_recovery(|plan| {
+            self.session
+                .query()
+                .handle_keyed(plan, self.fingerprint(), Some(&self.expr))
+        })
     }
 
     /// Materialisation point: the full result as a dataframe.
     pub fn collect(&self) -> DfResult<DataFrame> {
-        self.session
-            .query()
-            .collect_keyed(&self.exec_plan(), self.fingerprint(), Some(&self.expr))
+        self.with_lineage_recovery(|plan| {
+            self.session
+                .query()
+                .collect_keyed(plan, self.fingerprint(), Some(&self.expr))
+        })
     }
 
     /// `(rows, columns)` of the result — from handle metadata when the statement
@@ -314,16 +353,20 @@ impl PandasFrame {
 
     /// The first `k` rows, using the engine's prefix-prioritised path (§6.1.2).
     pub fn head(&self, k: usize) -> DfResult<DataFrame> {
-        self.session
-            .query()
-            .head_keyed(&self.exec_plan(), self.fingerprint(), Some(&self.expr), k)
+        self.with_lineage_recovery(|plan| {
+            self.session
+                .query()
+                .head_keyed(plan, self.fingerprint(), Some(&self.expr), k)
+        })
     }
 
     /// The last `k` rows.
     pub fn tail(&self, k: usize) -> DfResult<DataFrame> {
-        self.session
-            .query()
-            .tail_keyed(&self.exec_plan(), self.fingerprint(), Some(&self.expr), k)
+        self.with_lineage_recovery(|plan| {
+            self.session
+                .query()
+                .tail_keyed(plan, self.fingerprint(), Some(&self.expr), k)
+        })
     }
 
     /// The tabular view (prefix and suffix) the paper's Figure 1 shows after each step.
@@ -387,7 +430,7 @@ impl PandasFrame {
 
     /// Materialisation point: serialise the frame as CSV.
     pub fn to_csv_string(&self) -> DfResult<String> {
-        Ok(write_csv_string(&self.collect()?, &CsvOptions::default()))
+        write_csv_string(&self.collect()?, &CsvOptions::default())
     }
 
     /// Materialisation point: write the frame to a CSV file on disk.
@@ -1461,5 +1504,58 @@ mod tests {
         let df = products(&s);
         let values = df.distinct_values_of(&cell("wireless")).unwrap();
         assert_eq!(values, vec![cell("Yes"), cell("No")]);
+    }
+
+    #[test]
+    fn corrupted_ancestor_handles_are_recomputed_from_lineage() {
+        let raw: Vec<Vec<Cell>> = (0..200)
+            .map(|i| vec![cell(i as i64), cell((i * 3) as i64)])
+            .collect();
+        let base_df = DataFrame::from_rows(vec!["a", "b"], raw).unwrap();
+        // Budgeted engine: the intermediate's partitions spill to disk.
+        let budget = base_df.approx_size_bytes() / 4;
+        let s = Session::modin_with(
+            df_engine::engine::ModinConfig::sequential()
+                .with_memory_budget(budget)
+                .with_partition_size(16, 4),
+            df_engine::session::EvalMode::Eager,
+        );
+        let base = PandasFrame::try_from_dataframe(&s, base_df).unwrap();
+        let mid = base.filter_gt("a", 9).unwrap();
+        mid.collect().unwrap(); // materialise → mid's handle is cached + spilled
+        let tip = mid.isna(); // rebases onto mid's (about to be poisoned) handle
+        let expected_rows = 190;
+
+        // Corrupt every spill file behind the cached intermediate.
+        let dir = s
+            .modin_engine()
+            .unwrap()
+            .store()
+            .expect("budgeted engine")
+            .directory()
+            .to_path_buf();
+        let mut tampered = 0;
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let path = entry.unwrap().path();
+            if path.is_file() {
+                let mut content = std::fs::read(&path).unwrap();
+                content.extend_from_slice(b"tampered");
+                std::fs::write(&path, content).unwrap();
+                tampered += 1;
+            }
+        }
+        assert!(tampered > 0, "budgeted engine should have spilled");
+
+        // The session-level retry re-executes the rebased plan (same poisoned
+        // handle leaf) and fails again; the pandas layer then walks the lineage,
+        // evicts the ancestors, and recomputes the whole logical pipeline.
+        let out = tip.collect().unwrap();
+        assert_eq!(out.shape(), (expected_rows, 2));
+        assert_eq!(out.cell(0, 0).unwrap(), &cell(false));
+        assert!(
+            s.stats().recoveries >= 1,
+            "recovery counter: {:?}",
+            s.stats()
+        );
     }
 }

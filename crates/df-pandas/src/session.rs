@@ -179,6 +179,30 @@ impl Session {
     pub fn ingest_stats(&self) -> Option<df_engine::IngestStats> {
         self.modin.as_ref().map(|engine| engine.ingest_stats())
     }
+
+    /// Cooperatively cancel whatever statement is currently executing on the
+    /// engine's workers (no-op for engines without a cancel token). Queued band
+    /// tasks are abandoned with a typed `Cancelled` error at the next task
+    /// boundary; call [`Session::reset_cancel`] before the next statement.
+    pub fn cancel(&self) {
+        self.query.cancel();
+    }
+
+    /// Re-arm the engine after [`Session::cancel`] or a timed-out statement.
+    pub fn reset_cancel(&self) {
+        self.query.reset_cancel();
+    }
+
+    /// Run `statement` under a wall-clock deadline — the per-statement timeout
+    /// entry point of [`df_engine::session::QuerySession::with_timeout`], exposed
+    /// at the pandas layer: `session.with_timeout(d, || frame.collect())`.
+    pub fn with_timeout<T>(
+        &self,
+        timeout: std::time::Duration,
+        statement: impl FnOnce() -> df_types::error::DfResult<T>,
+    ) -> df_types::error::DfResult<T> {
+        self.query.with_timeout(timeout, statement)
+    }
 }
 
 #[cfg(test)]

@@ -355,7 +355,9 @@ pub fn plan_csv_chunks(
             None
         };
         if awaiting_header {
-            header_raw = Some(raw.expect("header record is always captured"));
+            header_raw = Some(raw.ok_or_else(|| {
+                DfError::internal("CSV planner stopped capturing before the header record")
+            })?);
             awaiting_header = false;
             // Data (and the first chunk) start after the header record.
             chunk_start = end;
@@ -590,11 +592,11 @@ pub fn append_csv_records<W: Write>(
 
 /// Serialise a dataframe as CSV (header + records, labels omitted — matching
 /// `to_csv(index=False)`).
-pub fn write_csv_string(df: &DataFrame, options: &CsvOptions) -> String {
+pub fn write_csv_string(df: &DataFrame, options: &CsvOptions) -> DfResult<String> {
     let mut out: Vec<u8> = Vec::new();
-    write_csv_header(&mut out, df.col_labels(), options).expect("writing to memory cannot fail");
-    append_csv_records(&mut out, df, options).expect("writing to memory cannot fail");
-    String::from_utf8(out).expect("CSV output is UTF-8")
+    write_csv_header(&mut out, df.col_labels(), options)?;
+    append_csv_records(&mut out, df, options)?;
+    String::from_utf8(out).map_err(|_| DfError::internal("CSV writer produced non-UTF-8 output"))
 }
 
 /// Write a dataframe to a CSV file on disk.
@@ -604,7 +606,7 @@ pub fn write_csv_path(
     options: &CsvOptions,
 ) -> DfResult<()> {
     let mut file = std::fs::File::create(path)?;
-    file.write_all(write_csv_string(df, options).as_bytes())?;
+    file.write_all(write_csv_string(df, options)?.as_bytes())?;
     Ok(())
 }
 
@@ -704,7 +706,7 @@ mod tests {
         let df = read_csv_str(csv, &CsvOptions::default()).unwrap();
         assert_eq!(df.cell(0, 1).unwrap(), &cell("a, b"));
         assert_eq!(df.cell(1, 1).unwrap(), &cell("say \"hi\""));
-        let written = write_csv_string(&df, &CsvOptions::default());
+        let written = write_csv_string(&df, &CsvOptions::default()).unwrap();
         let reread = read_csv_str(&written, &CsvOptions::default()).unwrap();
         assert!(reread.same_data(&df));
     }
@@ -718,7 +720,7 @@ mod tests {
         assert_eq!(df.shape(), (2, 2));
         assert_eq!(df.cell(0, 1).unwrap(), &cell("line one\nline two"));
         assert_eq!(df.cell(1, 1).unwrap(), &cell("plain"));
-        let written = write_csv_string(&df, &CsvOptions::default());
+        let written = write_csv_string(&df, &CsvOptions::default()).unwrap();
         let reread = read_csv_str(&written, &CsvOptions::default()).unwrap();
         assert!(reread.same_data(&df));
         assert_serial_chunked_identical(csv, &CsvOptions::default());
@@ -800,7 +802,7 @@ mod tests {
         };
         let df = read_csv_str("a;b\n1;2\n", &options).unwrap();
         assert_eq!(df.cell(0, 1).unwrap(), &cell("2"));
-        let out = write_csv_string(&df, &options);
+        let out = write_csv_string(&df, &options).unwrap();
         assert!(out.starts_with("a;b\n"));
         assert_serial_chunked_identical("a;b\n1;2\n2;3\n4;5\n", &options);
     }
@@ -941,11 +943,11 @@ mod tests {
         append_csv_records(&mut out, &df.tail(1), &options).unwrap();
         assert_eq!(
             String::from_utf8(out).unwrap(),
-            write_csv_string(&df, &options)
+            write_csv_string(&df, &options).unwrap()
         );
         // Fields containing a bare carriage return are quoted so they round-trip.
         let tricky = DataFrame::from_columns(vec!["x"], vec![vec![cell("a\rb")]]).unwrap();
-        let written = write_csv_string(&tricky, &options);
+        let written = write_csv_string(&tricky, &options).unwrap();
         let reread = read_csv_str(&written, &options).unwrap();
         assert!(reread.same_data(&tricky));
     }

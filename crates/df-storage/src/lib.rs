@@ -8,7 +8,12 @@
 //!   parallel out-of-core `read_csv`.
 //! * [`spill`] — the main-memory + spill-to-disk partition store that lets
 //!   intermediate dataframes exceed main memory without the out-of-memory failures
-//!   pandas exhibits.
+//!   pandas exhibits, with checksummed (v4) spill files, failpoint-instrumented I/O
+//!   and transient-fault retry.
+
+// Storage faults must surface as typed `DfError`s, never as panics: a worker that
+// panics mid-spill takes the whole statement down. Tests keep their unwraps.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod csv;
 pub mod spill;

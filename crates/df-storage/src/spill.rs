@@ -14,21 +14,31 @@
 //! Spill files use a private *lossless* encoding: a spilled partition reads back
 //! cell-for-cell and schema-slot-for-schema-slot identical, so engines may spill
 //! untyped (raw string) columns without schema induction being forced on reload. The
-//! engine's spill equivalence suite relies on this. Two formats coexist:
+//! engine's spill equivalence suite relies on this. Three formats coexist:
 //!
 //! * **v2** — one tagged-cell line per column (a type tag per cell, per-column domain
 //!   slots, tagged labels). Written when the columnar switch is off; always readable.
 //! * **v3** — typed column buffers: each column is one line carrying its layout tag,
 //!   validity bitmap (hex words) and a flat value buffer (floats as `to_bits` hex, so
 //!   NaN payloads and `-0.0` survive bit-exactly); columns no typed layout can
-//!   represent fall back to a v2-style tagged-cell line. This is the default format,
-//!   and what a [`ColumnBlock`] checked in via [`SpillStore::put_block`] spills as
-//!   without ever converting back to tagged cells.
+//!   represent fall back to a v2-style tagged-cell line. What a [`ColumnBlock`]
+//!   checked in via [`SpillStore::put_block`] spills as without ever converting back
+//!   to tagged cells.
+//! * **v4** — the default on-disk frame since the fault-tolerance work: a
+//!   `rustframe-spill-v4` magic line and a `<payload-bytes> <fnv1a64-hex>` integrity
+//!   line wrapped around an unmodified v2 or v3 payload. Every load-back verifies
+//!   the length and checksum before decoding, so a truncated or bit-flipped spill
+//!   file surfaces as a typed [`DfError::SpillCorruption`] instead of a parse panic
+//!   deep in the decoder. Bare v2/v3 files (pre-v4 sessions) still read back.
 //!
 //! The store's slots hold a [`StoredPart`] — a row-oriented [`DataFrame`] or a typed
 //! [`ColumnBlock`] — and reads return whichever frame form the caller asked for; the
 //! format on disk matches the slot's form, so a block never pays a decode just to be
 //! spilled.
+//!
+//! All store I/O is failpoint-instrumented (`spill.write`, `spill.read` — see
+//! `df_types::fail`) and transient read/write faults are retried under the store's
+//! [`RetryPolicy`] before surfacing.
 
 use std::collections::HashMap;
 use std::io::{BufWriter, Read, Write};
@@ -42,7 +52,9 @@ use df_types::cell::Cell;
 use df_types::column::{columnar_enabled, ColumnData, Validity};
 use df_types::domain::Domain;
 use df_types::error::{DfError, DfResult};
+use df_types::fail::{self, FailAction};
 use df_types::labels::Labels;
+use df_types::retry::RetryPolicy;
 
 use df_core::columnar::ColumnBlock;
 use df_core::dataframe::{Column, DataFrame};
@@ -75,6 +87,9 @@ pub struct SpillStats {
     /// [`SpillStats::peak_memory_bytes`] this makes the out-of-core acceptance bound
     /// checkable: `peak_memory_bytes <= budget + writers * max_insert_bytes`.
     pub max_insert_bytes: usize,
+    /// Transient-fault retries performed by the store's [`RetryPolicy`] (a retry that
+    /// ultimately succeeds still counts — this is attempts beyond the first).
+    pub retries: u64,
 }
 
 /// What one store slot physically holds: a row-oriented frame, or a typed column
@@ -146,6 +161,8 @@ pub struct SpillStore {
     load_backs: AtomicU64,
     peak_bytes: AtomicUsize,
     max_insert_bytes: AtomicUsize,
+    retry: RetryPolicy,
+    retries: AtomicU64,
 }
 
 impl SpillStore {
@@ -156,6 +173,12 @@ impl SpillStore {
         // on a directory name (the clock alone is not unique enough — one store's
         // Drop would delete the other's spill files).
         static STORE_SEQ: AtomicU64 = AtomicU64::new(0);
+        // Once per process, sweep up spill directories orphaned by crashed prior
+        // runs — their Drop never ran, so nobody else will.
+        static ORPHAN_GC: std::sync::Once = std::sync::Once::new();
+        ORPHAN_GC.call_once(|| {
+            gc_orphaned_spill_dirs();
+        });
         let directory = std::env::temp_dir().join(format!(
             "rustframe-spill-{}-{}-{}",
             std::process::id(),
@@ -165,7 +188,16 @@ impl SpillStore {
                 .map(|d| d.as_nanos())
                 .unwrap_or(0)
         ));
-        std::fs::create_dir_all(&directory)?;
+        std::fs::create_dir_all(&directory).map_err(|err| {
+            DfError::spill_io(
+                "spill.dir",
+                format!(
+                    "cannot create spill directory {}: {err}",
+                    directory.display()
+                ),
+                false,
+            )
+        })?;
         Ok(SpillStore {
             memory_budget_bytes,
             directory,
@@ -177,7 +209,16 @@ impl SpillStore {
             load_backs: AtomicU64::new(0),
             peak_bytes: AtomicUsize::new(0),
             max_insert_bytes: AtomicUsize::new(0),
+            retry: RetryPolicy::default(),
+            retries: AtomicU64::new(0),
         })
+    }
+
+    /// Replace the transient-fault retry policy (builder style; tests inject a
+    /// recording sleeper or `RetryPolicy::none()`).
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 
     /// A store that effectively never spills (large budget) — used when out-of-core
@@ -189,6 +230,12 @@ impl SpillStore {
     /// The in-memory byte budget this store enforces.
     pub fn memory_budget_bytes(&self) -> usize {
         self.memory_budget_bytes
+    }
+
+    /// The directory this store's spill files live under. Exposed so fault-injection
+    /// tests can corrupt files on disk and assert the typed recovery behaviour.
+    pub fn directory(&self) -> &Path {
+        &self.directory
     }
 
     /// Insert a partition, spilling older partitions if the memory budget is exceeded.
@@ -244,7 +291,7 @@ impl SpillStore {
             .clone()
             .ok_or_else(|| DfError::internal("partition has neither memory nor spill copy"))?;
         drop(inner);
-        let part = Arc::new(read_spill_part(&path)?);
+        let part = Arc::new(self.read_part_retrying(&path)?);
         self.load_backs.fetch_add(1, Ordering::Relaxed);
         let mut inner = self.inner.lock();
         if let Some(slot) = inner.slots.get_mut(&id) {
@@ -290,10 +337,21 @@ impl SpillStore {
         let path = slot
             .spill_path
             .ok_or_else(|| DfError::internal("partition has neither memory nor spill copy"))?;
-        let part = read_spill_part(&path)?;
+        let part = self.read_part_retrying(&path)?;
         self.load_backs.fetch_add(1, Ordering::Relaxed);
         std::fs::remove_file(path).ok();
         Ok(part.into_frame())
+    }
+
+    /// Load a spill file back, retrying transient faults under the store's policy.
+    /// Permanent I/O faults and checksum mismatches surface on the first attempt.
+    fn read_part_retrying(&self, path: &Path) -> DfResult<StoredPart> {
+        self.retry.run(|attempt| {
+            if attempt > 0 {
+                self.retries.fetch_add(1, Ordering::Relaxed);
+            }
+            read_spill_part(path)
+        })
     }
 
     /// Remove a partition entirely (memory and disk).
@@ -318,6 +376,7 @@ impl SpillStore {
             load_backs: self.load_backs.load(Ordering::Relaxed),
             peak_memory_bytes: self.peak_bytes.load(Ordering::Relaxed),
             max_insert_bytes: self.max_insert_bytes.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
             ..SpillStats::default()
         };
         for slot in inner.slots.values() {
@@ -398,7 +457,12 @@ impl SpillStore {
         }
         let seq = self.spill_seq.fetch_add(1, Ordering::Relaxed);
         let path = self.directory.join(format!("part-{id}-{seq}.spill"));
-        write_spill_part(&part, &path)?;
+        self.retry.run(|attempt| {
+            if attempt > 0 {
+                self.retries.fetch_add(1, Ordering::Relaxed);
+            }
+            write_spill_part(&part, &path)
+        })?;
         let mut inner = self.inner.lock();
         let installed = match inner.slots.get_mut(&id) {
             // Install only if the slot still holds the serialised part AND no other
@@ -430,9 +494,49 @@ impl SpillStore {
 
 impl Drop for SpillStore {
     fn drop(&mut self) {
-        // Partitions are freed from persistent storage once the session ends.
+        // Partitions are freed from persistent storage once the session ends. This is
+        // deliberately lock-free and best-effort: it runs even when the store is
+        // being torn down after a caught worker panic (parking_lot locks never
+        // poison, and nothing here can panic short of an allocator failure), so a
+        // crashed statement does not leak its spill files. Directories that never
+        // get here — the whole process died — are reclaimed by the startup sweep in
+        // [`gc_orphaned_spill_dirs`].
         std::fs::remove_dir_all(&self.directory).ok();
     }
+}
+
+/// Best-effort removal of `rustframe-spill-*` temp directories orphaned by crashed
+/// prior runs. A directory is reclaimed only when its embedded pid provably no longer
+/// exists (probed via `/proc/<pid>`); on systems without `/proc`, or for names that
+/// do not parse, nothing is touched. Runs once per process from [`SpillStore::new`];
+/// public so the lifecycle test can exercise it directly. Returns the number of
+/// directories removed.
+pub fn gc_orphaned_spill_dirs() -> usize {
+    if !Path::new("/proc").is_dir() {
+        return 0;
+    }
+    let Ok(entries) = std::fs::read_dir(std::env::temp_dir()) else {
+        return 0;
+    };
+    let own_pid = std::process::id();
+    let mut removed = 0;
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(rest) = name.strip_prefix("rustframe-spill-") else {
+            continue;
+        };
+        let Some(pid) = rest.split('-').next().and_then(|p| p.parse::<u32>().ok()) else {
+            continue;
+        };
+        if pid == own_pid || Path::new("/proc").join(pid.to_string()).exists() {
+            continue;
+        }
+        if std::fs::remove_dir_all(entry.path()).is_ok() {
+            removed += 1;
+        }
+    }
+    removed
 }
 
 // ---------------------------------------------------------------------------
@@ -465,9 +569,77 @@ impl Drop for SpillStore {
 // where <US> is the unit separator. Null slots hold the layout's default value and
 // are masked by the validity bitmap, exactly mirroring `ColumnData`'s in-memory
 // layout — so a spilled block re-loads without re-probing any column.
+//
+// v4 is not a new payload encoding but an integrity frame around either payload:
+//
+//   rustframe-spill-v4
+//   <payload byte length> <FNV-1a 64-bit checksum of the payload, hex>
+//   <the complete v2 or v3 file content, unmodified>
+//
+// Load-back verifies length then checksum before handing the payload to the v2/v3
+// decoder, so truncation and bit-flips become typed `SpillCorruption` errors at the
+// frame boundary. The store writes v4 exclusively; bare v2/v3 files still read.
 
 const MAGIC: &str = "rustframe-spill-v2";
 const MAGIC_V3: &str = "rustframe-spill-v3";
+const MAGIC_V4: &str = "rustframe-spill-v4";
+
+/// FNV-1a-style 64-bit checksum over the raw payload bytes, folded a machine word
+/// at a time: each 8-byte little-endian chunk (and the zero-padded tail, with its
+/// length mixed in so padding cannot collide) is XORed into the state and
+/// multiplied by the FNV prime. Word folding keeps the serial multiply chain 8x
+/// shorter than byte-wise FNV-1a — the integrity check must not dominate the
+/// spill path it protects. Tiny, dependency-free, and plenty to catch the
+/// truncation/bit-rot class of faults (this is not an adversarial MAC).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let mut word = [0u8; 8];
+        word.copy_from_slice(chunk);
+        hash = (hash ^ u64::from_le_bytes(word)).wrapping_mul(PRIME);
+    }
+    let tail = chunks.remainder();
+    if !tail.is_empty() {
+        let mut word = [0u8; 8];
+        word[..tail.len()].copy_from_slice(tail);
+        hash = (hash ^ u64::from_le_bytes(word)).wrapping_mul(PRIME);
+        hash ^= tail.len() as u64;
+    }
+    hash
+}
+
+/// Classify an OS error for the retry policy: interrupted/timed-out reads are worth
+/// re-attempting, everything else (ENOSPC, ENOENT, EACCES, …) is permanent.
+fn io_transient(kind: std::io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        std::io::ErrorKind::Interrupted
+            | std::io::ErrorKind::TimedOut
+            | std::io::ErrorKind::WouldBlock
+    )
+}
+
+/// Flip one character of a rendered payload while keeping it valid UTF-8 — the
+/// `corrupt` failpoint's bit-rot model. The checksum is computed over the original
+/// bytes, so the mangled payload is guaranteed to fail verification on load-back.
+fn mangle_payload(payload: &mut String) {
+    let mut idx = payload.len() / 2;
+    while idx > 0 && !payload.is_char_boundary(idx) {
+        idx -= 1;
+    }
+    let replacement = if payload[idx..].starts_with('#') {
+        "%"
+    } else {
+        "#"
+    };
+    let end = payload[idx..]
+        .chars()
+        .next()
+        .map_or(idx, |c| idx + c.len_utf8());
+    payload.replace_range(idx..end, replacement);
+}
 /// Joins cells within a line.
 const UNIT_SEP: char = '\u{1f}';
 /// Joins the elements of a composite (list) cell payload.
@@ -592,74 +764,218 @@ fn decode_line(line: &str, expected: usize) -> DfResult<Vec<Cell>> {
     Ok(cells)
 }
 
-/// Serialise one stored part: blocks always write v3; frames write v3 when the
-/// columnar switch is on (typed-probing each column at spill time), v2 otherwise —
-/// so disabling the switch restores the pre-columnar spill files byte for byte.
-fn write_spill_part(part: &StoredPart, path: &Path) -> DfResult<()> {
+/// Render one stored part as a v2/v3 payload string: blocks always render v3; frames
+/// render v3 when the columnar switch is on (typed-probing each column at spill
+/// time), v2 otherwise — so disabling the switch restores the pre-columnar payload
+/// byte for byte.
+fn render_spill_payload(part: &StoredPart) -> String {
     match part {
-        StoredPart::Block(block) => write_spill_block_v3(block, path),
+        StoredPart::Block(block) => render_spill_block_v3(block),
         StoredPart::Frame(frame) if columnar_enabled() => {
-            write_spill_block_v3(&ColumnBlock::from_frame(frame), path)
+            render_spill_block_v3(&ColumnBlock::from_frame(frame))
         }
-        StoredPart::Frame(frame) => write_spill_frame_v2(frame, path),
+        StoredPart::Frame(frame) => render_spill_frame_v2(frame),
     }
 }
 
-/// Read a spill file in whichever format it was written: v2 files decode to a
-/// row-oriented frame, v3 files to a typed column block. Exposed (with the two
-/// writers) so format-compatibility tests can pin that old v2 files stay readable.
+/// Write one stored part to `path` in the checksummed v4 frame. This is the only
+/// writer the store itself uses; public so the checksum-overhead bench arm can
+/// measure the framed codec against the raw v3 one. The `spill.write` failpoint
+/// fires here: I/O kinds become typed [`DfError::SpillIo`] before any byte is
+/// written, and the `corrupt` kind mangles the payload *after* the checksum is
+/// taken, modelling bit-rot between write and read.
+pub fn write_spill_part(part: &StoredPart, path: &Path) -> DfResult<()> {
+    let mut payload = render_spill_payload(part);
+    let checksum = fnv1a64(payload.as_bytes());
+    match fail::failpoint("spill.write") {
+        Some(FailAction::Corrupt) => mangle_payload(&mut payload),
+        Some(action) => return Err(action.into_error("spill.write")),
+        None => {}
+    }
+    let write = || -> std::io::Result<()> {
+        let mut writer = BufWriter::new(std::fs::File::create(path)?);
+        writeln!(writer, "{MAGIC_V4}")?;
+        writeln!(writer, "{} {checksum:x}", payload.len())?;
+        writer.write_all(payload.as_bytes())?;
+        writer.flush()
+    };
+    write()
+        .map_err(|err| DfError::spill_io("spill.write", err.to_string(), io_transient(err.kind())))
+}
+
+/// Read a spill file in whichever format it was written: v4 frames are length- and
+/// checksum-verified and their payload dispatched on its inner magic; bare v2 files
+/// decode to a row-oriented frame and bare v3 files to a typed column block.
+/// Exposed (with the writers) so format-compatibility tests can pin that old files
+/// stay readable. The `spill.read` failpoint fires here: `missing` deletes the file
+/// before the open, `corrupt` mangles the bytes just read so the real checksum path
+/// reports the fault, and the I/O kinds surface as typed [`DfError::SpillIo`].
+/// A file that is genuinely gone (NotFound) classifies as [`DfError::SpillCorruption`]
+/// — lost state is recomputable from lineage, unlike a sick device.
 pub fn read_spill_part(path: &Path) -> DfResult<StoredPart> {
+    let injected = fail::failpoint("spill.read");
+    match injected {
+        Some(FailAction::Missing) => {
+            std::fs::remove_file(path).ok();
+        }
+        Some(FailAction::Corrupt) => {}
+        Some(action) => return Err(action.into_error("spill.read")),
+        None => {}
+    }
     let mut content = String::new();
-    std::fs::File::open(path)?.read_to_string(&mut content)?;
+    let read = std::fs::File::open(path).and_then(|mut f| f.read_to_string(&mut content));
+    if let Err(err) = read {
+        // A vanished spill file is lost *state*, not a sick device: classify it
+        // with corruption so the recovery layer recomputes the block from lineage
+        // instead of surfacing a permanent I/O error.
+        if err.kind() == std::io::ErrorKind::NotFound {
+            return Err(DfError::spill_corruption(
+                "spill.read",
+                format!("spill file missing: {}", path.display()),
+            ));
+        }
+        return Err(DfError::spill_io(
+            "spill.read",
+            format!("{}: {err}", path.display()),
+            io_transient(err.kind()),
+        ));
+    }
+    if injected == Some(FailAction::Corrupt) {
+        mangle_payload(&mut content);
+    }
+    let corrupt = |err: DfError| match err {
+        // Shape/parse failures inside the decoders mean the bytes lied; fold them
+        // into the corruption taxonomy with the decoder's message as the detail.
+        DfError::Internal(detail) => DfError::spill_corruption("spill.read", detail),
+        other => other,
+    };
     match content.split('\n').next().unwrap_or("") {
-        MAGIC => Ok(StoredPart::Frame(read_spill_v2(&content)?)),
-        MAGIC_V3 => Ok(StoredPart::Block(read_spill_v3(&content)?)),
-        _ => Err(DfError::internal("corrupt spill file: bad magic")),
+        MAGIC_V4 => {
+            let payload = verify_v4(&content)?;
+            match payload.split('\n').next().unwrap_or("") {
+                MAGIC => Ok(StoredPart::Frame(read_spill_v2(payload).map_err(corrupt)?)),
+                MAGIC_V3 => Ok(StoredPart::Block(read_spill_v3(payload).map_err(corrupt)?)),
+                _ => Err(DfError::spill_corruption(
+                    "spill.read",
+                    "v4 payload has no v2/v3 magic",
+                )),
+            }
+        }
+        MAGIC => Ok(StoredPart::Frame(read_spill_v2(&content).map_err(corrupt)?)),
+        MAGIC_V3 => Ok(StoredPart::Block(read_spill_v3(&content).map_err(corrupt)?)),
+        _ => Err(DfError::spill_corruption(
+            "spill.read",
+            "bad magic (not a spill file, or truncated before the header)",
+        )),
     }
 }
 
-/// Write one frame in the legacy v2 tagged-cell format. Production code writes v2
-/// only while the columnar switch is off; kept public so compatibility tests can
-/// produce v2 files and assert they still read back.
-pub fn write_spill_frame_v2(frame: &DataFrame, path: &Path) -> DfResult<()> {
-    let file = std::fs::File::create(path)?;
-    let mut writer = BufWriter::new(file);
-    writeln!(writer, "{MAGIC}")?;
-    writeln!(writer, "{} {}", frame.n_rows(), frame.n_cols())?;
-    writeln!(writer, "{}", encode_line(frame.row_labels().as_slice()))?;
-    writeln!(writer, "{}", encode_line(frame.col_labels().as_slice()))?;
+/// Check a v4 frame's length and checksum lines and return the verified payload.
+fn verify_v4(content: &str) -> DfResult<&str> {
+    let corrupt = |detail: &str| DfError::spill_corruption("spill.read", detail);
+    let after_magic = content
+        .strip_prefix(MAGIC_V4)
+        .and_then(|rest| rest.strip_prefix('\n'))
+        .ok_or_else(|| corrupt("v4 frame truncated at magic"))?;
+    let (integrity_line, payload) = after_magic
+        .split_once('\n')
+        .ok_or_else(|| corrupt("v4 frame missing integrity line"))?;
+    let (len_raw, sum_raw) = integrity_line
+        .split_once(' ')
+        .ok_or_else(|| corrupt("v4 integrity line malformed"))?;
+    let expected_len: usize = len_raw
+        .parse()
+        .map_err(|_| corrupt("v4 payload length unparseable"))?;
+    let expected_sum =
+        u64::from_str_radix(sum_raw, 16).map_err(|_| corrupt("v4 checksum unparseable"))?;
+    if payload.len() != expected_len {
+        return Err(DfError::spill_corruption(
+            "spill.read",
+            format!(
+                "payload length mismatch: header says {expected_len} bytes, file has {}",
+                payload.len()
+            ),
+        ));
+    }
+    let actual_sum = fnv1a64(payload.as_bytes());
+    if actual_sum != expected_sum {
+        return Err(DfError::spill_corruption(
+            "spill.read",
+            format!("checksum mismatch: header {expected_sum:x}, payload {actual_sum:x}"),
+        ));
+    }
+    Ok(payload)
+}
+
+/// Render one frame in the legacy v2 tagged-cell format.
+fn render_spill_frame_v2(frame: &DataFrame) -> String {
+    let mut out = String::new();
+    out.push_str(MAGIC);
+    out.push('\n');
+    out.push_str(&format!("{} {}\n", frame.n_rows(), frame.n_cols()));
+    out.push_str(&encode_line(frame.row_labels().as_slice()));
+    out.push('\n');
+    out.push_str(&encode_line(frame.col_labels().as_slice()));
+    out.push('\n');
     let domains: Vec<&str> = frame
         .columns()
         .iter()
         .map(|c| c.known_domain().map(|d| d.name()).unwrap_or("?"))
         .collect();
-    writeln!(writer, "{}", domains.join(&UNIT_SEP.to_string()))?;
+    out.push_str(&domains.join(&UNIT_SEP.to_string()));
+    out.push('\n');
     for column in frame.columns() {
-        writeln!(writer, "{}", encode_line(column.cells()))?;
+        out.push_str(&encode_line(column.cells()));
+        out.push('\n');
     }
-    writer.flush()?;
-    Ok(())
+    out
 }
 
-/// Write one typed column block in the v3 format (typed buffers, bit-exact floats).
-pub fn write_spill_block_v3(block: &ColumnBlock, path: &Path) -> DfResult<()> {
-    let file = std::fs::File::create(path)?;
-    let mut writer = BufWriter::new(file);
-    writeln!(writer, "{MAGIC_V3}")?;
-    writeln!(writer, "{} {}", block.n_rows(), block.n_cols())?;
-    writeln!(writer, "{}", encode_line(block.row_labels().as_slice()))?;
-    writeln!(writer, "{}", encode_line(block.col_labels().as_slice()))?;
+/// Render one typed column block in the v3 format (typed buffers, bit-exact floats).
+fn render_spill_block_v3(block: &ColumnBlock) -> String {
+    let mut out = String::new();
+    out.push_str(MAGIC_V3);
+    out.push('\n');
+    out.push_str(&format!("{} {}\n", block.n_rows(), block.n_cols()));
+    out.push_str(&encode_line(block.row_labels().as_slice()));
+    out.push('\n');
+    out.push_str(&encode_line(block.col_labels().as_slice()));
+    out.push('\n');
     let domains: Vec<&str> = block
         .domains()
         .iter()
         .map(|d| d.as_ref().map(|d| d.name()).unwrap_or("?"))
         .collect();
-    writeln!(writer, "{}", domains.join(&UNIT_SEP.to_string()))?;
+    out.push_str(&domains.join(&UNIT_SEP.to_string()));
+    out.push('\n');
     for column in block.columns() {
-        writeln!(writer, "{}", encode_v3_column(column))?;
+        out.push_str(&encode_v3_column(column));
+        out.push('\n');
     }
-    writer.flush()?;
-    Ok(())
+    out
+}
+
+fn write_raw(path: &Path, payload: &str) -> DfResult<()> {
+    let write = || -> std::io::Result<()> {
+        let mut writer = BufWriter::new(std::fs::File::create(path)?);
+        writer.write_all(payload.as_bytes())?;
+        writer.flush()
+    };
+    write()
+        .map_err(|err| DfError::spill_io("spill.write", err.to_string(), io_transient(err.kind())))
+}
+
+/// Write one frame as a bare (un-framed) v2 file. Production code spills through
+/// [`write_spill_part`]'s v4 frame; kept public so compatibility tests can produce
+/// pre-v4 files and assert they still read back.
+pub fn write_spill_frame_v2(frame: &DataFrame, path: &Path) -> DfResult<()> {
+    write_raw(path, &render_spill_frame_v2(frame))
+}
+
+/// Write one typed column block as a bare (un-framed) v3 file; see
+/// [`write_spill_frame_v2`] for why this stays public.
+pub fn write_spill_block_v3(block: &ColumnBlock, path: &Path) -> DfResult<()> {
+    write_raw(path, &render_spill_block_v3(block))
 }
 
 /// The header both formats share: shape, labels and per-column domain slots.
@@ -1160,6 +1476,99 @@ mod tests {
         assert_eq!(values[2], f64::INFINITY);
         assert!(!validity.get(3));
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn v4_frame_round_trips_and_detects_tampering() {
+        let df = frame(3, 12);
+        let path = std::env::temp_dir().join(format!(
+            "rustframe-spill-v4-test-{}.spill",
+            std::process::id()
+        ));
+        write_spill_part(&StoredPart::Frame(df.clone()), &path).unwrap();
+
+        let raw = std::fs::read_to_string(&path).unwrap();
+        assert!(raw.starts_with(MAGIC_V4), "store writes the v4 frame");
+        assert!(read_spill_part(&path).unwrap().into_frame().same_data(&df));
+
+        // Flip one payload byte: the checksum must catch it as typed corruption.
+        let mut tampered = raw.clone().into_bytes();
+        let idx = tampered.len() - 10;
+        tampered[idx] = tampered[idx].wrapping_add(1);
+        std::fs::write(&path, &tampered).unwrap();
+        match read_spill_part(&path) {
+            Err(DfError::SpillCorruption { site, detail }) => {
+                assert_eq!(site, "spill.read");
+                assert!(detail.contains("checksum"), "unexpected detail: {detail}");
+            }
+            other => panic!("expected SpillCorruption, got {other:?}"),
+        }
+
+        // Truncate mid-payload: the length check must catch it.
+        std::fs::write(&path, &raw.as_bytes()[..raw.len() - 30]).unwrap();
+        match read_spill_part(&path) {
+            Err(DfError::SpillCorruption { detail, .. }) => {
+                assert!(detail.contains("length"), "unexpected detail: {detail}");
+            }
+            other => panic!("expected SpillCorruption, got {other:?}"),
+        }
+
+        std::fs::remove_file(&path).ok();
+        // A vanished file is lost state: classified with corruption so the
+        // recovery layer recomputes the block from lineage instead of giving up.
+        match read_spill_part(&path) {
+            Err(DfError::SpillCorruption { site, detail }) => {
+                assert_eq!(site, "spill.read");
+                assert!(detail.contains("missing"), "unexpected detail: {detail}");
+            }
+            other => panic!("expected SpillCorruption, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_and_bad_magic_are_typed_corruption() {
+        let path = std::env::temp_dir().join(format!(
+            "rustframe-spill-garbage-{}.spill",
+            std::process::id()
+        ));
+        std::fs::write(&path, "not a spill file at all\n").unwrap();
+        assert!(matches!(
+            read_spill_part(&path),
+            Err(DfError::SpillCorruption { .. })
+        ));
+        // A v4 frame whose payload carries no inner magic is corruption too.
+        std::fs::write(
+            &path,
+            format!("{MAGIC_V4}\n7 {:x}\ngarbage", fnv1a64(b"garbage")),
+        )
+        .unwrap();
+        assert!(matches!(
+            read_spill_part(&path),
+            Err(DfError::SpillCorruption { .. })
+        ));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn orphaned_spill_dirs_from_dead_pids_are_collected() {
+        if !Path::new("/proc").is_dir() {
+            return; // liveness probe unavailable; GC is a no-op by design
+        }
+        // A pid above the kernel's pid_max can never be alive.
+        let dead = std::env::temp_dir().join("rustframe-spill-4294967295-0-0");
+        std::fs::create_dir_all(dead.join("nested")).unwrap();
+        std::fs::write(dead.join("nested/part-0-0.spill"), "junk").unwrap();
+        // Our own directories — and unparseable names — must survive the sweep.
+        let own = SpillStore::new(1).unwrap();
+        let own_dir = own.directory.clone();
+        let odd = std::env::temp_dir().join("rustframe-spill-notapid-x");
+        std::fs::create_dir_all(&odd).unwrap();
+
+        assert!(gc_orphaned_spill_dirs() >= 1);
+        assert!(!dead.exists(), "dead pid's directory must be reclaimed");
+        assert!(own_dir.exists(), "live store directory must survive");
+        assert!(odd.exists(), "unparseable names are left alone");
+        std::fs::remove_dir_all(odd).ok();
     }
 
     #[test]

@@ -1,0 +1,74 @@
+//! Cooperative cancellation.
+//!
+//! A [`CancelToken`] is a cheap, cloneable flag shared between a controller (a
+//! session timeout watchdog, a user pressing ctrl-C, a failing sibling task) and
+//! the workers doing the actual computation. Workers poll [`CancelToken::is_cancelled`]
+//! at task boundaries and bail out with [`DfError::Cancelled`]; nothing is ever
+//! interrupted mid-write, so no lock is poisoned and no spill file is left half
+//! framed.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::error::{DfError, DfResult};
+
+/// Shared cooperative cancellation flag. Clones observe the same flag.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation. Idempotent; workers observe it at their next poll.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Has cancellation been requested?
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+
+    /// Re-arm the token for the next statement (cancellation is per-statement,
+    /// not a one-way door for the session).
+    pub fn reset(&self) {
+        self.flag.store(false, Ordering::SeqCst);
+    }
+
+    /// Error out with [`DfError::Cancelled`] if cancellation was requested.
+    pub fn check(&self, what: &str) -> DfResult<()> {
+        if self.is_cancelled() {
+            Err(DfError::Cancelled(what.to_string()))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag_and_reset_rearms() {
+        let token = CancelToken::new();
+        let observer = token.clone();
+        assert!(!observer.is_cancelled());
+        assert!(observer.check("band task").is_ok());
+
+        token.cancel();
+        assert!(observer.is_cancelled());
+        match observer.check("band task") {
+            Err(DfError::Cancelled(what)) => assert_eq!(what, "band task"),
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+
+        token.reset();
+        assert!(!observer.is_cancelled());
+    }
+}

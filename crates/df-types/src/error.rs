@@ -63,6 +63,33 @@ pub enum DfError {
     DuplicateLabel(String),
     /// An I/O failure from the storage layer (CSV ingest, spill files).
     Io(String),
+    /// An I/O failure at a named spill/ingest site. `transient` marks faults worth
+    /// retrying (interrupted reads, injected `io_transient` failpoints); permanent
+    /// faults (disk full, missing file) surface after the first attempt.
+    SpillIo {
+        /// The failpoint-style site name, e.g. `"spill.read"`.
+        site: String,
+        /// Human-readable description of the underlying fault.
+        detail: String,
+        /// Whether the retry policy should re-attempt the operation.
+        transient: bool,
+    },
+    /// A spill block failed its integrity check on load-back: bad magic, truncated
+    /// payload, or an FNV-1a checksum mismatch (format v4). The block is quarantined
+    /// and, when lineage allows, recomputed from the logical plan.
+    SpillCorruption {
+        /// The failpoint-style site name, e.g. `"spill.read"`.
+        site: String,
+        /// What exactly failed to verify.
+        detail: String,
+    },
+    /// A worker thread panicked inside the parallel executor. The panic was caught
+    /// at the task boundary — sibling tasks are cancelled cooperatively and no lock
+    /// is poisoned — and its payload is carried here.
+    WorkerPanic(String),
+    /// The statement was cancelled cooperatively (session timeout/cancel, or
+    /// fail-fast after a sibling task error).
+    Cancelled(String),
     /// Internal invariant violation; indicates a bug rather than user error.
     Internal(String),
 }
@@ -104,10 +131,50 @@ impl DfError {
         }
     }
 
+    /// Shorthand constructor for [`DfError::SpillIo`].
+    pub fn spill_io(site: impl Into<String>, detail: impl Into<String>, transient: bool) -> Self {
+        DfError::SpillIo {
+            site: site.into(),
+            detail: detail.into(),
+            transient,
+        }
+    }
+
+    /// Shorthand constructor for [`DfError::SpillCorruption`].
+    pub fn spill_corruption(site: impl Into<String>, detail: impl Into<String>) -> Self {
+        DfError::SpillCorruption {
+            site: site.into(),
+            detail: detail.into(),
+        }
+    }
+
     /// True when the error models a capacity failure rather than a semantic one. The
     /// figure-2 harness uses this to record "did not finish" points for the baseline.
     pub fn is_resource_exhausted(&self) -> bool {
         matches!(self, DfError::ResourceExhausted(_))
+    }
+
+    /// True for faults the retry policy should re-attempt (transient I/O only —
+    /// corruption and permanent I/O failures are never retried in place).
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            DfError::SpillIo {
+                transient: true,
+                ..
+            }
+        )
+    }
+
+    /// True when a spill block failed its integrity check — the trigger for
+    /// quarantine-and-recompute-from-lineage recovery.
+    pub fn is_spill_corruption(&self) -> bool {
+        matches!(self, DfError::SpillCorruption { .. })
+    }
+
+    /// True when the error is a cooperative cancellation, not a real failure.
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, DfError::Cancelled(_))
     }
 }
 
@@ -133,6 +200,19 @@ impl fmt::Display for DfError {
             DfError::EmptyInput(msg) => write!(f, "empty input: {msg}"),
             DfError::DuplicateLabel(l) => write!(f, "duplicate label: {l}"),
             DfError::Io(msg) => write!(f, "i/o error: {msg}"),
+            DfError::SpillIo {
+                site,
+                detail,
+                transient,
+            } => {
+                let kind = if *transient { "transient" } else { "permanent" };
+                write!(f, "spill i/o error ({kind}) at {site}: {detail}")
+            }
+            DfError::SpillCorruption { site, detail } => {
+                write!(f, "spill corruption detected at {site}: {detail}")
+            }
+            DfError::WorkerPanic(msg) => write!(f, "worker panicked: {msg}"),
+            DfError::Cancelled(what) => write!(f, "cancelled: {what}"),
             DfError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
@@ -177,6 +257,31 @@ mod tests {
         let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
         let err: DfError = io.into();
         assert!(matches!(err, DfError::Io(_)));
+    }
+
+    #[test]
+    fn fault_taxonomy_classifies_and_formats() {
+        let transient = DfError::spill_io("spill.read", "interrupted", true);
+        assert!(transient.is_transient());
+        assert!(!transient.is_spill_corruption());
+        assert!(transient.to_string().contains("transient"));
+        assert!(transient.to_string().contains("spill.read"));
+
+        let full = DfError::spill_io("spill.write", "disk full", false);
+        assert!(!full.is_transient());
+        assert!(full.to_string().contains("permanent"));
+
+        let corrupt = DfError::spill_corruption("spill.read", "checksum mismatch");
+        assert!(corrupt.is_spill_corruption());
+        assert!(!corrupt.is_transient());
+        assert!(corrupt.to_string().contains("corruption"));
+
+        let panic = DfError::WorkerPanic("boom".into());
+        assert!(panic.to_string().contains("panicked"));
+
+        let cancelled = DfError::Cancelled("statement timed out".into());
+        assert!(cancelled.is_cancelled());
+        assert!(cancelled.to_string().contains("cancelled"));
     }
 
     #[test]

@@ -18,22 +18,32 @@
 //!   with validity bitmaps, dictionary-encoded categoricals) used by the engine's
 //!   column blocks, spill format v3 and the vectorized kernels.
 //! * [`labels`] — ordered label vectors with positional and named lookup.
-//! * [`error`] — the shared error type used across the workspace.
+//! * [`error`] — the shared error type used across the workspace, including the
+//!   fault taxonomy (`SpillIo` / `SpillCorruption` / `WorkerPanic` / `Cancelled`).
+//! * [`fail`], [`retry`], [`cancel`] — the fault-tolerance toolkit: deterministic
+//!   failpoint injection (`DF_FAILPOINTS`), capped-exponential retry for transient
+//!   storage faults, and cooperative cancellation tokens.
 //!
 //! Everything here is engine-agnostic: the reference executor (`df-core`), the
 //! pandas-like baseline (`df-baseline`) and the scalable engine (`df-engine`) all share
 //! these definitions, which is what lets the benchmark harness compare them fairly.
 
+pub mod cancel;
 pub mod cell;
 pub mod column;
 pub mod domain;
 pub mod error;
+pub mod fail;
 pub mod infer;
 pub mod labels;
+pub mod retry;
 
+pub use cancel::CancelToken;
 pub use cell::{cell, Cell};
 pub use column::{columnar_enabled, set_columnar_enabled, ColumnData, Validity};
 pub use domain::Domain;
 pub use error::{DfError, DfResult};
+pub use fail::FailAction;
 pub use infer::{induce_domain, induce_from_strings, SchemaSlot};
 pub use labels::{LabelVec, Labels};
+pub use retry::RetryPolicy;

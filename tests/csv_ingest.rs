@@ -81,14 +81,20 @@ fn workload_generators_ingest_identically() {
         seed: 7,
     })
     .unwrap();
-    assert_parallel_matches_serial("sales", &write_csv_string(&sales, &CsvOptions::default()));
+    assert_parallel_matches_serial(
+        "sales",
+        &write_csv_string(&sales, &CsvOptions::default()).unwrap(),
+    );
 
     let taxi = generate_raw(&TaxiConfig {
         base_rows: 150,
         ..TaxiConfig::default()
     })
     .unwrap();
-    assert_parallel_matches_serial("taxi", &write_csv_string(&taxi, &CsvOptions::default()));
+    assert_parallel_matches_serial(
+        "taxi",
+        &write_csv_string(&taxi, &CsvOptions::default()).unwrap(),
+    );
 
     let random = random_frame(&RandomFrameConfig {
         rows: 90,
@@ -97,7 +103,10 @@ fn workload_generators_ingest_identically() {
         ..RandomFrameConfig::default()
     })
     .unwrap();
-    assert_parallel_matches_serial("random", &write_csv_string(&random, &CsvOptions::default()));
+    assert_parallel_matches_serial(
+        "random",
+        &write_csv_string(&random, &CsvOptions::default()).unwrap(),
+    );
 }
 
 #[test]
@@ -110,7 +119,7 @@ fn engine_default_threads_follow_df_threads_matrix() {
         seed: 3,
     })
     .unwrap();
-    let content = write_csv_string(&sales, &CsvOptions::default());
+    let content = write_csv_string(&sales, &CsvOptions::default()).unwrap();
     let serial = read_csv_str(&content, &CsvOptions::default()).unwrap();
     let path = write_temp("df-threads.csv", &content);
     let engine = ModinEngine::with_config(ModinConfig::default().with_partition_size(16, 32));
@@ -282,7 +291,7 @@ fn pandas_pipeline_over_ingested_file_matches_serial_session_and_writes_bandwise
     let serial_raw = read_csv_str(&content, &CsvOptions::default()).unwrap();
     // The ingest was typed (infer_schema), so the written file renders typed cells;
     // compare against writing the serially read typed frame.
-    let serial_written = write_csv_string(&serial, &CsvOptions::default());
+    let serial_written = write_csv_string(&serial, &CsvOptions::default()).unwrap();
     let serial_reread = read_csv_str(&serial_written, &CsvOptions::default()).unwrap();
     assert!(reread.same_data(&serial_reread));
     assert_eq!(reread.shape(), serial_raw.shape());
@@ -347,7 +356,7 @@ proptest! {
             })
             .collect();
         let original = DataFrame::from_columns(labels, columns).unwrap();
-        let content = write_csv_string(&original, &CsvOptions::default());
+        let content = write_csv_string(&original, &CsvOptions::default()).unwrap();
         let options = CsvOptions { infer_schema, ..CsvOptions::default() };
 
         // Serial read is the ground truth; the parallel read must match it exactly.

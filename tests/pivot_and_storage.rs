@@ -165,6 +165,6 @@ fn spill_store_round_trips_engine_results() {
     assert_eq!(top.shape(), (3, 2));
     assert!(store.stats().spill_outs >= 1);
     // CSV writer handles the grouped result too.
-    let text = write_csv_string(&grouped, &CsvOptions::default());
+    let text = write_csv_string(&grouped, &CsvOptions::default()).unwrap();
     assert!(text.lines().count() > 3);
 }
