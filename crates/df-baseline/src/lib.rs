@@ -142,6 +142,10 @@ impl BaselineEngine {
             // representation, so it materialises the handle (and then pays its usual
             // per-operator overheads via `finalize`, like any other input).
             AlgebraExpr::Handle(handle) => handle.to_dataframe()?,
+            // Scan leaves are built only for engines advertising scan support; the
+            // baseline (like the reference executor) has no storage layer to read
+            // from, so the shared typed rejection applies.
+            AlgebraExpr::ScanCsv(_) => ops::execute_reference(expr)?,
             AlgebraExpr::Transpose { input } => {
                 let input = self.eval(input)?;
                 if let Some(cap) = self.config.max_transpose_cells {
@@ -170,7 +174,7 @@ impl BaselineEngine {
     fn materialize_children(&self, expr: &AlgebraExpr) -> DfResult<AlgebraExpr> {
         let mut rewritten = expr.clone();
         match &mut rewritten {
-            AlgebraExpr::Literal(_) | AlgebraExpr::Handle(_) => {}
+            AlgebraExpr::Literal(_) | AlgebraExpr::Handle(_) | AlgebraExpr::ScanCsv(_) => {}
             AlgebraExpr::Selection { input, .. }
             | AlgebraExpr::Projection { input, .. }
             | AlgebraExpr::DropDuplicates { input }

@@ -182,6 +182,61 @@ pub enum Predicate {
 }
 
 impl Predicate {
+    /// True when the predicate is *sargable* for scan pushdown: built only from
+    /// column/constant comparisons, null tests and boolean combinators — no
+    /// positional selection (row positions change once a scan filters during the
+    /// parse loop) and no opaque UDFs (which may read columns the planner cannot
+    /// see).
+    ///
+    /// ```
+    /// use df_core::algebra::{CmpOp, Predicate};
+    /// use df_types::cell::cell;
+    ///
+    /// let sargable = Predicate::And(
+    ///     Box::new(Predicate::ColCmp { column: cell("a"), op: CmpOp::Gt, value: cell(1) }),
+    ///     Box::new(Predicate::NotNull { column: cell("b") }),
+    /// );
+    /// assert!(sargable.scan_pushable());
+    /// assert!(!Predicate::PositionRange { start: 0, end: 5 }.scan_pushable());
+    /// ```
+    pub fn scan_pushable(&self) -> bool {
+        match self {
+            Predicate::True
+            | Predicate::ColCmp { .. }
+            | Predicate::IsNull { .. }
+            | Predicate::NotNull { .. } => true,
+            Predicate::Not(inner) => inner.scan_pushable(),
+            Predicate::And(a, b) | Predicate::Or(a, b) => a.scan_pushable() && b.scan_pushable(),
+            Predicate::PositionRange { .. } | Predicate::Custom { .. } => false,
+        }
+    }
+
+    /// Every column label the predicate reads, or `None` when it may read columns the
+    /// planner cannot enumerate (opaque UDFs). Duplicates are removed, first
+    /// occurrence order kept.
+    pub fn referenced_columns(&self) -> Option<Vec<Cell>> {
+        fn walk(pred: &Predicate, out: &mut Vec<Cell>) -> bool {
+            match pred {
+                Predicate::True | Predicate::PositionRange { .. } => true,
+                Predicate::ColCmp { column, .. }
+                | Predicate::IsNull { column }
+                | Predicate::NotNull { column } => {
+                    if !out.contains(column) {
+                        out.push(column.clone());
+                    }
+                    true
+                }
+                Predicate::Not(inner) => walk(inner, out),
+                Predicate::And(a, b) | Predicate::Or(a, b) => walk(a, out) && walk(b, out),
+                Predicate::Custom { .. } => false,
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &mut out).then_some(out)
+    }
+}
+
+impl Predicate {
     /// Evaluate the predicate for the row at `position`.
     pub fn matches(&self, position: usize, row: RowView<'_>) -> bool {
         match self {
@@ -528,6 +583,12 @@ pub enum AlgebraExpr {
     /// or re-partitioning it. Engines that recognise the handle resume from their own
     /// partitioned representation; others fall back to materialising it.
     Handle(FrameHandle),
+    /// A first-class CSV scan leaf (the tentpole of the cost-based optimizer): a
+    /// file path plus parse options, per-chunk statistics cached after the first
+    /// plan/parse pass, and the projection/predicate the optimizer has pushed into
+    /// it. Engines with a storage layer evaluate it with chunk skipping and
+    /// column-pruned parsing; the reference executor (which has none) rejects it.
+    ScanCsv(Arc<crate::scan::ScanCsv>),
     /// SELECTION: keep the rows satisfying the predicate, preserving their order.
     Selection {
         /// Input expression.
@@ -670,6 +731,11 @@ impl AlgebraExpr {
         AlgebraExpr::Handle(handle)
     }
 
+    /// Wrap a CSV scan as a plan leaf.
+    pub fn scan_csv(scan: crate::scan::ScanCsv) -> Self {
+        AlgebraExpr::ScanCsv(Arc::new(scan))
+    }
+
     /// The leaf values of the plan — every literal and handle, as cheap
     /// reference-counted [`FrameHandle`]s. These are exactly the allocations the
     /// plan's [`AlgebraExpr::fingerprint`] identifies by address, so holding the
@@ -693,6 +759,7 @@ impl AlgebraExpr {
         match self {
             AlgebraExpr::Literal(_) => "LITERAL",
             AlgebraExpr::Handle(_) => "HANDLE",
+            AlgebraExpr::ScanCsv(_) => "SCAN_CSV",
             AlgebraExpr::Selection { .. } => "SELECTION",
             AlgebraExpr::Projection { .. } => "PROJECTION",
             AlgebraExpr::Union { .. } => "UNION",
@@ -715,7 +782,7 @@ impl AlgebraExpr {
     /// Child expressions (0 for literals, 1 for unary, 2 for binary operators).
     pub fn children(&self) -> Vec<&AlgebraExpr> {
         match self {
-            AlgebraExpr::Literal(_) | AlgebraExpr::Handle(_) => vec![],
+            AlgebraExpr::Literal(_) | AlgebraExpr::Handle(_) | AlgebraExpr::ScanCsv(_) => vec![],
             AlgebraExpr::Selection { input, .. }
             | AlgebraExpr::Projection { input, .. }
             | AlgebraExpr::DropDuplicates { input }
@@ -740,7 +807,7 @@ impl AlgebraExpr {
     pub fn operator_count(&self) -> usize {
         let own = usize::from(!matches!(
             self,
-            AlgebraExpr::Literal(_) | AlgebraExpr::Handle(_)
+            AlgebraExpr::Literal(_) | AlgebraExpr::Handle(_) | AlgebraExpr::ScanCsv(_)
         ));
         own + self
             .children()
@@ -786,6 +853,13 @@ impl AlgebraExpr {
                 // wrap: re-submitting a statement over the same handle hits the
                 // cache; a statement over a fresh result does not.
                 out.push_str(&format!("hnd@{:p}", handle.identity()));
+            }
+            AlgebraExpr::ScanCsv(scan) => {
+                // Unlike literals/handles, scans are identified by *content* (the
+                // session's file-state key plus the pushdowns): two statements over
+                // the same on-disk file state share cache entries even though they
+                // built separate leaf allocations.
+                out.push_str(&scan.fingerprint_fragment());
             }
             AlgebraExpr::Selection { input, predicate } => {
                 out.push_str(&format!("sel[{predicate:?}]("));

@@ -149,6 +149,25 @@ impl Capabilities {
     }
 }
 
+/// A snapshot of an engine's scan-pushdown and adaptive-join counters, merged into
+/// the session's statistics by the API layer. Engines without a cost-based optimizer
+/// report the all-zero default.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PushdownSnapshot {
+    /// Chunks proven empty by min/max statistics and never parsed.
+    pub chunks_skipped: u64,
+    /// File columns never parsed/encoded thanks to projection pushdown.
+    pub columns_pruned: u64,
+    /// Predicates the optimizer folded into a scan leaf.
+    pub predicates_pushed: u64,
+    /// Projections the optimizer folded into a scan leaf.
+    pub projections_pushed: u64,
+    /// Joins executed with a broadcast build side.
+    pub joins_broadcast: u64,
+    /// Joins executed with a hash shuffle.
+    pub joins_shuffled: u64,
+}
+
 /// An execution backend for the dataframe algebra.
 ///
 /// `execute` is the only required evaluation method; everything else is a
@@ -211,6 +230,19 @@ pub trait Engine: Send + Sync {
     /// Execute only enough of the expression to return the last `k` rows.
     fn execute_suffix(&self, expr: &AlgebraExpr, k: usize) -> DfResult<DataFrame> {
         self.execute(expr)?.tail(k)
+    }
+
+    /// This engine's cumulative scan-pushdown / adaptive-join counters. The default
+    /// (all zero) is correct for engines without a cost-based optimizer.
+    fn pushdown_stats(&self) -> PushdownSnapshot {
+        PushdownSnapshot::default()
+    }
+
+    /// Render `expr` as a human-readable plan annotated with the cost model's
+    /// estimates. The default prints the plan as given; optimizing engines override
+    /// this to also show the rewritten plan and which pushdowns/strategies fired.
+    fn explain(&self, expr: &AlgebraExpr) -> String {
+        crate::cost::render_plan(expr)
     }
 }
 

@@ -13,6 +13,11 @@
 //! * [`ops`] — reference implementations of every operator, defining the semantics all
 //!   engines must agree with (plus vectorized columnar fast paths that must match
 //!   them cell-for-cell).
+//! * [`scan`] — the first-class CSV scan leaf ([`scan::ScanCsv`]) carrying chunk
+//!   plans and per-chunk column statistics: the target of the optimizer's
+//!   projection/predicate pushdown.
+//! * [`cost`] — the cost model: size estimation from leaf shapes and scan
+//!   statistics, and the plan rendering behind `explain()`.
 //! * [`engine`] — the "narrow waist" [`engine::Engine`] trait and the Table 3
 //!   capability matrix.
 //! * [`handle`] — the opaque [`handle::FrameHandle`] results that cross the waist:
@@ -26,14 +31,18 @@
 
 pub mod algebra;
 pub mod columnar;
+pub mod cost;
 pub mod dataframe;
 pub mod engine;
 pub mod handle;
 pub mod linalg;
 pub mod ops;
+pub mod scan;
 
 pub use algebra::AlgebraExpr;
 pub use columnar::ColumnBlock;
+pub use cost::Estimate;
 pub use dataframe::{Column, DataFrame};
-pub use engine::{Capabilities, Engine, EngineKind, ReferenceEngine};
+pub use engine::{Capabilities, Engine, EngineKind, PushdownSnapshot, ReferenceEngine};
 pub use handle::{FrameHandle, FrameSchema, PartitionedResult};
+pub use scan::{ScanCsv, ScanOptions, ScanStats};

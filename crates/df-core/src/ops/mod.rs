@@ -12,7 +12,7 @@ pub mod rowwise;
 pub mod setops;
 pub mod window;
 
-use df_types::error::DfResult;
+use df_types::error::{DfError, DfResult};
 
 use crate::algebra::AlgebraExpr;
 use crate::dataframe::DataFrame;
@@ -24,6 +24,14 @@ pub fn execute_reference(expr: &AlgebraExpr) -> DfResult<DataFrame> {
         // Handle leaves from earlier statements: the reference executor has no
         // partitioned representation, so it materialises through the generic path.
         AlgebraExpr::Handle(handle) => handle.to_dataframe(),
+        // Scan leaves need a storage layer; df-core deliberately has none (the
+        // dependency points the other way). The API layer only builds ScanCsv plans
+        // for engines that advertise evaluating them.
+        AlgebraExpr::ScanCsv(scan) => Err(DfError::unsupported(format!(
+            "the reference executor cannot evaluate SCAN_CSV({}): scans require an \
+             engine with a storage layer",
+            scan.path.display()
+        ))),
         AlgebraExpr::Selection { input, predicate } => {
             let input = execute_reference(input)?;
             rowwise::selection(&input, predicate)

@@ -31,8 +31,12 @@
 //!   assemblies in [`ModinEngine::fallbacks_dispatched`] so tests and the README's
 //!   execution-strategy table stay honest.
 
+use std::collections::HashMap;
+use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+use parking_lot::Mutex;
 
 use df_storage::csv::CsvOptions;
 use df_storage::spill::{SpillStats, SpillStore};
@@ -40,10 +44,12 @@ use df_types::cell::Cell;
 use df_types::error::DfResult;
 
 use df_core::algebra::{AggFunc, Aggregation, AlgebraExpr, MapFunc, Predicate};
+use df_core::cost;
 use df_core::dataframe::DataFrame;
-use df_core::engine::{Capabilities, Engine, EngineKind};
+use df_core::engine::{Capabilities, Engine, EngineKind, PushdownSnapshot};
 use df_core::handle::{FrameHandle, PartitionedResult};
 use df_core::ops;
+use df_core::scan::{ScanCsv, ScanOptions, ScanStats};
 
 use crate::executor::{default_threads, ParallelExecutor};
 use crate::ingest::{self, IngestStats};
@@ -214,6 +220,23 @@ pub struct ModinEngine {
     ingest_bands: AtomicU64,
     /// Bytes scanned by ingest plans.
     ingest_bytes: AtomicU64,
+    /// Cost-based pushdown counters (chunks skipped, columns pruned, rewrites
+    /// applied, join strategies taken), surfaced through [`Engine::pushdown_stats`].
+    pushdown: PushdownCounters,
+    /// Per-file scan statistics, cached by scan identity so repeated statements over
+    /// the same file collect them once.
+    scan_stats: Mutex<HashMap<String, Arc<ScanStats>>>,
+}
+
+/// The engine-side accumulators behind [`PushdownSnapshot`].
+#[derive(Debug, Default)]
+struct PushdownCounters {
+    chunks_skipped: AtomicU64,
+    columns_pruned: AtomicU64,
+    predicates_pushed: AtomicU64,
+    projections_pushed: AtomicU64,
+    joins_broadcast: AtomicU64,
+    joins_shuffled: AtomicU64,
 }
 
 impl ModinEngine {
@@ -254,6 +277,8 @@ impl ModinEngine {
             ingest_files: AtomicU64::new(0),
             ingest_bands: AtomicU64::new(0),
             ingest_bytes: AtomicU64::new(0),
+            pushdown: PushdownCounters::default(),
+            scan_stats: Mutex::new(HashMap::new()),
         })
     }
 
@@ -398,8 +423,158 @@ impl ModinEngine {
 
     /// Execute an expression and keep the result partitioned.
     pub fn execute_partitioned(&self, expr: &AlgebraExpr) -> DfResult<PartitionGrid> {
-        let (optimized, _) = optimize(expr, self.config.optimizer);
+        let (optimized, stats) = optimize(expr, self.config.optimizer);
+        self.note_rewrites(&stats);
         self.eval(&optimized)
+    }
+
+    fn note_rewrites(&self, stats: &RewriteStats) {
+        self.pushdown
+            .predicates_pushed
+            .fetch_add(stats.predicates_pushed as u64, Ordering::Relaxed);
+        self.pushdown
+            .projections_pushed
+            .fetch_add(stats.projections_pushed as u64, Ordering::Relaxed);
+    }
+
+    /// Evaluate a SCAN_CSV leaf: look up (or collect and cache) the file's chunk
+    /// statistics, publish them onto the scan node so cost estimation and
+    /// `explain()` can see them, then run the pushdown-aware parallel parse.
+    fn eval_scan(&self, scan: &ScanCsv) -> DfResult<PartitionGrid> {
+        let options = csv_options(scan.options);
+        let stats = self.scan_stats_for(scan, &options)?;
+        scan.set_stats(Arc::clone(&stats));
+        let (grid, report) =
+            ingest::scan_csv_grid(&self.executor, self.store.as_ref(), scan, &options, &stats)?;
+        self.ingest_files.fetch_add(1, Ordering::Relaxed);
+        self.ingest_bands.fetch_add(report.bands, Ordering::Relaxed);
+        self.ingest_bytes.fetch_add(report.bytes, Ordering::Relaxed);
+        self.pushdown
+            .chunks_skipped
+            .fetch_add(report.chunks_skipped, Ordering::Relaxed);
+        self.pushdown
+            .columns_pruned
+            .fetch_add(report.columns_pruned, Ordering::Relaxed);
+        Ok(grid)
+    }
+
+    /// The statistics for a scan's file, collected on first contact and cached by
+    /// scan identity (projection and predicate do not affect the statistics, so
+    /// every pushed variant of the same file shares one entry).
+    fn scan_stats_for(&self, scan: &ScanCsv, options: &CsvOptions) -> DfResult<Arc<ScanStats>> {
+        if let Some(cached) = self.scan_stats.lock().get(scan.identity()).cloned() {
+            return Ok(cached);
+        }
+        let stats = Arc::new(ingest::collect_scan_stats(
+            &self.executor,
+            self.config.partitioning,
+            self.config.memory_budget_bytes,
+            &scan.path,
+            options,
+        )?);
+        self.scan_stats
+            .lock()
+            .insert(scan.identity().to_string(), Arc::clone(&stats));
+        Ok(stats)
+    }
+
+    /// Ensure every scan leaf under `expr` carries statistics, collecting (and
+    /// caching) them when missing. A scan whose file cannot be read is left bare —
+    /// `explain()` then renders it without estimates rather than failing.
+    fn prime_scan_stats(&self, expr: &AlgebraExpr) {
+        if let AlgebraExpr::ScanCsv(scan) = expr {
+            if scan.stats().is_none() {
+                let options = csv_options(scan.options);
+                if let Ok(stats) = self.scan_stats_for(scan, &options) {
+                    scan.set_stats(stats);
+                }
+            }
+        }
+        for child in expr.children() {
+            self.prime_scan_stats(child);
+        }
+    }
+
+    /// Statistics-driven broadcast sizing: the configured row threshold is really a
+    /// proxy for a byte budget (`threshold × 16 bytes × build-side width`). When the
+    /// build side's estimated per-row footprint is known, re-denominate the
+    /// threshold for it — heavy rows lower the row allowance, light rows raise it
+    /// (bounded to ¼–4× the configured threshold so estimates stay advisory).
+    /// Without an estimate the configured row count stands, and a zero threshold
+    /// always forces the shuffle path (differential tests rely on that).
+    fn adaptive_broadcast_rows(&self, build: &AlgebraExpr, configured: usize) -> usize {
+        if configured == 0 {
+            return 0;
+        }
+        let Some(est) = cost::estimate(build) else {
+            return configured;
+        };
+        if est.rows < 1.0 || est.bytes <= 0.0 {
+            return configured;
+        }
+        let per_row = est.bytes / est.rows;
+        let assumed = cost::DEFAULT_CELL_BYTES * est.cols.max(1.0);
+        let adjusted = (configured as f64 * assumed / per_row) as usize;
+        adjusted.clamp(configured / 4 + 1, configured.saturating_mul(4))
+    }
+
+    /// Render the logical and optimized plans with per-node cardinality/byte
+    /// estimates, which rewrite rules fired, and the planned join strategies. Scans
+    /// without cached statistics get a statistics pass first (cached, so the
+    /// execution that typically follows pays nothing extra).
+    pub fn explain_plan(&self, expr: &AlgebraExpr) -> String {
+        self.prime_scan_stats(expr);
+        let (optimized, stats) = optimize(expr, self.config.optimizer);
+        let mut out = String::from("== logical plan ==\n");
+        out.push_str(&cost::render_plan(expr));
+        out.push_str("== optimized plan ==\n");
+        out.push_str(&cost::render_plan(&optimized));
+        out.push_str("== rewrites ==\n");
+        let _ = writeln!(
+            out,
+            "predicates pushed into scans: {}\nprojections pushed into scans: {}\nselections fused: {}\ntranspose pairs eliminated: {}\nlimits pushed: {}",
+            stats.predicates_pushed,
+            stats.projections_pushed,
+            stats.selections_fused,
+            stats.transpose_pairs_eliminated,
+            stats.limits_pushed,
+        );
+        let mut strategies = Vec::new();
+        self.join_strategies(&optimized, &mut strategies);
+        if !strategies.is_empty() {
+            out.push_str("== join strategy ==\n");
+            for line in strategies {
+                out.push_str(&line);
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// One line per JOIN node: broadcast or shuffle, from the build side's estimated
+    /// cardinality against the (statistics-adjusted) broadcast threshold.
+    fn join_strategies(&self, expr: &AlgebraExpr, out: &mut Vec<String>) {
+        if let AlgebraExpr::Join { right, .. } = expr {
+            let threshold =
+                self.adaptive_broadcast_rows(right, self.config.broadcast_threshold_rows);
+            let line = match cost::estimate(right) {
+                Some(est) if (est.rows.round() as usize) <= threshold => format!(
+                    "JOIN: broadcast build side (~{} rows <= threshold {threshold})",
+                    est.rows.round()
+                ),
+                Some(est) => format!(
+                    "JOIN: hash-shuffle both sides (build ~{} rows > threshold {threshold})",
+                    est.rows.round()
+                ),
+                None => format!(
+                    "JOIN: hash-shuffle unless build side <= {threshold} rows (no statistics)"
+                ),
+            };
+            out.push(line);
+        }
+        for child in expr.children() {
+            self.join_strategies(child, out);
+        }
     }
 
     fn partition_literal(&self, df: &Arc<DataFrame>) -> DfResult<PartitionGrid> {
@@ -432,6 +607,7 @@ impl ModinEngine {
         match expr {
             AlgebraExpr::Literal(df) => self.partition_literal(df),
             AlgebraExpr::Handle(handle) => self.resume_handle(handle),
+            AlgebraExpr::ScanCsv(scan) => self.eval_scan(scan),
             AlgebraExpr::Transpose { input } => Ok(self.eval(input)?.transpose()),
             AlgebraExpr::Map { input, func } => self.eval_map(input, func),
             AlgebraExpr::Selection { input, predicate } => self.eval_selection(input, predicate),
@@ -534,25 +710,40 @@ impl ModinEngine {
         on: &df_core::algebra::JoinOn,
         how: df_core::algebra::JoinType,
     ) -> DfResult<PartitionGrid> {
-        let left = self.eval(left)?;
-        let right = self.eval(right)?;
-        if left.shape().1 == 0 || right.shape().1 == 0 {
+        let left_grid = self.eval(left)?;
+        let right_grid = self.eval(right)?;
+        if left_grid.shape().1 == 0 || right_grid.shape().1 == 0 {
             // Zero-column inputs cannot carry the position tags the shuffle needs;
             // these degenerate joins follow reference semantics directly.
             self.note_fallback();
-            let result =
-                ops::setops::join(&left.into_dataframe()?, &right.into_dataframe()?, on, how)?;
+            let result = ops::setops::join(
+                &left_grid.into_dataframe()?,
+                &right_grid.into_dataframe()?,
+                on,
+                how,
+            )?;
             return self.repartition(&result);
         }
-        let options = self.shuffle_options(&left);
-        shuffle::parallel_join(&self.executor, left, right, on, how, options)
+        let mut options = self.shuffle_options(&left_grid);
+        // Statistics-driven strategy choice: re-denominate the broadcast threshold
+        // for the build side's estimated row weight (scan leaves evaluated above
+        // have populated their statistics, so the estimate sees them).
+        options.broadcast_rows = self.adaptive_broadcast_rows(right, options.broadcast_rows);
+        if right_grid.shape().0 <= options.broadcast_rows {
+            self.pushdown
+                .joins_broadcast
+                .fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.pushdown.joins_shuffled.fetch_add(1, Ordering::Relaxed);
+        }
+        shuffle::parallel_join(&self.executor, left_grid, right_grid, on, how, options)
     }
 
     /// Replace each child with a literal holding its assembled value.
     fn assemble_children(&self, expr: &AlgebraExpr) -> DfResult<AlgebraExpr> {
         let mut rewritten = expr.clone();
         match &mut rewritten {
-            AlgebraExpr::Literal(_) | AlgebraExpr::Handle(_) => {}
+            AlgebraExpr::Literal(_) | AlgebraExpr::Handle(_) | AlgebraExpr::ScanCsv(_) => {}
             AlgebraExpr::Selection { input, .. }
             | AlgebraExpr::Projection { input, .. }
             | AlgebraExpr::DropDuplicates { input }
@@ -736,14 +927,40 @@ impl Engine for ModinEngine {
         // Wrap in a LIMIT so the optimizer can push the prefix down through row-wise
         // operators (§6.1.2), then let the partition-aware prefix path finish the job.
         let limited = expr.clone().limit(k, false);
-        let (optimized, _) = optimize(&limited, self.config.optimizer);
+        let (optimized, stats) = optimize(&limited, self.config.optimizer);
+        self.note_rewrites(&stats);
         self.eval(&optimized)?.into_dataframe()
     }
 
     fn execute_suffix(&self, expr: &AlgebraExpr, k: usize) -> DfResult<DataFrame> {
         let limited = expr.clone().limit(k, true);
-        let (optimized, _) = optimize(&limited, self.config.optimizer);
+        let (optimized, stats) = optimize(&limited, self.config.optimizer);
+        self.note_rewrites(&stats);
         self.eval(&optimized)?.into_dataframe()
+    }
+
+    fn pushdown_stats(&self) -> PushdownSnapshot {
+        PushdownSnapshot {
+            chunks_skipped: self.pushdown.chunks_skipped.load(Ordering::Relaxed),
+            columns_pruned: self.pushdown.columns_pruned.load(Ordering::Relaxed),
+            predicates_pushed: self.pushdown.predicates_pushed.load(Ordering::Relaxed),
+            projections_pushed: self.pushdown.projections_pushed.load(Ordering::Relaxed),
+            joins_broadcast: self.pushdown.joins_broadcast.load(Ordering::Relaxed),
+            joins_shuffled: self.pushdown.joins_shuffled.load(Ordering::Relaxed),
+        }
+    }
+
+    fn explain(&self, expr: &AlgebraExpr) -> String {
+        self.explain_plan(expr)
+    }
+}
+
+/// The storage-layer reader options for a scan leaf's engine-agnostic options.
+fn csv_options(options: ScanOptions) -> CsvOptions {
+    CsvOptions {
+        delimiter: options.delimiter,
+        has_header: options.has_header,
+        infer_schema: options.infer_schema,
     }
 }
 
@@ -967,7 +1184,7 @@ fn rebuild_grid_like(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use df_core::algebra::{CmpOp, ColumnSelector, SortSpec, WindowFunc};
+    use df_core::algebra::{CmpOp, ColumnSelector, JoinOn, JoinType, SortSpec, WindowFunc};
     use df_core::engine::ReferenceEngine;
     use df_types::cell::cell;
 
@@ -1245,5 +1462,136 @@ mod tests {
             .execute_collect(&AlgebraExpr::literal(raw))
             .unwrap();
         assert_eq!(eager.cell(0, 0).unwrap(), &cell(10));
+    }
+
+    fn scan_csv_file(name: &str) -> (std::path::PathBuf, String) {
+        let mut content = String::from("id,name,score,tag\n");
+        for i in 0..60 {
+            content.push_str(&format!("{i},row-{i},{}.5,t{}\n", i % 7, i % 3));
+        }
+        let dir = std::env::temp_dir().join(format!("df_engine_scan_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, &content).unwrap();
+        (path, content)
+    }
+
+    fn scan_expr(path: &std::path::Path, identity: &str) -> AlgebraExpr {
+        AlgebraExpr::scan_csv(df_core::scan::ScanCsv::new(
+            path,
+            df_core::scan::ScanOptions {
+                infer_schema: true,
+                ..df_core::scan::ScanOptions::default()
+            },
+            identity,
+        ))
+    }
+
+    fn id_lt(value: i64) -> Predicate {
+        Predicate::ColCmp {
+            column: cell("id"),
+            op: CmpOp::Lt,
+            value: cell(value),
+        }
+    }
+
+    #[test]
+    fn scan_pushdown_matches_unoptimized_plan_and_counts() {
+        let (path, content) = scan_csv_file("pushdown.csv");
+        let expr = scan_expr(&path, "engine-pushdown")
+            .select(id_lt(7))
+            .project(ColumnSelector::ByLabels(vec![cell("score"), cell("id")]));
+        let pushed_engine = small_engine();
+        let pushed = pushed_engine.execute_collect(&expr).unwrap();
+        let stats = pushed_engine.pushdown_stats();
+        assert_eq!(stats.predicates_pushed, 1);
+        assert_eq!(stats.projections_pushed, 1);
+        assert_eq!(
+            stats.chunks_skipped, 3,
+            "ids 0..60 in 4 bands of 16, id < 7"
+        );
+        assert_eq!(stats.columns_pruned, 2, "name and tag never parse");
+        // The same plan with every rewrite disabled parses the whole file and
+        // filters afterwards — results must be cell-for-cell identical.
+        let plain_config = ModinConfig {
+            optimizer: OptimizerConfig::disabled(),
+            ..ModinConfig::sequential().with_partition_size(16, 2)
+        };
+        let plain_engine = ModinEngine::with_config(plain_config);
+        let plain = plain_engine.execute_collect(&expr).unwrap();
+        let plain_stats = plain_engine.pushdown_stats();
+        assert_eq!(plain_stats.predicates_pushed, 0);
+        assert_eq!(plain_stats.chunks_skipped, 0);
+        assert!(pushed.same_data(&plain), "pushdown changed the answer");
+        assert_eq!(pushed.schema(), plain.schema());
+        drop(content);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn scan_statistics_are_cached_per_identity() {
+        let (path, _content) = scan_csv_file("cached.csv");
+        let engine = small_engine();
+        let expr = scan_expr(&path, "cache-test");
+        engine.execute_collect(&expr).unwrap();
+        // Delete the file: a second evaluation must still plan from the cached
+        // statistics (the parse phase re-reads, so only run explain here).
+        let rendered = engine.explain_plan(&scan_expr(&path, "cache-test").select(id_lt(7)));
+        assert!(
+            rendered.contains("SCAN_CSV"),
+            "explain lost the scan leaf:\n{rendered}"
+        );
+        assert_eq!(engine.scan_stats.lock().len(), 1, "one entry per identity");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn explain_names_pushdowns_and_join_strategy() {
+        let (path, _content) = scan_csv_file("explain.csv");
+        let dim = DataFrame::from_columns(
+            vec!["tag", "label"],
+            vec![
+                vec![cell("t0"), cell("t1"), cell("t2")],
+                vec![cell("small"), cell("medium"), cell("large")],
+            ],
+        )
+        .unwrap();
+        let expr = scan_expr(&path, "explain-test")
+            .select(id_lt(7))
+            .project(ColumnSelector::ByLabels(vec![cell("tag"), cell("id")]))
+            .join(
+                AlgebraExpr::literal(dim),
+                JoinOn::Columns(vec![cell("tag")]),
+                JoinType::Inner,
+            );
+        let engine = small_engine();
+        let rendered = engine.explain_plan(&expr);
+        assert!(rendered.contains("== logical plan =="), "{rendered}");
+        assert!(rendered.contains("== optimized plan =="), "{rendered}");
+        assert!(
+            rendered.contains("predicates pushed into scans: 1"),
+            "{rendered}"
+        );
+        assert!(
+            rendered.contains("projections pushed into scans: 1"),
+            "{rendered}"
+        );
+        assert!(
+            rendered.contains("JOIN: broadcast build side"),
+            "3-row dim table must broadcast:\n{rendered}"
+        );
+        // Executing the join bumps the strategy counters the same way.
+        engine.execute_collect(&expr).unwrap();
+        assert_eq!(engine.pushdown_stats().joins_broadcast, 1);
+        assert_eq!(engine.pushdown_stats().joins_shuffled, 0);
+        // Threshold 0 forces the shuffle path and the counter follows.
+        let shuffle_engine = ModinEngine::with_config(
+            ModinConfig::sequential()
+                .with_partition_size(16, 2)
+                .with_broadcast_threshold(0),
+        );
+        shuffle_engine.execute_collect(&expr).unwrap();
+        assert_eq!(shuffle_engine.pushdown_stats().joins_shuffled, 1);
+        std::fs::remove_file(path).ok();
     }
 }

@@ -25,9 +25,13 @@
 use std::path::Path;
 use std::sync::Arc;
 
+use df_core::algebra::ColumnSelector;
 use df_core::columnar::ColumnBlock;
-use df_storage::csv::{self, CsvOptions};
+use df_core::ops;
+use df_core::scan::{ChunkStats, ScanCsv, ScanStats};
+use df_storage::csv::{self, CsvChunk, CsvIngestPlan, CsvOptions};
 use df_storage::spill::SpillStore;
+use df_types::cell::Cell;
 use df_types::error::DfResult;
 use df_types::infer::InductionSummary;
 
@@ -122,6 +126,288 @@ pub fn ingest_csv_grid(
         })?;
     }
     Ok((grid, report))
+}
+
+/// What one pushdown-aware scan did — merged into the engine's ingest and pushdown
+/// counters, and asserted by the pushdown equivalence suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanReport {
+    /// Bands parsed (surviving chunks only).
+    pub bands: u64,
+    /// Bytes actually read by the parse phase (skipped chunks read nothing).
+    pub bytes: u64,
+    /// Data rows emitted after the pushed predicate.
+    pub rows: u64,
+    /// Chunks proven row-free by their min/max statistics and never parsed.
+    pub chunks_skipped: u64,
+    /// File columns the parse loop never materialised (outside the pushed
+    /// projection and the pushed predicate's reads).
+    pub columns_pruned: u64,
+}
+
+/// Floor for the budget-tuned chunk size: below this, per-chunk overhead dominates.
+const MIN_SCAN_BAND_ROWS: usize = 16;
+
+/// Budget-aware band sizing (the scan's auto-tune): keep roughly one raw band per
+/// worker — with 2× headroom for the parsed form — inside the session budget, so the
+/// parse fan-out itself respects the budget even before any band reaches the store.
+/// Returns `Some(rows)` only when the tuning *shrinks* the configured band size;
+/// growing it would trade away parallelism for nothing.
+fn tuned_band_rows(
+    plan: &CsvIngestPlan,
+    memory_budget: Option<usize>,
+    threads: usize,
+    configured: usize,
+) -> Option<usize> {
+    let budget = memory_budget?;
+    if plan.total_rows == 0 || plan.total_bytes == 0 {
+        return None;
+    }
+    let bytes_per_row = (plan.total_bytes as f64 / plan.total_rows as f64).max(1.0);
+    let per_band_bytes = (budget as f64 / (2.0 * threads.max(1) as f64)).max(1.0);
+    let tuned = ((per_band_bytes / bytes_per_row) as usize).max(MIN_SCAN_BAND_ROWS);
+    (tuned < configured).then_some(tuned)
+}
+
+/// Collect per-chunk column statistics (and, for inferring scans, the reconciled
+/// per-column domains) for a CSV file: plan the chunks — re-planning with a smaller
+/// band when the memory budget and worker count call for it — then parse each chunk
+/// transiently on the worker pool, folding its cells into
+/// [`df_core::scan::ColumnChunkStats`]. Nothing is retained beyond the statistics;
+/// the engine caches the result per scan identity so later statements pay nothing.
+pub fn collect_scan_stats(
+    executor: &ParallelExecutor,
+    partitioning: PartitionConfig,
+    memory_budget: Option<usize>,
+    path: &Path,
+    options: &CsvOptions,
+) -> DfResult<ScanStats> {
+    let mut plan = csv::plan_csv_chunks(path, options, partitioning.target_rows)?;
+    if let Some(tuned) = tuned_band_rows(
+        &plan,
+        memory_budget,
+        executor.threads(),
+        partitioning.target_rows,
+    ) {
+        plan = csv::plan_csv_chunks(path, options, tuned)?;
+    }
+    let per_chunk = executor.par_map(plan.chunks.clone(), |_, chunk| {
+        let band = csv::read_csv_chunk(path, options, &plan, &chunk)?;
+        let columns = csv::chunk_column_stats(&band);
+        let summaries = options
+            .infer_schema
+            .then(|| csv::band_induction_summaries(&band));
+        Ok((chunk, columns, summaries))
+    })?;
+    let mut chunks = Vec::with_capacity(per_chunk.len());
+    let mut band_summaries: Vec<Vec<InductionSummary>> = Vec::new();
+    for (chunk, columns, summaries) in per_chunk {
+        chunks.push(ChunkStats {
+            start_byte: chunk.start_byte,
+            end_byte: chunk.end_byte,
+            start_row: chunk.start_row,
+            rows: chunk.rows,
+            columns,
+        });
+        band_summaries.extend(summaries);
+    }
+    let domains = (options.infer_schema && !band_summaries.is_empty())
+        .then(|| csv::reconcile_domains(&band_summaries));
+    Ok(ScanStats {
+        labels: plan.col_labels().as_slice().to_vec(),
+        n_cols: plan.n_cols,
+        total_rows: plan.total_rows,
+        total_bytes: plan.total_bytes,
+        domains,
+        chunks,
+    })
+}
+
+/// Rebuild the chunk plan a statistics pass ran under, so the parse phase seeks the
+/// exact byte ranges the statistics describe without re-planning the file.
+fn rebuild_plan(stats: &ScanStats, options: &CsvOptions) -> CsvIngestPlan {
+    CsvIngestPlan {
+        header: options
+            .has_header
+            .then(|| stats.labels.iter().map(Cell::to_raw_string).collect()),
+        n_cols: stats.n_cols,
+        total_rows: stats.total_rows,
+        total_bytes: stats.total_bytes,
+        chunks: stats
+            .chunks
+            .iter()
+            .map(|c| CsvChunk {
+                start_byte: c.start_byte,
+                end_byte: c.end_byte,
+                rows: c.rows,
+                start_row: c.start_row,
+            })
+            .collect(),
+    }
+}
+
+/// Evaluate a [`ScanCsv`] leaf into a row-banded [`PartitionGrid`], applying the
+/// pushdowns the optimizer folded into it:
+///
+/// * **chunk skipping** — chunks whose per-column min/max statistics prove no row
+///   can match the pushed predicate are never read
+///   ([`df_core::scan::ScanStats::surviving_chunks`]);
+/// * **column pruning** — with a pushed projection, each worker splits and
+///   materialises only the projected columns plus whatever extra columns the pushed
+///   predicate reads ([`csv::read_csv_chunk_cols`]);
+/// * **residual filtering** — the predicate runs over each parsed band *before* it
+///   checks into the store, so filtered-out rows never occupy budget.
+///
+/// The grid is cell-for-cell identical to evaluating SELECTION and PROJECTION above
+/// an unpushed scan of the whole file.
+pub fn scan_csv_grid(
+    executor: &ParallelExecutor,
+    store: Option<&Arc<SpillStore>>,
+    scan: &ScanCsv,
+    options: &CsvOptions,
+    stats: &ScanStats,
+) -> DfResult<(PartitionGrid, ScanReport)> {
+    let plan = rebuild_plan(stats, options);
+    // Columns the parse loop must materialise, in file order: the pushed
+    // projection's labels plus any extra columns the pushed predicate reads. The
+    // output projection (which also fixes order and duplicates) is applied per band
+    // after filtering.
+    let pred_cols: Vec<Cell> = scan
+        .predicate
+        .as_ref()
+        .and_then(|p| p.referenced_columns())
+        .unwrap_or_default();
+    let keep: Option<Vec<usize>> = scan.projection.as_ref().map(|proj| {
+        stats
+            .labels
+            .iter()
+            .enumerate()
+            .filter(|(_, label)| proj.contains(label) || pred_cols.contains(label))
+            .map(|(j, _)| j)
+            .collect()
+    });
+    let columns_pruned = keep
+        .as_ref()
+        .map(|k| (stats.n_cols - k.len()) as u64)
+        .unwrap_or(0);
+    // Domains for the columns actually parsed (inferring scans recast in-worker with
+    // the *file-wide* reconciled domains, so pruning chunks cannot change a dtype).
+    let parse_domains: Option<Vec<df_types::domain::Domain>> = match (&stats.domains, &keep) {
+        (Some(domains), Some(keep)) => Some(keep.iter().map(|&j| domains[j]).collect()),
+        (Some(domains), None) => Some(domains.clone()),
+        (None, _) => None,
+    };
+    let projection = scan.projection.clone().map(ColumnSelector::ByLabels);
+    let survivors: Vec<CsvChunk> = stats
+        .surviving_chunks(scan.predicate.as_ref())
+        .into_iter()
+        .map(|c| CsvChunk {
+            start_byte: c.start_byte,
+            end_byte: c.end_byte,
+            rows: c.rows,
+            start_row: c.start_row,
+        })
+        .collect();
+    let chunks_skipped = (stats.chunks.len() - survivors.len()) as u64;
+    let mut report = ScanReport {
+        bands: survivors.len() as u64,
+        bytes: survivors.iter().map(|c| c.end_byte - c.start_byte).sum(),
+        rows: 0,
+        chunks_skipped,
+        columns_pruned,
+    };
+    if survivors.is_empty() {
+        // No chunk can match (or the file holds no data records): one empty band
+        // with the scan's output schema, exactly what the unpushed plan returns.
+        let mut empty = plan.empty_frame()?;
+        if options.infer_schema {
+            match &stats.domains {
+                Some(domains) => empty = csv::apply_domains(empty, domains)?,
+                None => {
+                    empty.parse_all();
+                }
+            }
+        }
+        let empty = match &scan.predicate {
+            Some(pred) => ops::rowwise::selection(&empty, pred)?,
+            None => empty,
+        };
+        let empty = match &projection {
+            Some(proj) => ops::rowwise::projection(&empty, proj)?,
+            None => empty,
+        };
+        let (rows, _) = empty.shape();
+        report.rows = rows as u64;
+        let grid = PartitionGrid::single_in(empty, store)?
+            .with_scan_schema(scan_output_schema(stats, scan), scan.predicate.is_none());
+        return Ok((grid, report));
+    }
+    let store_owned = store.cloned();
+    let retry = df_types::retry::RetryPolicy::default();
+    let parsed = executor.par_map(survivors, |_, chunk| {
+        let band = retry.run(|_| {
+            df_types::fail::check("ingest.read")?;
+            match &keep {
+                Some(keep) => csv::read_csv_chunk_cols(path_of(scan), options, &plan, &chunk, keep),
+                None => csv::read_csv_chunk(path_of(scan), options, &plan, &chunk),
+            }
+        })?;
+        let band = match &parse_domains {
+            Some(domains) => csv::apply_domains(band, domains)?,
+            None => band,
+        };
+        let band = match &scan.predicate {
+            Some(pred) => ops::rowwise::selection(&band, pred)?,
+            None => band,
+        };
+        let band = match &projection {
+            Some(proj) => ops::rowwise::projection(&band, proj)?,
+            None => band,
+        };
+        let rows = band.n_rows() as u64;
+        // Mirror the plain ingest path's check-in: typed columnar blocks when the
+        // columnar layout is enabled, tagged-cell bands otherwise.
+        let part = if df_types::column::columnar_enabled() {
+            let block = ColumnBlock::from_frame(&band);
+            Partition::new_columnar_in(block, chunk.start_row, 0, store_owned.as_ref())?
+        } else {
+            Partition::new_in(band, chunk.start_row, 0, store_owned.as_ref())?
+        };
+        Ok((part, rows))
+    })?;
+    let mut parts = Vec::with_capacity(parsed.len());
+    for (part, rows) in parsed {
+        report.rows += rows;
+        parts.push(part);
+    }
+    let grid = PartitionGrid::from_band_partitions(parts)
+        .with_scan_schema(scan_output_schema(stats, scan), scan.predicate.is_none());
+    Ok((grid, report))
+}
+
+fn path_of(scan: &ScanCsv) -> &Path {
+    scan.path.as_path()
+}
+
+/// The scan's output schema — projected labels (or all file labels) paired with
+/// their reconciled domains — carried onto the grid so `schema()` answers even when
+/// a deferred transpose later hides the per-handle metadata.
+fn scan_output_schema(stats: &ScanStats, scan: &ScanCsv) -> df_core::handle::FrameSchema {
+    let domain_of = |label: &Cell| -> Option<df_types::domain::Domain> {
+        let j = stats.col_position(label)?;
+        stats.domains.as_ref().map(|d| d[j])
+    };
+    match &scan.projection {
+        Some(proj) => proj
+            .iter()
+            .map(|label| (label.clone(), domain_of(label)))
+            .collect(),
+        None => stats
+            .labels
+            .iter()
+            .map(|label| (label.clone(), domain_of(label)))
+            .collect(),
+    }
 }
 
 #[cfg(test)]
@@ -250,6 +536,163 @@ mod tests {
         assert_eq!(assembled.cell(2, 0).unwrap(), &cell(2.5));
         let serial = read_csv_str(content, &options).unwrap();
         assert!(assembled.same_data(&serial));
+        std::fs::remove_file(path).ok();
+    }
+
+    use df_core::algebra::{CmpOp, Predicate};
+    use df_core::scan::ScanOptions;
+
+    /// 60 rows of 4 columns with `id` sorted 0..60, so a range predicate on `id`
+    /// is satisfiable in only a prefix of the chunk sequence.
+    fn clustered_csv(name: &str) -> (std::path::PathBuf, String) {
+        let mut content = String::from("id,name,score,tag\n");
+        for i in 0..60 {
+            content.push_str(&format!("{i},row-{i},{}.5,t{}\n", i % 7, i % 3));
+        }
+        let path = temp_csv(name, &content);
+        (path, content)
+    }
+
+    fn id_lt(value: i64) -> Predicate {
+        Predicate::ColCmp {
+            column: cell("id"),
+            op: CmpOp::Lt,
+            value: cell(value),
+        }
+    }
+
+    fn scan_options(infer: bool) -> (ScanOptions, CsvOptions) {
+        let scan = ScanOptions {
+            infer_schema: infer,
+            ..ScanOptions::default()
+        };
+        let csv = CsvOptions {
+            infer_schema: infer,
+            ..CsvOptions::default()
+        };
+        (scan, csv)
+    }
+
+    #[test]
+    fn scan_stats_cover_every_chunk_and_reconcile_domains() {
+        let (path, _content) = clustered_csv("stats.csv");
+        let (_, csv_opts) = scan_options(true);
+        let executor = ParallelExecutor::new(2);
+        let stats = collect_scan_stats(&executor, config(10), None, &path, &csv_opts).unwrap();
+        assert_eq!(stats.total_rows, 60);
+        assert_eq!(stats.n_cols, 4);
+        assert_eq!(stats.chunks.len(), 6);
+        assert_eq!(stats.chunks.iter().map(|c| c.rows).sum::<usize>(), 60);
+        let domains = stats.domains.as_ref().expect("inferring scan has domains");
+        assert_eq!(domains[0], Domain::Int);
+        assert_eq!(domains[2], Domain::Float);
+        // Chunk 0 holds ids 0..10: its min/max must say so.
+        let first = &stats.chunks[0].columns[0];
+        assert_eq!(first.numeric, Some((0.0, 9.0)));
+        assert_eq!(first.nulls, 0);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn scan_grid_pushdown_matches_unpushed_and_skips_chunks() {
+        let (path, content) = clustered_csv("pushdown.csv");
+        for infer in [false, true] {
+            let (scan_opts, csv_opts) = scan_options(infer);
+            let serial = read_csv_str(&content, &csv_opts).unwrap();
+            let filtered = ops::rowwise::selection(&serial, &id_lt(7)).unwrap();
+            let expected = ops::rowwise::projection(
+                &filtered,
+                &ColumnSelector::ByLabels(vec![cell("score"), cell("id")]),
+            )
+            .unwrap();
+            for threads in [1usize, 4] {
+                let executor = ParallelExecutor::new(threads);
+                let stats = Arc::new(
+                    collect_scan_stats(&executor, config(10), None, &path, &csv_opts).unwrap(),
+                );
+                let scan = ScanCsv::new(&path, scan_opts, "pushdown-test")
+                    .with_projection(vec![cell("score"), cell("id")])
+                    .with_predicate(id_lt(7));
+                let (grid, report) =
+                    scan_csv_grid(&executor, None, &scan, &csv_opts, &stats).unwrap();
+                if infer {
+                    // Only chunk 0 (ids 0..10) can match id < 7; 5 of 6 chunks skip.
+                    assert_eq!(report.chunks_skipped, 5, "threads={threads}");
+                } else {
+                    // Without inferred domains the raw cells stay strings, so
+                    // numeric interval pruning must stand down to stay sound.
+                    assert_eq!(report.chunks_skipped, 0, "threads={threads}");
+                }
+                // name and tag are outside the projection and the predicate.
+                assert_eq!(report.columns_pruned, 2);
+                assert_eq!(report.rows, expected.shape().0 as u64);
+                let assembled = grid.into_dataframe().unwrap();
+                assert!(
+                    assembled.same_data(&expected),
+                    "infer={infer} threads={threads} diverged"
+                );
+                assert_eq!(assembled.schema(), expected.schema());
+            }
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn scan_grid_without_pushdowns_matches_plain_ingest() {
+        let (path, content) = clustered_csv("plain_scan.csv");
+        let (scan_opts, csv_opts) = scan_options(true);
+        let serial = read_csv_str(&content, &csv_opts).unwrap();
+        let executor = ParallelExecutor::new(4);
+        let stats =
+            Arc::new(collect_scan_stats(&executor, config(10), None, &path, &csv_opts).unwrap());
+        let scan = ScanCsv::new(&path, scan_opts, "plain-scan-test");
+        let (grid, report) = scan_csv_grid(&executor, None, &scan, &csv_opts, &stats).unwrap();
+        assert_eq!(report.chunks_skipped, 0);
+        assert_eq!(report.columns_pruned, 0);
+        assert_eq!(report.rows, 60);
+        assert!(grid.n_row_bands() > 1, "scan lost its partitioning");
+        let assembled = grid.into_dataframe().unwrap();
+        assert!(assembled.same_data(&serial));
+        assert_eq!(assembled.schema(), serial.schema());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn scan_grid_with_no_surviving_chunks_keeps_schema() {
+        let (path, content) = clustered_csv("all_skipped.csv");
+        let (scan_opts, csv_opts) = scan_options(true);
+        let serial = read_csv_str(&content, &csv_opts).unwrap();
+        let expected = ops::rowwise::selection(&serial, &id_lt(-1)).unwrap();
+        let executor = ParallelExecutor::new(2);
+        let stats =
+            Arc::new(collect_scan_stats(&executor, config(10), None, &path, &csv_opts).unwrap());
+        let scan = ScanCsv::new(&path, scan_opts, "all-skipped-test").with_predicate(id_lt(-1));
+        let (grid, report) = scan_csv_grid(&executor, None, &scan, &csv_opts, &stats).unwrap();
+        assert_eq!(report.chunks_skipped, 6);
+        assert_eq!(report.rows, 0);
+        let assembled = grid.into_dataframe().unwrap();
+        assert!(assembled.same_data(&expected));
+        assert_eq!(assembled.schema(), expected.schema());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn scan_grid_budget_tuning_shrinks_bands() {
+        let (path, content) = clustered_csv("tuned.csv");
+        let (_, csv_opts) = scan_options(false);
+        let executor = ParallelExecutor::new(2);
+        let untuned = collect_scan_stats(&executor, config(1_000), None, &path, &csv_opts).unwrap();
+        assert_eq!(untuned.chunks.len(), 1);
+        // A budget of roughly a quarter of the file forces smaller bands.
+        let budget = content.len() / 4;
+        let tuned =
+            collect_scan_stats(&executor, config(1_000), Some(budget), &path, &csv_opts).unwrap();
+        assert!(
+            tuned.chunks.len() > 1,
+            "budget {budget} did not shrink bands: {} chunk(s)",
+            tuned.chunks.len()
+        );
+        assert_eq!(tuned.chunks.iter().map(|c| c.rows).sum::<usize>(), 60);
         std::fs::remove_file(path).ok();
     }
 }

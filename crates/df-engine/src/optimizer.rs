@@ -12,10 +12,14 @@
 //!   computes the rows that will be displayed.
 //! * **Schema-induction deferral accounting** (§5.1.1) — the optimizer marks which
 //!   operators are type-agnostic so the engine can skip induction between them.
+//! * **Scan pushdown** — a SELECTION or PROJECTION sitting directly on a
+//!   [`ScanCsv`](df_core::scan::ScanCsv) leaf folds *into* the leaf, so the parse loop
+//!   only materialises referenced columns and can skip whole chunks whose statistics
+//!   prove no row can match ([`df_core::scan::chunk_may_match`]).
 //! * **Pivot axis choice** (Figure 8) — choose between pivoting on the requested column
 //!   or pivoting on the other axis and transposing the (much smaller) result.
 
-use df_core::algebra::{AlgebraExpr, MapFunc, Predicate, WindowFunc};
+use df_core::algebra::{AlgebraExpr, ColumnSelector, MapFunc, Predicate, WindowFunc};
 
 /// Statistics about one optimization pass, reported by benchmarks and tests.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -26,6 +30,10 @@ pub struct RewriteStats {
     pub selections_fused: usize,
     /// LIMIT nodes pushed below row-wise operators.
     pub limits_pushed: usize,
+    /// SELECTION predicates folded into a `ScanCsv` leaf.
+    pub predicates_pushed: usize,
+    /// PROJECTION column lists folded into a `ScanCsv` leaf.
+    pub projections_pushed: usize,
     /// Operators identified as type-agnostic (schema induction can be skipped before
     /// them).
     pub induction_skippable: usize,
@@ -34,7 +42,11 @@ pub struct RewriteStats {
 impl RewriteStats {
     /// Total number of rewrites applied.
     pub fn total(&self) -> usize {
-        self.transpose_pairs_eliminated + self.selections_fused + self.limits_pushed
+        self.transpose_pairs_eliminated
+            + self.selections_fused
+            + self.limits_pushed
+            + self.predicates_pushed
+            + self.projections_pushed
     }
 }
 
@@ -47,6 +59,10 @@ pub struct OptimizerConfig {
     pub fuse_selections: bool,
     /// Enable LIMIT push-down.
     pub push_limits: bool,
+    /// Enable folding sargable SELECTION predicates into `ScanCsv` leaves.
+    pub push_scan_predicates: bool,
+    /// Enable folding by-label PROJECTIONs into `ScanCsv` leaves.
+    pub push_scan_projections: bool,
 }
 
 impl Default for OptimizerConfig {
@@ -55,6 +71,8 @@ impl Default for OptimizerConfig {
             eliminate_double_transpose: true,
             fuse_selections: true,
             push_limits: true,
+            push_scan_predicates: true,
+            push_scan_projections: true,
         }
     }
 }
@@ -66,6 +84,8 @@ impl OptimizerConfig {
             eliminate_double_transpose: false,
             fuse_selections: false,
             push_limits: false,
+            push_scan_predicates: false,
+            push_scan_projections: false,
         }
     }
 }
@@ -102,6 +122,22 @@ pub fn optimize(expr: &AlgebraExpr, config: OptimizerConfig) -> (AlgebraExpr, Re
                 changed = true;
             }
         }
+        if config.push_scan_predicates {
+            let (next, hits) = push_scan_predicates(&current);
+            if hits > 0 {
+                stats.predicates_pushed += hits;
+                current = next;
+                changed = true;
+            }
+        }
+        if config.push_scan_projections {
+            let (next, hits) = push_scan_projections(&current);
+            if hits > 0 {
+                stats.projections_pushed += hits;
+                current = next;
+                changed = true;
+            }
+        }
         if !changed {
             break;
         }
@@ -117,7 +153,7 @@ fn map_children(
 ) -> AlgebraExpr {
     let mut out = expr.clone();
     match &mut out {
-        AlgebraExpr::Literal(_) | AlgebraExpr::Handle(_) => {}
+        AlgebraExpr::Literal(_) | AlgebraExpr::Handle(_) | AlgebraExpr::ScanCsv(_) => {}
         AlgebraExpr::Selection { input, .. }
         | AlgebraExpr::Projection { input, .. }
         | AlgebraExpr::DropDuplicates { input }
@@ -233,6 +269,67 @@ fn push_limits(expr: &AlgebraExpr) -> (AlgebraExpr, usize) {
                     _ => unreachable!("limit_transparent covers only unary row-wise ops"),
                 }
                 return walk(&swapped, hits);
+            }
+        }
+        map_children(expr, &mut |child| walk(child, hits))
+    }
+    let mut hits = 0;
+    let out = walk(expr, &mut hits);
+    (out, hits)
+}
+
+/// Fold a SELECTION sitting directly on a `ScanCsv` leaf into the leaf, so the scan
+/// evaluates the predicate during its parse loop (and can skip whole chunks via
+/// min/max statistics) instead of materialising every row first.
+///
+/// Soundness guards:
+/// * the scan must not already carry a predicate (fusion produces one SELECTION, so
+///   this only occurs across separate optimize calls — stay conservative);
+/// * the predicate must be [`Predicate::scan_pushable`] (no position- or
+///   closure-dependent parts) with statically known referenced columns;
+/// * when the scan already has a projection pushed, every referenced column must
+///   survive it. The algebra evaluates a predicate on a *missing* column as
+///   all-false, so pushing a predicate below the projection that dropped its column
+///   would resurrect rows the unpushed plan filters out.
+fn push_scan_predicates(expr: &AlgebraExpr) -> (AlgebraExpr, usize) {
+    fn walk(expr: &AlgebraExpr, hits: &mut usize) -> AlgebraExpr {
+        if let AlgebraExpr::Selection { input, predicate } = expr {
+            if let AlgebraExpr::ScanCsv(scan) = input.as_ref() {
+                if scan.predicate.is_none() && predicate.scan_pushable() {
+                    if let Some(cols) = predicate.referenced_columns() {
+                        let survives_projection = match &scan.projection {
+                            None => true,
+                            Some(proj) => cols.iter().all(|c| proj.contains(c)),
+                        };
+                        if survives_projection {
+                            *hits += 1;
+                            return AlgebraExpr::scan_csv(scan.with_predicate(predicate.clone()));
+                        }
+                    }
+                }
+            }
+        }
+        map_children(expr, &mut |child| walk(child, hits))
+    }
+    let mut hits = 0;
+    let out = walk(expr, &mut hits);
+    (out, hits)
+}
+
+/// Fold a by-label PROJECTION sitting directly on a `ScanCsv` leaf into the leaf, so
+/// the parse loop only splits, allocates, and encodes the referenced columns. The scan
+/// still parses (but does not emit) any extra columns its own pushed predicate needs,
+/// which keeps `PROJECT(SELECT(scan))` pipelines fully foldable.
+fn push_scan_projections(expr: &AlgebraExpr) -> (AlgebraExpr, usize) {
+    fn walk(expr: &AlgebraExpr, hits: &mut usize) -> AlgebraExpr {
+        if let AlgebraExpr::Projection { input, columns } = expr {
+            if let AlgebraExpr::ScanCsv(scan) = input.as_ref() {
+                if scan.projection.is_none() {
+                    if let ColumnSelector::ByLabels(labels) = columns {
+                        *hits += 1;
+                        return AlgebraExpr::scan_csv(scan.with_projection(labels.clone()));
+                    }
+                }
             }
         }
         map_children(expr, &mut |child| walk(child, hits))
@@ -414,6 +511,95 @@ mod tests {
             .project(ColumnSelector::All);
         let (_, stats) = optimize(&expr, OptimizerConfig::default());
         assert_eq!(stats.induction_skippable, 3);
+    }
+
+    fn scan() -> AlgebraExpr {
+        AlgebraExpr::scan_csv(df_core::scan::ScanCsv::new(
+            "/tmp/optimizer_test.csv",
+            df_core::scan::ScanOptions::default(),
+            "test-scan",
+        ))
+    }
+
+    fn gt_a(value: i64) -> Predicate {
+        Predicate::ColCmp {
+            column: cell("a"),
+            op: CmpOp::Gt,
+            value: cell(value),
+        }
+    }
+
+    #[test]
+    fn selection_folds_into_scan_leaf() {
+        let expr = scan().select(gt_a(1));
+        let (optimized, stats) = optimize(&expr, OptimizerConfig::default());
+        assert_eq!(stats.predicates_pushed, 1);
+        match &optimized {
+            AlgebraExpr::ScanCsv(s) => {
+                assert_eq!(format!("{:?}", s.predicate), format!("{:?}", Some(gt_a(1))))
+            }
+            other => panic!("expected a bare scan, got {}", other.name()),
+        }
+    }
+
+    #[test]
+    fn projection_and_fused_selections_fold_into_scan_leaf() {
+        let expr = scan()
+            .select(gt_a(1))
+            .select(Predicate::NotNull { column: cell("b") })
+            .project(ColumnSelector::ByLabels(vec![cell("b")]));
+        let (optimized, stats) = optimize(&expr, OptimizerConfig::default());
+        assert_eq!(stats.selections_fused, 1);
+        assert_eq!(stats.predicates_pushed, 1);
+        assert_eq!(stats.projections_pushed, 1);
+        match &optimized {
+            AlgebraExpr::ScanCsv(s) => {
+                assert_eq!(s.projection, Some(vec![cell("b")]));
+                assert!(s.predicate.is_some());
+            }
+            other => panic!("expected a bare scan, got {}", other.name()),
+        }
+    }
+
+    #[test]
+    fn predicate_on_projected_away_column_stays_above_scan() {
+        // PROJECT(b) folds in first; SELECT(a > 1) then references a column the scan
+        // no longer emits. The unpushed plan evaluates that predicate as all-false,
+        // so folding it below the projection would change semantics.
+        let pre_projected = match scan() {
+            AlgebraExpr::ScanCsv(s) => AlgebraExpr::scan_csv(s.with_projection(vec![cell("b")])),
+            _ => unreachable!(),
+        };
+        let expr = pre_projected.select(gt_a(1));
+        let (optimized, stats) = optimize(&expr, OptimizerConfig::default());
+        assert_eq!(stats.predicates_pushed, 0);
+        assert!(matches!(optimized, AlgebraExpr::Selection { .. }));
+    }
+
+    #[test]
+    fn opaque_predicates_do_not_fold_into_scans() {
+        for predicate in [
+            Predicate::PositionRange { start: 0, end: 2 },
+            Predicate::Custom {
+                name: "opaque".into(),
+                func: std::sync::Arc::new(|_| true),
+            },
+        ] {
+            let expr = scan().select(predicate);
+            let (optimized, stats) = optimize(&expr, OptimizerConfig::default());
+            assert_eq!(stats.predicates_pushed, 0);
+            assert!(matches!(optimized, AlgebraExpr::Selection { .. }));
+        }
+    }
+
+    #[test]
+    fn disabled_config_leaves_scans_bare() {
+        let expr = scan()
+            .select(gt_a(1))
+            .project(ColumnSelector::ByLabels(vec![cell("a")]));
+        let (optimized, stats) = optimize(&expr, OptimizerConfig::disabled());
+        assert_eq!(stats.total(), 0);
+        assert_eq!(optimized.operator_count(), 2);
     }
 
     #[test]

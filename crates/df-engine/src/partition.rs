@@ -379,12 +379,34 @@ impl Partition {
     }
 }
 
+/// Schema metadata a scan-rooted grid inherits from its plan/statistics pass: the
+/// scan's output column labels with their reconciled domains. Unlike the per-handle
+/// metadata [`PartitionGrid::schema`] normally reads, this survives a metadata-only
+/// [`PartitionGrid::transpose`] — the scan knew its schema before any block existed,
+/// so a deferred reorientation does not hide it.
+#[derive(Debug, Clone)]
+pub struct ScanSchema {
+    /// Output column labels × reconciled domains, in scan output order.
+    pub columns: df_core::handle::FrameSchema,
+    /// True when the scan emitted every planned row (no predicate was pushed into
+    /// it), so row labels are the sequential global indices `0..rows` and the
+    /// *transposed* grid's column labels are also statically known.
+    pub sequential_rows: bool,
+    /// Parity of metadata-only transposes applied since the scan: `true` after an
+    /// odd number, i.e. the grid's logical columns are currently the scan's rows.
+    pub transposed: bool,
+}
+
 /// A dataframe split into a grid of partitions.
 #[derive(Debug, Clone)]
 pub struct PartitionGrid {
     /// blocks[r][c] covers row-band `r` and column-band `c`.
     blocks: Vec<Vec<Partition>>,
     scheme: PartitionScheme,
+    /// Present on scan-rooted grids: the statically known schema that answers
+    /// [`PartitionGrid::schema`] even when a deferred transpose hides the per-handle
+    /// column metadata.
+    scan_schema: Option<Arc<ScanSchema>>,
 }
 
 impl PartitionGrid {
@@ -442,7 +464,11 @@ impl PartitionGrid {
             }
             blocks.push(band);
         }
-        Ok(PartitionGrid { blocks, scheme })
+        Ok(PartitionGrid {
+            blocks,
+            scheme,
+            scan_schema: None,
+        })
     }
 
     /// Wrap a single frame as a 1×1 grid.
@@ -450,6 +476,7 @@ impl PartitionGrid {
         PartitionGrid {
             blocks: vec![vec![Partition::new(df, 0, 0)]],
             scheme: PartitionScheme::Block,
+            scan_schema: None,
         }
     }
 
@@ -458,12 +485,35 @@ impl PartitionGrid {
         Ok(PartitionGrid {
             blocks: vec![vec![Partition::new_in(df, 0, 0, store)?]],
             scheme: PartitionScheme::Block,
+            scan_schema: None,
         })
     }
 
     /// The partitioning scheme this grid was built with.
     pub fn scheme(&self) -> PartitionScheme {
         self.scheme
+    }
+
+    /// Attach the statically known schema of a scan-rooted grid (output labels ×
+    /// reconciled domains, in scan output order). `sequential_rows` records whether
+    /// the scan emitted every planned row, making the transposed grid's column
+    /// labels (`0..rows`) statically known too.
+    pub fn with_scan_schema(
+        mut self,
+        columns: df_core::handle::FrameSchema,
+        sequential_rows: bool,
+    ) -> PartitionGrid {
+        self.scan_schema = Some(Arc::new(ScanSchema {
+            columns,
+            sequential_rows,
+            transposed: false,
+        }));
+        self
+    }
+
+    /// The scan-rooted schema metadata, when this grid carries any.
+    pub fn scan_schema(&self) -> Option<&ScanSchema> {
+        self.scan_schema.as_deref()
     }
 
     /// Number of row bands.
@@ -517,13 +567,31 @@ impl PartitionGrid {
         let mut out = Vec::new();
         for part in first {
             if part.is_deferred_transpose() {
-                return None;
+                // Scan-rooted grids still answer: the scan knew its schema before
+                // any block existed, so the deferred reorientation hides nothing.
+                return self.scan_fallback_schema();
             }
             let labels = part.handle().col_labels();
             let domains = part.handle().col_domains();
             out.extend(labels.into_vec().into_iter().zip(domains));
         }
         Some(out)
+    }
+
+    /// Answer `schema()` for a scan-rooted grid whose blocks defer a transpose. At
+    /// even parity the scan's own reconciled schema applies; at odd parity the
+    /// logical columns are the scan's global row indices — statically known (with
+    /// unknowable per-column domains) only when no pushed predicate filtered rows.
+    fn scan_fallback_schema(&self) -> Option<df_core::handle::FrameSchema> {
+        let scan = self.scan_schema.as_deref()?;
+        if !scan.transposed {
+            return Some(scan.columns.clone());
+        }
+        scan.sequential_rows.then(|| {
+            (0..self.shape().1)
+                .map(|i| (df_types::cell::Cell::Int(i as i64), None))
+                .collect()
+        })
     }
 
     /// Borrow all partitions row-band by row-band.
@@ -580,6 +648,7 @@ impl PartitionGrid {
         PartitionGrid {
             blocks,
             scheme: PartitionScheme::Row,
+            scan_schema: None,
         }
     }
 
@@ -724,6 +793,14 @@ impl PartitionGrid {
         PartitionGrid {
             blocks,
             scheme: self.scheme,
+            // A metadata-only transpose flips the scan schema's parity rather than
+            // discarding it; schema() adjusts its answer accordingly.
+            scan_schema: self.scan_schema.as_ref().map(|s| {
+                Arc::new(ScanSchema {
+                    transposed: !s.transposed,
+                    ..(**s).clone()
+                })
+            }),
         }
     }
 
@@ -1178,6 +1255,52 @@ mod tests {
         assert_eq!(schema[1].0, cell("c1"));
         // A deferred transpose hides the logical columns: schema declines.
         assert!(grid.transpose().schema().is_none());
+    }
+
+    #[test]
+    fn scan_rooted_grid_schema_survives_deferred_transpose() {
+        let mut df = frame(12, 2);
+        df.columns_mut()[0].declare_domain(Domain::Int);
+        df.columns_mut()[1].declare_domain(Domain::Int);
+        let store = Arc::new(SpillStore::new(1).unwrap()); // spill everything
+        let scan_schema: df_core::handle::FrameSchema = vec![
+            (cell("c0"), Some(Domain::Int)),
+            (cell("c1"), Some(Domain::Int)),
+        ];
+        let parts = vec![
+            Partition::new_columnar_in(ColumnBlock::from_frame(&df.head(6)), 0, 0, Some(&store))
+                .unwrap(),
+            Partition::new_columnar_in(ColumnBlock::from_frame(&df.tail(6)), 6, 0, Some(&store))
+                .unwrap(),
+        ];
+        let grid =
+            PartitionGrid::from_band_partitions(parts).with_scan_schema(scan_schema.clone(), true);
+        assert_eq!(grid.schema(), Some(scan_schema.clone()));
+        // Odd transpose parity on a sequential (predicate-free) scan: the logical
+        // columns are the scan's global row labels 0..n, so schema() still answers.
+        let flipped = grid.transpose();
+        let loads_before = store.stats().load_backs;
+        let schema = flipped
+            .schema()
+            .expect("scan-rooted grids answer through a deferred transpose");
+        assert_eq!(store.stats().load_backs, loads_before, "metadata-only");
+        assert_eq!(schema.len(), 12);
+        assert_eq!(schema[0].0, cell(0));
+        assert_eq!(schema[11].0, cell(11));
+        assert!(schema.iter().all(|(_, domain)| domain.is_none()));
+        // Even parity again: back to the scan's own schema.
+        assert_eq!(flipped.transpose().schema(), Some(scan_schema.clone()));
+        // A filtered scan's surviving row labels are not statically known, so odd
+        // parity still declines.
+        let df2 = frame(12, 2);
+        let parts2 =
+            vec![
+                Partition::new_columnar_in(ColumnBlock::from_frame(&df2), 0, 0, Some(&store))
+                    .unwrap(),
+            ];
+        let filtered =
+            PartitionGrid::from_band_partitions(parts2).with_scan_schema(scan_schema, false);
+        assert!(filtered.transpose().schema().is_none());
     }
 
     #[test]

@@ -69,6 +69,19 @@ pub struct SessionStats {
     /// checksum on load-back, was quarantined (evicted), and the statement was
     /// recomputed from its logical plan — the lineage record.
     pub recoveries: u64,
+    /// Scan chunks proven row-free by their min/max statistics and never parsed
+    /// (mirrors the engine's pushdown counters; zero for engines without scans).
+    pub chunks_skipped: u64,
+    /// File columns scans never materialised thanks to pushed projections.
+    pub columns_pruned: u64,
+    /// Predicates the optimizer folded into scan leaves.
+    pub predicates_pushed: u64,
+    /// Projections the optimizer folded into scan leaves.
+    pub projections_pushed: u64,
+    /// Joins that broadcast their build side instead of shuffling both inputs.
+    pub joins_broadcast: u64,
+    /// Joins that hash-shuffled both inputs.
+    pub joins_shuffled: u64,
 }
 
 /// A cache entry: the computed handle *plus the leaf values that pin its key*.
@@ -168,9 +181,42 @@ impl QuerySession {
         &self.engine
     }
 
-    /// Counters accumulated so far.
+    /// Counters accumulated so far. The pushdown fields are read live from the
+    /// engine's own counters, so they reflect every execution this session ran
+    /// (including background futures that have already finished).
     pub fn stats(&self) -> SessionStats {
-        *self.stats.lock()
+        let mut stats = *self.stats.lock();
+        let pushdown = self.engine.pushdown_stats();
+        stats.chunks_skipped = pushdown.chunks_skipped;
+        stats.columns_pruned = pushdown.columns_pruned;
+        stats.predicates_pushed = pushdown.predicates_pushed;
+        stats.projections_pushed = pushdown.projections_pushed;
+        stats.joins_broadcast = pushdown.joins_broadcast;
+        stats.joins_shuffled = pushdown.joins_shuffled;
+        stats
+    }
+
+    /// Render the engine's optimizer report for a statement — logical and optimized
+    /// plans with per-node estimates, which pushdowns fired, and the planned join
+    /// strategies — plus one session line saying whether this statement's result is
+    /// already cached under `key`. Purely observational: nothing executes, no
+    /// statistics counters move.
+    pub fn explain_keyed(&self, expr: &AlgebraExpr, key: &str) -> String {
+        let mut out = self.engine.explain(expr);
+        let status = if self.handle_for(key).is_some() {
+            "result cached (next fetch is a cache hit)"
+        } else {
+            "result not cached (next fetch executes)"
+        };
+        out.push_str("== session ==\n");
+        out.push_str(status);
+        out.push('\n');
+        out
+    }
+
+    /// [`QuerySession::explain_keyed`] keyed by the expression's own fingerprint.
+    pub fn explain(&self, expr: &AlgebraExpr) -> String {
+        self.explain_keyed(expr, &expr.fingerprint())
     }
 
     /// Submit a statement. Under eager evaluation this blocks and computes a handle
@@ -952,6 +998,47 @@ mod tests {
         // The recomputed result is cached again and healthy.
         session.collect(&expr).unwrap();
         assert_eq!(session.stats().recoveries, 1);
+    }
+
+    #[test]
+    fn stats_merge_pushdown_counters_and_explain_is_observational() {
+        let dir = std::env::temp_dir().join(format!("df_session_scan_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("scan.csv");
+        let mut content = String::from("id,v\n");
+        for i in 0..40 {
+            content.push_str(&format!("{i},{}\n", i * 2));
+        }
+        std::fs::write(&path, content).unwrap();
+        let session = QuerySession::new(engine(), EvalMode::Lazy);
+        let expr = AlgebraExpr::scan_csv(df_core::scan::ScanCsv::new(
+            &path,
+            df_core::scan::ScanOptions {
+                infer_schema: true,
+                ..df_core::scan::ScanOptions::default()
+            },
+            "session-scan",
+        ))
+        .select(Predicate::ColCmp {
+            column: cell("id"),
+            op: df_core::algebra::CmpOp::Lt,
+            value: cell(4),
+        });
+        let rendered = session.explain(&expr);
+        assert!(rendered.contains("result not cached"), "{rendered}");
+        assert!(
+            rendered.contains("predicates pushed into scans: 1"),
+            "{rendered}"
+        );
+        assert_eq!(session.stats().executions, 0, "explain must not execute");
+        let out = session.collect(&expr).unwrap();
+        assert_eq!(out.shape().0, 4);
+        let stats = session.stats();
+        assert_eq!(stats.predicates_pushed, 1, "{stats:?}");
+        assert!(stats.chunks_skipped > 0, "{stats:?}");
+        let rendered = session.explain(&expr);
+        assert!(rendered.contains("result cached"), "{rendered}");
+        std::fs::remove_file(path).ok();
     }
 
     #[test]

@@ -170,6 +170,16 @@ impl PandasFrame {
         let path = path.as_ref();
         if let Some(engine) = session.modin_engine() {
             let (prefix, key) = csv_statement_key(path, options)?;
+            if session.mode() == EvalMode::Lazy {
+                // A lazy MODIN session keeps the read *symbolic*: the statement is a
+                // SCAN_CSV algebra leaf, so by the time a materialisation point runs
+                // the whole pipeline, the optimizer can fold later SELECTIONs and
+                // PROJECTIONs into the scan — skipping chunks via min/max statistics
+                // and parsing only the referenced columns. The cache key still
+                // carries the file identity, so an unchanged file re-read serves the
+                // cached partitioned result.
+                return Ok(PandasFrame::from_scan(session, path, options, key));
+            }
             let engine = Arc::clone(engine);
             let handle = session.query().ingest_keyed(&key, Some(&prefix), || {
                 engine.read_csv_handle(path, options)
@@ -177,6 +187,38 @@ impl PandasFrame {
             return Ok(PandasFrame::from_ingest(session, handle, key));
         }
         PandasFrame::try_from_dataframe(session, read_csv_path(path, options)?)
+    }
+
+    /// A frame whose statement is a deferred [`df_core::scan::ScanCsv`] leaf (lazy
+    /// MODIN sessions): nothing is read until a materialisation point, and the
+    /// optimizer may push predicates/projections into the leaf first.
+    fn from_scan(
+        session: &Arc<Session>,
+        path: &std::path::Path,
+        options: &CsvOptions,
+        key: String,
+    ) -> PandasFrame {
+        let scan = df_core::scan::ScanCsv::new(
+            path,
+            df_core::scan::ScanOptions {
+                delimiter: options.delimiter,
+                has_header: options.has_header,
+                infer_schema: options.infer_schema,
+            },
+            key.clone(),
+        );
+        let fingerprint = OnceLock::new();
+        fingerprint
+            .set(key)
+            .expect("fresh OnceLock cannot be initialised");
+        let frame = PandasFrame {
+            session: Arc::clone(session),
+            expr: AlgebraExpr::scan_csv(scan),
+            fingerprint: Arc::new(fingerprint),
+            lineage: None,
+        };
+        frame.session.query().note_statement();
+        frame
     }
 
     /// A frame whose statement *is* an engine-owned ingest handle, keyed in the
@@ -372,6 +414,61 @@ impl PandasFrame {
     /// The tabular view (prefix and suffix) the paper's Figure 1 shows after each step.
     pub fn display(&self, peek: usize) -> DfResult<String> {
         Ok(self.collect()?.display_with(peek))
+    }
+
+    /// The engine's optimizer report for this statement: the logical and optimized
+    /// plans annotated with estimated rows/bytes per node, which pushdowns fired
+    /// (predicates/projections into scans, fused selections, eliminated transpose
+    /// pairs, pushed limits), the planned join strategies, and whether the result is
+    /// already cached. Purely observational — nothing executes and no counters move.
+    ///
+    /// ```
+    /// use df_pandas::{PandasFrame, Session};
+    /// use df_engine::engine::ModinConfig;
+    /// use df_engine::session::EvalMode;
+    /// use df_storage::csv::CsvOptions;
+    ///
+    /// let dir = std::env::temp_dir().join(format!("df_explain_doc_{}", std::process::id()));
+    /// std::fs::create_dir_all(&dir)?;
+    /// let path = dir.join("trips.csv");
+    /// let mut content = String::from("trip_id,fare,vendor,tip\n");
+    /// for i in 0..64 {
+    ///     content.push_str(&format!("{i},{}.5,v{},{}\n", i % 20, i % 3, i % 4));
+    /// }
+    /// std::fs::write(&path, content)?;
+    ///
+    /// // Lazy MODIN session: the read stays a SCAN_CSV leaf the optimizer can fold
+    /// // later operators into.
+    /// let session = Session::modin_with(
+    ///     ModinConfig::default().with_partition_size(16, 8),
+    ///     EvalMode::Lazy,
+    /// );
+    /// let options = CsvOptions { infer_schema: true, ..CsvOptions::default() };
+    /// let trips = PandasFrame::read_csv_path(&session, &path, &options)?;
+    /// let narrow = trips.filter_gt("trip_id", 55)?.select(&["fare", "trip_id"]);
+    ///
+    /// let report = narrow.explain();
+    /// assert!(report.contains("== logical plan =="));
+    /// assert!(report.contains("== optimized plan =="));
+    /// assert!(report.contains("SCAN_CSV"));
+    /// assert!(report.contains("predicates pushed into scans: 1"));
+    /// assert!(report.contains("projections pushed into scans: 1"));
+    /// assert!(report.contains("result not cached"));
+    /// // explain() executed nothing…
+    /// assert_eq!(session.stats().executions, 0);
+    /// // …and the pushed plan really skips chunks and prunes columns when it runs.
+    /// assert_eq!(narrow.collect()?.shape(), (8, 2));
+    /// let stats = session.stats();
+    /// assert!(stats.chunks_skipped > 0);
+    /// assert!(stats.columns_pruned > 0);
+    /// assert!(narrow.explain().contains("result cached"));
+    /// std::fs::remove_file(&path)?;
+    /// # Ok::<(), df_types::error::DfError>(())
+    /// ```
+    pub fn explain(&self) -> String {
+        self.session
+            .query()
+            .explain_keyed(&self.expr, self.fingerprint())
     }
 
     /// Column label → known domain for every column, from handle metadata only —

@@ -492,6 +492,118 @@ pub fn read_csv_chunk(
     DataFrame::from_parts(columns, row_labels, plan.col_labels())
 }
 
+/// Parse one planned chunk, materialising only the columns named in `keep` (source
+/// positions in the file's column order; the output carries them in `keep` order).
+/// This is the storage half of *projection pushdown*: every record is still split and
+/// arity-checked — so ragged rows fail with the same error as the unprojected reader
+/// — but cells are allocated only for the kept columns. Row labels are the global
+/// positional ranks, identical to [`read_csv_chunk`]'s.
+///
+/// `keep` must be unique and in range; the optimizer builds it by resolving the
+/// pushed projection (plus any predicate columns) against the plan's labels.
+pub fn read_csv_chunk_cols(
+    path: impl AsRef<Path>,
+    options: &CsvOptions,
+    plan: &CsvIngestPlan,
+    chunk: &CsvChunk,
+    keep: &[usize],
+) -> DfResult<DataFrame> {
+    for &k in keep {
+        if k >= plan.n_cols {
+            return Err(DfError::IndexOutOfBounds {
+                axis: "column",
+                index: k,
+                len: plan.n_cols,
+            });
+        }
+    }
+    {
+        let mut sorted: Vec<usize> = keep.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if sorted.len() != keep.len() {
+            return Err(DfError::internal(
+                "projected chunk read requires unique column positions",
+            ));
+        }
+    }
+    let mut file = std::fs::File::open(path)?;
+    file.seek(SeekFrom::Start(chunk.start_byte))?;
+    let len = (chunk.end_byte - chunk.start_byte) as usize;
+    let mut bytes = vec![0u8; len];
+    file.read_exact(&mut bytes)?;
+    let content = String::from_utf8(bytes)
+        .map_err(|_| DfError::Io("CSV file is not valid UTF-8".to_string()))?;
+
+    let mut columns: Vec<Vec<Cell>> = vec![Vec::new(); keep.len()];
+    let mut row_count = 0usize;
+    for record in Records::new(&content) {
+        if record.is_empty() {
+            continue;
+        }
+        let fields = split_record(record, options.delimiter);
+        if fields.len() != plan.n_cols {
+            return Err(DfError::shape(
+                format!("{} fields per record", plan.n_cols),
+                format!(
+                    "{} fields at data row {}",
+                    fields.len(),
+                    chunk.start_row + row_count
+                ),
+            ));
+        }
+        let mut fields: Vec<Option<String>> = fields.into_iter().map(Some).collect();
+        for (slot, &k) in columns.iter_mut().zip(keep) {
+            let field = fields[k].take().unwrap_or_default();
+            if df_types::domain::is_null_token(&field) {
+                slot.push(Cell::Null);
+            } else {
+                slot.push(Cell::Str(field));
+            }
+        }
+        row_count += 1;
+    }
+    if row_count != chunk.rows {
+        return Err(DfError::internal(format!(
+            "CSV chunk at byte {} parsed {row_count} rows but the plan counted {} — \
+             the file changed between planning and parsing",
+            chunk.start_byte, chunk.rows
+        )));
+    }
+    let row_labels = Labels::new(
+        (chunk.start_row..chunk.start_row + row_count)
+            .map(|i| Cell::Int(i as i64))
+            .collect(),
+    );
+    let all_labels = plan.col_labels();
+    let col_labels = Labels::new(
+        keep.iter()
+            .map(|&k| all_labels.as_slice()[k].clone())
+            .collect(),
+    );
+    let columns: Vec<Column> = columns.into_iter().map(Column::new).collect();
+    DataFrame::from_parts(columns, row_labels, col_labels)
+}
+
+/// Summarise one parsed band's columns as per-chunk scan statistics (null counts,
+/// numeric and lexical min/max, capped distinct counts) — the filter half of the
+/// block–filter–verify pruning the scan leaf performs. Runs over the raw (pre-cast)
+/// cells, which is exactly the state [`df_core::scan::chunk_may_match`]'s soundness
+/// argument assumes.
+pub fn chunk_column_stats(band: &DataFrame) -> Vec<df_core::scan::ColumnChunkStats> {
+    band.columns()
+        .iter()
+        .map(|column| {
+            let mut stats = df_core::scan::ColumnChunkStats::default();
+            let mut seen = Vec::new();
+            for cell in column.cells() {
+                stats.observe(cell, &mut seen);
+            }
+            stats
+        })
+        .collect()
+}
+
 /// Summarise one raw band's columns for schema reconciliation: the per-band half of
 /// the schema induction function `S`, in the composable form that joins across bands.
 pub fn band_induction_summaries(band: &DataFrame) -> Vec<InductionSummary> {
@@ -855,6 +967,62 @@ mod tests {
         }
         assert_eq!(plan.chunks.last().unwrap().end_byte, plan.total_bytes);
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn projected_chunk_read_matches_full_read_column_subset() {
+        let content = "a,b,c\n1,x,10\n2,\"y,z\",20\n3,na,30\n";
+        let path = temp_csv("projected.csv", content);
+        let options = CsvOptions::default();
+        let plan = plan_csv_chunks(&path, &options, 2).unwrap();
+        for chunk in &plan.chunks {
+            let full = read_csv_chunk(&path, &options, &plan, chunk).unwrap();
+            // Subset in reversed order: labels, cells and row labels all follow.
+            let projected = read_csv_chunk_cols(&path, &options, &plan, chunk, &[2, 0]).unwrap();
+            assert_eq!(projected.n_rows(), full.n_rows());
+            assert_eq!(
+                projected.col_labels().as_slice(),
+                &[cell("c"), cell("a")],
+                "labels follow keep order"
+            );
+            assert_eq!(projected.row_labels(), full.row_labels());
+            for i in 0..full.n_rows() {
+                assert_eq!(projected.cell(i, 0).unwrap(), full.cell(i, 2).unwrap());
+                assert_eq!(projected.cell(i, 1).unwrap(), full.cell(i, 0).unwrap());
+            }
+        }
+        // Null tokens convert identically on the projected path.
+        let all = read_csv_chunk_cols(&path, &options, &plan, &plan.chunks[1], &[1]).unwrap();
+        assert_eq!(all.cell(all.n_rows() - 1, 0).unwrap(), &Cell::Null);
+        // Guard rails: out-of-range and duplicate positions are rejected.
+        assert!(read_csv_chunk_cols(&path, &options, &plan, &plan.chunks[0], &[9]).is_err());
+        assert!(read_csv_chunk_cols(&path, &options, &plan, &plan.chunks[0], &[0, 0]).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn projected_chunk_read_still_reports_ragged_rows() {
+        let ragged = "a,b\n1,x\n2\n";
+        let path = temp_csv("ragged-projected.csv", ragged);
+        let options = CsvOptions::default();
+        let plan = plan_csv_chunks(&path, &options, 10).unwrap();
+        let err = read_csv_chunk_cols(&path, &options, &plan, &plan.chunks[0], &[0]).unwrap_err();
+        assert!(format!("{err}").contains("data row 1"), "{err}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn chunk_column_stats_summarise_raw_bands() {
+        let band = read_csv_str("a,b\n5,x\n12,na\n5,y\n", &CsvOptions::default()).unwrap();
+        let stats = chunk_column_stats(&band);
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].numeric, Some((5.0, 12.0)));
+        assert_eq!(stats[0].numeric_count, 3);
+        assert_eq!(stats[0].nulls, 0);
+        assert_eq!(stats[0].distinct, 2);
+        assert_eq!(stats[1].nulls, 1);
+        assert_eq!(stats[1].numeric, None);
+        assert_eq!(stats[1].lexical, Some(("x".to_string(), "y".to_string())));
     }
 
     #[test]

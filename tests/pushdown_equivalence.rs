@@ -1,0 +1,320 @@
+//! Differential acceptance suite for cost-based scan pushdown.
+//!
+//! The contract under test: plans whose predicates and projections are pushed
+//! into the `SCAN_CSV` leaf are **cell-for-cell identical** to (a) the same
+//! plan with every rewrite disabled and (b) the serial reference
+//! (`read_csv_str` + row-wise selection/projection) — across
+//! threads {1, 4} × memory budgets {∞, working-set/4} × schema inference
+//! {off, on} — including NaN/null boundary values and predicates that
+//! reference columns the projection prunes away.
+
+use proptest::prelude::*;
+
+use df_core::algebra::{AlgebraExpr, CmpOp, ColumnSelector, Predicate};
+use df_core::engine::Engine;
+use df_core::ops;
+use df_core::scan::{ScanCsv, ScanOptions};
+use df_engine::engine::{ModinConfig, ModinEngine};
+use df_engine::optimizer::OptimizerConfig;
+use df_storage::csv::{read_csv_str, CsvOptions};
+use df_types::cell::{cell, Cell};
+
+fn temp_dir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("pushdown_equiv_suite_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write_temp(name: &str, content: &str) -> std::path::PathBuf {
+    let path = temp_dir().join(name);
+    std::fs::write(&path, content).unwrap();
+    path
+}
+
+fn scan_expr(path: &std::path::Path, infer_schema: bool, identity: &str) -> AlgebraExpr {
+    AlgebraExpr::scan_csv(ScanCsv::new(
+        path,
+        ScanOptions {
+            infer_schema,
+            ..ScanOptions::default()
+        },
+        identity,
+    ))
+}
+
+fn col_cmp(column: &str, op: CmpOp, value: Cell) -> Predicate {
+    Predicate::ColCmp {
+        column: cell(column),
+        op,
+        value,
+    }
+}
+
+/// Evaluate `scan → [select] → [project]` on a pushdown engine and on an
+/// optimizer-disabled engine, across the full configuration matrix, and
+/// require both to agree cell-for-cell with the serial reference.
+fn assert_pushdown_equivalence(
+    name: &str,
+    content: &str,
+    predicate: Option<Predicate>,
+    projection: Option<&[&str]>,
+    band_rows: usize,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    for infer_schema in [false, true] {
+        let csv_options = CsvOptions {
+            infer_schema,
+            ..CsvOptions::default()
+        };
+        let serial = read_csv_str(content, &csv_options).unwrap();
+        let mut expected = match &predicate {
+            Some(pred) => ops::rowwise::selection(&serial, pred).unwrap(),
+            None => serial.clone(),
+        };
+        if let Some(labels) = projection {
+            let selector =
+                ColumnSelector::ByLabels(labels.iter().map(|label| cell(*label)).collect());
+            expected = ops::rowwise::projection(&expected, &selector).unwrap();
+        }
+
+        let path = write_temp(&format!("{name}-{infer_schema}.csv"), content);
+        let budgets = [None, Some((serial.approx_size_bytes() / 4).max(1))];
+        for threads in [1usize, 4] {
+            for budget in budgets {
+                let mut config = ModinConfig::default()
+                    .with_threads(threads)
+                    .with_partition_size(band_rows, 32);
+                if let Some(bytes) = budget {
+                    config = config.with_memory_budget(bytes);
+                }
+                let plain_config = ModinConfig {
+                    optimizer: OptimizerConfig::disabled(),
+                    ..config.clone()
+                };
+
+                let identity = format!("{name}-{infer_schema}-{threads}-{budget:?}");
+                let mut expr = scan_expr(&path, infer_schema, &identity);
+                if let Some(pred) = &predicate {
+                    expr = expr.select(pred.clone());
+                }
+                if let Some(labels) = projection {
+                    expr = expr.project(ColumnSelector::ByLabels(
+                        labels.iter().map(|label| cell(*label)).collect(),
+                    ));
+                }
+
+                let pushed_engine = ModinEngine::with_config(config);
+                let pushed = pushed_engine.execute_collect(&expr).unwrap();
+                let plain_engine = ModinEngine::with_config(plain_config);
+                let plain = plain_engine.execute_collect(&expr).unwrap();
+
+                prop_assert!(
+                    pushed.same_data(&expected),
+                    "{name}: pushed plan diverged from serial reference \
+                     (threads={threads}, budget={budget:?}, infer={infer_schema})\n\
+                     expected:\n{expected}\npushed:\n{pushed}"
+                );
+                prop_assert!(
+                    plain.same_data(&expected),
+                    "{name}: unpushed plan diverged from serial reference \
+                     (threads={threads}, budget={budget:?}, infer={infer_schema})\n\
+                     expected:\n{expected}\nplain:\n{plain}"
+                );
+                prop_assert!(
+                    pushed.schema() == plain.schema(),
+                    "{name}: schema diverged (threads={threads}, budget={budget:?}, infer={infer_schema})"
+                );
+                // The disabled-optimizer arm must genuinely be the unpushed
+                // plan, or the differential proves nothing.
+                let plain_stats = plain_engine.pushdown_stats();
+                prop_assert_eq!(plain_stats.predicates_pushed, 0);
+                prop_assert_eq!(plain_stats.projections_pushed, 0);
+                prop_assert_eq!(plain_stats.chunks_skipped, 0);
+            }
+        }
+        std::fs::remove_file(path).ok();
+    }
+    Ok(())
+}
+
+/// Cell vocabulary for the value columns: numeric-looking strings, null
+/// spellings, NaN renderings and signed zero — every boundary the chunk
+/// statistics must stay conservative about.
+const BOUNDARY: [&str; 12] = [
+    "0", "-1", "7", "42", "-0.0", "2.5", "NaN", "nan", "", "NA", "null", "1e2",
+];
+
+/// Deterministic adversarial CSV from a seed: column `id` is numeric and
+/// loosely clustered (so min/max pruning has something to bite on), `v` mixes
+/// numeric values with nulls and NaN, `pad`/`tag` are string payload columns
+/// that projection pushdown should prune.
+fn generate_csv(rows: usize, seed: u64) -> String {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        (state >> 33) as usize
+    };
+    let mut content = String::from("id,v,pad,tag\n");
+    for i in 0..rows {
+        let id: String = if next() % 10 == 0 {
+            BOUNDARY[next() % BOUNDARY.len()].to_string()
+        } else {
+            format!("{i}")
+        };
+        let v = BOUNDARY[next() % BOUNDARY.len()];
+        content.push_str(&format!("{id},{v},pad-{},t{}\n", next() % 100, next() % 3));
+    }
+    content
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn proptest_pushdown_plans_match_unpushed_and_serial(
+        rows in 0usize..48,
+        seed in 0u64..10_000,
+        band_rows in 3usize..17,
+        threshold in -4i64..52,
+        shape in 0u8..4,
+    ) {
+        let content = generate_csv(rows, seed);
+        // Rotate through the plan shapes: bare filter, bare projection,
+        // filter + projection keeping the filter column, and filter +
+        // projection that prunes the filter column away.
+        let predicate = match shape {
+            1 => None,
+            _ => Some(col_cmp("id", CmpOp::Lt, cell(threshold))),
+        };
+        let projection: Option<&[&str]> = match shape {
+            0 => None,
+            1 | 2 => Some(&["v", "id"]),
+            _ => Some(&["tag", "v"]), // predicate column pruned by projection
+        };
+        assert_pushdown_equivalence(
+            &format!("prop-{rows}-{seed}-{band_rows}-{threshold}-{shape}"),
+            &content,
+            predicate,
+            projection,
+            band_rows,
+        )?;
+    }
+}
+
+#[test]
+fn nan_and_null_boundaries_survive_pushdown() {
+    // Every row of `v` is a boundary value; the predicate literal itself walks
+    // across NaN, signed zero and a value below every cell.
+    let mut content = String::from("v,id,w\n");
+    for (i, token) in BOUNDARY.iter().enumerate() {
+        content.push_str(&format!("{token},{i},w{i}\n"));
+    }
+    for (case, value) in [
+        ("nan-lit", cell(f64::NAN)),
+        ("negzero-lit", cell(-0.0_f64)),
+        ("below-all", cell(-1_000_000)),
+        ("str-lit", cell("42")),
+    ] {
+        assert_pushdown_equivalence(
+            &format!("boundary-{case}"),
+            &content,
+            Some(col_cmp("v", CmpOp::Le, value)),
+            Some(&["w", "v"]),
+            4,
+        )
+        .unwrap();
+    }
+}
+
+#[test]
+fn predicate_on_pruned_column_still_filters_before_projection() {
+    // Selection references `id`; the projection drops it. Pushdown must parse
+    // `id` for the filter, then exclude it from the output — exactly like the
+    // unpushed SELECTION → PROJECTION pipeline.
+    let mut content = String::from("id,a,b,c\n");
+    for i in 0..40 {
+        content.push_str(&format!("{i},a{i},b{},c{}\n", i % 5, i % 3));
+    }
+    assert_pushdown_equivalence(
+        "pruned-filter-col",
+        &content,
+        Some(col_cmp("id", CmpOp::Lt, cell(9))),
+        Some(&["c", "a"]),
+        8,
+    )
+    .unwrap();
+
+    // And when the projection asks for a column that does not exist, both
+    // plans must fail identically rather than one succeeding.
+    let path = write_temp("missing-col.csv", &content);
+    let expr = scan_expr(&path, true, "missing-col").project(ColumnSelector::ByLabels(vec![
+        cell("a"),
+        cell("no_such_column"),
+    ]));
+    let pushed = ModinEngine::with_config(ModinConfig::sequential().with_partition_size(8, 32))
+        .execute_collect(&expr);
+    let plain = ModinEngine::with_config(ModinConfig {
+        optimizer: OptimizerConfig::disabled(),
+        ..ModinConfig::sequential().with_partition_size(8, 32)
+    })
+    .execute_collect(&expr);
+    assert_eq!(
+        pushed.is_err(),
+        plain.is_err(),
+        "pushed and unpushed plans disagree on a missing projection column"
+    );
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn selective_scan_prunes_chunks_and_columns_with_identical_results() {
+    // The acceptance scenario from the issue: a filter matching < 10% of the
+    // chunks plus a 2-of-8 projection must actually skip chunks and prune
+    // columns — while staying cell-for-cell identical to the unpushed plan.
+    let mut content = String::from("id,c1,c2,c3,c4,c5,c6,c7\n");
+    for i in 0..256 {
+        content.push_str(&format!(
+            "{i},{},{}.5,x{},y{},z{},w{},t{}\n",
+            i * 2,
+            i % 9,
+            i % 4,
+            i % 5,
+            i % 6,
+            i % 7,
+            i % 3
+        ));
+    }
+    let predicate = col_cmp("id", CmpOp::Lt, cell(8));
+    let projection: &[&str] = &["c2", "id"];
+    assert_pushdown_equivalence(
+        "selective",
+        &content,
+        Some(predicate.clone()),
+        Some(projection),
+        16,
+    )
+    .unwrap();
+
+    // Counter-level acceptance on one representative engine.
+    let path = write_temp("selective-counters.csv", &content);
+    let expr = scan_expr(&path, true, "selective-counters")
+        .select(predicate)
+        .project(ColumnSelector::ByLabels(vec![cell("c2"), cell("id")]));
+    let engine = ModinEngine::with_config(
+        ModinConfig::default()
+            .with_threads(4)
+            .with_partition_size(16, 32),
+    );
+    let result = engine.execute_collect(&expr).unwrap();
+    assert_eq!(result.shape(), (8, 2));
+    let stats = engine.pushdown_stats();
+    assert!(
+        stats.chunks_skipped >= 14,
+        "sorted ids in 16 bands, only the first survives id < 8: {stats:?}"
+    );
+    assert_eq!(stats.columns_pruned, 6, "8 columns, 2 referenced");
+    assert_eq!(stats.predicates_pushed, 1);
+    assert_eq!(stats.projections_pushed, 1);
+    std::fs::remove_file(path).ok();
+}
