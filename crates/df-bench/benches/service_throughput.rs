@@ -1,0 +1,147 @@
+//! Multi-tenant service throughput: shared-cache dedup vs private caches.
+//!
+//! N tenant threads drive the same four-statement mix against one
+//! `df_service::QueryService` (one shared engine, admission-gated). The cross is
+//! tenants {1, 4, 8} × shared-cache {on, off}: with the shared cache on, each
+//! unique fingerprint executes once service-wide (single flight) and every other
+//! access is a hit; with it off each tenant recomputes into a private cache —
+//! the arm that isolates what cross-session reuse is worth. Every result is
+//! asserted cell-for-cell identical to a serial single-tenant reference before
+//! its record is emitted, and each record carries the admission counters
+//! (queued grants, peak queue depth) and cache counters (hits, shared hits,
+//! executions) next to the time.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use df_bench::{render_table, time_once, BenchRecord};
+use df_core::algebra::{AggFunc, Aggregation, AlgebraExpr, SortSpec};
+use df_core::dataframe::DataFrame;
+use df_core::engine::Engine;
+use df_engine::engine::{ModinConfig, ModinEngine};
+use df_service::{QueryService, ServiceConfig};
+use df_types::cell::cell;
+use df_workloads::taxi::{generate_typed, TaxiConfig};
+
+/// The statement mix every tenant runs. All four read the same literal leaf
+/// (`Arc` identity), so their fingerprints are identical across tenants.
+fn statements(taxi: &Arc<DataFrame>) -> Vec<Arc<AlgebraExpr>> {
+    let leaf = || AlgebraExpr::literal_arc(Arc::clone(taxi));
+    vec![
+        Arc::new(leaf().group_by(
+            vec![cell("passenger_count")],
+            vec![Aggregation::count_rows()],
+            false,
+        )),
+        Arc::new(leaf().group_by(
+            vec![cell("passenger_count")],
+            vec![Aggregation::of("fare_amount", AggFunc::Mean).with_alias("fare_mean")],
+            false,
+        )),
+        Arc::new(leaf().sort(SortSpec::ascending(vec![cell("fare_amount")]))),
+        Arc::new(leaf().drop_duplicates()),
+    ]
+}
+
+fn main() {
+    let rows = df_bench::env_usize("DF_BENCH_SERVICE_ROWS", df_bench::smoke_scaled(12_000, 400));
+    let reps = df_bench::env_usize("DF_BENCH_SERVICE_REPS", df_bench::smoke_scaled(6, 2));
+    let threads = df_bench::env_usize(
+        "DF_BENCH_SERVICE_THREADS",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    );
+    let taxi = Arc::new(
+        generate_typed(&TaxiConfig {
+            base_rows: rows,
+            ..TaxiConfig::default()
+        })
+        .expect("workload generation"),
+    );
+    let mix = statements(&taxi);
+
+    // Serial single-tenant ground truth, once per statement.
+    let reference_engine = ModinEngine::with_config(
+        ModinConfig::sequential().with_partition_size((rows / 16).max(256), 8),
+    );
+    let expected: Vec<Arc<DataFrame>> = mix
+        .iter()
+        .map(|e| Arc::new(reference_engine.execute_collect(e).expect("reference")))
+        .collect();
+
+    let mut records = Vec::new();
+    for tenants in [1usize, 4, 8] {
+        for shared in [true, false] {
+            let mut config = ServiceConfig::default()
+                .with_engine(
+                    ModinConfig::default()
+                        .with_threads(threads)
+                        .with_partition_size((rows / 16).max(256), 8),
+                )
+                .with_max_concurrent(4)
+                .with_queue(256, Duration::from_secs(120));
+            if !shared {
+                config = config.without_shared_cache();
+            }
+            let service = QueryService::start(config).expect("service starts");
+            let (outcome, elapsed) = time_once(|| {
+                let workers: Vec<_> = (0..tenants)
+                    .map(|t| {
+                        let service = Arc::clone(&service);
+                        let mix = mix.clone();
+                        let expected = expected.clone();
+                        std::thread::spawn(move || {
+                            let tenant = service.tenant(&format!("tenant-{t}"));
+                            for _ in 0..reps {
+                                for (i, expr) in mix.iter().enumerate() {
+                                    let out =
+                                        tenant.query().collect(expr).expect("statement executes");
+                                    assert!(
+                                        out.same_data(&expected[i]),
+                                        "tenant-{t}: statement {i} diverged from serial"
+                                    );
+                                }
+                            }
+                        })
+                    })
+                    .collect();
+                for worker in workers {
+                    worker.join().expect("tenant thread panicked");
+                }
+                Ok::<(), df_types::error::DfError>(())
+            });
+            outcome.expect("tenant fleet");
+
+            let stats = service.stats();
+            let executions: u64 = stats.tenants.iter().map(|(_, s)| s.executions).sum();
+            let (hits, shared_hits) = match &stats.cache {
+                Some(cache) => (cache.hits, cache.shared_hits),
+                // Private caches: aggregate per-session hit counters instead.
+                None => (stats.tenants.iter().map(|(_, s)| s.cache_hits).sum(), 0u64),
+            };
+            records.push(BenchRecord {
+                experiment: "service/throughput".to_string(),
+                system: format!("shared-cache={}", if shared { "on" } else { "off" }),
+                parameter: format!("tenants={tenants}"),
+                seconds: Some(elapsed.as_secs_f64()),
+                note: format!(
+                    "rows={rows}, reps={reps}, threads={threads}, statements={}, \
+                     executions={executions}, hits={hits}, shared_hits={shared_hits}, \
+                     queued_grants={}, max_queue_depth={}, equivalence=asserted",
+                    tenants * reps * mix.len(),
+                    stats.admission.queued_grants,
+                    stats.admission.max_queue_depth,
+                ),
+            });
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            "Multi-tenant service throughput: shared result cache vs private (ROADMAP item 1)",
+            &records
+        )
+    );
+    df_bench::emit_json_env(&records);
+}

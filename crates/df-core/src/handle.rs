@@ -72,6 +72,15 @@ pub trait PartitionedResult: fmt::Debug + Send + Sync {
         Ok(self.assemble()?.tail(k))
     }
 
+    /// Approximate in-memory footprint of the result in bytes, from metadata only —
+    /// like [`PartitionedResult::shape`], implementations must not load spilled data
+    /// to answer. Used by budget-accounted caches to cost entries. Return `None`
+    /// when the metadata cannot answer (the default, so existing implementations
+    /// stay valid); callers then fall back to a shape-based estimate.
+    fn approx_size_bytes(&self) -> Option<usize> {
+        None
+    }
+
     /// Downcasting hook: the owning engine recovers its concrete grid type from an
     /// [`AlgebraExpr::Handle`](crate::algebra::AlgebraExpr::Handle) leaf through this.
     fn as_any(&self) -> &dyn Any;
@@ -206,6 +215,22 @@ impl FrameHandle {
         }
     }
 
+    /// Approximate in-memory footprint in bytes, from metadata only. Materialised
+    /// handles answer exactly; partitioned results answer through
+    /// [`PartitionedResult::approx_size_bytes`], falling back to a conservative
+    /// shape-based estimate (16 bytes per cell plus a fixed overhead) when the
+    /// result's metadata cannot. Budget-accounted caches use this to cost entries,
+    /// so the contract matters: answering never loads spilled data.
+    pub fn approx_size_bytes(&self) -> usize {
+        match self {
+            FrameHandle::Materialized(df) => df.approx_size_bytes(),
+            FrameHandle::Partitioned(p) => p.approx_size_bytes().unwrap_or_else(|| {
+                let (rows, cols) = p.shape();
+                rows.saturating_mul(cols).saturating_mul(16) + 64
+            }),
+        }
+    }
+
     /// A stable identity pointer for plan fingerprints: two handles share an identity
     /// exactly when they share the underlying result, so re-running a statement on the
     /// same handle hits the materialisation cache while a fresh result does not.
@@ -275,6 +300,16 @@ mod tests {
             unreachable!()
         };
         assert!(p.as_any().downcast_ref::<TestResult>().is_some());
+    }
+
+    #[test]
+    fn size_accounting_answers_from_metadata() {
+        let handle = FrameHandle::from_dataframe(frame());
+        assert_eq!(handle.approx_size_bytes(), frame().approx_size_bytes());
+        // A foreign partitioned result without size metadata falls back to the
+        // shape-based estimate instead of assembling.
+        let partitioned = FrameHandle::from_partitioned(Arc::new(TestResult(frame())));
+        assert_eq!(partitioned.approx_size_bytes(), 3 * 2 * 16 + 64);
     }
 
     #[test]

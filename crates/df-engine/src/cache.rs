@@ -1,0 +1,774 @@
+//! Shared, budget-accounted result cache with single-flight execution.
+//!
+//! The §6.2.2 materialisation cache started life as one session's private
+//! `HashMap<fingerprint, handle>`. A multi-tenant service wants the opposite: *one*
+//! cache in front of the shared engine so identical statements from different
+//! tenants execute once and everybody hits. [`ResultCache`] is that cache, designed
+//! around three invariants the service stress suite pins:
+//!
+//! * **Single-flight** — the first session to miss a fingerprint becomes its
+//!   *producer* (the key is marked in-flight); any other session submitting the
+//!   same fingerprint blocks on the pending execution instead of re-executing, and
+//!   is served the producer's handle when it lands. If the producer fails or is
+//!   cancelled, its in-flight marker is withdrawn and the waiters race to become
+//!   the new producer — an error never wedges a key.
+//! * **Budget accounting** — every entry is costed via
+//!   [`FrameHandle::approx_size_bytes`] (metadata only, spilled grids are costed
+//!   from check-in sizes without load-backs) and the cache evicts
+//!   least-recently-used entries past its byte budget. In-flight markers hold no
+//!   bytes and are never evicted — a pending future always survives to completion.
+//! * **Per-tenant attribution and quotas** — hits, productions and retained bytes
+//!   are attributed to the tenant that caused them, and a tenant's retained bytes
+//!   can be capped: past the quota its own least-recently-used entries are evicted
+//!   first, and a single result too large for the quota is rejected with a typed
+//!   [`DfError::ResourceExhausted`] so one tenant's appetite cannot crowd the
+//!   shared budget.
+//!
+//! Entries keep the [`CachedResult`-style pin set](crate::session) of the plans
+//! that produced their key: fingerprints identify literal/handle leaves by pointer
+//! identity, so an entry must keep those allocations alive for exactly as long as
+//! it is keyed on them. Eviction drops entry and pins together, which is what makes
+//! eviction safe.
+//!
+//! Blocking uses `std::sync` primitives (the workspace's vendored `parking_lot`
+//! shim deliberately has no `Condvar`); lock poisoning is impossible in practice —
+//! no user code runs under the lock — and is recovered with
+//! [`PoisonError::into_inner`] rather than propagated.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+use df_core::handle::FrameHandle;
+use df_types::error::{DfError, DfResult};
+
+/// One ready entry: the computed handle, the leaf allocations pinning its key, and
+/// the accounting the budget/quota policies run on.
+struct ReadyEntry {
+    #[allow(dead_code)] // held for its ownership (identity pinning), never read
+    pins: Vec<FrameHandle>,
+    handle: FrameHandle,
+    bytes: usize,
+    last_used: u64,
+    /// The tenant whose execution produced this entry (`None` for an untenanted
+    /// session). Hits from any *other* tenant count as shared hits.
+    producer: Option<String>,
+}
+
+/// A key's state: computed, or being computed by exactly one producer.
+enum Slot {
+    Ready(ReadyEntry),
+    InFlight,
+}
+
+/// Per-tenant attribution and quota state.
+#[derive(Default)]
+struct TenantState {
+    hits: u64,
+    produced: u64,
+    retained_bytes: usize,
+    quota: Option<usize>,
+}
+
+struct CacheInner {
+    slots: HashMap<String, Slot>,
+    budget: Option<usize>,
+    /// Total bytes across Ready entries (in-flight markers are weightless).
+    bytes: usize,
+    /// LRU clock; bumped on every insert and hit.
+    tick: u64,
+    evictions: u64,
+    hits: u64,
+    shared_hits: u64,
+    single_flight_waits: u64,
+    quota_rejections: u64,
+    tenants: HashMap<String, TenantState>,
+}
+
+impl CacheInner {
+    /// Bump the clock and return the fresh tick.
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Remove a Ready entry (leaving in-flight markers untouched), releasing its
+    /// byte accounting. Returns whether an entry was removed.
+    fn remove_ready(&mut self, key: &str) -> bool {
+        if !matches!(self.slots.get(key), Some(Slot::Ready(_))) {
+            return false;
+        }
+        if let Some(Slot::Ready(entry)) = self.slots.remove(key) {
+            self.bytes = self.bytes.saturating_sub(entry.bytes);
+            if let Some(producer) = &entry.producer {
+                if let Some(tenant) = self.tenants.get_mut(producer) {
+                    tenant.retained_bytes = tenant.retained_bytes.saturating_sub(entry.bytes);
+                }
+            }
+            return true;
+        }
+        false
+    }
+
+    /// The least-recently-used Ready key, optionally restricted to one producing
+    /// tenant, excluding `exclude` (the entry being inserted).
+    fn lru_victim(&self, exclude: &str, tenant_only: Option<&str>) -> Option<String> {
+        self.slots
+            .iter()
+            .filter_map(|(key, slot)| match slot {
+                Slot::Ready(entry) if key != exclude => match tenant_only {
+                    Some(t) => (entry.producer.as_deref() == Some(t))
+                        .then(|| (entry.last_used, key.clone())),
+                    None => Some((entry.last_used, key.clone())),
+                },
+                _ => None,
+            })
+            .min()
+            .map(|(_, key)| key)
+    }
+
+    /// Evict LRU entries until the global budget holds again. The entry just
+    /// inserted under `keep_longest` is the last resort: a single result larger
+    /// than the whole budget is returned to its caller but not retained.
+    fn enforce_budget(&mut self, keep_longest: &str) {
+        let Some(budget) = self.budget else { return };
+        while self.bytes > budget {
+            match self.lru_victim(keep_longest, None) {
+                Some(victim) => {
+                    self.remove_ready(&victim);
+                    self.evictions += 1;
+                }
+                None => {
+                    if self.remove_ready(keep_longest) {
+                        self.evictions += 1;
+                    }
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Retained bytes currently attributed to `tenant`.
+    fn retained(&self, tenant: &str) -> usize {
+        self.tenants
+            .get(tenant)
+            .map(|t| t.retained_bytes)
+            .unwrap_or(0)
+    }
+
+    /// Insert a Ready entry under `key`, enforcing the producing tenant's quota
+    /// (own-LRU eviction first, typed rejection when the single result cannot fit)
+    /// and then the global budget.
+    fn insert_ready(
+        &mut self,
+        key: &str,
+        pins: Vec<FrameHandle>,
+        handle: FrameHandle,
+        producer: Option<&str>,
+    ) -> DfResult<()> {
+        let bytes = handle.approx_size_bytes();
+        self.remove_ready(key);
+        if let Some(tenant) = producer {
+            let quota = self.tenants.get(tenant).and_then(|t| t.quota);
+            if let Some(quota) = quota {
+                // A tenant over its own quota evicts *its own* least-recently-used
+                // entries first — never another tenant's.
+                while self.retained(tenant) + bytes > quota {
+                    let Some(victim) = self.lru_victim(key, Some(tenant)) else {
+                        break;
+                    };
+                    self.remove_ready(&victim);
+                    self.evictions += 1;
+                }
+                if self.retained(tenant) + bytes > quota {
+                    self.quota_rejections += 1;
+                    return Err(DfError::ResourceExhausted(format!(
+                        "tenant {tenant:?} memory quota exceeded: \
+                         {bytes} byte result against a {quota} byte quota"
+                    )));
+                }
+            }
+        }
+        let last_used = self.next_tick();
+        self.bytes += bytes;
+        if let Some(tenant) = producer {
+            let state = self.tenants.entry(tenant.to_string()).or_default();
+            state.retained_bytes += bytes;
+            state.produced += 1;
+        }
+        self.slots.insert(
+            key.to_string(),
+            Slot::Ready(ReadyEntry {
+                pins,
+                handle,
+                bytes,
+                last_used,
+                producer: producer.map(String::from),
+            }),
+        );
+        self.enforce_budget(key);
+        Ok(())
+    }
+
+    /// Record a hit by `tenant` on a Ready entry (bumps recency and attribution).
+    fn note_hit(&mut self, key: &str, tenant: Option<&str>) -> Option<FrameHandle> {
+        let tick = self.next_tick();
+        let Some(Slot::Ready(entry)) = self.slots.get_mut(key) else {
+            return None;
+        };
+        entry.last_used = tick;
+        let handle = entry.handle.clone();
+        let shared = entry.producer.as_deref() != tenant;
+        self.hits += 1;
+        if shared {
+            self.shared_hits += 1;
+        }
+        if let Some(tenant) = tenant {
+            self.tenants.entry(tenant.to_string()).or_default().hits += 1;
+        }
+        Some(handle)
+    }
+}
+
+/// Result of [`ResultCache::begin`]: either a ready handle, or this caller is the
+/// key's producer and must execute (then [`FlightGuard::complete`] or drop).
+pub enum Lookup {
+    /// The key was cached (possibly after waiting out another tenant's pending
+    /// execution of it).
+    Hit(FrameHandle),
+    /// The key was absent: the caller is now its single-flight producer.
+    Miss(FlightGuard),
+}
+
+/// The producer's claim on an in-flight key. [`FlightGuard::complete`] publishes
+/// the computed handle and wakes every waiter; dropping the guard without
+/// completing (execution failed or was cancelled) withdraws the claim and wakes
+/// the waiters to race for a retry — so a failed producer never wedges a key.
+pub struct FlightGuard {
+    cache: Arc<ResultCache>,
+    key: String,
+    tenant: Option<String>,
+    completed: bool,
+}
+
+impl FlightGuard {
+    /// Publish the produced handle under the claimed key. `pins` must hold the
+    /// leaf allocations the key's fingerprint identifies by address (see
+    /// [`crate::session::QuerySession`]). Fails typed when the producing tenant's
+    /// quota cannot fit the result — the handle is then *not* retained and the
+    /// statement surfaces the quota error.
+    pub fn complete(mut self, pins: Vec<FrameHandle>, handle: FrameHandle) -> DfResult<()> {
+        self.completed = true;
+        let cache = Arc::clone(&self.cache);
+        let mut inner = cache.lock_inner();
+        if matches!(inner.slots.get(&self.key), Some(Slot::InFlight)) {
+            inner.slots.remove(&self.key);
+        }
+        let result = inner.insert_ready(&self.key, pins, handle, self.tenant.as_deref());
+        drop(inner);
+        cache.ready.notify_all();
+        result
+    }
+}
+
+impl Drop for FlightGuard {
+    fn drop(&mut self) {
+        if self.completed {
+            return;
+        }
+        let mut inner = self.cache.lock_inner();
+        if matches!(inner.slots.get(&self.key), Some(Slot::InFlight)) {
+            inner.slots.remove(&self.key);
+        }
+        drop(inner);
+        // Waiters re-check the key: one becomes the new producer.
+        self.cache.ready.notify_all();
+    }
+}
+
+/// Point-in-time cache counters (global plus per-tenant attribution).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Ready entries currently held.
+    pub entries: usize,
+    /// Bytes currently retained across entries.
+    pub bytes: usize,
+    /// The byte budget, when bounded.
+    pub budget: Option<usize>,
+    /// Entries evicted by budget or quota pressure (not explicit `evict` calls).
+    pub evictions: u64,
+    /// Hits served (first-try and after a single-flight wait alike).
+    pub hits: u64,
+    /// Hits where the hitting tenant differs from the producing tenant — the
+    /// cross-session sharing the service exists for.
+    pub shared_hits: u64,
+    /// Times a caller blocked on another caller's pending execution instead of
+    /// re-executing.
+    pub single_flight_waits: u64,
+    /// Results rejected because the producing tenant's quota could not fit them.
+    pub quota_rejections: u64,
+    /// Per-tenant attribution, sorted by tenant name.
+    pub tenants: Vec<(String, TenantCacheStats)>,
+}
+
+/// One tenant's slice of the cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantCacheStats {
+    /// Hits this tenant was served.
+    pub hits: u64,
+    /// Entries this tenant's executions produced.
+    pub produced: u64,
+    /// Bytes currently retained for entries this tenant produced.
+    pub retained_bytes: usize,
+    /// This tenant's retained-bytes quota, when capped.
+    pub quota: Option<usize>,
+}
+
+/// The shared fingerprint-keyed result cache (see the module docs for the
+/// single-flight / budget / quota invariants).
+pub struct ResultCache {
+    inner: Mutex<CacheInner>,
+    ready: Condvar,
+}
+
+impl Default for ResultCache {
+    fn default() -> Self {
+        ResultCache::new()
+    }
+}
+
+impl ResultCache {
+    /// An unbounded cache (the single-session default — same retention behaviour
+    /// the private per-session map had).
+    pub fn new() -> Self {
+        ResultCache::with_budget(None)
+    }
+
+    /// A cache bounded to `budget` bytes (`None` = unbounded), costed via
+    /// [`FrameHandle::approx_size_bytes`] and evicted LRU-first.
+    pub fn with_budget(budget: Option<usize>) -> Self {
+        ResultCache {
+            inner: Mutex::new(CacheInner {
+                slots: HashMap::new(),
+                budget,
+                bytes: 0,
+                tick: 0,
+                evictions: 0,
+                hits: 0,
+                shared_hits: 0,
+                single_flight_waits: 0,
+                quota_rejections: 0,
+                tenants: HashMap::new(),
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn lock_inner(&self) -> MutexGuard<'_, CacheInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Cap (or uncap) the retained bytes attributed to `tenant`. Applies to
+    /// future insertions; existing entries are not retroactively evicted.
+    pub fn set_tenant_quota(&self, tenant: &str, quota: Option<usize>) {
+        self.lock_inner()
+            .tenants
+            .entry(tenant.to_string())
+            .or_default()
+            .quota = quota;
+    }
+
+    /// Serve-or-claim `key` for `tenant`: a Ready entry is a [`Lookup::Hit`]; an
+    /// in-flight entry blocks until its producer publishes or withdraws (counted
+    /// as a single-flight wait); an absent entry makes this caller the producer
+    /// and returns a [`Lookup::Miss`] guard.
+    pub fn begin(self: &Arc<Self>, key: &str, tenant: Option<&str>) -> Lookup {
+        let mut inner = self.lock_inner();
+        loop {
+            match inner.slots.get(key) {
+                Some(Slot::Ready(_)) => {
+                    if let Some(handle) = inner.note_hit(key, tenant) {
+                        return Lookup::Hit(handle);
+                    }
+                }
+                Some(Slot::InFlight) => {
+                    inner.single_flight_waits += 1;
+                    inner = self
+                        .ready
+                        .wait(inner)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+                None => {
+                    inner.slots.insert(key.to_string(), Slot::InFlight);
+                    return Lookup::Miss(FlightGuard {
+                        cache: Arc::clone(self),
+                        key: key.to_string(),
+                        tenant: tenant.map(String::from),
+                        completed: false,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Non-blocking hit: serve a Ready entry (counting the hit), or `None` —
+    /// including for in-flight keys, which callers on inspection paths (head/
+    /// tail) deliberately do not wait on.
+    pub fn lookup(&self, key: &str, tenant: Option<&str>) -> Option<FrameHandle> {
+        self.lock_inner().note_hit(key, tenant)
+    }
+
+    /// Observational peek: the cached handle without touching any counter or
+    /// recency state (plan rebasing and `explain` use this).
+    pub fn peek(&self, key: &str) -> Option<FrameHandle> {
+        match self.lock_inner().slots.get(key) {
+            Some(Slot::Ready(entry)) => Some(entry.handle.clone()),
+            _ => None,
+        }
+    }
+
+    /// True when `key` is Ready *or* in flight (used to avoid spawning a
+    /// duplicate background execution of a key someone is already producing).
+    pub fn contains(&self, key: &str) -> bool {
+        self.lock_inner().slots.contains_key(key)
+    }
+
+    /// Insert a handle computed outside a flight (promoting a finished background
+    /// future). Skipped when the key is currently in flight — the producer owns
+    /// the key and will publish its own result.
+    pub fn insert(
+        &self,
+        key: &str,
+        pins: Vec<FrameHandle>,
+        handle: FrameHandle,
+        tenant: Option<&str>,
+    ) -> DfResult<()> {
+        let mut inner = self.lock_inner();
+        if matches!(inner.slots.get(key), Some(Slot::InFlight)) {
+            return Ok(());
+        }
+        inner.insert_ready(key, pins, handle, tenant)
+    }
+
+    /// Drop one Ready entry (quarantine / invalidation). In-flight markers are
+    /// owned by their producer's guard and never removed here.
+    pub fn evict(&self, key: &str) {
+        self.lock_inner().remove_ready(key);
+    }
+
+    /// Drop every Ready entry whose key starts with `prefix`, except `keep` — the
+    /// ingest supersede path (same statement, regenerated file identity).
+    pub fn evict_prefix_except(&self, prefix: &str, keep: &str) {
+        let mut inner = self.lock_inner();
+        let stale: Vec<String> = inner
+            .slots
+            .iter()
+            .filter_map(|(key, slot)| match slot {
+                Slot::Ready(_) if key != keep && key.starts_with(prefix) => Some(key.clone()),
+                _ => None,
+            })
+            .collect();
+        for key in stale {
+            inner.remove_ready(&key);
+        }
+    }
+
+    /// Drop every Ready entry produced by `tenant` (tenant disconnect, or a
+    /// tenant voluntarily releasing its quota).
+    pub fn evict_tenant(&self, tenant: &str) {
+        let mut inner = self.lock_inner();
+        let owned: Vec<String> = inner
+            .slots
+            .iter()
+            .filter_map(|(key, slot)| match slot {
+                Slot::Ready(entry) if entry.producer.as_deref() == Some(tenant) => {
+                    Some(key.clone())
+                }
+                _ => None,
+            })
+            .collect();
+        for key in owned {
+            inner.remove_ready(&key);
+        }
+    }
+
+    /// Drop every Ready entry (in-flight markers survive to completion).
+    pub fn clear(&self) {
+        let mut inner = self.lock_inner();
+        let keys: Vec<String> = inner
+            .slots
+            .iter()
+            .filter_map(|(key, slot)| match slot {
+                Slot::Ready(_) => Some(key.clone()),
+                _ => None,
+            })
+            .collect();
+        for key in keys {
+            inner.remove_ready(&key);
+        }
+    }
+
+    /// Number of Ready entries.
+    pub fn len(&self) -> usize {
+        self.lock_inner()
+            .slots
+            .values()
+            .filter(|slot| matches!(slot, Slot::Ready(_)))
+            .count()
+    }
+
+    /// True when no Ready entry is held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Point-in-time counters, per-tenant attribution sorted by name.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.lock_inner();
+        let mut tenants: Vec<(String, TenantCacheStats)> = inner
+            .tenants
+            .iter()
+            .map(|(name, state)| {
+                (
+                    name.clone(),
+                    TenantCacheStats {
+                        hits: state.hits,
+                        produced: state.produced,
+                        retained_bytes: state.retained_bytes,
+                        quota: state.quota,
+                    },
+                )
+            })
+            .collect();
+        tenants.sort_by(|a, b| a.0.cmp(&b.0));
+        CacheStats {
+            entries: inner
+                .slots
+                .values()
+                .filter(|slot| matches!(slot, Slot::Ready(_)))
+                .count(),
+            bytes: inner.bytes,
+            budget: inner.budget,
+            evictions: inner.evictions,
+            hits: inner.hits,
+            shared_hits: inner.shared_hits,
+            single_flight_waits: inner.single_flight_waits,
+            quota_rejections: inner.quota_rejections,
+            tenants,
+        }
+    }
+}
+
+impl std::fmt::Debug for ResultCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("ResultCache")
+            .field("entries", &stats.entries)
+            .field("bytes", &stats.bytes)
+            .field("budget", &stats.budget)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use df_core::dataframe::DataFrame;
+    use df_types::cell::cell;
+
+    fn handle(rows: usize) -> FrameHandle {
+        FrameHandle::from_dataframe(
+            DataFrame::from_columns(vec!["v"], vec![(0..rows).map(|i| cell(i as i64)).collect()])
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn begin_miss_then_hit_round_trips() {
+        let cache = Arc::new(ResultCache::new());
+        let Lookup::Miss(guard) = cache.begin("k", Some("a")) else {
+            panic!("empty cache must miss");
+        };
+        let produced = handle(4);
+        guard.complete(vec![], produced.clone()).unwrap();
+        let Lookup::Hit(hit) = cache.begin("k", Some("b")) else {
+            panic!("completed key must hit");
+        };
+        assert_eq!(hit.identity(), produced.identity());
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.shared_hits, 1, "b hit a's entry");
+        assert_eq!(stats.entries, 1);
+        assert!(stats.bytes > 0);
+    }
+
+    #[test]
+    fn waiters_block_on_the_flight_and_share_one_execution() {
+        let cache = Arc::new(ResultCache::new());
+        let Lookup::Miss(guard) = cache.begin("k", Some("producer")) else {
+            panic!("first caller must be the producer");
+        };
+        let produced = handle(8);
+        let waiters: Vec<_> = (0..4)
+            .map(|i| {
+                let cache = Arc::clone(&cache);
+                let name = format!("waiter-{i}");
+                std::thread::spawn(move || match cache.begin("k", Some(&name)) {
+                    Lookup::Hit(h) => h.identity() as usize,
+                    Lookup::Miss(_) => panic!("waiter must not become a producer"),
+                })
+            })
+            .collect();
+        // Give the waiters real time to park on the in-flight key.
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        guard.complete(vec![], produced.clone()).unwrap();
+        for waiter in waiters {
+            assert_eq!(waiter.join().unwrap(), produced.identity() as usize);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 4);
+        assert_eq!(stats.shared_hits, 4);
+        assert!(stats.single_flight_waits >= 4, "{stats:?}");
+    }
+
+    #[test]
+    fn abandoned_flights_hand_the_key_to_a_waiter() {
+        let cache = Arc::new(ResultCache::new());
+        let Lookup::Miss(guard) = cache.begin("k", None) else {
+            panic!("first caller must be the producer");
+        };
+        let waiter = {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || match cache.begin("k", None) {
+                Lookup::Miss(guard) => {
+                    guard.complete(vec![], handle(2)).unwrap();
+                    true
+                }
+                Lookup::Hit(_) => false,
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        drop(guard); // producer failed: the claim is withdrawn
+        assert!(
+            waiter.join().unwrap(),
+            "the waiter must inherit the producer role"
+        );
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_respects_the_budget_and_counts() {
+        let unit = handle(16).approx_size_bytes();
+        let cache = Arc::new(ResultCache::with_budget(Some(unit * 2 + unit / 2)));
+        for key in ["a", "b", "c"] {
+            let Lookup::Miss(guard) = cache.begin(key, None) else {
+                panic!("fresh key must miss");
+            };
+            guard.complete(vec![], handle(16)).unwrap();
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2, "{stats:?}");
+        assert_eq!(stats.evictions, 1, "{stats:?}");
+        assert!(stats.bytes <= unit * 2 + unit / 2);
+        // "a" was least recently used.
+        assert!(cache.peek("a").is_none());
+        assert!(cache.peek("b").is_some() && cache.peek("c").is_some());
+        // A hit on "b" refreshes it, so the next insert evicts "c".
+        assert!(cache.lookup("b", None).is_some());
+        let Lookup::Miss(guard) = cache.begin("d", None) else {
+            panic!("fresh key must miss");
+        };
+        guard.complete(vec![], handle(16)).unwrap();
+        assert!(cache.peek("b").is_some());
+        assert!(cache.peek("c").is_none());
+    }
+
+    #[test]
+    fn an_entry_larger_than_the_budget_is_returned_but_not_retained() {
+        let unit = handle(64).approx_size_bytes();
+        let cache = Arc::new(ResultCache::with_budget(Some(unit / 2)));
+        let Lookup::Miss(guard) = cache.begin("big", None) else {
+            panic!("fresh key must miss");
+        };
+        guard.complete(vec![], handle(64)).unwrap();
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn tenant_quotas_evict_own_entries_first_then_reject_typed() {
+        let unit = handle(16).approx_size_bytes();
+        let cache = Arc::new(ResultCache::new());
+        cache.set_tenant_quota("greedy", Some(unit + unit / 2));
+        // Another tenant's entry must never be a quota victim.
+        let Lookup::Miss(guard) = cache.begin("other", Some("modest")) else {
+            panic!("fresh key must miss");
+        };
+        guard.complete(vec![], handle(16)).unwrap();
+        for key in ["g1", "g2"] {
+            let Lookup::Miss(guard) = cache.begin(key, Some("greedy")) else {
+                panic!("fresh key must miss");
+            };
+            guard.complete(vec![], handle(16)).unwrap();
+        }
+        // g1 was evicted to make room for g2; modest's entry survived.
+        assert!(cache.peek("g1").is_none());
+        assert!(cache.peek("g2").is_some());
+        assert!(cache.peek("other").is_some());
+        // A single result over the whole quota rejects typed.
+        cache.set_tenant_quota("greedy", Some(unit / 4));
+        let Lookup::Miss(guard) = cache.begin("g3", Some("greedy")) else {
+            panic!("fresh key must miss");
+        };
+        let err = guard.complete(vec![], handle(16)).unwrap_err();
+        assert!(err.is_resource_exhausted(), "{err}");
+        assert!(err.to_string().contains("quota"), "{err}");
+        let stats = cache.stats();
+        assert_eq!(stats.quota_rejections, 1, "{stats:?}");
+        // Releasing the tenant's entries restores service.
+        cache.set_tenant_quota("greedy", Some(unit * 4));
+        cache.evict_tenant("greedy");
+        let Lookup::Miss(guard) = cache.begin("g4", Some("greedy")) else {
+            panic!("fresh key must miss");
+        };
+        guard.complete(vec![], handle(16)).unwrap();
+        assert!(cache.peek("g4").is_some());
+    }
+
+    #[test]
+    fn attribution_tracks_producers_and_hitters() {
+        let cache = Arc::new(ResultCache::new());
+        let Lookup::Miss(guard) = cache.begin("k", Some("a")) else {
+            panic!("fresh key must miss");
+        };
+        guard.complete(vec![], handle(8)).unwrap();
+        cache.lookup("k", Some("a"));
+        cache.lookup("k", Some("b"));
+        let stats = cache.stats();
+        assert_eq!(stats.tenants.len(), 2);
+        let (ref a_name, a) = stats.tenants[0];
+        let (ref b_name, b) = stats.tenants[1];
+        assert_eq!((a_name.as_str(), b_name.as_str()), ("a", "b"));
+        assert_eq!((a.produced, a.hits), (1, 1));
+        assert!(a.retained_bytes > 0);
+        assert_eq!((b.produced, b.hits), (0, 1));
+        assert_eq!(stats.shared_hits, 1);
+    }
+
+    #[test]
+    fn clear_and_evict_leave_inflight_markers_alone() {
+        let cache = Arc::new(ResultCache::new());
+        let Lookup::Miss(flight) = cache.begin("pending", None) else {
+            panic!("fresh key must miss");
+        };
+        let Lookup::Miss(done) = cache.begin("done", None) else {
+            panic!("fresh key must miss");
+        };
+        done.complete(vec![], handle(4)).unwrap();
+        cache.evict("pending"); // no-op: in flight
+        cache.clear(); // drops "done", keeps the marker
+        assert!(cache.contains("pending"));
+        assert_eq!(cache.len(), 0);
+        flight.complete(vec![], handle(4)).unwrap();
+        assert_eq!(cache.len(), 1);
+    }
+}

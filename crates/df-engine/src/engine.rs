@@ -189,6 +189,12 @@ impl PartitionedResult for GridResult {
         self.grid.suffix(k)
     }
 
+    fn approx_size_bytes(&self) -> Option<usize> {
+        // Metadata only: stored blocks report the size cached at check-in, so a
+        // fully spilled result is costed without a single load-back.
+        Some(self.grid.approx_size_bytes())
+    }
+
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }

@@ -19,12 +19,16 @@
 //!   the dataframe algebra behind the shared [`df_core::engine::Engine`] trait.
 //! * [`session`] — eager / lazy / opportunistic evaluation, query futures, prefix
 //!   (head/tail) prioritised inspection and the materialisation/reuse cache (paper §6).
+//! * [`cache`] — the shareable, budget-accounted result cache behind the session:
+//!   single-flight fingerprint execution, LRU eviction under a byte budget, and
+//!   per-tenant quotas/attribution for the multi-tenant service (`df-service`).
 
 // The engine sits above the fault-tolerant storage layer: every storage or worker
 // fault must stay a typed `DfError` on its way through, so production code may not
 // reintroduce unwrap/expect panic sites. Tests keep their unwraps.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod cache;
 pub mod engine;
 pub mod executor;
 pub mod ingest;
@@ -33,11 +37,12 @@ pub mod partition;
 pub mod session;
 pub mod shuffle;
 
+pub use cache::{CacheStats, ResultCache, TenantCacheStats};
 pub use df_storage::spill::{SpillStats, SpillStore};
 pub use engine::{GridResult, ModinConfig, ModinEngine};
 pub use executor::{default_threads, ParallelExecutor};
 pub use ingest::IngestStats;
 pub use optimizer::{choose_pivot_plan, optimize, OptimizerConfig, PivotPlan, RewriteStats};
 pub use partition::{Partition, PartitionConfig, PartitionGrid, PartitionHandle, PartitionScheme};
-pub use session::{EvalMode, QueryFuture, QuerySession, SessionStats};
+pub use session::{EvalMode, QueryFuture, QuerySession, SessionStats, StatementGate};
 pub use shuffle::{ShuffleKey, ShuffleOptions};

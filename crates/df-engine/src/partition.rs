@@ -79,6 +79,9 @@ pub struct StoredBlock {
     cols: usize,
     col_labels: Labels,
     domains: Vec<Option<Domain>>,
+    /// Approximate payload size captured at check-in, so budget accounting (the
+    /// shared result cache) can cost a fully spilled grid without load-backs.
+    bytes: usize,
 }
 
 impl Drop for StoredBlock {
@@ -125,6 +128,7 @@ impl PartitionHandle {
                 let (rows, cols) = frame.shape();
                 let col_labels = frame.col_labels().clone();
                 let domains = frame.schema();
+                let bytes = frame.approx_size_bytes();
                 let id = store.put(frame)?;
                 Ok(PartitionHandle::Stored(Arc::new(StoredBlock {
                     store: Arc::clone(store),
@@ -133,6 +137,7 @@ impl PartitionHandle {
                     cols,
                     col_labels,
                     domains,
+                    bytes,
                 })))
             }
             None => Ok(PartitionHandle::Resident(Arc::new(frame))),
@@ -151,6 +156,7 @@ impl PartitionHandle {
                 let (rows, cols) = block.shape();
                 let col_labels = block.col_labels().clone();
                 let domains = block.domains().to_vec();
+                let bytes = block.approx_size_bytes();
                 let id = store.put_block(block)?;
                 Ok(PartitionHandle::Stored(Arc::new(StoredBlock {
                     store: Arc::clone(store),
@@ -159,6 +165,7 @@ impl PartitionHandle {
                     cols,
                     col_labels,
                     domains,
+                    bytes,
                 })))
             }
             None => Ok(PartitionHandle::Columnar(Arc::new(block))),
@@ -177,6 +184,17 @@ impl PartitionHandle {
     /// True when the block currently lives in a spill store rather than this handle.
     pub fn is_stored(&self) -> bool {
         matches!(self, PartitionHandle::Stored(_))
+    }
+
+    /// Approximate block size in bytes, from metadata only: resident and columnar
+    /// blocks measure themselves, stored blocks answer from the size cached at
+    /// check-in — so costing a fully spilled grid never triggers a load-back.
+    pub fn approx_size_bytes(&self) -> usize {
+        match self {
+            PartitionHandle::Resident(frame) => frame.approx_size_bytes(),
+            PartitionHandle::Columnar(block) => block.approx_size_bytes(),
+            PartitionHandle::Stored(block) => block.bytes,
+        }
     }
 
     /// Stored-orientation column labels, from metadata only (never loads the block).
@@ -538,6 +556,18 @@ impl PartitionGrid {
             .flatten()
             .filter(|p| p.handle().is_stored())
             .count()
+    }
+
+    /// Approximate total size of every block in bytes, from metadata only — stored
+    /// blocks answer from the size cached at check-in, so costing a fully spilled
+    /// grid triggers no load-backs. Budget-accounted result caches use this to
+    /// charge a grid-backed handle against their byte budget.
+    pub fn approx_size_bytes(&self) -> usize {
+        self.blocks
+            .iter()
+            .flatten()
+            .map(|p| p.handle().approx_size_bytes())
+            .sum()
     }
 
     /// Logical shape of the whole frame.

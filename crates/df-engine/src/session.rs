@@ -21,6 +21,15 @@
 //! chain statements pass precomputed fingerprints through the `*_keyed` entry points
 //! so one statement's (potentially deep) plan is serialised once, not once per
 //! submit/collect/inspect call.
+//!
+//! Since PR 9 the session is also the unit of *tenancy*: its cache is an
+//! [`Arc<ResultCache>`](crate::cache::ResultCache) that several sessions may share
+//! (identical fingerprints from different tenants then execute once, single-flight),
+//! its hot counters are MRV-style striped atomics so concurrent tenants do not
+//! serialize on stats bumps, and every engine execution passes through an optional
+//! [`StatementGate`] — the admission-control hook `df-service` implements with a
+//! bounded, tenant-fair run queue. A standalone session (the `new` constructor) has
+//! a private cache and no gate, and behaves exactly as before.
 
 use std::collections::HashMap;
 use std::sync::mpsc::{channel, Receiver};
@@ -30,11 +39,14 @@ use std::thread::JoinHandle;
 use parking_lot::Mutex;
 
 use df_types::error::{DfError, DfResult};
+use df_types::striped::StripedU64;
 
 use df_core::algebra::AlgebraExpr;
 use df_core::dataframe::DataFrame;
 use df_core::engine::Engine;
 use df_core::handle::FrameHandle;
+
+use crate::cache::{CacheStats, Lookup, ResultCache};
 
 /// How statements are scheduled (paper §6.1.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -82,21 +94,90 @@ pub struct SessionStats {
     pub joins_broadcast: u64,
     /// Joins that hash-shuffled both inputs.
     pub joins_shuffled: u64,
+    /// Cache entries evicted by byte-budget or tenant-quota pressure (mirrors the
+    /// result cache's counter; explicit `evict`/`clear_cache` calls don't count).
+    pub evictions: u64,
 }
 
-/// A cache entry: the computed handle *plus the leaf values that pin its key*.
-/// Fingerprints identify literal and handle leaves by pointer identity (`lit@…` /
-/// `hnd@…`); keeping those leaf allocations alive means an address can never be
-/// reused by a new leaf while an entry keyed on it exists — a stale-hit collision
-/// that would otherwise be possible the moment the original expression is dropped.
-/// Leaves from two plans can be needed: the executed plan's, and — when an API layer
-/// keys a *rebased* execution plan by its statement's logical fingerprint — the
-/// logical plan's (so the guarantee stays local to the entry rather than relying on
-/// ancestor entries transitively pinning the shared leaves).
-struct CachedResult {
-    #[allow(dead_code)] // held for its ownership (identity pinning), never read
-    pins: Vec<FrameHandle>,
-    handle: FrameHandle,
+/// The session's hot counters, shared behind an `Arc` and split MRV-style over
+/// striped atomic cells ([`StripedU64`]): tenant threads bumping `statements` or
+/// `cache_hits` concurrently land on different cache lines instead of serializing
+/// on one `Mutex<SessionStats>`. Merged into the public [`SessionStats`] snapshot
+/// on read.
+#[derive(Default)]
+struct SharedSessionStats {
+    statements: StripedU64,
+    executions: StripedU64,
+    cache_hits: StripedU64,
+    background_started: StripedU64,
+    background_ready_on_request: StripedU64,
+    submit_errors: StripedU64,
+    recoveries: StripedU64,
+}
+
+impl SharedSessionStats {
+    fn snapshot(&self) -> SessionStats {
+        SessionStats {
+            statements: self.statements.get(),
+            executions: self.executions.get(),
+            cache_hits: self.cache_hits.get(),
+            background_started: self.background_started.get(),
+            background_ready_on_request: self.background_ready_on_request.get(),
+            submit_errors: self.submit_errors.get(),
+            recoveries: self.recoveries.get(),
+            ..SessionStats::default()
+        }
+    }
+}
+
+/// Admission-control hook applied around every engine execution this session
+/// performs (foreground, background, and ingest alike). `df-service` implements it
+/// with a bounded run queue that is fair *across tenants*; a standalone session has
+/// none and executes immediately.
+///
+/// Contract: a successful [`StatementGate::admit`] grants one execution slot that
+/// the session releases via [`StatementGate::release`] when the execution finishes
+/// (the session pairs the calls RAII-style, so a panicking engine still releases).
+/// Refusals surface typed — [`DfError::Admission`] when turned away at the door
+/// (queue full, service draining), [`DfError::Cancelled`] when a queue wait times
+/// out. Cache hits and single-flight waits do not pass through the gate: served
+/// results consume no execution slot, which is also what makes waiting on another
+/// tenant's pending execution deadlock-free.
+pub trait StatementGate: Send + Sync {
+    /// Block until an execution slot is granted (or refuse typed).
+    fn admit(&self, tenant: Option<&str>) -> DfResult<()>;
+    /// Return the slot granted by the matching [`StatementGate::admit`].
+    fn release(&self);
+}
+
+/// RAII pairing of `admit`/`release` around one engine execution.
+struct GatePermit {
+    gate: Option<Arc<dyn StatementGate>>,
+}
+
+impl GatePermit {
+    fn acquire(
+        gate: &Option<Arc<dyn StatementGate>>,
+        tenant: Option<&str>,
+    ) -> DfResult<GatePermit> {
+        match gate {
+            Some(g) => {
+                g.admit(tenant)?;
+                Ok(GatePermit {
+                    gate: Some(Arc::clone(g)),
+                })
+            }
+            None => Ok(GatePermit { gate: None }),
+        }
+    }
+}
+
+impl Drop for GatePermit {
+    fn drop(&mut self) {
+        if let Some(gate) = &self.gate {
+            gate.release();
+        }
+    }
 }
 
 /// A handle to a result that may still be computing in the background.
@@ -144,24 +225,61 @@ impl QueryFuture {
 pub struct QuerySession {
     engine: Arc<dyn Engine>,
     mode: EvalMode,
-    cache: Mutex<HashMap<String, CachedResult>>,
+    cache: Arc<ResultCache>,
     pending: Mutex<HashMap<String, QueryFuture>>,
-    stats: Mutex<SessionStats>,
+    stats: Arc<SharedSessionStats>,
     last_submit_error: Mutex<Option<DfError>>,
     cache_enabled: bool,
+    /// The tenant this session acts for inside a shared service (`None` for a
+    /// standalone session). Used for cache attribution and gate fairness.
+    tenant: Option<String>,
+    gate: Option<Arc<dyn StatementGate>>,
 }
 
 impl QuerySession {
-    /// A session over `engine` using the given evaluation mode.
+    /// A session over `engine` using the given evaluation mode, with a private
+    /// unbounded cache and no admission gate (the single-user configuration).
     pub fn new(engine: Arc<dyn Engine>, mode: EvalMode) -> Self {
+        QuerySession::with_shared_state(engine, mode, Arc::new(ResultCache::new()), None, None)
+    }
+
+    /// A session whose private cache is bounded to `budget` bytes: entries are
+    /// costed via [`FrameHandle::approx_size_bytes`] and evicted LRU-first past
+    /// the budget (counted in [`SessionStats::evictions`]).
+    pub fn with_cache_budget(engine: Arc<dyn Engine>, mode: EvalMode, budget: usize) -> Self {
+        QuerySession::with_shared_state(
+            engine,
+            mode,
+            Arc::new(ResultCache::with_budget(Some(budget))),
+            None,
+            None,
+        )
+    }
+
+    /// The multi-tenant constructor: a session over a (typically shared) engine
+    /// whose result cache is shared with other sessions, whose executions pass
+    /// through `gate`, and whose cache activity is attributed to `tenant`.
+    /// `df-service` builds one of these per [`TenantSession`]; each keeps its own
+    /// stats counters, so per-tenant statement/hit/execution numbers come free.
+    ///
+    /// [`TenantSession`]: https://docs.rs/df-service
+    pub fn with_shared_state(
+        engine: Arc<dyn Engine>,
+        mode: EvalMode,
+        cache: Arc<ResultCache>,
+        tenant: Option<String>,
+        gate: Option<Arc<dyn StatementGate>>,
+    ) -> Self {
         QuerySession {
             engine,
             mode,
-            cache: Mutex::new(HashMap::new()),
+            cache,
             pending: Mutex::new(HashMap::new()),
-            stats: Mutex::new(SessionStats::default()),
+            stats: Arc::new(SharedSessionStats::default()),
             last_submit_error: Mutex::new(None),
             cache_enabled: true,
+            tenant,
+            gate,
         }
     }
 
@@ -181,11 +299,32 @@ impl QuerySession {
         &self.engine
     }
 
+    /// The result cache behind this session — share it with another session (via
+    /// [`QuerySession::with_shared_state`]) and identical fingerprints across the
+    /// two execute once.
+    pub fn shared_cache(&self) -> Arc<ResultCache> {
+        Arc::clone(&self.cache)
+    }
+
+    /// The tenant label this session attributes its cache activity to.
+    pub fn tenant(&self) -> Option<&str> {
+        self.tenant.as_deref()
+    }
+
+    /// Counters of the result cache behind this session (global across every
+    /// session sharing it, with per-tenant attribution inside).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
     /// Counters accumulated so far. The pushdown fields are read live from the
     /// engine's own counters, so they reflect every execution this session ran
-    /// (including background futures that have already finished).
+    /// (including background futures that have already finished); `evictions`
+    /// mirrors the result cache's counter the same way. Both are *shared-state*
+    /// reads: behind a shared engine or cache they count every tenant's activity,
+    /// while the remaining fields are this session's own.
     pub fn stats(&self) -> SessionStats {
-        let mut stats = *self.stats.lock();
+        let mut stats = self.stats.snapshot();
         let pushdown = self.engine.pushdown_stats();
         stats.chunks_skipped = pushdown.chunks_skipped;
         stats.columns_pruned = pushdown.columns_pruned;
@@ -193,6 +332,7 @@ impl QuerySession {
         stats.projections_pushed = pushdown.projections_pushed;
         stats.joins_broadcast = pushdown.joins_broadcast;
         stats.joins_shuffled = pushdown.joins_shuffled;
+        stats.evictions = self.cache.stats().evictions;
         stats
     }
 
@@ -232,7 +372,7 @@ impl QuerySession {
     /// use this to skip building (and fingerprinting) an execution plan the lazy
     /// scheduler would discard anyway.
     pub fn note_statement(&self) {
-        self.stats.lock().statements += 1;
+        self.stats.statements.incr();
     }
 
     /// [`QuerySession::submit`] with a precomputed fingerprint key (so callers that
@@ -247,7 +387,7 @@ impl QuerySession {
         key: &str,
         key_source: Option<&AlgebraExpr>,
     ) -> DfResult<()> {
-        self.stats.lock().statements += 1;
+        self.stats.statements.incr();
         match self.mode {
             EvalMode::Eager => {
                 // Serves a re-submitted fingerprint from the cache, else executes
@@ -267,7 +407,7 @@ impl QuerySession {
     /// [`QuerySession::take_last_submit_error`], and will surface again when the
     /// statement reaches a materialisation point.
     pub fn record_submit_error(&self, err: DfError) {
-        self.stats.lock().submit_errors += 1;
+        self.stats.submit_errors.incr();
         *self.last_submit_error.lock() = Some(err);
     }
 
@@ -284,37 +424,69 @@ impl QuerySession {
         self.handle_keyed(expr, &expr.fingerprint(), None)
     }
 
-    /// Clone a cached handle out under the lock, releasing it before the caller does
-    /// any engine work.
+    /// Clone a cached handle out (counting the hit at the cache level), releasing
+    /// the cache lock before the caller does any engine work. Non-blocking: an
+    /// in-flight key reports `None` — inspection paths deliberately do not wait
+    /// out another caller's pending full execution.
     fn cached_handle(&self, key: &str) -> Option<FrameHandle> {
         if !self.cache_enabled {
             return None;
         }
-        self.cache.lock().get(key).map(|hit| hit.handle.clone())
+        self.cache.lookup(key, self.tenant.as_deref())
+    }
+
+    /// Run one gated engine execution (admission, when this session has a gate,
+    /// then the engine). The permit is held for the execution only — cached
+    /// results are served without consuming an execution slot.
+    fn execute_gated(&self, expr: &AlgebraExpr) -> DfResult<FrameHandle> {
+        let _permit = GatePermit::acquire(&self.gate, self.tenant.as_deref())?;
+        self.stats.executions.incr();
+        self.engine.execute(expr)
     }
 
     /// [`QuerySession::handle`] with a precomputed fingerprint key (`key_source` as
-    /// in [`QuerySession::submit_keyed`]).
+    /// in [`QuerySession::submit_keyed`]). Single-flight on a shared cache: a
+    /// second session requesting an in-flight fingerprint blocks on the pending
+    /// execution and is served its handle, so identical statements from different
+    /// tenants execute exactly once.
     pub fn handle_keyed(
         &self,
         expr: &AlgebraExpr,
         key: &str,
         key_source: Option<&AlgebraExpr>,
     ) -> DfResult<FrameHandle> {
-        if let Some(handle) = self.cached_handle(key) {
-            self.stats.lock().cache_hits += 1;
-            return Ok(handle);
-        }
-        let pending = self.pending.lock().remove(key);
-        if let Some(future) = pending {
-            if future.is_ready() {
-                self.stats.lock().background_ready_on_request += 1;
+        if !self.cache_enabled {
+            let pending = self.pending.lock().remove(key);
+            if let Some(future) = pending {
+                if future.is_ready() {
+                    self.stats.background_ready_on_request.incr();
+                }
+                return future.wait();
             }
-            let handle = future.wait()?;
-            self.remember(key, expr, key_source, &handle);
-            return Ok(handle);
+            return self.execute_gated(expr);
         }
-        self.materialize_handle(expr, key, key_source)
+        match self.cache.begin(key, self.tenant.as_deref()) {
+            Lookup::Hit(handle) => {
+                self.stats.cache_hits.incr();
+                Ok(handle)
+            }
+            Lookup::Miss(flight) => {
+                let pending = self.pending.lock().remove(key);
+                if let Some(future) = pending {
+                    if future.is_ready() {
+                        self.stats.background_ready_on_request.incr();
+                    }
+                    // On error the flight guard drops: waiters retry, one
+                    // re-executes.
+                    let handle = future.wait()?;
+                    flight.complete(QuerySession::pins_for(expr, key_source), handle.clone())?;
+                    return Ok(handle);
+                }
+                let handle = self.execute_gated(expr)?;
+                flight.complete(QuerySession::pins_for(expr, key_source), handle.clone())?;
+                Ok(handle)
+            }
+        }
     }
 
     /// Serve-or-compute a statement whose cache key is *not* a plan fingerprint —
@@ -335,33 +507,38 @@ impl QuerySession {
         supersedes: Option<&str>,
         ingest: impl FnOnce() -> DfResult<FrameHandle>,
     ) -> DfResult<FrameHandle> {
-        self.stats.lock().statements += 1;
-        if let Some(handle) = self.cached_handle(key) {
-            self.stats.lock().cache_hits += 1;
-            return Ok(handle);
+        self.stats.statements.incr();
+        if !self.cache_enabled {
+            let _permit = GatePermit::acquire(&self.gate, self.tenant.as_deref())?;
+            self.stats.executions.incr();
+            return ingest();
         }
-        self.stats.lock().executions += 1;
-        let handle = ingest()?;
-        if self.cache_enabled {
-            let mut cache = self.cache.lock();
-            if let Some(prefix) = supersedes {
-                // Older versions of the same statement (same path and options,
-                // different file identity) are unreachable now — release the
-                // partitioned results they pin.
-                cache.retain(|k, _| k == key || !k.starts_with(prefix));
+        // Single-flight like any fingerprinted statement: two tenants reading the
+        // same file concurrently scan it once.
+        match self.cache.begin(key, self.tenant.as_deref()) {
+            Lookup::Hit(handle) => {
+                self.stats.cache_hits.incr();
+                Ok(handle)
             }
-            // Path-based keys carry no pointer identities, but the entry still
-            // records the plan whose leaves it pins — the handle leaf itself.
-            let plan = AlgebraExpr::handle(handle.clone());
-            cache.insert(
-                key.to_string(),
-                CachedResult {
-                    pins: QuerySession::pins_for(&plan, None),
-                    handle: handle.clone(),
-                },
-            );
+            Lookup::Miss(flight) => {
+                let handle = {
+                    let _permit = GatePermit::acquire(&self.gate, self.tenant.as_deref())?;
+                    self.stats.executions.incr();
+                    ingest()?
+                };
+                if let Some(prefix) = supersedes {
+                    // Older versions of the same statement (same path and options,
+                    // different file identity) are unreachable now — release the
+                    // partitioned results they pin.
+                    self.cache.evict_prefix_except(prefix, key);
+                }
+                // Path-based keys carry no pointer identities, but the entry still
+                // records the plan whose leaves it pins — the handle leaf itself.
+                let plan = AlgebraExpr::handle(handle.clone());
+                flight.complete(QuerySession::pins_for(&plan, None), handle.clone())?;
+                Ok(handle)
+            }
         }
-        Ok(handle)
     }
 
     /// A non-executing peek: the cached handle for a fingerprint, if one exists. Used
@@ -369,7 +546,10 @@ impl QuerySession {
     /// already-computed handle (no statistics are counted — this is plan
     /// construction, not a user-visible fetch).
     pub fn handle_for(&self, key: &str) -> Option<FrameHandle> {
-        self.cached_handle(key)
+        if !self.cache_enabled {
+            return None;
+        }
+        self.cache.peek(key)
     }
 
     /// Materialisation point: fetch the full result of an expression as a dataframe.
@@ -408,7 +588,7 @@ impl QuerySession {
         key_source: Option<&AlgebraExpr>,
         op: impl Fn(&Self, &FrameHandle) -> DfResult<T>,
     ) -> DfResult<T> {
-        self.stats.lock().recoveries += 1;
+        self.stats.recoveries.incr();
         self.evict(key);
         let fresh = self.materialize_handle(expr, key, key_source)?;
         op(self, &fresh)
@@ -436,7 +616,7 @@ impl QuerySession {
         // engine: materialising a spilled handle can hit the disk, and holding the
         // lock across it would serialise every other session call behind the I/O.
         if let Some(handle) = self.cached_handle(key) {
-            self.stats.lock().cache_hits += 1;
+            self.stats.cache_hits.incr();
             let first = self.engine.head_of(&handle, k);
             drop(handle);
             return match first {
@@ -452,7 +632,8 @@ impl QuerySession {
             self.remember(key, expr, key_source, &handle);
             return self.engine.head_of(&handle, k);
         }
-        self.stats.lock().executions += 1;
+        let _permit = GatePermit::acquire(&self.gate, self.tenant.as_deref())?;
+        self.stats.executions.incr();
         self.engine.execute_prefix(expr, k)
     }
 
@@ -471,7 +652,7 @@ impl QuerySession {
         let Some(future) = self.pending.lock().remove(key) else {
             return Ok(None);
         };
-        self.stats.lock().background_ready_on_request += 1;
+        self.stats.background_ready_on_request.incr();
         future.wait().map(Some)
     }
 
@@ -492,7 +673,7 @@ impl QuerySession {
         k: usize,
     ) -> DfResult<DataFrame> {
         if let Some(handle) = self.cached_handle(key) {
-            self.stats.lock().cache_hits += 1;
+            self.stats.cache_hits.incr();
             let first = self.engine.tail_of(&handle, k);
             drop(handle);
             return match first {
@@ -508,20 +689,23 @@ impl QuerySession {
             self.remember(key, expr, key_source, &handle);
             return self.engine.tail_of(&handle, k);
         }
-        self.stats.lock().executions += 1;
+        let _permit = GatePermit::acquire(&self.gate, self.tenant.as_deref())?;
+        self.stats.executions.incr();
         self.engine.execute_suffix(expr, k)
     }
 
     /// Number of results currently held by the materialisation cache.
     pub fn cached_results(&self) -> usize {
-        self.cache.lock().len()
+        self.cache.len()
     }
 
     /// Drop every cached handle (models the §6.2.2 eviction discussion in its
     /// simplest form; for the scalable engine this also releases the underlying
-    /// partitions' spill-store entries).
+    /// partitions' spill-store entries). On a *shared* cache this is a whole-cache
+    /// administrative operation — it drops other tenants' entries too; a tenant
+    /// releasing only its own retention uses the cache's `evict_tenant`.
     pub fn clear_cache(&self) {
-        self.cache.lock().clear();
+        self.cache.clear();
     }
 
     /// Quarantine one cached result: drop its handle (and pins) so the next
@@ -529,13 +713,13 @@ impl QuerySession {
     /// state. Used by the corruption-recovery path and by the pandas layer when
     /// it walks a frame's lineage after a checksum failure.
     pub fn evict(&self, key: &str) {
-        self.cache.lock().remove(key);
+        self.cache.evict(key);
     }
 
     /// Record a corruption recovery that happened *outside* the session's own
     /// retry path — e.g. the pandas layer rebuilding a frame from lineage.
     pub fn note_recovery(&self) {
-        self.stats.lock().recoveries += 1;
+        self.stats.recoveries.incr();
     }
 
     /// Request cooperative cancellation of whatever statement is currently
@@ -611,10 +795,23 @@ impl QuerySession {
         key: &str,
         key_source: Option<&AlgebraExpr>,
     ) -> DfResult<FrameHandle> {
-        self.stats.lock().executions += 1;
-        let handle = self.engine.execute(expr)?;
-        self.remember(key, expr, key_source, &handle);
-        Ok(handle)
+        if !self.cache_enabled {
+            return self.execute_gated(expr);
+        }
+        match self.cache.begin(key, self.tenant.as_deref()) {
+            // Another session can have repopulated the key since the caller
+            // evicted it (corruption recovery): its fresh result is as good as
+            // one of our own.
+            Lookup::Hit(handle) => {
+                self.stats.cache_hits.incr();
+                Ok(handle)
+            }
+            Lookup::Miss(flight) => {
+                let handle = self.execute_gated(expr)?;
+                flight.complete(QuerySession::pins_for(expr, key_source), handle.clone())?;
+                Ok(handle)
+            }
+        }
     }
 
     /// The leaf allocations whose addresses appear in the entry's fingerprint key:
@@ -636,34 +833,42 @@ impl QuerySession {
         handle: &FrameHandle,
     ) {
         if self.cache_enabled {
-            self.cache.lock().insert(
-                key.to_string(),
-                CachedResult {
-                    pins: QuerySession::pins_for(plan, key_source),
-                    handle: handle.clone(),
-                },
-            );
+            // A quota rejection here only means the promoted background result is
+            // not retained; the handle itself is already on its way to the caller.
+            self.cache
+                .insert(
+                    key,
+                    QuerySession::pins_for(plan, key_source),
+                    handle.clone(),
+                    self.tenant.as_deref(),
+                )
+                .ok();
         }
     }
 
     fn spawn_background(&self, expr: &AlgebraExpr, key: &str, key_source: Option<&AlgebraExpr>) {
-        if self.cache_enabled && self.cache.lock().contains_key(key) {
+        // `contains` covers in-flight keys too: when another session is already
+        // producing this fingerprint, a background duplicate would waste the
+        // single-flight guarantee.
+        if self.cache_enabled && self.cache.contains(key) {
             return;
         }
         if self.pending.lock().contains_key(key) {
             return;
         }
         let engine = Arc::clone(&self.engine);
+        let gate = self.gate.clone();
+        let tenant = self.tenant.clone();
         let pins = QuerySession::pins_for(expr, key_source);
         let worker_plan = expr.clone();
         let (sender, receiver) = channel();
-        {
-            let mut stats = self.stats.lock();
-            stats.background_started += 1;
-            stats.executions += 1;
-        }
+        self.stats.background_started.incr();
+        self.stats.executions.incr();
         let handle = std::thread::spawn(move || {
-            let result = engine.execute(&worker_plan);
+            // Background work is admission-controlled like foreground work: the
+            // permit is acquired inside the worker so submit() stays non-blocking.
+            let result = GatePermit::acquire(&gate, tenant.as_deref())
+                .and_then(|_permit| engine.execute(&worker_plan));
             sender.send(result).ok();
         });
         self.pending.lock().insert(
@@ -925,6 +1130,77 @@ mod tests {
             .unwrap();
         assert_eq!(session.cached_results(), 2);
         assert!(session.handle_for(&v2).is_some());
+    }
+
+    #[test]
+    fn bounded_cache_evicts_lru_with_a_counter() {
+        // Measure one result's cached footprint, then bound a session to ~2.5 of it.
+        let probe = QuerySession::new(engine(), EvalMode::Eager);
+        let sample = AlgebraExpr::literal(frame(40)).map(MapFunc::IsNullMask);
+        probe.submit(&sample).unwrap();
+        let unit = probe
+            .handle_for(&sample.fingerprint())
+            .unwrap()
+            .approx_size_bytes();
+        assert!(unit > 0);
+        let session =
+            QuerySession::with_cache_budget(engine(), EvalMode::Eager, unit * 2 + unit / 2);
+        let exprs: Vec<AlgebraExpr> = (0..4)
+            .map(|_| AlgebraExpr::literal(frame(40)).map(MapFunc::IsNullMask))
+            .collect();
+        for expr in &exprs {
+            session.submit(expr).unwrap();
+        }
+        // Same-sized results: two fit, the two oldest were evicted.
+        assert_eq!(session.cached_results(), 2);
+        assert_eq!(session.stats().evictions, 2);
+        assert!(session.handle_for(&exprs[0].fingerprint()).is_none());
+        assert!(session.handle_for(&exprs[3].fingerprint()).is_some());
+        // An evicted statement recomputes correctly on the next fetch.
+        let out = session.collect(&exprs[0]).unwrap();
+        assert_eq!(out.shape(), (40, 2));
+        assert_eq!(session.stats().executions, 5);
+    }
+
+    #[test]
+    fn shared_cache_single_flights_identical_fingerprints_across_sessions() {
+        let shared_engine = engine();
+        let cache = Arc::new(crate::cache::ResultCache::new());
+        let expr = Arc::new(AlgebraExpr::literal(frame(80)).map(MapFunc::IsNullMask));
+        let sessions: Vec<Arc<QuerySession>> = (0..4)
+            .map(|i| {
+                Arc::new(QuerySession::with_shared_state(
+                    Arc::clone(&shared_engine),
+                    EvalMode::Eager,
+                    Arc::clone(&cache),
+                    Some(format!("tenant-{i}")),
+                    None,
+                ))
+            })
+            .collect();
+        let reference = expr.as_ref().clone();
+        let expected = QuerySession::new(engine(), EvalMode::Eager)
+            .collect(&reference)
+            .unwrap();
+        std::thread::scope(|scope| {
+            for session in &sessions {
+                let session = Arc::clone(session);
+                let expr = Arc::clone(&expr);
+                let expected = &expected;
+                scope.spawn(move || {
+                    let out = session.collect(&expr).unwrap();
+                    assert!(out.same_data(expected));
+                });
+            }
+        });
+        let total_executions: u64 = sessions.iter().map(|s| s.stats().executions).sum();
+        assert_eq!(
+            total_executions, 1,
+            "identical fingerprints must execute exactly once across sessions"
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 3, "the three non-producers must hit: {stats:?}");
+        assert_eq!(stats.shared_hits, 3, "{stats:?}");
     }
 
     #[test]

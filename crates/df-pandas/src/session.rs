@@ -131,6 +131,17 @@ impl Session {
         })
     }
 
+    /// Wrap an already-configured [`QuerySession`] — the multi-tenant front end.
+    /// `df-service` builds the query session with shared cache/gate state and a
+    /// tenant label, then wraps it here so every [`crate::frame::PandasFrame`]
+    /// call a tenant makes flows through the service's admission control and
+    /// shared cache unchanged. Pass the typed engine handle when the session is
+    /// MODIN-backed so [`Session::spill_stats`] keeps answering.
+    pub fn from_query(query: QuerySession, modin: Option<Arc<ModinEngine>>) -> Arc<Session> {
+        let kind = query.engine().kind();
+        Arc::new(Session { query, kind, modin })
+    }
+
     /// Which engine backs this session.
     pub fn engine_kind(&self) -> EngineKind {
         self.kind

@@ -1,0 +1,93 @@
+//! Tenant-facing session handles.
+//!
+//! A [`TenantSession`] is the worker half of the owner/worker split: a cheap,
+//! cloneable handle a client thread drives. It owns no engine state — its
+//! [`df_pandas::Session`] front end wraps a
+//! [`df_engine::session::QuerySession`] built with the service's
+//! shared cache and admission gate, so every dataframe call the tenant makes is
+//! admission-controlled, fairly scheduled, and cache-attributed without the
+//! client doing anything special.
+
+use std::sync::Arc;
+
+use df_engine::cache::{CacheStats, ResultCache, TenantCacheStats};
+use df_engine::session::{QuerySession, SessionStats};
+use df_pandas::Session;
+
+/// One tenant's handle onto the shared service (see the module docs).
+#[derive(Clone)]
+pub struct TenantSession {
+    name: String,
+    session: Arc<Session>,
+    cache: Arc<ResultCache>,
+}
+
+impl TenantSession {
+    pub(crate) fn new(
+        name: String,
+        session: Arc<Session>,
+        cache: Arc<ResultCache>,
+    ) -> TenantSession {
+        TenantSession {
+            name,
+            session,
+            cache,
+        }
+    }
+
+    /// The tenant this session is attributed to.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The pandas-style front end: build [`df_pandas::PandasFrame`]s against this
+    /// to run dataframe programs under the service's admission and caching.
+    pub fn session(&self) -> &Arc<Session> {
+        &self.session
+    }
+
+    /// The underlying query session (algebra-level `collect`, timeouts,
+    /// cancellation).
+    pub fn query(&self) -> &QuerySession {
+        self.session.query()
+    }
+
+    /// This session's scheduling/caching counters (statements, executions, hits).
+    pub fn stats(&self) -> SessionStats {
+        self.session.stats()
+    }
+
+    /// Counters of the result cache this tenant runs against (the shared cache,
+    /// or the tenant's private one when the service was configured without
+    /// sharing).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// This tenant's slice of the cache counters (hits, produced entries,
+    /// retained bytes, quota).
+    pub fn tenant_cache_stats(&self) -> TenantCacheStats {
+        self.cache
+            .stats()
+            .tenants
+            .into_iter()
+            .find(|(name, _)| name == &self.name)
+            .map(|(_, stats)| stats)
+            .unwrap_or_default()
+    }
+
+    /// Drop every cache entry this tenant produced, releasing its retained bytes
+    /// back to the shared budget. In-flight productions are unaffected.
+    pub fn release_cached_results(&self) {
+        self.cache.evict_tenant(&self.name);
+    }
+}
+
+impl std::fmt::Debug for TenantSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TenantSession")
+            .field("name", &self.name)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}

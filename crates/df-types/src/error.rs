@@ -90,6 +90,12 @@ pub enum DfError {
     /// The statement was cancelled cooperatively (session timeout/cancel, or
     /// fail-fast after a sibling task error).
     Cancelled(String),
+    /// The multi-tenant service refused to admit the statement: the bounded run
+    /// queue was full, or the service is draining for shutdown. Distinct from
+    /// [`DfError::Cancelled`] (which a queued statement gets when its queue wait
+    /// times out) so clients can tell "retry later / back off" from "your
+    /// statement was started and then stopped".
+    Admission(String),
     /// Internal invariant violation; indicates a bug rather than user error.
     Internal(String),
 }
@@ -176,6 +182,12 @@ impl DfError {
     pub fn is_cancelled(&self) -> bool {
         matches!(self, DfError::Cancelled(_))
     }
+
+    /// True when the service turned the statement away at the door (queue full
+    /// or draining) — nothing executed, so retrying after backoff is safe.
+    pub fn is_admission(&self) -> bool {
+        matches!(self, DfError::Admission(_))
+    }
 }
 
 impl fmt::Display for DfError {
@@ -213,6 +225,7 @@ impl fmt::Display for DfError {
             }
             DfError::WorkerPanic(msg) => write!(f, "worker panicked: {msg}"),
             DfError::Cancelled(what) => write!(f, "cancelled: {what}"),
+            DfError::Admission(why) => write!(f, "admission refused: {why}"),
             DfError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
@@ -282,6 +295,15 @@ mod tests {
         let cancelled = DfError::Cancelled("statement timed out".into());
         assert!(cancelled.is_cancelled());
         assert!(cancelled.to_string().contains("cancelled"));
+    }
+
+    #[test]
+    fn admission_refusal_is_typed_and_distinct_from_cancellation() {
+        let refused = DfError::Admission("run queue full (8 queued)".into());
+        assert!(refused.is_admission());
+        assert!(!refused.is_cancelled());
+        assert!(refused.to_string().contains("admission refused"));
+        assert!(!DfError::Cancelled("queue wait timed out".into()).is_admission());
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub mod fail;
 pub mod infer;
 pub mod labels;
 pub mod retry;
+pub mod striped;
 
 pub use cancel::CancelToken;
 pub use cell::{cell, Cell};
@@ -47,3 +48,4 @@ pub use fail::FailAction;
 pub use infer::{induce_domain, induce_from_strings, SchemaSlot};
 pub use labels::{LabelVec, Labels};
 pub use retry::RetryPolicy;
+pub use striped::StripedU64;

@@ -17,6 +17,9 @@
 //!   expressions and executed on either engine (paper §3.3, Table 2).
 //! * [`storage`] — CSV ingest/egress (serial and chunk-parallel) and the
 //!   spill-to-disk partition store.
+//! * [`service`] — the in-process multi-tenant query service: one shared engine
+//!   and spill budget serving many tenant sessions behind admission control,
+//!   tenant-fair scheduling and a cross-session single-flight result cache.
 //! * [`workloads`] — synthetic substitutes for the paper's datasets (NYC taxi trips,
 //!   the Jupyter notebook corpus, the sales pivot table).
 //!
@@ -44,6 +47,7 @@ pub use df_baseline as baseline;
 pub use df_core as core;
 pub use df_engine as engine;
 pub use df_pandas as pandas;
+pub use df_service as service;
 pub use df_storage as storage;
 pub use df_types as types;
 pub use df_workloads as workloads;
@@ -56,6 +60,7 @@ pub mod prelude {
     pub use df_core::handle::FrameHandle;
     pub use df_pandas::frame::PandasFrame;
     pub use df_pandas::session::Session;
+    pub use df_service::{QueryService, ServiceConfig, TenantSession};
     pub use df_types::cell::{cell, Cell};
     pub use df_types::domain::Domain;
 }
