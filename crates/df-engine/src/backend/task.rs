@@ -1,0 +1,1007 @@
+//! Serialisable per-band tasks — the unit of work a backend places.
+//!
+//! [`BandTask`] names every embarrassingly-parallel stage the engine fans out over
+//! bands: the rowwise operators, the GROUPBY partial phase, the shuffle's
+//! split/concat hops (the band exchange itself), the per-band sort, the CSV chunk
+//! parse and the ingest domain-reconciliation pass. A task is *data*, not a
+//! closure: it can be encoded to a flat string and shipped to a worker process
+//! that shares no address space with the driver, which is what lets one plan run
+//! unchanged on the thread backend or the process backend (paper §3.3's
+//! API/execution decoupling).
+//!
+//! The codec is a netstring-style length-prefixed encoding (`{len}:{bytes}`, list
+//! counts ahead of elements) — unambiguous without any escaping, because every
+//! string is read by its byte length. Cell literals (predicate constants, fill
+//! values, rename pairs, group keys) ride in the spill format's own cell dialect
+//! via [`df_storage::spill::encode_cells`], so the wire speaks one value language
+//! end to end.
+//!
+//! Tasks built from opaque closures (`Predicate::Custom`, `MapFunc::Custom`,
+//! `MapFunc::PerCell`) cannot cross a process boundary; [`BandTask::encode`]
+//! returns `None` for them and the process backend runs them in-place on the
+//! driver instead (counted as local tasks in [`super::BackendHealth`]).
+
+use df_core::algebra::{AggFunc, Aggregation, CmpOp, ColumnSelector, MapFunc, Predicate, SortSpec};
+use df_core::dataframe::DataFrame;
+use df_core::ops;
+use df_storage::csv::{self, CsvChunk, CsvIngestPlan, CsvOptions};
+use df_storage::spill;
+use df_types::{Cell, DfError, DfResult, Domain};
+
+use crate::shuffle::{self, ShuffleKey};
+
+/// One unit of per-band work, serialisable for cross-process placement.
+#[derive(Debug, Clone)]
+pub enum BandTask {
+    /// SELECTION: keep the band's rows matching the predicate (1 input → 1 output).
+    Selection(Predicate),
+    /// PROJECTION: keep/reorder the selected columns (1 → 1).
+    Projection(ColumnSelector),
+    /// RENAME: relabel columns by the given `(old, new)` pairs (1 → 1).
+    Rename(Vec<(Cell, Cell)>),
+    /// MAP: apply a row function uniformly (1 → 1).
+    Map(MapFunc),
+    /// The GROUPBY partial phase: per-band partial aggregation, keys kept as
+    /// leading data columns (1 → 1).
+    GroupPartial {
+        /// Group-key column labels.
+        keys: Vec<Cell>,
+        /// The partial-plan aggregations to fold per band.
+        aggs: Vec<Aggregation>,
+    },
+    /// The shuffle's scatter hop: split one band into `parts` key-hashed bucket
+    /// slices (1 input → `parts` outputs).
+    HashSplit {
+        /// What to hash rows on.
+        key: ShuffleKey,
+        /// Number of output buckets.
+        parts: usize,
+    },
+    /// The shuffle's gather hop: concatenate one bucket's slices from every band
+    /// into a single output band (n inputs → 1 output).
+    Concat,
+    /// The parallel sort's per-band phase: sort one band by the spec (1 → 1).
+    SortBand(SortSpec),
+    /// Parse one planned CSV chunk into a raw band (0 inputs → 1 output). The
+    /// worker re-reads the chunk's byte range from the file itself, so only plan
+    /// metadata crosses the wire, never file content.
+    CsvChunk {
+        /// Path of the CSV file (workers share the driver's filesystem).
+        path: String,
+        /// Parse options.
+        options: CsvOptions,
+        /// The plan's split header fields, if the file has a header.
+        header: Option<Vec<String>>,
+        /// Record arity from the plan.
+        n_cols: usize,
+        /// Total data records from the plan.
+        total_rows: usize,
+        /// File length from the plan.
+        total_bytes: u64,
+        /// The chunk to parse.
+        chunk: CsvChunk,
+    },
+    /// The ingest reconcile pass: parse a raw band's columns into the reconciled
+    /// per-column domains (1 → 1).
+    ApplyDomains(Vec<Domain>),
+}
+
+impl BandTask {
+    /// Execute the task on its inputs. This is the single definition of what each
+    /// task *means*: the thread backend calls it in-process and the worker binary
+    /// calls it on decoded inputs, so both backends compute the identical function.
+    pub fn run(&self, inputs: Vec<DataFrame>) -> DfResult<Vec<DataFrame>> {
+        match self {
+            BandTask::Selection(predicate) => {
+                Ok(vec![ops::rowwise::selection(&one(inputs)?, predicate)?])
+            }
+            BandTask::Projection(columns) => {
+                Ok(vec![ops::rowwise::projection(&one(inputs)?, columns)?])
+            }
+            BandTask::Rename(mapping) => Ok(vec![ops::rowwise::rename(&one(inputs)?, mapping)?]),
+            BandTask::Map(func) => Ok(vec![ops::rowwise::map(&one(inputs)?, func)?]),
+            BandTask::GroupPartial { keys, aggs } => Ok(vec![ops::group::group_by(
+                &one(inputs)?,
+                keys,
+                aggs,
+                false,
+            )?]),
+            BandTask::HashSplit { key, parts } => shuffle::split_band(one(inputs)?, key, *parts),
+            BandTask::Concat => Ok(vec![ops::setops::union_all(inputs)?]),
+            BandTask::SortBand(spec) => Ok(vec![ops::group::sort(&one(inputs)?, spec)?]),
+            BandTask::CsvChunk {
+                path,
+                options,
+                header,
+                n_cols,
+                total_rows,
+                total_bytes,
+                chunk,
+            } => {
+                if !inputs.is_empty() {
+                    return Err(DfError::internal("CsvChunk task takes no inputs"));
+                }
+                // `read_csv_chunk` only consults the plan's arity and labels; the
+                // chunk list stays with the driver.
+                let plan = CsvIngestPlan {
+                    header: header.clone(),
+                    n_cols: *n_cols,
+                    total_rows: *total_rows,
+                    total_bytes: *total_bytes,
+                    chunks: Vec::new(),
+                };
+                Ok(vec![csv::read_csv_chunk(path, options, &plan, chunk)?])
+            }
+            BandTask::ApplyDomains(domains) => Ok(vec![csv::apply_domains(one(inputs)?, domains)?]),
+        }
+    }
+
+    /// True when the task can be encoded and shipped to another process. False for
+    /// tasks carrying opaque closures, which the process backend runs in-place.
+    pub fn is_remote_safe(&self) -> bool {
+        match self {
+            BandTask::Selection(p) => predicate_is_data(p),
+            BandTask::Map(f) => !matches!(f, MapFunc::Custom { .. } | MapFunc::PerCell { .. }),
+            _ => true,
+        }
+    }
+
+    /// Encode the task for the wire, or `None` when it carries closures (see
+    /// [`BandTask::is_remote_safe`]).
+    pub fn encode(&self) -> Option<String> {
+        let mut e = Enc::default();
+        match self {
+            BandTask::Selection(p) => {
+                e.str("sel");
+                enc_predicate(&mut e, p)?;
+            }
+            BandTask::Projection(sel) => {
+                e.str("proj");
+                enc_selector(&mut e, sel);
+            }
+            BandTask::Rename(mapping) => {
+                e.str("ren");
+                e.count(mapping.len());
+                for (old, new) in mapping {
+                    e.cell(old);
+                    e.cell(new);
+                }
+            }
+            BandTask::Map(f) => {
+                e.str("map");
+                enc_map(&mut e, f)?;
+            }
+            BandTask::GroupPartial { keys, aggs } => {
+                e.str("grp");
+                e.cells(keys);
+                e.count(aggs.len());
+                for agg in aggs {
+                    enc_aggregation(&mut e, agg);
+                }
+            }
+            BandTask::HashSplit { key, parts } => {
+                e.str("split");
+                enc_key(&mut e, key);
+                e.count(*parts);
+            }
+            BandTask::Concat => e.str("concat"),
+            BandTask::SortBand(spec) => {
+                e.str("sort");
+                e.cells(&spec.by);
+                e.count(spec.ascending.len());
+                for &asc in &spec.ascending {
+                    e.bool(asc);
+                }
+                e.bool(spec.stable);
+            }
+            BandTask::CsvChunk {
+                path,
+                options,
+                header,
+                n_cols,
+                total_rows,
+                total_bytes,
+                chunk,
+            } => {
+                e.str("csv");
+                e.str(path);
+                e.str(&options.delimiter.to_string());
+                e.bool(options.has_header);
+                e.bool(options.infer_schema);
+                match header {
+                    Some(names) => {
+                        e.bool(true);
+                        e.count(names.len());
+                        for name in names {
+                            e.str(name);
+                        }
+                    }
+                    None => e.bool(false),
+                }
+                e.count(*n_cols);
+                e.count(*total_rows);
+                e.count(*total_bytes as usize);
+                e.count(chunk.start_byte as usize);
+                e.count(chunk.end_byte as usize);
+                e.count(chunk.rows);
+                e.count(chunk.start_row);
+            }
+            BandTask::ApplyDomains(domains) => {
+                e.str("domains");
+                e.count(domains.len());
+                for d in domains {
+                    e.str(d.name());
+                }
+            }
+        }
+        Some(e.finish())
+    }
+
+    /// Decode a task encoded by [`BandTask::encode`]. Malformed input is a typed
+    /// [`DfError::Internal`] (the worker folds it into its protocol error path) —
+    /// never a panic.
+    pub fn decode(raw: &str) -> DfResult<BandTask> {
+        let mut d = Dec::new(raw);
+        let tag = d.str()?.to_string();
+        let task = match tag.as_str() {
+            "sel" => BandTask::Selection(dec_predicate(&mut d)?),
+            "proj" => BandTask::Projection(dec_selector(&mut d)?),
+            "ren" => {
+                let n = d.count()?;
+                let mut mapping = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let old = d.cell()?;
+                    let new = d.cell()?;
+                    mapping.push((old, new));
+                }
+                BandTask::Rename(mapping)
+            }
+            "map" => BandTask::Map(dec_map(&mut d)?),
+            "grp" => {
+                let keys = d.cells()?;
+                let n = d.count()?;
+                let mut aggs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    aggs.push(dec_aggregation(&mut d)?);
+                }
+                BandTask::GroupPartial { keys, aggs }
+            }
+            "split" => {
+                let key = dec_key(&mut d)?;
+                let parts = d.count()?;
+                BandTask::HashSplit { key, parts }
+            }
+            "concat" => BandTask::Concat,
+            "sort" => {
+                let by = d.cells()?;
+                let n = d.count()?;
+                let mut ascending = Vec::with_capacity(n);
+                for _ in 0..n {
+                    ascending.push(d.bool()?);
+                }
+                let stable = d.bool()?;
+                BandTask::SortBand(SortSpec {
+                    by,
+                    ascending,
+                    stable,
+                })
+            }
+            "csv" => {
+                let path = d.str()?.to_string();
+                let delim = d.str()?.to_string();
+                let mut delim_chars = delim.chars();
+                let delimiter = match (delim_chars.next(), delim_chars.next()) {
+                    (Some(c), None) => c,
+                    _ => return Err(DfError::internal("band task: bad CSV delimiter")),
+                };
+                let has_header = d.bool()?;
+                let infer_schema = d.bool()?;
+                let header = if d.bool()? {
+                    let n = d.count()?;
+                    let mut names = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        names.push(d.str()?.to_string());
+                    }
+                    Some(names)
+                } else {
+                    None
+                };
+                let n_cols = d.count()?;
+                let total_rows = d.count()?;
+                let total_bytes = d.count()? as u64;
+                let chunk = CsvChunk {
+                    start_byte: d.count()? as u64,
+                    end_byte: d.count()? as u64,
+                    rows: d.count()?,
+                    start_row: d.count()?,
+                };
+                BandTask::CsvChunk {
+                    path,
+                    options: CsvOptions {
+                        delimiter,
+                        has_header,
+                        infer_schema,
+                    },
+                    header,
+                    n_cols,
+                    total_rows,
+                    total_bytes,
+                    chunk,
+                }
+            }
+            "domains" => {
+                let n = d.count()?;
+                let mut domains = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let name = d.str()?;
+                    let domain = Domain::from_name(name).ok_or_else(|| {
+                        DfError::internal(format!("band task: unknown domain {name:?}"))
+                    })?;
+                    domains.push(domain);
+                }
+                BandTask::ApplyDomains(domains)
+            }
+            other => {
+                return Err(DfError::internal(format!(
+                    "band task: unknown tag {other:?}"
+                )))
+            }
+        };
+        d.end()?;
+        Ok(task)
+    }
+}
+
+/// Extract the single input a 1-ary task expects.
+fn one(inputs: Vec<DataFrame>) -> DfResult<DataFrame> {
+    let mut inputs = inputs;
+    match (inputs.pop(), inputs.pop()) {
+        (Some(band), None) => Ok(band),
+        _ => Err(DfError::internal("band task expects exactly one input")),
+    }
+}
+
+fn predicate_is_data(p: &Predicate) -> bool {
+    match p {
+        Predicate::True
+        | Predicate::ColCmp { .. }
+        | Predicate::IsNull { .. }
+        | Predicate::NotNull { .. }
+        | Predicate::PositionRange { .. } => true,
+        Predicate::Not(inner) => predicate_is_data(inner),
+        Predicate::And(a, b) | Predicate::Or(a, b) => predicate_is_data(a) && predicate_is_data(b),
+        Predicate::Custom { .. } => false,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Netstring-style encoder / decoder
+// ---------------------------------------------------------------------------
+
+/// Length-prefixed string writer: every atom is `{byte_len}:{bytes}`, so no value
+/// ever needs escaping and the stream needs no delimiters.
+#[derive(Default)]
+struct Enc {
+    out: String,
+}
+
+impl Enc {
+    fn str(&mut self, s: &str) {
+        self.out.push_str(&s.len().to_string());
+        self.out.push(':');
+        self.out.push_str(s);
+    }
+
+    fn count(&mut self, n: usize) {
+        self.str(&n.to_string());
+    }
+
+    fn bool(&mut self, b: bool) {
+        self.str(if b { "1" } else { "0" });
+    }
+
+    fn f64(&mut self, v: f64) {
+        // `{}` on f64 prints the shortest string that parses back to the same bits.
+        self.str(&format!("{v}"));
+    }
+
+    fn cell(&mut self, c: &Cell) {
+        self.str(&spill::encode_cells(std::slice::from_ref(c)));
+    }
+
+    fn cells(&mut self, cs: &[Cell]) {
+        self.count(cs.len());
+        self.str(&spill::encode_cells(cs));
+    }
+
+    fn finish(self) -> String {
+        self.out
+    }
+}
+
+struct Dec<'a> {
+    raw: &'a str,
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(raw: &'a str) -> Dec<'a> {
+        Dec { raw, pos: 0 }
+    }
+
+    fn bad(&self, what: &str) -> DfError {
+        DfError::internal(format!("band task: malformed {what} at byte {}", self.pos))
+    }
+
+    fn str(&mut self) -> DfResult<&'a str> {
+        let rest = &self.raw[self.pos..];
+        let colon = rest.find(':').ok_or_else(|| self.bad("length prefix"))?;
+        let len: usize = rest[..colon]
+            .parse()
+            .map_err(|_| self.bad("length prefix"))?;
+        let start = self.pos + colon + 1;
+        let end = start.checked_add(len).ok_or_else(|| self.bad("length"))?;
+        if end > self.raw.len() || !self.raw.is_char_boundary(end) {
+            return Err(self.bad("atom"));
+        }
+        self.pos = end;
+        Ok(&self.raw[start..end])
+    }
+
+    fn count(&mut self) -> DfResult<usize> {
+        let raw = self.str()?;
+        raw.parse().map_err(|_| self.bad("count"))
+    }
+
+    fn bool(&mut self) -> DfResult<bool> {
+        match self.str()? {
+            "1" => Ok(true),
+            "0" => Ok(false),
+            _ => Err(self.bad("bool")),
+        }
+    }
+
+    fn f64(&mut self) -> DfResult<f64> {
+        let raw = self.str()?;
+        raw.parse().map_err(|_| self.bad("float"))
+    }
+
+    fn cell(&mut self) -> DfResult<Cell> {
+        let raw = self.str()?;
+        let mut cells = spill::decode_cells(raw, 1)?;
+        cells
+            .pop()
+            .ok_or_else(|| DfError::internal("band task: empty cell atom"))
+    }
+
+    fn cells(&mut self) -> DfResult<Vec<Cell>> {
+        let n = self.count()?;
+        let raw = self.str()?;
+        spill::decode_cells(raw, n)
+    }
+
+    /// Assert the stream was fully consumed — trailing bytes mean a codec skew.
+    fn end(&self) -> DfResult<()> {
+        if self.pos == self.raw.len() {
+            Ok(())
+        } else {
+            Err(DfError::internal(format!(
+                "band task: {} trailing bytes after decode",
+                self.raw.len() - self.pos
+            )))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Algebra-type codecs
+// ---------------------------------------------------------------------------
+
+fn enc_predicate(e: &mut Enc, p: &Predicate) -> Option<()> {
+    match p {
+        Predicate::True => e.str("t"),
+        Predicate::ColCmp { column, op, value } => {
+            e.str("cmp");
+            e.cell(column);
+            e.str(cmp_name(*op));
+            e.cell(value);
+        }
+        Predicate::IsNull { column } => {
+            e.str("isnull");
+            e.cell(column);
+        }
+        Predicate::NotNull { column } => {
+            e.str("notnull");
+            e.cell(column);
+        }
+        Predicate::PositionRange { start, end } => {
+            e.str("range");
+            e.count(*start);
+            e.count(*end);
+        }
+        Predicate::Not(inner) => {
+            e.str("not");
+            enc_predicate(e, inner)?;
+        }
+        Predicate::And(a, b) => {
+            e.str("and");
+            enc_predicate(e, a)?;
+            enc_predicate(e, b)?;
+        }
+        Predicate::Or(a, b) => {
+            e.str("or");
+            enc_predicate(e, a)?;
+            enc_predicate(e, b)?;
+        }
+        Predicate::Custom { .. } => return None,
+    }
+    Some(())
+}
+
+fn dec_predicate(d: &mut Dec<'_>) -> DfResult<Predicate> {
+    let tag = d.str()?.to_string();
+    Ok(match tag.as_str() {
+        "t" => Predicate::True,
+        "cmp" => {
+            let column = d.cell()?;
+            let op = cmp_from_name(d.str()?)?;
+            let value = d.cell()?;
+            Predicate::ColCmp { column, op, value }
+        }
+        "isnull" => Predicate::IsNull { column: d.cell()? },
+        "notnull" => Predicate::NotNull { column: d.cell()? },
+        "range" => Predicate::PositionRange {
+            start: d.count()?,
+            end: d.count()?,
+        },
+        "not" => Predicate::Not(Box::new(dec_predicate(d)?)),
+        "and" => Predicate::And(Box::new(dec_predicate(d)?), Box::new(dec_predicate(d)?)),
+        "or" => Predicate::Or(Box::new(dec_predicate(d)?), Box::new(dec_predicate(d)?)),
+        other => {
+            return Err(DfError::internal(format!(
+                "band task: unknown predicate tag {other:?}"
+            )))
+        }
+    })
+}
+
+fn cmp_name(op: CmpOp) -> &'static str {
+    match op {
+        CmpOp::Eq => "eq",
+        CmpOp::Ne => "ne",
+        CmpOp::Lt => "lt",
+        CmpOp::Le => "le",
+        CmpOp::Gt => "gt",
+        CmpOp::Ge => "ge",
+    }
+}
+
+fn cmp_from_name(name: &str) -> DfResult<CmpOp> {
+    Ok(match name {
+        "eq" => CmpOp::Eq,
+        "ne" => CmpOp::Ne,
+        "lt" => CmpOp::Lt,
+        "le" => CmpOp::Le,
+        "gt" => CmpOp::Gt,
+        "ge" => CmpOp::Ge,
+        other => {
+            return Err(DfError::internal(format!(
+                "band task: unknown comparison {other:?}"
+            )))
+        }
+    })
+}
+
+fn enc_selector(e: &mut Enc, sel: &ColumnSelector) {
+    match sel {
+        ColumnSelector::All => e.str("all"),
+        ColumnSelector::ByLabels(labels) => {
+            e.str("labels");
+            e.cells(labels);
+        }
+        ColumnSelector::ByPositions(positions) => {
+            e.str("pos");
+            e.count(positions.len());
+            for &p in positions {
+                e.count(p);
+            }
+        }
+        ColumnSelector::Numeric => e.str("numeric"),
+        ColumnSelector::Excluding(labels) => {
+            e.str("excl");
+            e.cells(labels);
+        }
+    }
+}
+
+fn dec_selector(d: &mut Dec<'_>) -> DfResult<ColumnSelector> {
+    let tag = d.str()?.to_string();
+    Ok(match tag.as_str() {
+        "all" => ColumnSelector::All,
+        "labels" => ColumnSelector::ByLabels(d.cells()?),
+        "pos" => {
+            let n = d.count()?;
+            let mut positions = Vec::with_capacity(n);
+            for _ in 0..n {
+                positions.push(d.count()?);
+            }
+            ColumnSelector::ByPositions(positions)
+        }
+        "numeric" => ColumnSelector::Numeric,
+        "excl" => ColumnSelector::Excluding(d.cells()?),
+        other => {
+            return Err(DfError::internal(format!(
+                "band task: unknown selector tag {other:?}"
+            )))
+        }
+    })
+}
+
+fn enc_map(e: &mut Enc, f: &MapFunc) -> Option<()> {
+    match f {
+        MapFunc::IsNullMask => e.str("isnullmask"),
+        MapFunc::FillNull(v) => {
+            e.str("fill");
+            e.cell(v);
+        }
+        MapFunc::StrUpper => e.str("upper"),
+        MapFunc::StrLower => e.str("lower"),
+        MapFunc::NumericAdd(v) => {
+            e.str("add");
+            e.f64(*v);
+        }
+        MapFunc::NumericMul(v) => {
+            e.str("mul");
+            e.f64(*v);
+        }
+        MapFunc::Cast(cols) => {
+            e.str("cast");
+            e.count(cols.len());
+            for (label, domain) in cols {
+                e.cell(label);
+                e.str(domain.name());
+            }
+        }
+        MapFunc::ParseRaw => e.str("parseraw"),
+        MapFunc::NormalizeNumeric => e.str("norm"),
+        MapFunc::OneHot { column, categories } => {
+            e.str("onehot");
+            e.cell(column);
+            e.cells(categories);
+        }
+        MapFunc::PivotFlatten {
+            label_source,
+            value_source,
+            output_labels,
+        } => {
+            e.str("pivot");
+            e.cell(label_source);
+            e.cell(value_source);
+            e.cells(output_labels);
+        }
+        MapFunc::ProjectValues(sel) => {
+            e.str("projvals");
+            enc_selector(e, sel);
+        }
+        MapFunc::Custom { .. } | MapFunc::PerCell { .. } => return None,
+    }
+    Some(())
+}
+
+fn dec_map(d: &mut Dec<'_>) -> DfResult<MapFunc> {
+    let tag = d.str()?.to_string();
+    Ok(match tag.as_str() {
+        "isnullmask" => MapFunc::IsNullMask,
+        "fill" => MapFunc::FillNull(d.cell()?),
+        "upper" => MapFunc::StrUpper,
+        "lower" => MapFunc::StrLower,
+        "add" => MapFunc::NumericAdd(d.f64()?),
+        "mul" => MapFunc::NumericMul(d.f64()?),
+        "cast" => {
+            let n = d.count()?;
+            let mut cols = Vec::with_capacity(n);
+            for _ in 0..n {
+                let label = d.cell()?;
+                let name = d.str()?;
+                let domain = Domain::from_name(name).ok_or_else(|| {
+                    DfError::internal(format!("band task: unknown domain {name:?}"))
+                })?;
+                cols.push((label, domain));
+            }
+            MapFunc::Cast(cols)
+        }
+        "parseraw" => MapFunc::ParseRaw,
+        "norm" => MapFunc::NormalizeNumeric,
+        "onehot" => {
+            let column = d.cell()?;
+            let categories = d.cells()?;
+            MapFunc::OneHot { column, categories }
+        }
+        "pivot" => {
+            let label_source = d.cell()?;
+            let value_source = d.cell()?;
+            let output_labels = d.cells()?;
+            MapFunc::PivotFlatten {
+                label_source,
+                value_source,
+                output_labels,
+            }
+        }
+        "projvals" => MapFunc::ProjectValues(dec_selector(d)?),
+        other => {
+            return Err(DfError::internal(format!(
+                "band task: unknown map tag {other:?}"
+            )))
+        }
+    })
+}
+
+fn agg_name(func: &AggFunc) -> &'static str {
+    match func {
+        AggFunc::Count => "count",
+        AggFunc::CountNonNull => "countnn",
+        AggFunc::Sum => "sum",
+        AggFunc::Mean => "mean",
+        AggFunc::Min => "min",
+        AggFunc::Max => "max",
+        AggFunc::Std => "std",
+        AggFunc::First => "first",
+        AggFunc::Last => "last",
+        AggFunc::Collect => "collect",
+    }
+}
+
+fn agg_from_name(name: &str) -> DfResult<AggFunc> {
+    Ok(match name {
+        "count" => AggFunc::Count,
+        "countnn" => AggFunc::CountNonNull,
+        "sum" => AggFunc::Sum,
+        "mean" => AggFunc::Mean,
+        "min" => AggFunc::Min,
+        "max" => AggFunc::Max,
+        "std" => AggFunc::Std,
+        "first" => AggFunc::First,
+        "last" => AggFunc::Last,
+        "collect" => AggFunc::Collect,
+        other => {
+            return Err(DfError::internal(format!(
+                "band task: unknown aggregate {other:?}"
+            )))
+        }
+    })
+}
+
+fn enc_aggregation(e: &mut Enc, agg: &Aggregation) {
+    match &agg.column {
+        Some(c) => {
+            e.bool(true);
+            e.cell(c);
+        }
+        None => e.bool(false),
+    }
+    e.str(agg_name(&agg.func));
+    match &agg.alias {
+        Some(a) => {
+            e.bool(true);
+            e.cell(a);
+        }
+        None => e.bool(false),
+    }
+}
+
+fn dec_aggregation(d: &mut Dec<'_>) -> DfResult<Aggregation> {
+    let column = if d.bool()? { Some(d.cell()?) } else { None };
+    let func = agg_from_name(d.str()?)?;
+    let alias = if d.bool()? { Some(d.cell()?) } else { None };
+    Ok(Aggregation {
+        column,
+        func,
+        alias,
+    })
+}
+
+fn enc_key(e: &mut Enc, key: &ShuffleKey) {
+    match key {
+        ShuffleKey::Positions(positions) => {
+            e.str("pos");
+            e.count(positions.len());
+            for &p in positions {
+                e.count(p);
+            }
+        }
+        ShuffleKey::RowLabels => e.str("rowlabels"),
+    }
+}
+
+fn dec_key(d: &mut Dec<'_>) -> DfResult<ShuffleKey> {
+    let tag = d.str()?.to_string();
+    Ok(match tag.as_str() {
+        "pos" => {
+            let n = d.count()?;
+            let mut positions = Vec::with_capacity(n);
+            for _ in 0..n {
+                positions.push(d.count()?);
+            }
+            ShuffleKey::Positions(positions)
+        }
+        "rowlabels" => ShuffleKey::RowLabels,
+        other => {
+            return Err(DfError::internal(format!(
+                "band task: unknown shuffle key tag {other:?}"
+            )))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use df_types::cell;
+    use std::sync::Arc;
+
+    fn sample_tasks() -> Vec<BandTask> {
+        vec![
+            BandTask::Selection(Predicate::And(
+                Box::new(Predicate::ColCmp {
+                    column: cell("a"),
+                    op: CmpOp::Gt,
+                    value: cell(1.5f64),
+                }),
+                Box::new(Predicate::Not(Box::new(Predicate::Or(
+                    Box::new(Predicate::IsNull { column: cell("b") }),
+                    Box::new(Predicate::PositionRange { start: 2, end: 9 }),
+                )))),
+            )),
+            BandTask::Selection(Predicate::True),
+            BandTask::Projection(ColumnSelector::ByLabels(vec![cell("x"), cell(3)])),
+            BandTask::Projection(ColumnSelector::ByPositions(vec![2, 0, 1])),
+            BandTask::Projection(ColumnSelector::Excluding(vec![cell("weird\ncol")])),
+            BandTask::Rename(vec![(cell("old"), cell("new")), (cell(1), cell("one"))]),
+            BandTask::Map(MapFunc::FillNull(cell("∅"))),
+            BandTask::Map(MapFunc::NumericMul(f64::NAN)),
+            BandTask::Map(MapFunc::Cast(vec![
+                (cell("a"), Domain::Int),
+                (cell("b"), Domain::Float),
+            ])),
+            BandTask::Map(MapFunc::OneHot {
+                column: cell("city"),
+                categories: vec![cell("oslo"), cell("lima")],
+            }),
+            BandTask::Map(MapFunc::ProjectValues(ColumnSelector::Numeric)),
+            BandTask::GroupPartial {
+                keys: vec![cell("k")],
+                aggs: vec![
+                    Aggregation::count_rows(),
+                    Aggregation::of("v", AggFunc::Sum).with_alias("total"),
+                    Aggregation::of("v", AggFunc::CountNonNull),
+                ],
+            },
+            BandTask::HashSplit {
+                key: ShuffleKey::Positions(vec![0, 2]),
+                parts: 7,
+            },
+            BandTask::HashSplit {
+                key: ShuffleKey::RowLabels,
+                parts: 1,
+            },
+            BandTask::Concat,
+            BandTask::SortBand(SortSpec {
+                by: vec![cell("a"), cell("b")],
+                ascending: vec![true, false],
+                stable: true,
+            }),
+            BandTask::CsvChunk {
+                path: "/tmp/with spaces:and colons.csv".into(),
+                options: CsvOptions {
+                    delimiter: ';',
+                    has_header: true,
+                    infer_schema: false,
+                },
+                header: Some(vec!["a".into(), "b c".into()]),
+                n_cols: 2,
+                total_rows: 100,
+                total_bytes: 4096,
+                chunk: CsvChunk {
+                    start_byte: 17,
+                    end_byte: 201,
+                    rows: 9,
+                    start_row: 4,
+                },
+            },
+            BandTask::CsvChunk {
+                path: "plain.csv".into(),
+                options: CsvOptions::default(),
+                header: None,
+                n_cols: 3,
+                total_rows: 0,
+                total_bytes: 0,
+                chunk: CsvChunk {
+                    start_byte: 0,
+                    end_byte: 0,
+                    rows: 0,
+                    start_row: 0,
+                },
+            },
+            BandTask::ApplyDomains(vec![Domain::Int, Domain::Str, Domain::Bool]),
+        ]
+    }
+
+    #[test]
+    fn every_serialisable_task_round_trips() {
+        for task in sample_tasks() {
+            let encoded = task.encode().expect("sample tasks are remote-safe");
+            let decoded = BandTask::decode(&encoded)
+                .unwrap_or_else(|err| panic!("decode failed for {task:?}: {err}"));
+            // BandTask cannot derive PartialEq (MapFunc/Predicate carry closures in
+            // other variants), so equality is pinned by re-encoding.
+            assert_eq!(
+                decoded.encode().expect("decoded task stays remote-safe"),
+                encoded,
+                "re-encode mismatch for {task:?}"
+            );
+            assert!(task.is_remote_safe());
+        }
+    }
+
+    #[test]
+    fn closure_tasks_are_not_remote_safe() {
+        let custom_pred = BandTask::Selection(Predicate::Custom {
+            name: "udf".into(),
+            func: Arc::new(|_| true),
+        });
+        let custom_map = BandTask::Map(MapFunc::PerCell {
+            name: "udf".into(),
+            func: Arc::new(|c| c.clone()),
+        });
+        for task in [custom_pred, custom_map] {
+            assert!(!task.is_remote_safe());
+            assert!(task.encode().is_none());
+        }
+        // Closures nested inside combinators are caught too.
+        let nested = BandTask::Selection(Predicate::Not(Box::new(Predicate::Custom {
+            name: "udf".into(),
+            func: Arc::new(|_| false),
+        })));
+        assert!(!nested.is_remote_safe());
+        assert!(nested.encode().is_none());
+    }
+
+    #[test]
+    fn decoding_garbage_is_a_typed_error() {
+        for raw in [
+            "",
+            "3:zzz",
+            "5:sel",
+            "3:sel3:cmp",
+            "6:concat9:trailing!",
+            "99999:sel",
+        ] {
+            assert!(
+                BandTask::decode(raw).is_err(),
+                "raw {raw:?} should fail to decode"
+            );
+        }
+    }
+
+    #[test]
+    fn decoded_tasks_compute_the_same_function() {
+        let frame = DataFrame::from_rows(
+            vec![cell("k"), cell("v")],
+            vec![
+                vec![cell("a"), cell(1)],
+                vec![cell("b"), cell(2)],
+                vec![cell("a"), cell(3)],
+            ],
+        )
+        .unwrap();
+        let task = BandTask::GroupPartial {
+            keys: vec![cell("k")],
+            aggs: vec![Aggregation::of("v", AggFunc::Sum)],
+        };
+        let direct = task.run(vec![frame.clone()]).unwrap();
+        let decoded = BandTask::decode(&task.encode().unwrap()).unwrap();
+        let via_wire = decoded.run(vec![frame]).unwrap();
+        assert_eq!(direct.len(), via_wire.len());
+        assert!(direct[0].same_data(&via_wire[0]));
+    }
+}

@@ -40,8 +40,9 @@ use parking_lot::Mutex;
 
 use df_storage::csv::CsvOptions;
 use df_storage::spill::{SpillStats, SpillStore};
+use df_types::backend::BackendKind;
 use df_types::cell::Cell;
-use df_types::error::DfResult;
+use df_types::error::{DfError, DfResult};
 
 use df_core::algebra::{AggFunc, Aggregation, AlgebraExpr, MapFunc, Predicate};
 use df_core::cost;
@@ -51,6 +52,7 @@ use df_core::handle::{FrameHandle, PartitionedResult};
 use df_core::ops;
 use df_core::scan::{ScanCsv, ScanOptions, ScanStats};
 
+use crate::backend::{BackendHealth, BandTask, ExecBackend, ProcBackend, ThreadsBackend};
 use crate::executor::{default_threads, ParallelExecutor};
 use crate::ingest::{self, IngestStats};
 use crate::optimizer::{optimize, OptimizerConfig, RewriteStats};
@@ -83,6 +85,11 @@ pub struct ModinConfig {
     /// spill to disk instead of exhausting memory, and are freed when the engine
     /// drops. `None` (the default) keeps all partitions resident.
     pub memory_budget_bytes: Option<usize>,
+    /// Where band tasks execute: the in-process thread pool
+    /// ([`BackendKind::Threads`]) or a pool of spawned worker processes exchanging
+    /// checksummed spill-v4 frames over pipes ([`BackendKind::Procs`]). Defaults to
+    /// the `DF_BACKEND` environment variable, falling back to threads.
+    pub backend: BackendKind,
 }
 
 impl Default for ModinConfig {
@@ -95,6 +102,7 @@ impl Default for ModinConfig {
             defer_schema_induction: true,
             broadcast_threshold_rows: 4096,
             memory_budget_bytes: None,
+            backend: BackendKind::from_env(),
         }
     }
 }
@@ -139,6 +147,29 @@ impl ModinConfig {
     /// Enable out-of-core execution with the given in-memory byte budget.
     pub fn with_memory_budget(mut self, bytes: usize) -> Self {
         self.memory_budget_bytes = Some(bytes);
+        self
+    }
+
+    /// Select the executor backend explicitly (overriding `DF_BACKEND`).
+    ///
+    /// [`BackendKind::Threads`] runs band tasks on the in-process pool;
+    /// [`BackendKind::Procs`] ships them to spawned `df-band-worker` processes
+    /// over the spill-v4 pipe protocol. Results are identical either way.
+    ///
+    /// ```
+    /// use df_engine::engine::{ModinConfig, ModinEngine};
+    /// use df_types::backend::BackendKind;
+    ///
+    /// let engine = ModinEngine::try_with_config(
+    ///     ModinConfig::default()
+    ///         .with_threads(2)
+    ///         .with_backend(BackendKind::Threads),
+    /// )?;
+    /// assert_eq!(engine.backend_kind(), BackendKind::Threads);
+    /// # Ok::<(), df_types::error::DfError>(())
+    /// ```
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
         self
     }
 }
@@ -254,25 +285,33 @@ impl ModinEngine {
     /// An engine with an explicit configuration.
     ///
     /// # Panics
-    /// Panics if a memory budget is configured and the session's spill directory
-    /// cannot be created under the system temp dir — use
-    /// [`ModinEngine::try_with_config`] to handle that I/O error instead.
+    /// Panics if the session's spill directory cannot be created under the
+    /// system temp dir, or if the process backend's worker binary cannot be
+    /// resolved — use [`ModinEngine::try_with_config`] to handle those errors
+    /// instead.
     pub fn with_config(config: ModinConfig) -> Self {
         match ModinEngine::try_with_config(config) {
             Ok(engine) => engine,
-            Err(err) => panic!("cannot create session spill directory: {err}"),
+            Err(err) => panic!("cannot construct engine: {err}"),
         }
     }
 
     /// The fallible form of [`ModinEngine::with_config`]: creating an out-of-core
-    /// engine touches the filesystem (the session's spill directory), and this
-    /// constructor propagates that I/O error instead of panicking.
+    /// engine touches the filesystem (the session's spill directory) and, for the
+    /// process backend, resolves the worker binary; this constructor propagates
+    /// those errors as typed [`DfError`]s instead of panicking.
     pub fn try_with_config(config: ModinConfig) -> DfResult<Self> {
         let store = match config.memory_budget_bytes {
             Some(budget) => Some(Arc::new(SpillStore::new(budget)?)),
             None => None,
         };
-        let executor = ParallelExecutor::new(config.threads).with_store(store.clone());
+        let backend: Arc<dyn ExecBackend> = match config.backend {
+            BackendKind::Threads => Arc::new(ThreadsBackend::new(config.threads)),
+            BackendKind::Procs => Arc::new(ProcBackend::new(config.threads)?),
+        };
+        let executor = ParallelExecutor::new(config.threads)
+            .with_store(store.clone())
+            .with_backend(backend);
         Ok(ModinEngine {
             config,
             executor,
@@ -309,6 +348,19 @@ impl ModinEngine {
     /// Number of per-partition tasks the engine has dispatched so far.
     pub fn tasks_dispatched(&self) -> u64 {
         self.executor.tasks_run()
+    }
+
+    /// Which executor backend band tasks run on.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.executor.backend().kind()
+    }
+
+    /// A snapshot of the backend's worker pool: workers spawned/live, restarts after
+    /// worker loss, and how many band tasks ran remotely vs. inline. The threads
+    /// backend reports everything as local; the equivalence suite asserts the procs
+    /// backend actually ships work.
+    pub fn backend_health(&self) -> BackendHealth {
+        self.executor.backend().health()
     }
 
     /// Number of shuffles (hash/range exchanges) the engine has dispatched so far.
@@ -619,11 +671,11 @@ impl ModinEngine {
             AlgebraExpr::Selection { input, predicate } => self.eval_selection(input, predicate),
             AlgebraExpr::Projection { input, columns } => {
                 let grid = self.eval(input)?;
-                self.rowwise(grid, move |band| ops::rowwise::projection(band, columns))
+                self.band_task(grid, BandTask::Projection(columns.clone()))
             }
             AlgebraExpr::Rename { input, mapping } => {
                 let grid = self.eval(input)?;
-                self.rowwise(grid, move |band| ops::rowwise::rename(band, mapping))
+                self.band_task(grid, BandTask::Rename(mapping.clone()))
             }
             AlgebraExpr::Limit { input, k, from_end } => self.eval_limit(input, *k, *from_end),
             AlgebraExpr::GroupBy {
@@ -778,15 +830,19 @@ impl ModinEngine {
         Ok(rewritten)
     }
 
-    /// Apply a full-width row-band operator in parallel across bands, under the
-    /// out-of-core lifecycle: each worker loads one band, computes, and checks the
-    /// result into the session store (when a budget is set).
-    fn rowwise(
-        &self,
-        grid: PartitionGrid,
-        f: impl Fn(&DataFrame) -> DfResult<DataFrame> + Send + Sync,
-    ) -> DfResult<PartitionGrid> {
-        grid.map_bands(&self.executor, self.store.as_ref(), move |_, band| f(&band))
+    /// Apply one [`BandTask`] per row band, in parallel across bands, under the
+    /// out-of-core lifecycle: each worker loads one band, places the task on the
+    /// configured backend (inline on threads, over the pipe protocol on worker
+    /// processes), and checks the result into the session store (when a budget is
+    /// set). Fan-out, cancellation and panic isolation still come from the
+    /// executor's `par_map`; the backend only decides *where* each band runs.
+    fn band_task(&self, grid: PartitionGrid, task: BandTask) -> DfResult<PartitionGrid> {
+        grid.map_bands(&self.executor, self.store.as_ref(), move |_, band| {
+            self.executor
+                .run_task(&task, vec![band])?
+                .pop()
+                .ok_or_else(|| DfError::internal("band task returned no output band"))
+        })
     }
 
     fn eval_map(&self, input: &AlgebraExpr, func: &MapFunc) -> DfResult<PartitionGrid> {
@@ -796,12 +852,16 @@ impl ModinEngine {
         // loads its block, maps it, and stores the result.
         if per_cell_safe(func) {
             let store = self.store.clone();
+            let task = BandTask::Map(func.clone());
             let blocks = grid.into_blocks();
             let flat: Vec<_> = blocks.into_iter().flatten().collect();
             let mapped = self.executor.par_map(flat, |_, part| {
                 let block = part.load_stored()?;
-                let result = ops::rowwise::map(&block, func)?;
-                drop(block);
+                let result = self
+                    .executor
+                    .run_task(&task, vec![block])?
+                    .pop()
+                    .ok_or_else(|| DfError::internal("map task returned no output block"))?;
                 let mapped_part =
                     Partition::new_in(result, part.row_offset, part.col_offset, store.as_ref())?;
                 // A per-cell map commutes with transpose, so a block whose transpose
@@ -813,7 +873,7 @@ impl ModinEngine {
             return rebuild_grid_like(mapped, self.store.as_ref());
         }
         // Row-generic maps need whole rows: work per row band.
-        self.rowwise(grid, move |band| ops::rowwise::map(band, func))
+        self.band_task(grid, BandTask::Map(func.clone()))
     }
 
     fn eval_selection(
@@ -835,6 +895,9 @@ impl ModinEngine {
                 })
                 .collect();
             let (start, end) = (*start, *end);
+            // This stays a driver-side closure: the per-band range depends on grid
+            // metadata (band offsets), not on the band alone, so there is no
+            // self-contained task to ship.
             return grid.map_bands(&self.executor, self.store.as_ref(), move |i, band| {
                 let len = band.n_rows();
                 let band_start = start.saturating_sub(offsets[i]).min(len);
@@ -842,7 +905,7 @@ impl ModinEngine {
                 Ok(band.slice_rows(band_start, band_end))
             });
         }
-        self.rowwise(grid, move |band| ops::rowwise::selection(band, predicate))
+        self.band_task(grid, BandTask::Selection(predicate.clone()))
     }
 
     fn eval_limit(&self, input: &AlgebraExpr, k: usize, from_end: bool) -> DfResult<PartitionGrid> {
@@ -871,11 +934,19 @@ impl ModinEngine {
         }
         // Phase 1 (map): partial aggregation per row band, keys kept as data columns.
         // Bands are loaded inside their workers, so only the bands being aggregated
-        // are resident; the partial states are group-sized, not band-sized.
+        // are resident; the partial states are group-sized, not band-sized. Each
+        // band's partial aggregation is a self-contained task, so it is placed on
+        // the configured backend.
         let partial_aggs: Vec<Aggregation> = aggs.iter().flat_map(partial_plan).collect();
-        let keys_vec = keys.to_vec();
+        let task = BandTask::GroupPartial {
+            keys: keys.to_vec(),
+            aggs: partial_aggs,
+        };
         let partials = grid.par_bands(&self.executor, |_, band| {
-            ops::group::group_by(&band, &keys_vec, &partial_aggs, false)
+            self.executor
+                .run_task(&task, vec![band])?
+                .pop()
+                .ok_or_else(|| DfError::internal("group task returned no partial state"))
         })?;
         // Phase 2 (reduce): concatenate partials and merge per key.
         let combined = ops::setops::union_all(partials)?;

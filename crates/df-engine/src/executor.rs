@@ -29,6 +29,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use df_core::dataframe::DataFrame;
 use df_storage::spill::SpillStore;
 use df_types::cancel::CancelToken;
 use df_types::error::{DfError, DfResult};
@@ -81,18 +82,22 @@ pub struct ParallelExecutor {
     threads: usize,
     store: Option<Arc<SpillStore>>,
     cancel: CancelToken,
+    backend: Arc<dyn crate::backend::ExecBackend>,
     tasks_run: AtomicU64,
     batches_run: AtomicU64,
     shuffles_run: AtomicU64,
 }
 
 impl ParallelExecutor {
-    /// An executor with an explicit worker count (clamped to at least 1).
+    /// An executor with an explicit worker count (clamped to at least 1), placing
+    /// band tasks on the in-process [`crate::backend::ThreadsBackend`] by default.
     pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
         ParallelExecutor {
-            threads: threads.max(1),
+            threads,
             store: None,
             cancel: CancelToken::new(),
+            backend: Arc::new(crate::backend::ThreadsBackend::new(threads)),
             tasks_run: AtomicU64::new(0),
             batches_run: AtomicU64::new(0),
             shuffles_run: AtomicU64::new(0),
@@ -127,6 +132,30 @@ impl ParallelExecutor {
     /// stop at the next task boundary with [`DfError::Cancelled`].
     pub fn cancel_token(&self) -> &CancelToken {
         &self.cancel
+    }
+
+    /// Replace the task-placement backend (builder style). `par_map` fan-out stays
+    /// on this executor's thread pool either way; the backend decides where each
+    /// [`crate::backend::BandTask`] actually runs.
+    pub fn with_backend(mut self, backend: Arc<dyn crate::backend::ExecBackend>) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The executor's task-placement backend.
+    pub fn backend(&self) -> &Arc<dyn crate::backend::ExecBackend> {
+        &self.backend
+    }
+
+    /// Place one band task on the backend. The engine's operator kernels call this
+    /// from inside `par_map` closures, so placement composes with fan-out,
+    /// cancellation and panic isolation.
+    pub fn run_task(
+        &self,
+        task: &crate::backend::BandTask,
+        inputs: Vec<DataFrame>,
+    ) -> DfResult<Vec<DataFrame>> {
+        self.backend.run_task(task, inputs)
     }
 
     /// Number of worker threads used for fan-out.
@@ -214,10 +243,22 @@ impl ParallelExecutor {
             }
         });
         let slots: Vec<Option<DfResult<U>>> = results.into_iter().map(Mutex::into_inner).collect();
-        // Lowest-index real failure wins. Slots left empty by fail-fast or
-        // cancellation only surface (as Cancelled) when nothing actually failed.
+        // Error precedence: the lowest-index *typed* failure wins outright — a
+        // sibling that panics (possibly at a lower index, possibly racing the
+        // fail-fast flag) must not mask the error that actually explains the
+        // batch. Panics only surface when no typed error exists, and slots left
+        // empty by fail-fast or cancellation only surface (as Cancelled) when
+        // nothing failed at all.
         if let Some(err) = slots.iter().find_map(|slot| match slot {
-            Some(Err(err)) if !err.is_cancelled() => Some(err.clone()),
+            Some(Err(err)) if !err.is_cancelled() && !matches!(err, DfError::WorkerPanic(_)) => {
+                Some(err.clone())
+            }
+            _ => None,
+        }) {
+            return Err(err);
+        }
+        if let Some(err) = slots.iter().find_map(|slot| match slot {
+            Some(Err(err @ DfError::WorkerPanic(_))) => Some(err.clone()),
             _ => None,
         }) {
             return Err(err);
@@ -286,6 +327,51 @@ mod tests {
             })
             .unwrap_err();
         assert!(matches!(err, DfError::Internal(msg) if msg.contains("task 3")));
+    }
+
+    #[test]
+    fn a_late_panic_does_not_mask_an_earlier_typed_error() {
+        // Regression: one item panics while a sibling returns a typed error. The
+        // panic may land at the *lower* index, but the typed error is the one
+        // that explains the failure and must win. The barrier guarantees both
+        // items are mid-flight simultaneously (2 workers each pop one item
+        // before blocking), so the fail-fast flag cannot serialise them.
+        let barrier = std::sync::Barrier::new(2);
+        let executor = ParallelExecutor::new(2);
+        let err = executor
+            .par_map(vec![0u32, 1u32], |_, v| {
+                barrier.wait();
+                if v == 0 {
+                    panic!("panic on item 0");
+                }
+                Err::<u32, _>(DfError::spill_corruption(
+                    "test.site",
+                    "typed failure on item 1",
+                ))
+            })
+            .unwrap_err();
+        assert!(
+            matches!(&err, DfError::SpillCorruption { .. }),
+            "typed error must beat the panic, got {err:?}"
+        );
+        // Both orderings: typed error at the lower index also wins.
+        let barrier = std::sync::Barrier::new(2);
+        let err = executor
+            .par_map(vec![0u32, 1u32], |_, v| {
+                barrier.wait();
+                if v == 1 {
+                    panic!("panic on item 1");
+                }
+                Err::<u32, _>(DfError::spill_corruption(
+                    "test.site",
+                    "typed failure on item 0",
+                ))
+            })
+            .unwrap_err();
+        assert!(
+            matches!(&err, DfError::SpillCorruption { .. }),
+            "got {err:?}"
+        );
     }
 
     #[test]

@@ -32,9 +32,10 @@ use df_core::scan::{ChunkStats, ScanCsv, ScanStats};
 use df_storage::csv::{self, CsvChunk, CsvIngestPlan, CsvOptions};
 use df_storage::spill::SpillStore;
 use df_types::cell::Cell;
-use df_types::error::DfResult;
+use df_types::error::{DfError, DfResult};
 use df_types::infer::InductionSummary;
 
+use crate::backend::BandTask;
 use crate::executor::ParallelExecutor;
 use crate::partition::{Partition, PartitionConfig, PartitionGrid};
 
@@ -90,14 +91,28 @@ pub fn ingest_csv_grid(
     }
     // Parse phase: every chunk independently, each worker seeking to its own byte
     // range and checking its band into the store before picking up the next chunk.
-    // The chunk read is failpoint-instrumented (`ingest.read`) and retried under the
-    // default policy, so a transient read fault costs a backoff, not the statement.
+    // The parse itself is a self-contained [`BandTask::CsvChunk`] placed on the
+    // executor's backend (worker processes parse from their own file descriptors on
+    // the procs backend); the failpoint (`ingest.read`) and the retry policy stay
+    // driver-side, so a transient fault costs a backoff, not the statement.
     let store_owned = store.cloned();
     let retry = df_types::retry::RetryPolicy::default();
     let parsed = executor.par_map(plan.chunks.clone(), |_, chunk| {
+        let task = BandTask::CsvChunk {
+            path: path.to_string_lossy().into_owned(),
+            options: options.clone(),
+            header: plan.header.clone(),
+            n_cols: plan.n_cols,
+            total_rows: plan.total_rows,
+            total_bytes: plan.total_bytes,
+            chunk,
+        };
         let band = retry.run(|_| {
             df_types::fail::check("ingest.read")?;
-            csv::read_csv_chunk(path, options, &plan, &chunk)
+            executor
+                .run_task(&task, Vec::new())?
+                .pop()
+                .ok_or_else(|| DfError::internal("csv chunk task returned no band"))
         })?;
         let summaries = options
             .infer_schema
@@ -118,11 +133,15 @@ pub fn ingest_csv_grid(
     let mut grid = PartitionGrid::from_band_partitions(parts);
     if options.infer_schema {
         // Reconcile phase: join the per-band induction summaries in band order and
-        // re-cast every band (load → cast → store) with the final domains.
+        // re-cast every band (load → cast → store) with the final domains — the
+        // re-cast is a [`BandTask::ApplyDomains`] placed on the backend.
         let band_summaries: Vec<Vec<InductionSummary>> = summaries.into_iter().flatten().collect();
-        let domains = csv::reconcile_domains(&band_summaries);
+        let task = BandTask::ApplyDomains(csv::reconcile_domains(&band_summaries));
         grid = grid.map_bands(executor, store, move |_, band| {
-            csv::apply_domains(band, &domains)
+            executor
+                .run_task(&task, vec![band])?
+                .pop()
+                .ok_or_else(|| DfError::internal("domain task returned no band"))
         })?;
     }
     Ok((grid, report))

@@ -28,6 +28,7 @@
 // reintroduce unwrap/expect panic sites. Tests keep their unwraps.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod backend;
 pub mod cache;
 pub mod engine;
 pub mod executor;
@@ -37,6 +38,7 @@ pub mod partition;
 pub mod session;
 pub mod shuffle;
 
+pub use backend::{BackendHealth, BandTask, ExecBackend, ProcBackend, ThreadsBackend};
 pub use cache::{CacheStats, ResultCache, TenantCacheStats};
 pub use df_storage::spill::{SpillStats, SpillStore};
 pub use engine::{GridResult, ModinConfig, ModinEngine};

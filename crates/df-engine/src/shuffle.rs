@@ -40,8 +40,9 @@ use df_types::labels::Labels;
 use df_core::algebra::{JoinOn, JoinType, SortSpec};
 use df_core::dataframe::{Column, DataFrame};
 use df_core::ops::columnar::typed_for_keying;
-use df_core::ops::{group, setops};
+use df_core::ops::setops;
 
+use crate::backend::BandTask;
 use crate::executor::ParallelExecutor;
 use crate::partition::{Partition, PartitionGrid};
 
@@ -207,7 +208,10 @@ fn assemble_parts(parts: Vec<Partition>) -> DfResult<DataFrame> {
 
 /// Shuffle full-width band partitions into `buckets` key-hashed bands. Each worker
 /// loads one band, splits it, and checks the slices back in; the bucket-concatenation
-/// pass then drains those slices one bucket at a time.
+/// pass then drains those slices one bucket at a time. Both stages place their band
+/// work ([`BandTask::HashSplit`], [`BandTask::Concat`]) on the executor's backend, so
+/// on the process backend every row of a shuffle crosses a process boundary as a
+/// checksummed spill-v4 frame.
 fn shuffle_bands(
     executor: &ParallelExecutor,
     bands: Vec<Partition>,
@@ -217,12 +221,17 @@ fn shuffle_bands(
     let store = executor.store().cloned();
     let p = buckets.max(1);
     executor.record_shuffle();
+    let split_task = BandTask::HashSplit {
+        key: key.clone(),
+        parts: p,
+    };
     let split = executor.par_map(bands, |_, part| {
         // Band exchange is the one place every row crosses worker boundaries; the
         // failpoint makes that hop chaos-testable like the storage hops.
         df_types::fail::check("shuffle.exchange")?;
         let band = part.into_materialized()?;
-        split_band(band, key, p)?
+        executor
+            .run_task(&split_task, vec![band])?
             .into_iter()
             .map(|frame| Partition::new_in(frame, 0, 0, store.as_ref()))
             .collect::<DfResult<Vec<_>>>()
@@ -235,12 +244,21 @@ fn shuffle_bands(
         }
     }
     executor.par_map(per_bucket, |_, parts| {
-        Partition::new_in(assemble_parts(parts)?, 0, 0, store.as_ref())
+        let frames: Vec<DataFrame> = parts
+            .into_iter()
+            .map(Partition::into_materialized)
+            .collect::<DfResult<_>>()?;
+        let merged = executor
+            .run_task(&BandTask::Concat, frames)?
+            .pop()
+            .ok_or_else(|| DfError::internal("concat task returned no output band"))?;
+        Partition::new_in(merged, 0, 0, store.as_ref())
     })
 }
 
 /// Split one band into `p` key-hashed bucket slices, preserving row order per bucket.
-fn split_band(band: DataFrame, key: &ShuffleKey, p: usize) -> DfResult<Vec<DataFrame>> {
+/// `pub(crate)` because it is also the body of [`crate::backend::BandTask::HashSplit`].
+pub(crate) fn split_band(band: DataFrame, key: &ShuffleKey, p: usize) -> DfResult<Vec<DataFrame>> {
     validate_key(&band, key)?;
     if p == 1 {
         return Ok(vec![band]);
@@ -843,10 +861,16 @@ pub fn parallel_sort(
         .collect::<DfResult<_>>()?;
     let p = buckets.max(1);
     let per_band = p * SORT_OVERSAMPLE;
+    // The per-band sort is a self-contained [`BandTask`], so it runs on the
+    // executor's backend; splitter *sampling* stays driver-side because it feeds
+    // the cross-band splitter choice, which no single band can compute.
+    let sort_task = BandTask::SortBand(spec.clone());
     let sorted_with_samples = executor.par_map(bands, |_, part| {
         let band = part.into_materialized()?;
-        let sorted = group::sort(&band, spec)?;
-        drop(band);
+        let sorted = executor
+            .run_task(&sort_task, vec![band])?
+            .pop()
+            .ok_or_else(|| DfError::internal("sort task returned no output band"))?;
         let mut samples: Vec<Vec<Cell>> = Vec::new();
         let n = sorted.n_rows();
         if p > 1 && n > 0 {
@@ -1081,6 +1105,7 @@ fn merge_sorted_runs(
 mod tests {
     use super::*;
     use crate::partition::{PartitionConfig, PartitionScheme};
+    use df_core::ops::group;
     use df_storage::spill::SpillStore;
     use df_types::cell::cell;
     use std::sync::Arc;

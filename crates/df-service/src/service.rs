@@ -73,6 +73,16 @@ impl ServiceConfig {
         self
     }
 
+    /// Select the executor backend the shared engine places band tasks on —
+    /// in-process threads or spawned worker processes. Shorthand for rebuilding
+    /// [`ServiceConfig::engine`] with
+    /// [`ModinConfig::with_backend`](df_engine::engine::ModinConfig::with_backend);
+    /// every tenant of the service shares the selected backend's worker pool.
+    pub fn with_backend(mut self, backend: df_types::backend::BackendKind) -> ServiceConfig {
+        self.engine = self.engine.with_backend(backend);
+        self
+    }
+
     /// Set the evaluation mode tenant sessions run under.
     pub fn with_mode(mut self, mode: EvalMode) -> ServiceConfig {
         self.mode = mode;
@@ -358,6 +368,28 @@ mod tests {
             .expect("beta attributed");
         assert_eq!(beta_cache.hits, 1);
         assert_eq!(service.admission_stats().admitted, 1);
+    }
+
+    #[test]
+    fn backend_selection_reaches_the_shared_engine() {
+        use df_types::backend::BackendKind;
+        let config = ServiceConfig::default().with_backend(BackendKind::Threads);
+        assert_eq!(config.engine.backend, BackendKind::Threads);
+        // A service provisioned with an explicit backend still serves queries
+        // (the procs arm of the same path runs in the backend equivalence suite,
+        // which can build the worker binary).
+        let service = QueryService::start(
+            config.with_engine(
+                ModinConfig::sequential()
+                    .with_partition_size(16, 2)
+                    .with_backend(BackendKind::Threads),
+            ),
+        )
+        .expect("service starts");
+        let tenant = service.tenant("solo");
+        let expr = group_expr(48);
+        let result = tenant.query().collect(&expr).expect("collects");
+        assert_eq!(result.shape().0, 5);
     }
 
     #[test]

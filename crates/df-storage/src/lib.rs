@@ -17,6 +17,7 @@
 
 pub mod csv;
 pub mod spill;
+pub mod wire;
 
 pub use csv::{
     plan_csv_chunks, read_csv_chunk, read_csv_path, read_csv_str, write_csv_path, write_csv_string,

@@ -624,7 +624,9 @@ fn io_transient(kind: std::io::ErrorKind) -> bool {
 /// Flip one character of a rendered payload while keeping it valid UTF-8 — the
 /// `corrupt` failpoint's bit-rot model. The checksum is computed over the original
 /// bytes, so the mangled payload is guaranteed to fail verification on load-back.
-fn mangle_payload(payload: &mut String) {
+/// Public so the process backend's chaos arm can reuse the same bit-rot model on
+/// wire frames.
+pub fn mangle_payload(payload: &mut String) {
     let mut idx = payload.len() / 2;
     while idx > 0 && !payload.is_char_boundary(idx) {
         idx -= 1;
@@ -764,6 +766,22 @@ fn decode_line(line: &str, expected: usize) -> DfResult<Vec<Cell>> {
     Ok(cells)
 }
 
+/// Encode a slice of cells as one escaped, separator-joined line — the spill
+/// format's row encoding. Public (with [`decode_cells`]) so the process backend's
+/// band-task codec can ship literal cells (keys, fill values, rename pairs) in the
+/// exact same dialect as the frames themselves.
+pub fn encode_cells(cells: &[Cell]) -> String {
+    encode_line(cells)
+}
+
+/// Decode a line produced by [`encode_cells`] back into cells. `expected` is the
+/// cell count the caller knows from framing; a mismatch or a malformed cell is an
+/// [`DfError::Internal`] shape error, which wire-level callers fold into their own
+/// corruption taxonomy.
+pub fn decode_cells(line: &str, expected: usize) -> DfResult<Vec<Cell>> {
+    decode_line(line, expected)
+}
+
 /// Render one stored part as a v2/v3 payload string: blocks always render v3; frames
 /// render v3 when the columnar switch is on (typed-probing each column at spill
 /// time), v2 otherwise — so disabling the switch restores the pre-columnar payload
@@ -843,36 +861,56 @@ pub fn read_spill_part(path: &Path) -> DfResult<StoredPart> {
     if injected == Some(FailAction::Corrupt) {
         mangle_payload(&mut content);
     }
+    decode_spill_content(&content, "spill.read")
+}
+
+/// Decode the full content of a spill frame in whichever format it carries: a v4
+/// frame is length- and checksum-verified and its payload dispatched on its inner
+/// magic; bare v2/v3 payloads decode directly. `site` labels any corruption error
+/// (`"spill.read"` for the store, `"backend.exchange"` for the process backend's
+/// wire protocol, which reuses this codec verbatim as its band-exchange payload).
+pub fn decode_spill_content(content: &str, site: &str) -> DfResult<StoredPart> {
     let corrupt = |err: DfError| match err {
         // Shape/parse failures inside the decoders mean the bytes lied; fold them
         // into the corruption taxonomy with the decoder's message as the detail.
-        DfError::Internal(detail) => DfError::spill_corruption("spill.read", detail),
+        DfError::Internal(detail) => DfError::spill_corruption(site, detail),
         other => other,
     };
     match content.split('\n').next().unwrap_or("") {
         MAGIC_V4 => {
-            let payload = verify_v4(&content)?;
+            let payload = verify_v4(content, site)?;
             match payload.split('\n').next().unwrap_or("") {
                 MAGIC => Ok(StoredPart::Frame(read_spill_v2(payload).map_err(corrupt)?)),
                 MAGIC_V3 => Ok(StoredPart::Block(read_spill_v3(payload).map_err(corrupt)?)),
                 _ => Err(DfError::spill_corruption(
-                    "spill.read",
+                    site,
                     "v4 payload has no v2/v3 magic",
                 )),
             }
         }
-        MAGIC => Ok(StoredPart::Frame(read_spill_v2(&content).map_err(corrupt)?)),
-        MAGIC_V3 => Ok(StoredPart::Block(read_spill_v3(&content).map_err(corrupt)?)),
+        MAGIC => Ok(StoredPart::Frame(read_spill_v2(content).map_err(corrupt)?)),
+        MAGIC_V3 => Ok(StoredPart::Block(read_spill_v3(content).map_err(corrupt)?)),
         _ => Err(DfError::spill_corruption(
-            "spill.read",
+            site,
             "bad magic (not a spill file, or truncated before the header)",
         )),
     }
 }
 
+/// Render one stored part as a complete checksummed v4 frame (magic line, integrity
+/// line, payload) — exactly the bytes [`write_spill_part`] puts on disk, minus the
+/// failpoint hook. The process backend uses this as its wire encoding so band
+/// exchange inherits the spill format's corruption detection verbatim.
+pub fn render_spill_part_v4(part: &StoredPart) -> String {
+    let payload = render_spill_payload(part);
+    let checksum = fnv1a64(payload.as_bytes());
+    format!("{MAGIC_V4}\n{} {checksum:x}\n{payload}", payload.len())
+}
+
 /// Check a v4 frame's length and checksum lines and return the verified payload.
-fn verify_v4(content: &str) -> DfResult<&str> {
-    let corrupt = |detail: &str| DfError::spill_corruption("spill.read", detail);
+/// `site` labels the corruption errors (see [`decode_spill_content`]).
+fn verify_v4<'a>(content: &'a str, site: &str) -> DfResult<&'a str> {
+    let corrupt = |detail: &str| DfError::spill_corruption(site, detail);
     let after_magic = content
         .strip_prefix(MAGIC_V4)
         .and_then(|rest| rest.strip_prefix('\n'))
@@ -890,7 +928,7 @@ fn verify_v4(content: &str) -> DfResult<&str> {
         u64::from_str_radix(sum_raw, 16).map_err(|_| corrupt("v4 checksum unparseable"))?;
     if payload.len() != expected_len {
         return Err(DfError::spill_corruption(
-            "spill.read",
+            site,
             format!(
                 "payload length mismatch: header says {expected_len} bytes, file has {}",
                 payload.len()
@@ -900,7 +938,7 @@ fn verify_v4(content: &str) -> DfResult<&str> {
     let actual_sum = fnv1a64(payload.as_bytes());
     if actual_sum != expected_sum {
         return Err(DfError::spill_corruption(
-            "spill.read",
+            site,
             format!("checksum mismatch: header {expected_sum:x}, payload {actual_sum:x}"),
         ));
     }

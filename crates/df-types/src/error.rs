@@ -87,6 +87,16 @@ pub enum DfError {
     /// at the task boundary — sibling tasks are cancelled cooperatively and no lock
     /// is poisoned — and its payload is carried here.
     WorkerPanic(String),
+    /// A worker *process* died or its pipe closed mid-exchange (the process-parallel
+    /// backend's analogue of [`DfError::WorkerPanic`]). The pool kills and respawns
+    /// the worker; tasks are pure, so the exchange is retried once before this
+    /// surfaces — lost workers never hang a statement.
+    WorkerLost {
+        /// The worker's pool slot.
+        worker: usize,
+        /// What the parent observed (EOF, broken pipe, unexpected exit status).
+        detail: String,
+    },
     /// The statement was cancelled cooperatively (session timeout/cancel, or
     /// fail-fast after a sibling task error).
     Cancelled(String),
@@ -178,6 +188,20 @@ impl DfError {
         matches!(self, DfError::SpillCorruption { .. })
     }
 
+    /// Shorthand constructor for [`DfError::WorkerLost`].
+    pub fn worker_lost(worker: usize, detail: impl Into<String>) -> Self {
+        DfError::WorkerLost {
+            worker,
+            detail: detail.into(),
+        }
+    }
+
+    /// True when a worker process died mid-exchange — the trigger for the process
+    /// backend's respawn-and-retry recovery.
+    pub fn is_worker_lost(&self) -> bool {
+        matches!(self, DfError::WorkerLost { .. })
+    }
+
     /// True when the error is a cooperative cancellation, not a real failure.
     pub fn is_cancelled(&self) -> bool {
         matches!(self, DfError::Cancelled(_))
@@ -224,6 +248,9 @@ impl fmt::Display for DfError {
                 write!(f, "spill corruption detected at {site}: {detail}")
             }
             DfError::WorkerPanic(msg) => write!(f, "worker panicked: {msg}"),
+            DfError::WorkerLost { worker, detail } => {
+                write!(f, "worker {worker} lost: {detail}")
+            }
             DfError::Cancelled(what) => write!(f, "cancelled: {what}"),
             DfError::Admission(why) => write!(f, "admission refused: {why}"),
             DfError::Internal(msg) => write!(f, "internal error: {msg}"),
@@ -239,9 +266,267 @@ impl From<std::io::Error> for DfError {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Wire codec
+// ---------------------------------------------------------------------------
+//
+// The process-parallel executor backend ships a failed task's error back to the
+// driver over its pipe protocol. The encoding is a flat record: a stable tag
+// followed by the variant's fields, joined by the unit separator, with embedded
+// separators and backslashes escaped. Every variant round-trips; decoding never
+// fails — an unrecognised or malformed record folds into [`DfError::Internal`]
+// carrying the raw text, so a protocol-version skew degrades the message, not
+// the typed-error contract.
+
+/// Joins the fields of a wire-encoded error.
+const WIRE_SEP: char = '\u{1f}';
+
+fn wire_escape(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            WIRE_SEP => out.push_str("\\u"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn wire_unescape(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    let mut chars = raw.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('u') => out.push(WIRE_SEP),
+            Some(other) => out.push(other),
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+impl DfError {
+    /// Encode this error as a single wire record (see the module-level wire-codec
+    /// notes). The inverse of [`DfError::decode_wire`].
+    pub fn encode_wire(&self) -> String {
+        let record = |tag: &str, fields: &[&str]| {
+            let mut out = String::from(tag);
+            for field in fields {
+                out.push(WIRE_SEP);
+                out.push_str(&wire_escape(field));
+            }
+            out
+        };
+        match self {
+            DfError::ColumnNotFound(l) => record("column-not-found", &[l]),
+            DfError::RowNotFound(l) => record("row-not-found", &[l]),
+            DfError::IndexOutOfBounds { axis, index, len } => record(
+                "index-out-of-bounds",
+                &[axis, &index.to_string(), &len.to_string()],
+            ),
+            DfError::ShapeMismatch { expected, found } => {
+                record("shape-mismatch", &[expected, found])
+            }
+            DfError::TypeMismatch { expected, found } => {
+                record("type-mismatch", &[expected, found])
+            }
+            DfError::ParseError { domain, value } => record("parse-error", &[domain, value]),
+            DfError::Unsupported(m) => record("unsupported", &[m]),
+            DfError::ResourceExhausted(m) => record("resource-exhausted", &[m]),
+            DfError::EmptyInput(m) => record("empty-input", &[m]),
+            DfError::DuplicateLabel(m) => record("duplicate-label", &[m]),
+            DfError::Io(m) => record("io", &[m]),
+            DfError::SpillIo {
+                site,
+                detail,
+                transient,
+            } => record(
+                "spill-io",
+                &[site, detail, if *transient { "1" } else { "0" }],
+            ),
+            DfError::SpillCorruption { site, detail } => {
+                record("spill-corruption", &[site, detail])
+            }
+            DfError::WorkerPanic(m) => record("worker-panic", &[m]),
+            DfError::WorkerLost { worker, detail } => {
+                record("worker-lost", &[&worker.to_string(), detail])
+            }
+            DfError::Cancelled(m) => record("cancelled", &[m]),
+            DfError::Admission(m) => record("admission", &[m]),
+            DfError::Internal(m) => record("internal", &[m]),
+        }
+    }
+
+    /// Decode a wire record produced by [`DfError::encode_wire`]. Never fails: an
+    /// unrecognised tag or a malformed record becomes [`DfError::Internal`] with the
+    /// raw text, so the receiver always gets *an* error, worst case a less specific
+    /// one.
+    pub fn decode_wire(raw: &str) -> DfError {
+        let mut parts = raw.split(WIRE_SEP);
+        let tag = parts.next().unwrap_or("");
+        let fields: Vec<String> = parts.map(wire_unescape).collect();
+        let field = |i: usize| fields.get(i).cloned().unwrap_or_default();
+        let garbled = || DfError::Internal(format!("unrecognised wire error: {raw:?}"));
+        match tag {
+            "column-not-found" => DfError::ColumnNotFound(field(0)),
+            "row-not-found" => DfError::RowNotFound(field(0)),
+            "index-out-of-bounds" => {
+                // The axis is a static str in the in-memory form; map the known axis
+                // names back and fold anything else into the generic "axis".
+                let axis = match field(0).as_str() {
+                    "row" => "row",
+                    "column" => "column",
+                    "row band" => "row band",
+                    _ => "axis",
+                };
+                match (field(1).parse(), field(2).parse()) {
+                    (Ok(index), Ok(len)) => DfError::IndexOutOfBounds { axis, index, len },
+                    _ => garbled(),
+                }
+            }
+            "shape-mismatch" => DfError::ShapeMismatch {
+                expected: field(0),
+                found: field(1),
+            },
+            "type-mismatch" => DfError::TypeMismatch {
+                expected: field(0),
+                found: field(1),
+            },
+            "parse-error" => DfError::ParseError {
+                domain: field(0),
+                value: field(1),
+            },
+            "unsupported" => DfError::Unsupported(field(0)),
+            "resource-exhausted" => DfError::ResourceExhausted(field(0)),
+            "empty-input" => DfError::EmptyInput(field(0)),
+            "duplicate-label" => DfError::DuplicateLabel(field(0)),
+            "io" => DfError::Io(field(0)),
+            "spill-io" => DfError::SpillIo {
+                site: field(0),
+                detail: field(1),
+                transient: field(2) == "1",
+            },
+            "spill-corruption" => DfError::SpillCorruption {
+                site: field(0),
+                detail: field(1),
+            },
+            "worker-panic" => DfError::WorkerPanic(field(0)),
+            "worker-lost" => match field(0).parse() {
+                Ok(worker) => DfError::WorkerLost {
+                    worker,
+                    detail: field(1),
+                },
+                Err(_) => garbled(),
+            },
+            "cancelled" => DfError::Cancelled(field(0)),
+            "admission" => DfError::Admission(field(0)),
+            "internal" => DfError::Internal(field(0)),
+            _ => garbled(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn wire_codec_round_trips_every_variant() {
+        let errors = vec![
+            DfError::ColumnNotFound("price".into()),
+            DfError::RowNotFound("r9".into()),
+            DfError::IndexOutOfBounds {
+                axis: "row",
+                index: 7,
+                len: 3,
+            },
+            DfError::ShapeMismatch {
+                expected: "3x2".into(),
+                found: "2x3".into(),
+            },
+            DfError::TypeMismatch {
+                expected: "int".into(),
+                found: "str".into(),
+            },
+            DfError::ParseError {
+                domain: "float".into(),
+                value: "abc".into(),
+            },
+            DfError::Unsupported("no such op".into()),
+            DfError::ResourceExhausted("budget".into()),
+            DfError::EmptyInput("no frames".into()),
+            DfError::DuplicateLabel("x".into()),
+            DfError::Io("pipe closed".into()),
+            DfError::SpillIo {
+                site: "spill.write".into(),
+                detail: "disk full".into(),
+                transient: true,
+            },
+            DfError::SpillIo {
+                site: "spill.read".into(),
+                detail: "missing".into(),
+                transient: false,
+            },
+            DfError::SpillCorruption {
+                site: "backend.exchange".into(),
+                detail: "checksum mismatch".into(),
+            },
+            DfError::WorkerPanic("index out of range".into()),
+            DfError::WorkerLost {
+                worker: 2,
+                detail: "pipe closed mid-frame".into(),
+            },
+            DfError::Cancelled("user abort".into()),
+            DfError::Admission("queue full".into()),
+            DfError::Internal("invariant broken".into()),
+        ];
+        for err in errors {
+            let decoded = DfError::decode_wire(&err.encode_wire());
+            assert_eq!(decoded, err, "round trip changed {err:?}");
+        }
+    }
+
+    #[test]
+    fn wire_codec_escapes_separators_and_backslashes() {
+        let err = DfError::Internal(format!("weird\\payload{}with unit sep", '\u{1f}'));
+        assert_eq!(DfError::decode_wire(&err.encode_wire()), err);
+        // Multi-field variants keep field boundaries straight even when the
+        // fields themselves contain the separator.
+        let err = DfError::SpillCorruption {
+            site: format!("a{}b", '\u{1f}'),
+            detail: "c\\d".into(),
+        };
+        assert_eq!(DfError::decode_wire(&err.encode_wire()), err);
+    }
+
+    #[test]
+    fn wire_codec_folds_garbage_into_internal() {
+        for raw in [
+            "",
+            "no-such-tag\u{1f}x",
+            "worker-lost\u{1f}not-a-number\u{1f}d",
+        ] {
+            match DfError::decode_wire(raw) {
+                DfError::Internal(msg) => {
+                    assert!(msg.contains("unrecognised wire error"), "msg: {msg}")
+                }
+                other => panic!("expected Internal, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn worker_lost_helpers_and_display() {
+        let err = DfError::worker_lost(3, "exit status 9");
+        assert!(err.is_worker_lost());
+        assert!(!DfError::Internal("x".into()).is_worker_lost());
+        assert_eq!(err.to_string(), "worker 3 lost: exit status 9");
+    }
 
     #[test]
     fn display_column_not_found() {

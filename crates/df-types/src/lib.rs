@@ -28,6 +28,7 @@
 //! pandas-like baseline (`df-baseline`) and the scalable engine (`df-engine`) all share
 //! these definitions, which is what lets the benchmark harness compare them fairly.
 
+pub mod backend;
 pub mod cancel;
 pub mod cell;
 pub mod column;

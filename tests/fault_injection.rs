@@ -231,6 +231,73 @@ fn shuffle_faults_and_panics_surface_typed_and_leave_the_session_reusable() {
     }
 }
 
+/// A process-backend engine pointed at the worker binary Cargo built for this
+/// test run.
+fn proc_engine(threads: usize) -> ModinEngine {
+    std::env::set_var("DF_WORKER_BIN", env!("CARGO_BIN_EXE_df-band-worker"));
+    ModinEngine::try_with_config(
+        ModinConfig::default()
+            .with_threads(threads)
+            .with_partition_size(16, 4)
+            .with_backend(df_types::backend::BackendKind::Procs),
+    )
+    .expect("process backend engine")
+}
+
+#[test]
+fn proc_worker_death_mid_exchange_recovers_or_surfaces_typed() {
+    use df_core::algebra::AlgebraExpr;
+    use df_core::engine::Engine;
+
+    let armed = Armed::new("");
+    let expr = AlgebraExpr::literal(fleet_frame(200)).drop_duplicates();
+    let engine = proc_engine(1);
+    armed.disarm();
+    let baseline = engine.execute_collect(&expr).unwrap();
+
+    // Kill the checked-out worker once, right before a band exchange (`@1` fires
+    // on exactly the first evaluation). The dead pipe surfaces as a lost worker,
+    // the backend discards it, spawns a replacement and replays the task — the
+    // result is bit-exact and the restart is accounted.
+    armed.rearm("backend.exchange=missing@1");
+    let recovered = engine.execute_collect(&expr).unwrap();
+    assert!(
+        recovered.same_data(&baseline),
+        "recovery after a worker death diverged"
+    );
+    let health = engine.backend_health();
+    assert!(
+        health.restarts >= 1,
+        "worker death did not record a restart: {health:?}"
+    );
+
+    // A worker that dies on *every* attempt (probability form: fires always) is a
+    // typed `WorkerLost` — no hang, no panic — once the retry allowance is spent.
+    armed.rearm("backend.exchange=missing@1.0");
+    let err = engine.execute_collect(&expr).unwrap_err();
+    assert!(
+        matches!(err, DfError::WorkerLost { .. }),
+        "expected WorkerLost, got {err}"
+    );
+
+    // Bit-rot on the wire: the response frame's payload is mangled in flight, the
+    // spill-v4 checksum catches it, and the retry replays the exchange cleanly.
+    armed.rearm("backend.exchange=corrupt@1");
+    let recovered = engine.execute_collect(&expr).unwrap();
+    assert!(
+        recovered.same_data(&baseline),
+        "recovery after wire corruption diverged"
+    );
+
+    // Faults cleared: the very same engine (and its respawned pool) still answers.
+    armed.disarm();
+    let healed = engine.execute_collect(&expr).unwrap();
+    assert!(
+        healed.same_data(&baseline),
+        "engine unusable after backend faults cleared"
+    );
+}
+
 #[test]
 fn spill_dir_is_removed_on_drop_even_after_worker_panics() {
     let armed = Armed::new("");
